@@ -1,0 +1,53 @@
+// Reproduces Figure 11: training time per model (AR vs SSAR) for the five
+// housing and five movies setups. The paper's orderings should hold:
+// AR trains faster than SSAR, and housing models train faster than movies
+// models.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "restore/path_selection.h"
+
+namespace restore {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("# Figure 11: training time per model (seconds)\n");
+  std::printf("setup,model,path_len,train_seconds,parameters\n");
+  const double housing_scale = FullGrids() ? 0.5 : 0.2;
+  const double movies_scale = FullGrids() ? 0.4 : 0.12;
+  std::vector<CompletionSetup> setups = HousingSetups();
+  for (const auto& m : MovieSetups()) setups.push_back(m);
+  for (const auto& setup : setups) {
+    const double scale =
+        setup.dataset == "housing" ? housing_scale : movies_scale;
+    auto run = MakeSetupRun(setup.name, 0.5, 0.5, scale, 1400);
+    if (!run.ok()) continue;
+    auto paths = EnumerateCompletionPaths(run->incomplete, run->annotation,
+                                          setup.removed_table, 5);
+    if (paths.empty()) continue;
+    for (bool ssar : {false, true}) {
+      PathModelConfig config = BenchEngineConfig(ssar).model;
+      auto model =
+          PathModel::Train(run->incomplete, run->annotation, paths[0], config);
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s: %s\n", setup.name.c_str(),
+                     model.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s,%s,%zu,%.3f,%zu\n", setup.name.c_str(),
+                  ssar ? "SSAR" : "AR", paths[0].size(),
+                  (*model)->train_seconds(), (*model)->num_parameters());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace restore
+
+int main() { return restore::bench::Run(); }

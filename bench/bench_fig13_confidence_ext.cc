@@ -1,0 +1,102 @@
+// Reproduces Figure 13 (appendix): confidence intervals on the synthetic
+// dataset for ALL removal correlations x keep rates x predictabilities.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/confidence_util.h"
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace restore {
+namespace bench {
+namespace {
+
+Result<std::string> MostBiasedValue(const Database& complete,
+                                    const Database& incomplete) {
+  RESTORE_ASSIGN_OR_RETURN(const Table* truth, complete.GetTable("table_b"));
+  RESTORE_ASSIGN_OR_RETURN(const Table* partial,
+                           incomplete.GetTable("table_b"));
+  RESTORE_ASSIGN_OR_RETURN(const Column* col, truth->GetColumn("b"));
+  std::string worst;
+  double worst_dev = -1.0;
+  for (size_t code = 0; code < col->dictionary()->size(); ++code) {
+    const std::string value =
+        col->dictionary()->ValueOf(static_cast<int64_t>(code));
+    RESTORE_ASSIGN_OR_RETURN(double tf,
+                             CategoricalFraction(*truth, "b", value));
+    RESTORE_ASSIGN_OR_RETURN(double pf,
+                             CategoricalFraction(*partial, "b", value));
+    if (std::abs(tf - pf) > worst_dev) {
+      worst_dev = std::abs(tf - pf);
+      worst = value;
+    }
+  }
+  return worst;
+}
+
+int Run() {
+  std::printf("# Figure 13: confidence intervals, full synthetic grid\n");
+  std::printf(
+      "removal_correlation,keep_rate,predictability,true_fraction,"
+      "ci_lower,ci_upper,theoretical_min,theoretical_max,covered\n");
+  const std::vector<double> predictabilities =
+      FullGrids() ? std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0}
+                  : std::vector<double>{0.4, 1.0};
+  size_t covered = 0;
+  size_t total = 0;
+  for (double corr : RemovalCorrelations()) {
+    for (double keep : KeepRates()) {
+      for (double pred : predictabilities) {
+        SyntheticConfig config;
+        config.num_parents = 250;
+        config.predictability = pred;
+        config.seed = 910;
+        auto complete = GenerateSynthetic(config);
+        if (!complete.ok()) continue;
+        BiasedRemovalConfig removal;
+        removal.table = "table_b";
+        removal.column = "b";
+        removal.keep_rate = keep;
+        removal.removal_correlation = corr;
+        removal.seed = 911;
+        auto incomplete = ApplyBiasedRemoval(*complete, removal);
+        if (!incomplete.ok()) continue;
+        if (!ThinTupleFactors(&*incomplete, 0.3, 912).ok()) continue;
+        SchemaAnnotation annotation;
+        annotation.MarkIncomplete("table_b");
+        auto value = MostBiasedValue(*complete, *incomplete);
+        if (!value.ok()) continue;
+        PathModelConfig model_config;
+        model_config.epochs = 8;
+        model_config.hidden_dim = 32;
+        model_config.embed_dim = 6;
+        auto eval = EvaluateCountConfidence(
+            *complete, *incomplete, annotation, {"table_a", "table_b"},
+            "table_b", "b", *value, model_config, 913);
+        if (!eval.ok()) continue;
+        const bool hit = eval->true_fraction >= eval->interval.lower - 1e-9 &&
+                         eval->true_fraction <= eval->interval.upper + 1e-9;
+        covered += hit ? 1 : 0;
+        ++total;
+        std::printf("%.0f%%,%.0f%%,%.0f%%,%.3f,%.3f,%.3f,%.3f,%.3f,%s\n",
+                    corr * 100, keep * 100, pred * 100, eval->true_fraction,
+                    eval->interval.lower, eval->interval.upper,
+                    eval->interval.theoretical_min,
+                    eval->interval.theoretical_max, hit ? "yes" : "no");
+      }
+    }
+  }
+  std::printf("# coverage: %zu/%zu intervals contain the true fraction\n",
+              covered, total);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace restore
+
+int main() { return restore::bench::Run(); }

@@ -1,0 +1,68 @@
+// Reproduces Figure 14 (appendix): confidence intervals for the categorical
+// real-world setups (H2, H3, M2, M3, M5) vs removal correlation and keep
+// rate. The true fraction should lie inside (or near) the predicted bounds.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/confidence_util.h"
+#include "metrics/metrics.h"
+#include "restore/path_selection.h"
+
+namespace restore {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("# Figure 14: confidence intervals on real-world setups\n");
+  std::printf(
+      "setup,keep_rate,removal_correlation,true_fraction,"
+      "incomplete_fraction,ci_lower,ci_upper,covered\n");
+  const double housing_scale = FullGrids() ? 0.4 : 0.15;
+  const double movies_scale = FullGrids() ? 0.3 : 0.1;
+  const std::vector<double> keeps =
+      FullGrids() ? KeepRates() : std::vector<double>{0.4};
+  const std::vector<double> corrs =
+      FullGrids() ? RemovalCorrelations() : std::vector<double>{0.2, 0.8};
+  for (const char* name : {"H2", "H3", "M2", "M3", "M5"}) {
+    for (double keep : keeps) {
+      for (double corr : corrs) {
+        auto run = MakeSetupRun(
+            name, keep, corr,
+            name[0] == 'H' ? housing_scale : movies_scale, 1600);
+        if (!run.ok()) continue;
+        auto paths =
+            EnumerateCompletionPaths(run->incomplete, run->annotation,
+                                     run->setup.removed_table, 5);
+        if (paths.empty()) continue;
+        PathModelConfig config = BenchEngineConfig().model;
+        auto eval = EvaluateCountConfidence(
+            run->complete, run->incomplete, run->annotation, paths[0],
+            run->setup.removed_table, run->setup.biased_column,
+            run->setup.categorical_value, config, 1601);
+        if (!eval.ok()) {
+          std::fprintf(stderr, "%s: %s\n", name,
+                       eval.status().ToString().c_str());
+          continue;
+        }
+        const bool covered =
+            eval->true_fraction >= eval->interval.lower - 1e-9 &&
+            eval->true_fraction <= eval->interval.upper + 1e-9;
+        std::printf("%s,%.0f%%,%.0f%%,%.3f,%.3f,%.3f,%.3f,%s\n", name,
+                    keep * 100, corr * 100, eval->true_fraction,
+                    eval->incomplete_fraction, eval->interval.lower,
+                    eval->interval.upper, covered ? "yes" : "no");
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace restore
+
+int main() { return restore::bench::Run(); }

@@ -1,0 +1,70 @@
+// Reproduces Figure 8 (workload of Table 1): improvement of the average
+// relative error due to completion, per query, dataset, keep rate and
+// removal correlation. Higher is better; 0 means completion did not help.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/workload.h"
+#include "exec/executor.h"
+#include "metrics/metrics.h"
+
+namespace restore {
+namespace bench {
+namespace {
+
+int RunWorkload(const std::vector<WorkloadQuery>& workload, double scale,
+                const char* dataset) {
+  const std::vector<double> keeps =
+      FullGrids() ? KeepRates() : std::vector<double>{0.4};
+  const std::vector<double> corrs =
+      FullGrids() ? RemovalCorrelations() : std::vector<double>{0.2, 0.8};
+  for (const auto& wq : workload) {
+    for (double keep : keeps) {
+      for (double corr : corrs) {
+        auto run = MakeSetupRun(wq.setup, keep, corr, scale, 1100);
+        if (!run.ok()) continue;
+        CompletionEngine engine(&run->incomplete, run->annotation,
+                                BenchEngineConfig());
+        if (!engine.TrainModels().ok()) continue;
+        auto truth = ExecuteSql(run->complete, wq.sql);
+        auto on_incomplete = ExecuteSql(run->incomplete, wq.sql);
+        auto on_completed = engine.ExecuteCompletedSql(wq.sql);
+        if (!truth.ok() || !on_incomplete.ok() || !on_completed.ok()) {
+          std::fprintf(stderr, "%s %s: %s\n", dataset, wq.name.c_str(),
+                       (!on_completed.ok() ? on_completed.status()
+                                           : truth.status())
+                           .ToString()
+                           .c_str());
+          continue;
+        }
+        const double improvement =
+            RelativeErrorImprovement(*truth, *on_incomplete, *on_completed);
+        std::printf("%s,%s,%s,%.0f%%,%.0f%%,%.4f\n", dataset,
+                    wq.name.c_str(), wq.setup.c_str(), keep * 100, corr * 100,
+                    improvement);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+int Run() {
+  std::printf("# Figure 8: relative-error improvement per query (Table 1)\n");
+  std::printf(
+      "dataset,query,setup,keep_rate,removal_correlation,"
+      "relative_error_improvement\n");
+  const double housing_scale = FullGrids() ? 0.5 : 0.12;
+  const double movies_scale = FullGrids() ? 0.4 : 0.08;
+  RunWorkload(HousingWorkload(), housing_scale, "housing");
+  RunWorkload(MovieWorkload(), movies_scale, "movies");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace restore
+
+int main() { return restore::bench::Run(); }

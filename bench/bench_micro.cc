@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the performance-critical substrate
+// components: MADE forward/sampling, hash join, k-d tree lookups, and
+// discretizer encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/join.h"
+#include "nn/made.h"
+#include "restore/discretizer.h"
+#include "restore/kd_tree.h"
+#include "storage/table.h"
+
+namespace restore {
+namespace {
+
+void BM_MadeForward(benchmark::State& state) {
+  Rng rng(1);
+  MadeConfig config;
+  config.vocab_sizes = {16, 16, 32, 8, 24};
+  config.embed_dim = 8;
+  config.hidden_dim = static_cast<size_t>(state.range(0));
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+  IntMatrix codes(256, 5);
+  for (size_t r = 0; r < codes.rows(); ++r) {
+    for (size_t a = 0; a < 5; ++a) {
+      codes.at(r, a) = static_cast<int32_t>(
+          rng.NextUint64(static_cast<uint64_t>(config.vocab_sizes[a])));
+    }
+  }
+  Matrix logits;
+  for (auto _ : state) {
+    made.Forward(codes, Matrix(), &logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MadeForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MadeSampleRange(benchmark::State& state) {
+  Rng rng(2);
+  MadeConfig config;
+  config.vocab_sizes = {16, 16, 32, 8, 24};
+  config.embed_dim = 8;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+  IntMatrix codes(static_cast<size_t>(state.range(0)), 5, 0);
+  for (auto _ : state) {
+    made.SampleRange(&codes, Matrix(), 1, 5, rng);
+    benchmark::DoNotOptimize(codes.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MadeSampleRange)->Arg(64)->Arg(512);
+
+void BM_HashJoin(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Table left("left", {{"id", ColumnType::kInt64},
+                      {"x", ColumnType::kDouble}});
+  Table right("right", {{"left_id", ColumnType::kInt64},
+                        {"y", ColumnType::kDouble}});
+  for (size_t i = 0; i < n; ++i) {
+    (void)left.AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                          Value::Double(rng.NextDouble())});
+  }
+  for (size_t i = 0; i < 4 * n; ++i) {
+    (void)right.AppendRow(
+        {Value::Int64(static_cast<int64_t>(rng.NextUint64(n))),
+         Value::Double(rng.NextDouble())});
+  }
+  for (auto _ : state) {
+    auto joined = HashJoin(left, right, "id", "left_id");
+    benchmark::DoNotOptimize(joined->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeNearestNeighbor(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 6;
+  std::vector<float> points(n * dim);
+  for (auto& p : points) p = static_cast<float>(rng.NextGaussian());
+  KdTree tree(points, n, dim, 16);
+  std::vector<float> query(dim);
+  for (auto _ : state) {
+    for (size_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextGaussian());
+    }
+    benchmark::DoNotOptimize(tree.ApproxNearestNeighbor(query.data(), 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeNearestNeighbor)->Arg(10000)->Arg(100000);
+
+void BM_DiscretizerEncode(benchmark::State& state) {
+  Rng rng(5);
+  Column col("x", ColumnType::kDouble);
+  for (int i = 0; i < 100000; ++i) {
+    col.AppendDouble(rng.NextGaussian(50.0, 20.0));
+  }
+  auto disc = ColumnDiscretizer::Fit(col, 32);
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (size_t r = 0; r < 1000; ++r) {
+      acc += disc->EncodeCell(col, r);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DiscretizerEncode);
+
+}  // namespace
+}  // namespace restore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+#include "bench/bench_util.h"
+
+#include "common/timer.h"
+#include "metrics/metrics.h"
+
+namespace restore {
+namespace bench {
+
+EngineConfig BenchEngineConfig(bool use_ssar) {
+  EngineConfig config;
+  config.model.epochs = 12;
+  config.model.hidden_dim = 40;
+  config.model.embed_dim = 8;
+  config.model.max_bins = 16;
+  config.model.use_ssar = use_ssar;
+  config.model.min_train_steps = 500;
+  config.max_candidates = 3;
+  config.selection = SelectionStrategy::kBestTestLoss;
+  return config;
+}
+
+Result<SetupRun> MakeSetupRun(const std::string& setup_name, double keep_rate,
+                              double removal_correlation, double scale,
+                              uint64_t seed) {
+  RESTORE_ASSIGN_OR_RETURN(CompletionSetup setup, SetupByName(setup_name));
+  RESTORE_ASSIGN_OR_RETURN(Database complete,
+                           BuildCompleteDatabase(setup.dataset, seed, scale));
+  RESTORE_ASSIGN_OR_RETURN(
+      Database incomplete,
+      ApplySetup(complete, setup, keep_rate, removal_correlation, seed + 1));
+  SetupRun run{setup, std::move(complete), std::move(incomplete),
+               AnnotationFor(setup)};
+  return run;
+}
+
+Result<double> BiasedStat(const SetupRun& run, const Table& table) {
+  RESTORE_ASSIGN_OR_RETURN(const Column* col,
+                           table.GetColumn(run.setup.biased_column));
+  if (col->type() == ColumnType::kCategorical) {
+    std::string value = run.setup.categorical_value;
+    if (value.empty()) value = col->dictionary()->ValueOf(0);
+    return CategoricalFraction(table, run.setup.biased_column, value);
+  }
+  return ColumnMean(table, run.setup.biased_column);
+}
+
+Result<double> CompletedStat(const SetupRun& run,
+                             const CompletionResult& completion) {
+  RESTORE_ASSIGN_OR_RETURN(const Table* base,
+                           run.incomplete.GetTable(run.setup.removed_table));
+  // Existing tuples + synthesized attribute columns.
+  Table merged(run.setup.removed_table);
+  RESTORE_ASSIGN_OR_RETURN(const Column* base_col,
+                           base->GetColumn(run.setup.biased_column));
+  Column col = *base_col;
+  auto it = completion.synthesized.find(run.setup.removed_table);
+  if (it != completion.synthesized.end()) {
+    for (const auto& sc : it->second) {
+      if (sc.name() != run.setup.biased_column) continue;
+      for (size_t r = 0; r < sc.size(); ++r) {
+        if (sc.type() == ColumnType::kDouble) {
+          col.AppendDouble(sc.GetDouble(r));
+        } else {
+          col.AppendInt64(sc.GetInt64(r));
+        }
+      }
+    }
+  }
+  RESTORE_RETURN_IF_ERROR(merged.AddColumn(std::move(col)));
+  return BiasedStat(run, merged);
+}
+
+Result<PathEval> EvaluatePath(const SetupRun& run, CompletionEngine& engine,
+                              const std::vector<std::string>& path) {
+  Timer timer;
+  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
+                           engine.CompleteViaPath(path));
+  PathEval eval;
+  eval.completion_seconds = timer.ElapsedSeconds();
+
+  RESTORE_ASSIGN_OR_RETURN(const Table* truth,
+                           run.complete.GetTable(run.setup.removed_table));
+  RESTORE_ASSIGN_OR_RETURN(const Table* partial,
+                           run.incomplete.GetTable(run.setup.removed_table));
+  RESTORE_ASSIGN_OR_RETURN(double true_stat, BiasedStat(run, *truth));
+  RESTORE_ASSIGN_OR_RETURN(double incomplete_stat, BiasedStat(run, *partial));
+  RESTORE_ASSIGN_OR_RETURN(double completed_stat,
+                           CompletedStat(run, completion));
+  eval.bias_reduction =
+      BiasReduction(true_stat, incomplete_stat, completed_stat);
+  size_t synthesized = 0;
+  auto it = completion.synthesized_counts.find(run.setup.removed_table);
+  if (it != completion.synthesized_counts.end()) synthesized = it->second;
+  eval.cardinality_correction = CardinalityCorrection(
+      truth->NumRows(), partial->NumRows(), partial->NumRows() + synthesized);
+  return eval;
+}
+
+}  // namespace bench
+}  // namespace restore

@@ -1,0 +1,82 @@
+#ifndef RESTORE_BENCH_BENCH_UTIL_H_
+#define RESTORE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses. Every bench binary
+// prints the series of one paper figure as CSV to stdout.
+//
+// Scales: by default the harnesses run scaled-down grids so the full suite
+// finishes in minutes on a laptop. Set RESTORE_BENCH_FULL=1 to sweep the
+// paper's full parameter grids.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/incompleteness.h"
+#include "datagen/setups.h"
+#include "datagen/synthetic.h"
+#include "restore/engine.h"
+#include "storage/database.h"
+
+namespace restore {
+namespace bench {
+
+/// True if the RESTORE_BENCH_FULL environment variable requests the paper's
+/// full parameter grids.
+inline bool FullGrids() {
+  const char* v = std::getenv("RESTORE_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Keep rates / removal correlations swept by the experiments.
+inline std::vector<double> KeepRates() {
+  return FullGrids() ? std::vector<double>{0.2, 0.4, 0.6, 0.8}
+                     : std::vector<double>{0.2, 0.6};
+}
+inline std::vector<double> RemovalCorrelations() {
+  return FullGrids() ? std::vector<double>{0.2, 0.4, 0.6, 0.8}
+                     : std::vector<double>{0.2, 0.8};
+}
+
+/// Default engine configuration used by the harnesses (small models,
+/// enough optimizer steps via the min_train_steps floor).
+EngineConfig BenchEngineConfig(bool use_ssar = false);
+
+/// A fully-prepared completion scenario for one setup of Fig 4c.
+struct SetupRun {
+  CompletionSetup setup;
+  Database complete;
+  Database incomplete;
+  SchemaAnnotation annotation;
+};
+
+/// Builds the complete + incomplete databases of a setup at the given keep
+/// rate / removal correlation. `scale` multiplies dataset sizes.
+Result<SetupRun> MakeSetupRun(const std::string& setup_name, double keep_rate,
+                              double removal_correlation, double scale,
+                              uint64_t seed);
+
+/// The statistic used by the bias-reduction metric for a setup's biased
+/// attribute: the mean for numeric columns, the biased value's fraction for
+/// categorical columns.
+Result<double> BiasedStat(const SetupRun& run, const Table& table);
+
+/// Computes the biased statistic over existing + synthesized tuples of the
+/// removed table.
+Result<double> CompletedStat(const SetupRun& run,
+                             const CompletionResult& completion);
+
+/// Bias reduction achieved by completing via `path` with `engine`.
+struct PathEval {
+  double bias_reduction = 0.0;
+  double cardinality_correction = 0.0;
+  double completion_seconds = 0.0;
+};
+Result<PathEval> EvaluatePath(const SetupRun& run, CompletionEngine& engine,
+                              const std::vector<std::string>& path);
+
+}  // namespace bench
+}  // namespace restore
+
+#endif  // RESTORE_BENCH_BENCH_UTIL_H_

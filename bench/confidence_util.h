@@ -1,0 +1,42 @@
+#ifndef RESTORE_BENCH_CONFIDENCE_UTIL_H_
+#define RESTORE_BENCH_CONFIDENCE_UTIL_H_
+
+// Shared machinery for the confidence-interval harnesses (Figs 6, 13, 14):
+// completes a table while recording the predictive distribution of one
+// categorical attribute and derives the 95% confidence interval of the
+// biased value's fraction.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "restore/annotation.h"
+#include "restore/confidence.h"
+#include "restore/incompleteness_join.h"
+#include "restore/path_model.h"
+#include "storage/database.h"
+
+namespace restore {
+namespace bench {
+
+struct ConfidenceEval {
+  /// Fraction of the biased value in the TRUE (complete) table.
+  double true_fraction = 0.0;
+  /// Fraction in the incomplete table.
+  double incomplete_fraction = 0.0;
+  ConfidenceInterval interval;
+};
+
+/// Completes `target` via `path` on `incomplete`, recording the predictive
+/// distributions of `column`, and computes the 95% CI of `value`'s fraction
+/// in the completed table. `complete` provides the ground truth.
+Result<ConfidenceEval> EvaluateCountConfidence(
+    const Database& complete, const Database& incomplete,
+    const SchemaAnnotation& annotation, const std::vector<std::string>& path,
+    const std::string& target, const std::string& column,
+    const std::string& value, const PathModelConfig& config, uint64_t seed);
+
+}  // namespace bench
+}  // namespace restore
+
+#endif  // RESTORE_BENCH_CONFIDENCE_UTIL_H_

@@ -1,0 +1,71 @@
+// Movie-analytics scenario: the movie table (and the m:n link tables that
+// reference it) are incomplete; queries join movies with directors through
+// movie_director. ReStore walks a completion path from the complete director
+// table through the link table to synthesize the missing movies.
+//
+//   $ ./build/examples/movie_analytics
+
+#include <cstdio>
+
+#include "datagen/setups.h"
+#include "datagen/workload.h"
+#include "exec/executor.h"
+#include "metrics/metrics.h"
+#include "restore/engine.h"
+
+using namespace restore;
+
+int main() {
+  auto complete = BuildCompleteDatabase("movies", /*seed=*/41, /*scale=*/0.2);
+  if (!complete.ok()) return 1;
+  // M1: movies removed with a production-year bias (older movies missing),
+  // link tables cascade-removed, only 20% of tuple factors observed.
+  auto setup = SetupByName("M1");
+  auto incomplete = ApplySetup(*complete, *setup, /*keep_rate=*/0.5,
+                               /*removal_correlation=*/0.5, /*seed=*/42);
+  if (!incomplete.ok()) return 1;
+
+  std::printf("movies:        %zu complete, %zu available\n",
+              (*complete->GetTable("movie").value()).NumRows(),
+              (*incomplete->GetTable("movie").value()).NumRows());
+  std::printf("movie_director %zu complete, %zu available (cascade)\n\n",
+              (*complete->GetTable("movie_director").value()).NumRows(),
+              (*incomplete->GetTable("movie_director").value()).NumRows());
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup), EngineConfig());
+  if (auto s = engine.TrainModels(); !s.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A join query across two incomplete tables (movie, movie_director) and a
+  // complete one (director).
+  const std::string sql =
+      "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
+      "director WHERE gender='m';";
+  auto truth = ExecuteSql(*complete, sql);
+  auto naive = ExecuteSql(*incomplete, sql);
+  auto completed = engine.ExecuteCompletedSql(sql);
+  if (!truth.ok() || !naive.ok() || !completed.ok()) {
+    std::fprintf(stderr, "%s\n", completed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", sql.c_str());
+  std::printf("  truth %.0f | incomplete %.0f | completed %.0f\n",
+              truth->groups.at({})[0], naive->groups.at({})[0],
+              completed->groups.at({})[0]);
+
+  // Production-year histogram: completion restores the missing (old) years.
+  const std::string hist =
+      "SELECT COUNT(*) FROM movie GROUP BY production_year;";
+  auto truth_h = ExecuteSql(*complete, hist);
+  auto naive_h = ExecuteSql(*incomplete, hist);
+  auto completed_h = engine.ExecuteCompletedSql(hist);
+  if (truth_h.ok() && naive_h.ok() && completed_h.ok()) {
+    std::printf("\nproduction-year histogram rel. error: incomplete %.3f | "
+                "completed %.3f\n",
+                AverageRelativeError(*truth_h, *naive_h),
+                AverageRelativeError(*truth_h, *completed_h));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef RESTORE_COMMON_RESULT_H_
+#define RESTORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace restore {
+
+/// A value-or-error holder (similar to arrow::Result / absl::StatusOr).
+///
+/// Usage:
+///   Result<Table> r = BuildTable(...);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding a value. Implicit on purpose so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a result holding an error. `status` must be non-OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define RESTORE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define RESTORE_ASSIGN_OR_RETURN(lhs, expr)                               \
+  RESTORE_ASSIGN_OR_RETURN_IMPL(RESTORE_CONCAT_(_result_, __LINE__), lhs, \
+                                expr)
+
+#define RESTORE_CONCAT_INNER_(a, b) a##b
+#define RESTORE_CONCAT_(a, b) RESTORE_CONCAT_INNER_(a, b)
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_RESULT_H_

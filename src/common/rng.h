@@ -1,0 +1,74 @@
+#ifndef RESTORE_COMMON_RNG_H_
+#define RESTORE_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace restore {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Every
+/// stochastic component in the library (data generators, weight init,
+/// sampling) takes an explicit `Rng&` so experiments are reproducible from a
+/// single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator (splitmix64 expansion of the 64-bit seed).
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Samples from a Zipf distribution over {0, .., n-1} with exponent `s`.
+  /// s == 0 degenerates to uniform.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_RNG_H_

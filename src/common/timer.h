@@ -1,0 +1,30 @@
+#ifndef RESTORE_COMMON_TIMER_H_
+#define RESTORE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace restore {
+
+/// Wall-clock stopwatch used by the training/completion timing experiments
+/// (Figures 11 and 12).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_TIMER_H_

@@ -1,0 +1,145 @@
+#include "datagen/housing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+
+namespace {
+
+constexpr int kNumStates = 12;
+const char* const kRoomTypes[] = {"entire_home", "private_room",
+                                  "shared_room"};
+const char* const kPropertyTypes[] = {"house", "apartment", "condo", "loft"};
+const char* const kUrbanization[] = {"urban", "suburban", "rural"};
+
+}  // namespace
+
+Result<Database> GenerateHousing(const HousingConfig& config) {
+  Rng rng(config.seed);
+  Database db;
+
+  // ---- Neighborhoods -------------------------------------------------------
+  Table neighborhood("neighborhood",
+                     {{"id", ColumnType::kInt64},
+                      {"state", ColumnType::kCategorical},
+                      {"pop_density", ColumnType::kDouble},
+                      {"urbanization", ColumnType::kCategorical}});
+  // Per-state density level plants the state <-> density correlation the
+  // paper's motivating example relies on.
+  std::vector<double> state_density(kNumStates);
+  for (auto& d : state_density) d = rng.NextUniform(0.1, 1.0);
+  std::vector<double> nb_density(config.num_neighborhoods);
+  for (size_t i = 0; i < config.num_neighborhoods; ++i) {
+    const int state = static_cast<int>(rng.NextUint64(kNumStates));
+    const double density = std::clamp(
+        state_density[state] + rng.NextGaussian(0.0, 0.15), 0.02, 1.2);
+    nb_density[i] = density;
+    const char* urb = density > 0.7   ? kUrbanization[0]
+                      : density > 0.35 ? kUrbanization[1]
+                                       : kUrbanization[2];
+    RESTORE_RETURN_IF_ERROR(neighborhood.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Categorical(StrFormat("state_%d", state)),
+         Value::Double(density * 25000.0), Value::Categorical(urb)}));
+  }
+
+  // ---- Landlords ------------------------------------------------------------
+  Table landlord("landlord",
+                 {{"id", ColumnType::kInt64},
+                  {"landlord_since", ColumnType::kInt64},
+                  {"landlord_response_time", ColumnType::kInt64},
+                  {"landlord_response_rate", ColumnType::kDouble}});
+  // Landlord "quality" drives all landlord attributes and (below) which
+  // apartments a landlord owns — the correlation completing H4/H5 exploits.
+  std::vector<double> landlord_quality(config.num_landlords);
+  for (size_t i = 0; i < config.num_landlords; ++i) {
+    const double q = rng.NextDouble();
+    landlord_quality[i] = q;
+    const int64_t since = 2008 + static_cast<int64_t>((1.0 - q) * 12.99);
+    const int64_t response_time =
+        std::clamp<int64_t>(static_cast<int64_t>((1.0 - q) * 4.0 +
+                                                 rng.NextGaussian(0.0, 0.6)),
+                            0, 4);
+    const double response_rate =
+        std::clamp(50.0 + 48.0 * q + rng.NextGaussian(0.0, 6.0), 0.0, 100.0);
+    RESTORE_RETURN_IF_ERROR(landlord.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)), Value::Int64(since),
+         Value::Int64(response_time), Value::Double(response_rate)}));
+  }
+
+  // ---- Apartments ------------------------------------------------------------
+  Table apartment("apartment",
+                  {{"id", ColumnType::kInt64},
+                   {"neighborhood_id", ColumnType::kInt64},
+                   {"landlord_id", ColumnType::kInt64},
+                   {"price", ColumnType::kDouble},
+                   {"room_type", ColumnType::kCategorical},
+                   {"property_type", ColumnType::kCategorical},
+                   {"accommodates", ColumnType::kInt64}});
+  for (size_t i = 0; i < config.num_apartments; ++i) {
+    const size_t nb = rng.NextUint64(config.num_neighborhoods);
+    const double density = nb_density[nb];
+
+    // Room type correlates with urbanization; accommodates with room type.
+    const double u = rng.NextDouble();
+    int room;
+    if (density > 0.6) {
+      room = u < 0.55 ? 0 : (u < 0.9 ? 1 : 2);
+    } else {
+      room = u < 0.75 ? 0 : (u < 0.95 ? 1 : 2);
+    }
+    const int64_t accommodates =
+        room == 0 ? rng.NextInt64(2, 8)
+                  : (room == 1 ? rng.NextInt64(1, 3) : rng.NextInt64(1, 2));
+    const double v = rng.NextDouble();
+    int prop;
+    if (density > 0.6) {
+      prop = v < 0.5 ? 1 : (v < 0.75 ? 2 : (v < 0.9 ? 3 : 0));
+    } else {
+      prop = v < 0.6 ? 0 : (v < 0.85 ? 1 : (v < 0.95 ? 2 : 3));
+    }
+
+    // Price: density base + room/size effects + noise.
+    const double price = std::max(
+        20.0, 40.0 + 180.0 * density + 30.0 * static_cast<double>(room == 0) +
+                  12.0 * static_cast<double>(accommodates) +
+                  rng.NextGaussian(0.0, 18.0));
+
+    // Landlord assignment: quality tracks the price percentile (plus noise),
+    // so landlord attributes are predictable from apartment evidence.
+    const double price_pct = std::clamp((price - 40.0) / 320.0, 0.0, 1.0);
+    const double target_q =
+        std::clamp(price_pct + rng.NextGaussian(0.0, 0.22), 0.0, 0.999);
+    const size_t ll = std::min(
+        config.num_landlords - 1,
+        static_cast<size_t>(target_q * static_cast<double>(
+                                           config.num_landlords)));
+
+    RESTORE_RETURN_IF_ERROR(apartment.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Int64(static_cast<int64_t>(nb)),
+         Value::Int64(static_cast<int64_t>(ll)), Value::Double(price),
+         Value::Categorical(kRoomTypes[room]),
+         Value::Categorical(kPropertyTypes[prop]),
+         Value::Int64(accommodates)}));
+  }
+
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(neighborhood)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(landlord)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(apartment)));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("apartment", "neighborhood_id", "neighborhood", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("apartment", "landlord_id", "landlord", "id"));
+  for (const auto& fk : std::vector<ForeignKey>(db.foreign_keys())) {
+    RESTORE_RETURN_IF_ERROR(AttachTupleFactors(&db, fk));
+  }
+  return db;
+}
+
+}  // namespace restore

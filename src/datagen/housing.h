@@ -1,0 +1,35 @@
+#ifndef RESTORE_DATAGEN_HOUSING_H_
+#define RESTORE_DATAGEN_HOUSING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Sizes of the synthetic Housing dataset. Default sizes are scaled-down
+/// versions of the paper's Airbnb-derived schema (neighborhood 8K /
+/// apartment 500K / landlord 360K) with the same 3-table topology; see
+/// DESIGN.md for the substitution rationale.
+struct HousingConfig {
+  size_t num_neighborhoods = 250;
+  size_t num_landlords = 1500;
+  size_t num_apartments = 8000;
+  uint64_t seed = 11;
+};
+
+/// Generates the complete Housing database:
+///   neighborhood(id, state, pop_density, urbanization)
+///   landlord(id, landlord_since, landlord_response_time,
+///            landlord_response_rate)
+///   apartment(id, neighborhood_id, landlord_id, price, room_type,
+///             property_type, accommodates)
+/// with planted cross-table correlations (denser neighborhoods -> higher
+/// rents; veteran landlords -> pricier apartments and faster responses),
+/// plus true tuple factors attached to both parent tables.
+Result<Database> GenerateHousing(const HousingConfig& config);
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_HOUSING_H_

@@ -1,0 +1,189 @@
+#include "datagen/incompleteness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+
+namespace {
+
+/// Removal scores per row in [0, 1]; higher = more likely to be removed.
+Result<std::vector<double>> RemovalScores(const Table& table,
+                                          const std::string& column,
+                                          const std::string& cat_value) {
+  RESTORE_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column));
+  const size_t n = table.NumRows();
+  std::vector<double> scores(n, 0.0);
+  if (col->type() == ColumnType::kCategorical) {
+    // Indicator of the biased value (default: the most frequent one).
+    int64_t code;
+    if (cat_value.empty()) {
+      std::vector<size_t> counts(col->dictionary()->size(), 0);
+      for (size_t r = 0; r < n; ++r) {
+        if (!col->IsNull(r)) ++counts[static_cast<size_t>(col->GetCode(r))];
+      }
+      code = static_cast<int64_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    } else {
+      RESTORE_ASSIGN_OR_RETURN(code, col->dictionary()->Lookup(cat_value));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      scores[r] = (!col->IsNull(r) && col->GetCode(r) == code) ? 1.0 : 0.0;
+    }
+    return scores;
+  }
+  // Numeric: normalized rank of the value (ties share the lower rank).
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    ranked.emplace_back(col->IsNull(r) ? 0.0 : col->GetNumeric(r), r);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < n; ++i) {
+    scores[ranked[i].second] =
+        n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<Database> ApplyBiasedRemoval(const Database& db,
+                                    const BiasedRemovalConfig& config) {
+  if (config.keep_rate <= 0.0 || config.keep_rate > 1.0) {
+    return Status::InvalidArgument("keep_rate must be in (0, 1]");
+  }
+  if (config.removal_correlation < 0.0 || config.removal_correlation > 1.0) {
+    return Status::InvalidArgument("removal_correlation must be in [0, 1]");
+  }
+  Database out = db.Clone();
+  RESTORE_ASSIGN_OR_RETURN(Table * table, out.GetMutableTable(config.table));
+  RESTORE_ASSIGN_OR_RETURN(
+      std::vector<double> scores,
+      RemovalScores(*table, config.column, config.categorical_value));
+
+  double mean_score = 0.0;
+  for (double s : scores) mean_score += s;
+  mean_score /= std::max<size_t>(1, scores.size());
+  if (mean_score <= 0.0) mean_score = 1.0;
+
+  const double r = 1.0 - config.keep_rate;
+  const double c = config.removal_correlation;
+  RESTORE_ASSIGN_OR_RETURN(const Column* col,
+                           table->GetColumn(config.column));
+  Rng rng(config.seed);
+  std::vector<size_t> keep;
+  if (col->type() == ColumnType::kCategorical) {
+    // Indicator scores: removal probability of the biased value interpolates
+    // from r (c=0) towards 1 (c=1); the rest is rebalanced so the overall
+    // removal rate stays r. This keeps a learnable share of the biased value
+    // for every c < 1 (the paper's consistent-correlations assumption).
+    const double f = mean_score;  // fraction of rows carrying the value
+    double p_value = r + c * (1.0 - r);
+    double p_other =
+        f < 1.0 ? std::clamp((r - f * p_value) / (1.0 - f), 0.0, 1.0) : r;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const double p = scores[i] > 0.5 ? p_value : p_other;
+      if (!rng.NextBernoulli(p)) keep.push_back(i);
+    }
+  } else {
+    // Rank scores in [0, 1] (mean 0.5): p_i = r*(1-c) + 2*c*r*rank keeps the
+    // expected removal rate at r while correlating removals with the value.
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const double p =
+          std::clamp(r * ((1.0 - c) + 2.0 * c * scores[i]), 0.0, 1.0);
+      if (!rng.NextBernoulli(p)) keep.push_back(i);
+    }
+  }
+  if (keep.empty()) {
+    return Status::FailedPrecondition(
+        "biased removal would delete every tuple");
+  }
+  Table reduced = table->GatherRows(keep);
+  reduced.set_name(config.table);
+  RESTORE_RETURN_IF_ERROR(out.ReplaceTable(std::move(reduced)));
+  return out;
+}
+
+Result<Database> ApplyUniformRemoval(const Database& db,
+                                     const std::string& table,
+                                     double keep_rate, uint64_t seed) {
+  BiasedRemovalConfig config;
+  config.table = table;
+  config.keep_rate = keep_rate;
+  config.removal_correlation = 0.0;
+  config.seed = seed;
+  // Any column works for an uncorrelated removal; use the first one.
+  RESTORE_ASSIGN_OR_RETURN(const Table* t, db.GetTable(table));
+  if (t->NumColumns() == 0) {
+    return Status::InvalidArgument("table has no columns");
+  }
+  config.column = t->column(0).name();
+  return ApplyBiasedRemoval(db, config);
+}
+
+Status ThinTupleFactors(Database* db, double tf_keep_rate, uint64_t seed) {
+  Rng rng(seed);
+  for (const auto& name : db->TableNames()) {
+    RESTORE_ASSIGN_OR_RETURN(Table * table, db->GetMutableTable(name));
+    for (size_t c = 0; c < table->NumColumns(); ++c) {
+      Column& col = table->column(c);
+      if (!IsTupleFactorColumn(col.name())) continue;
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!col.IsNull(r) && !rng.NextBernoulli(tf_keep_rate)) {
+          col.SetInt64(r, kNullInt64);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CascadeRemoveLinkRows(Database* db,
+                             const std::vector<std::string>& link_tables) {
+  for (const auto& link : link_tables) {
+    RESTORE_ASSIGN_OR_RETURN(Table * table, db->GetMutableTable(link));
+    // Collect the FK constraints of this link table.
+    struct Check {
+      const Column* fk_col;
+      std::unordered_set<int64_t> present;
+    };
+    std::vector<Check> checks;
+    for (const auto& fk : db->foreign_keys()) {
+      if (fk.child_table != link) continue;
+      RESTORE_ASSIGN_OR_RETURN(const Table* parent,
+                               db->GetTable(fk.parent_table));
+      RESTORE_ASSIGN_OR_RETURN(const Column* pk,
+                               parent->GetColumn(fk.parent_column));
+      RESTORE_ASSIGN_OR_RETURN(const Column* fk_col,
+                               table->GetColumn(fk.child_column));
+      Check check;
+      check.fk_col = fk_col;
+      for (size_t r = 0; r < parent->NumRows(); ++r) {
+        check.present.insert(pk->GetInt64(r));
+      }
+      checks.push_back(std::move(check));
+    }
+    std::vector<size_t> keep;
+    for (size_t r = 0; r < table->NumRows(); ++r) {
+      bool ok = true;
+      for (const auto& check : checks) {
+        if (check.present.count(check.fk_col->GetInt64(r)) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) keep.push_back(r);
+    }
+    Table reduced = table->GatherRows(keep);
+    reduced.set_name(link);
+    RESTORE_RETURN_IF_ERROR(db->ReplaceTable(std::move(reduced)));
+  }
+  return Status::OK();
+}
+
+}  // namespace restore

@@ -1,0 +1,56 @@
+#ifndef RESTORE_DATAGEN_INCOMPLETENESS_H_
+#define RESTORE_DATAGEN_INCOMPLETENESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Parameters of a biased removal (Section 7.2/7.3): tuples of `table` are
+/// removed such that the removal probability correlates with `column`.
+///
+/// * `keep_rate`: expected fraction of tuples kept.
+/// * `removal_correlation` in [0, 1]: strength of the bias. 0 removes
+///   uniformly at random; 1 concentrates removals entirely on the biased
+///   side (high attribute values / the chosen categorical value).
+/// * For categorical columns, removal correlates with `categorical_value`
+///   (empty = the most frequent value is chosen automatically).
+struct BiasedRemovalConfig {
+  std::string table;
+  std::string column;
+  double keep_rate = 0.5;
+  double removal_correlation = 0.5;
+  std::string categorical_value;
+  uint64_t seed = 7;
+};
+
+/// Removes tuples of `config.table` from a copy of `db` with the configured
+/// bias. Tuple-factor columns on OTHER tables keep their complete-world
+/// values (they describe the true database).
+Result<Database> ApplyBiasedRemoval(const Database& db,
+                                    const BiasedRemovalConfig& config);
+
+/// Uniformly removes tuples of `table`, keeping `keep_rate` of them
+/// (used for the extra removals of setups M4/M5).
+Result<Database> ApplyUniformRemoval(const Database& db,
+                                     const std::string& table,
+                                     double keep_rate, uint64_t seed);
+
+/// Nulls out a share of the observed tuple factors: each non-null cell of
+/// every "__tf_*" column in the database is kept with `tf_keep_rate`.
+Status ThinTupleFactors(Database* db, double tf_keep_rate, uint64_t seed);
+
+/// Cascade removal for m:n link tables: removes every row of each listed
+/// table whose foreign keys no longer all resolve (the paper's "remove all
+/// tuples in the m:n relationship tables which do not have a matching tuple
+/// after the removal").
+Status CascadeRemoveLinkRows(Database* db,
+                             const std::vector<std::string>& link_tables);
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_INCOMPLETENESS_H_

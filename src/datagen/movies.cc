@@ -1,0 +1,197 @@
+#include "datagen/movies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+
+namespace {
+
+const char* const kGenres[] = {"drama",  "comedy",   "action", "horror",
+                               "sci_fi", "romance", "thriller", "documentary"};
+constexpr int kNumGenres = 8;
+const char* const kCountries[] = {"us", "uk", "fr", "de", "in",
+                                  "jp", "it", "es", "cn", "kr"};
+constexpr int kNumCountries = 10;
+const char* const kCompanyTypes[] = {"production", "distribution",
+                                     "effects"};
+
+}  // namespace
+
+Result<Database> GenerateMovies(const MoviesConfig& config) {
+  Rng rng(config.seed);
+  Database db;
+
+  // ---- Entity tables ---------------------------------------------------------
+  Table movie("movie", {{"id", ColumnType::kInt64},
+                        {"production_year", ColumnType::kInt64},
+                        {"genre", ColumnType::kCategorical},
+                        {"country", ColumnType::kCategorical},
+                        {"rating", ColumnType::kDouble}});
+  std::vector<int64_t> movie_year(config.num_movies);
+  std::vector<int> movie_country(config.num_movies);
+  for (size_t i = 0; i < config.num_movies; ++i) {
+    // Production volume grows over time; country mix shifts with the year.
+    const double t = std::sqrt(rng.NextDouble());
+    const int64_t year = 1950 + static_cast<int64_t>(t * 70.0);
+    const int country =
+        rng.NextBernoulli(0.35 + 0.2 * t)
+            ? 0  // US share grows over time
+            : 1 + static_cast<int>(rng.NextUint64(kNumCountries - 1));
+    const int genre = static_cast<int>(rng.NextZipf(kNumGenres, 0.8));
+    const double rating = std::clamp(
+        5.8 + 0.8 * (genre == 0) - 0.9 * (genre == 3) +
+            0.6 * (genre == 7) + rng.NextGaussian(0.0, 1.1),
+        1.0, 10.0);
+    movie_year[i] = year;
+    movie_country[i] = country;
+    RESTORE_RETURN_IF_ERROR(
+        movie.AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                         Value::Int64(year), Value::Categorical(kGenres[genre]),
+                         Value::Categorical(kCountries[country]),
+                         Value::Double(rating)}));
+  }
+
+  Table director("director", {{"id", ColumnType::kInt64},
+                              {"birth_year", ColumnType::kInt64},
+                              {"gender", ColumnType::kCategorical},
+                              {"birth_country", ColumnType::kCategorical}});
+  std::vector<int64_t> director_birth(config.num_directors);
+  for (size_t i = 0; i < config.num_directors; ++i) {
+    const int64_t birth =
+        1910 + static_cast<int64_t>(rng.NextDouble() * 80.0);
+    director_birth[i] = birth;
+    const char* gender = rng.NextBernoulli(0.82) ? "m" : "f";
+    const int country = rng.NextBernoulli(0.4)
+                            ? 0
+                            : static_cast<int>(rng.NextUint64(kNumCountries));
+    RESTORE_RETURN_IF_ERROR(director.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)), Value::Int64(birth),
+         Value::Categorical(gender),
+         Value::Categorical(country == 0 ? "usa"
+                                         : StrFormat("c_%d", country))}));
+  }
+
+  Table actor("actor", {{"id", ColumnType::kInt64},
+                        {"birth_year", ColumnType::kInt64},
+                        {"gender", ColumnType::kCategorical}});
+  std::vector<int64_t> actor_birth(config.num_actors);
+  for (size_t i = 0; i < config.num_actors; ++i) {
+    const int64_t birth =
+        1915 + static_cast<int64_t>(rng.NextDouble() * 85.0);
+    actor_birth[i] = birth;
+    RESTORE_RETURN_IF_ERROR(actor.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)), Value::Int64(birth),
+         Value::Categorical(rng.NextBernoulli(0.6) ? "m" : "f")}));
+  }
+
+  Table company("company", {{"id", ColumnType::kInt64},
+                            {"country_code", ColumnType::kCategorical},
+                            {"company_type", ColumnType::kCategorical}});
+  std::vector<int> company_country(config.num_companies);
+  for (size_t i = 0; i < config.num_companies; ++i) {
+    const int country = rng.NextBernoulli(0.45)
+                            ? 0
+                            : 1 + static_cast<int>(
+                                      rng.NextUint64(kNumCountries - 1));
+    company_country[i] = country;
+    RESTORE_RETURN_IF_ERROR(company.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Categorical(kCountries[country]),
+         Value::Categorical(
+             kCompanyTypes[rng.NextUint64(3)])}));
+  }
+
+  // ---- Link tables: planted cross-table correlations -------------------------
+  // Directors/actors are picked so their birth year sits ~25-50 years before
+  // the movie's production year; companies usually share the movie's country.
+  auto pick_person_by_era = [&](const std::vector<int64_t>& births,
+                                int64_t year) -> size_t {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const size_t cand = rng.NextUint64(births.size());
+      const int64_t age = year - births[cand];
+      if (age >= 25 && age <= 55) return cand;
+    }
+    return rng.NextUint64(births.size());
+  };
+
+  Table movie_director("movie_director", {{"id", ColumnType::kInt64},
+                                          {"movie_id", ColumnType::kInt64},
+                                          {"director_id", ColumnType::kInt64}});
+  Table movie_actor("movie_actor", {{"id", ColumnType::kInt64},
+                                    {"movie_id", ColumnType::kInt64},
+                                    {"actor_id", ColumnType::kInt64}});
+  Table movie_company("movie_company", {{"id", ColumnType::kInt64},
+                                        {"movie_id", ColumnType::kInt64},
+                                        {"company_id", ColumnType::kInt64}});
+  int64_t md_id = 0;
+  int64_t ma_id = 0;
+  int64_t mc_id = 0;
+  for (size_t m = 0; m < config.num_movies; ++m) {
+    const int n_dir =
+        1 + static_cast<int>(rng.NextBernoulli(config.directors_per_movie - 1.0));
+    for (int d = 0; d < n_dir; ++d) {
+      const size_t dir = pick_person_by_era(director_birth, movie_year[m]);
+      RESTORE_RETURN_IF_ERROR(movie_director.AppendRow(
+          {Value::Int64(md_id++), Value::Int64(static_cast<int64_t>(m)),
+           Value::Int64(static_cast<int64_t>(dir))}));
+    }
+    const int n_act = std::max(
+        1, static_cast<int>(rng.NextGaussian(config.actors_per_movie, 1.0)));
+    for (int a = 0; a < n_act; ++a) {
+      const size_t act = pick_person_by_era(actor_birth, movie_year[m]);
+      RESTORE_RETURN_IF_ERROR(movie_actor.AppendRow(
+          {Value::Int64(ma_id++), Value::Int64(static_cast<int64_t>(m)),
+           Value::Int64(static_cast<int64_t>(act))}));
+    }
+    const int n_comp = std::max(
+        1,
+        static_cast<int>(rng.NextGaussian(config.companies_per_movie, 0.7)));
+    for (int c = 0; c < n_comp; ++c) {
+      size_t comp = rng.NextUint64(config.num_companies);
+      if (rng.NextBernoulli(0.7)) {
+        // Prefer a company from the movie's country.
+        for (int attempt = 0; attempt < 10; ++attempt) {
+          const size_t cand = rng.NextUint64(config.num_companies);
+          if (company_country[cand] == movie_country[m]) {
+            comp = cand;
+            break;
+          }
+        }
+      }
+      RESTORE_RETURN_IF_ERROR(movie_company.AppendRow(
+          {Value::Int64(mc_id++), Value::Int64(static_cast<int64_t>(m)),
+           Value::Int64(static_cast<int64_t>(comp))}));
+    }
+  }
+
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(movie)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(director)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(actor)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(company)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(movie_director)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(movie_actor)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(movie_company)));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_director", "movie_id", "movie", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_director", "director_id", "director", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_actor", "movie_id", "movie", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_actor", "actor_id", "actor", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_company", "movie_id", "movie", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      db.AddForeignKey("movie_company", "company_id", "company", "id"));
+  for (const auto& fk : std::vector<ForeignKey>(db.foreign_keys())) {
+    RESTORE_RETURN_IF_ERROR(AttachTupleFactors(&db, fk));
+  }
+  return db;
+}
+
+}  // namespace restore

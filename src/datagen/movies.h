@@ -1,0 +1,41 @@
+#ifndef RESTORE_DATAGEN_MOVIES_H_
+#define RESTORE_DATAGEN_MOVIES_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Sizes of the synthetic Movies dataset. The schema reproduces the paper's
+/// IMDB-derived topology exactly (Fig 4b): three entity tables linked to
+/// movie through three m:n link tables. Default sizes are scaled down from
+/// the paper's (movie 250K / actor 2.7M / movie_actor 20M); see DESIGN.md.
+struct MoviesConfig {
+  size_t num_movies = 3000;
+  size_t num_directors = 900;
+  size_t num_actors = 2000;
+  size_t num_companies = 600;
+  double directors_per_movie = 1.3;
+  double actors_per_movie = 3.0;
+  double companies_per_movie = 1.6;
+  uint64_t seed = 13;
+};
+
+/// Generates the complete Movies database:
+///   movie(id, production_year, genre, country, rating)
+///   director(id, birth_year, gender, birth_country)
+///   actor(id, birth_year, gender)
+///   company(id, country_code, company_type)
+///   movie_director(id, movie_id, director_id)
+///   movie_actor(id, movie_id, actor_id)
+///   movie_company(id, movie_id, company_id)
+/// with planted correlations: directors' birth years track their movies'
+/// production years, companies' country codes track their movies' countries,
+/// genres skew ratings. True tuple factors are attached to every FK parent.
+Result<Database> GenerateMovies(const MoviesConfig& config);
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_MOVIES_H_

@@ -1,0 +1,134 @@
+#include "datagen/setups.h"
+
+#include "common/string_util.h"
+#include "datagen/housing.h"
+#include "datagen/incompleteness.h"
+#include "datagen/movies.h"
+
+namespace restore {
+
+std::vector<CompletionSetup> HousingSetups() {
+  std::vector<CompletionSetup> out;
+  auto make = [](const char* name, const char* column, const char* value) {
+    CompletionSetup s;
+    s.name = name;
+    s.dataset = "housing";
+    s.biased_column = column;
+    s.categorical_value = value;
+    s.tf_keep_rate = 0.3;
+    return s;
+  };
+  CompletionSetup h1 = make("H1", "price", "");
+  h1.removed_table = "apartment";
+  CompletionSetup h2 = make("H2", "room_type", "entire_home");
+  h2.removed_table = "apartment";
+  CompletionSetup h3 = make("H3", "property_type", "house");
+  h3.removed_table = "apartment";
+  CompletionSetup h4 = make("H4", "landlord_since", "");
+  h4.removed_table = "landlord";
+  CompletionSetup h5 = make("H5", "landlord_response_rate", "");
+  h5.removed_table = "landlord";
+  out = {h1, h2, h3, h4, h5};
+  return out;
+}
+
+std::vector<CompletionSetup> MovieSetups() {
+  const std::vector<std::string> links = {"movie_director", "movie_actor",
+                                          "movie_company"};
+  std::vector<CompletionSetup> out;
+  auto make = [&](const char* name, const char* table, const char* column,
+                  const char* value) {
+    CompletionSetup s;
+    s.name = name;
+    s.dataset = "movies";
+    s.removed_table = table;
+    s.biased_column = column;
+    s.categorical_value = value;
+    s.tf_keep_rate = 0.2;
+    s.cascade_tables = links;
+    return s;
+  };
+  CompletionSetup m1 = make("M1", "movie", "production_year", "");
+  CompletionSetup m2 = make("M2", "movie", "genre", "drama");
+  CompletionSetup m3 = make("M3", "movie", "country", "us");
+  CompletionSetup m4 = make("M4", "director", "birth_year", "");
+  m4.extra_removals["movie"] = 0.8;
+  CompletionSetup m5 = make("M5", "company", "country_code", "us");
+  m5.extra_removals["movie"] = 0.8;
+  out = {m1, m2, m3, m4, m5};
+  return out;
+}
+
+Result<CompletionSetup> SetupByName(const std::string& name) {
+  for (const auto& s : HousingSetups()) {
+    if (s.name == name) return s;
+  }
+  for (const auto& s : MovieSetups()) {
+    if (s.name == name) return s;
+  }
+  return Status::NotFound(StrFormat("unknown setup '%s'", name.c_str()));
+}
+
+Result<Database> BuildCompleteDatabase(const std::string& dataset,
+                                       uint64_t seed, double scale) {
+  if (dataset == "housing") {
+    HousingConfig config;
+    config.seed = seed;
+    config.num_neighborhoods =
+        static_cast<size_t>(config.num_neighborhoods * scale);
+    config.num_landlords = static_cast<size_t>(config.num_landlords * scale);
+    config.num_apartments =
+        static_cast<size_t>(config.num_apartments * scale);
+    return GenerateHousing(config);
+  }
+  if (dataset == "movies") {
+    MoviesConfig config;
+    config.seed = seed;
+    config.num_movies = static_cast<size_t>(config.num_movies * scale);
+    config.num_directors = static_cast<size_t>(config.num_directors * scale);
+    config.num_actors = static_cast<size_t>(config.num_actors * scale);
+    config.num_companies =
+        static_cast<size_t>(config.num_companies * scale);
+    return GenerateMovies(config);
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown dataset '%s'", dataset.c_str()));
+}
+
+Result<Database> ApplySetup(const Database& complete,
+                            const CompletionSetup& setup, double keep_rate,
+                            double removal_correlation, uint64_t seed) {
+  BiasedRemovalConfig removal;
+  removal.table = setup.removed_table;
+  removal.column = setup.biased_column;
+  removal.categorical_value = setup.categorical_value;
+  removal.keep_rate = keep_rate;
+  removal.removal_correlation = removal_correlation;
+  removal.seed = seed;
+  RESTORE_ASSIGN_OR_RETURN(Database db,
+                           ApplyBiasedRemoval(complete, removal));
+  uint64_t extra_seed = seed + 101;
+  for (const auto& [table, extra_keep] : setup.extra_removals) {
+    RESTORE_ASSIGN_OR_RETURN(
+        db, ApplyUniformRemoval(db, table, extra_keep, extra_seed++));
+  }
+  if (!setup.cascade_tables.empty()) {
+    RESTORE_RETURN_IF_ERROR(CascadeRemoveLinkRows(&db, setup.cascade_tables));
+  }
+  RESTORE_RETURN_IF_ERROR(
+      ThinTupleFactors(&db, setup.tf_keep_rate, seed + 997));
+  return db;
+}
+
+SchemaAnnotation AnnotationFor(const CompletionSetup& setup) {
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete(setup.removed_table);
+  for (const auto& t : setup.cascade_tables) annotation.MarkIncomplete(t);
+  for (const auto& [t, keep] : setup.extra_removals) {
+    (void)keep;
+    annotation.MarkIncomplete(t);
+  }
+  return annotation;
+}
+
+}  // namespace restore

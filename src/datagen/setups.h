@@ -1,0 +1,55 @@
+#ifndef RESTORE_DATAGEN_SETUPS_H_
+#define RESTORE_DATAGEN_SETUPS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "restore/annotation.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// One completion setup of Fig 4c: which table loses tuples, correlated with
+/// which attribute, plus dataset-specific extras (tuple-factor keep rate,
+/// m:n cascade removal, additional uniform removals).
+struct CompletionSetup {
+  std::string name;              // "H1".."H5", "M1".."M5"
+  std::string dataset;           // "housing" | "movies"
+  std::string removed_table;     // the systematically incomplete table
+  std::string biased_column;     // attribute correlated with the removal
+  std::string categorical_value; // biased value for categorical columns
+  double tf_keep_rate = 0.3;     // share of observed tuple factors kept
+  std::vector<std::string> cascade_tables;        // m:n link tables
+  std::map<std::string, double> extra_removals;   // table -> keep rate
+};
+
+/// The five Housing setups H1..H5 (Fig 4c, top).
+std::vector<CompletionSetup> HousingSetups();
+
+/// The five Movies setups M1..M5 (Fig 4c, bottom).
+std::vector<CompletionSetup> MovieSetups();
+
+/// Looks a setup up by name ("H1".."M5").
+Result<CompletionSetup> SetupByName(const std::string& name);
+
+/// Generates the COMPLETE database for a setup's dataset. `scale` multiplies
+/// the default table sizes (e.g. 0.5 for faster experiments).
+Result<Database> BuildCompleteDatabase(const std::string& dataset,
+                                       uint64_t seed, double scale = 1.0);
+
+/// Derives the incomplete database of a setup: biased removal of the main
+/// table, extra uniform removals, m:n cascade removal, and tuple-factor
+/// thinning.
+Result<Database> ApplySetup(const Database& complete,
+                            const CompletionSetup& setup, double keep_rate,
+                            double removal_correlation, uint64_t seed);
+
+/// The schema annotation matching a setup (removed + cascaded + extra-removed
+/// tables are incomplete).
+SchemaAnnotation AnnotationFor(const CompletionSetup& setup);
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_SETUPS_H_

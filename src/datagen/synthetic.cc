@@ -1,0 +1,67 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+
+Result<Database> GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  Database db;
+
+  Table table_a("table_a", {{"id", ColumnType::kInt64},
+                            {"a", ColumnType::kCategorical}});
+  Table table_b("table_b", {{"id", ColumnType::kInt64},
+                            {"a_id", ColumnType::kInt64},
+                            {"b", ColumnType::kCategorical}});
+
+  // Deterministic mapping f: a -> b realizing the predictable component.
+  auto f = [&](int a) { return (a * 7 + 3) % config.domain_b; };
+
+  int64_t next_b_id = 0;
+  for (size_t p = 0; p < config.num_parents; ++p) {
+    const int a = static_cast<int>(
+        rng.NextZipf(static_cast<size_t>(config.domain_a), config.zipf_skew));
+    RESTORE_RETURN_IF_ERROR(table_a.AppendRow(
+        {Value::Int64(static_cast<int64_t>(p)),
+         Value::Categorical(StrFormat("a%d", a))}));
+
+    // Children count around avg_fanout.
+    const int lo = std::max(1, static_cast<int>(config.avg_fanout) - 2);
+    const int hi =
+        std::min(config.max_fanout, static_cast<int>(config.avg_fanout) + 2);
+    const int fanout = static_cast<int>(rng.NextInt64(lo, hi));
+    // Group value for fan-out-coherent generation.
+    const int group_b =
+        static_cast<int>(rng.NextUint64(static_cast<uint64_t>(config.domain_b)));
+    for (int c = 0; c < fanout; ++c) {
+      int b;
+      if (config.fanout_predictability > 0.0) {
+        b = rng.NextBernoulli(config.fanout_predictability)
+                ? group_b
+                : static_cast<int>(
+                      rng.NextUint64(static_cast<uint64_t>(config.domain_b)));
+      } else {
+        b = rng.NextBernoulli(config.predictability)
+                ? f(a)
+                : static_cast<int>(
+                      rng.NextUint64(static_cast<uint64_t>(config.domain_b)));
+      }
+      RESTORE_RETURN_IF_ERROR(table_b.AppendRow(
+          {Value::Int64(next_b_id++), Value::Int64(static_cast<int64_t>(p)),
+           Value::Categorical(StrFormat("b%d", b))}));
+    }
+  }
+
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(table_a)));
+  RESTORE_RETURN_IF_ERROR(db.AddTable(std::move(table_b)));
+  RESTORE_RETURN_IF_ERROR(db.AddForeignKey("table_b", "a_id", "table_a", "id"));
+  RESTORE_RETURN_IF_ERROR(
+      AttachTupleFactors(&db, db.foreign_keys().front()));
+  return db;
+}
+
+}  // namespace restore

@@ -1,0 +1,40 @@
+#ifndef RESTORE_DATAGEN_SYNTHETIC_H_
+#define RESTORE_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Parameters of the two-table synthetic dataset of Exp. 1 (Section 7.2):
+/// a complete table table_a(id, a) and an incomplete table
+/// table_b(id, a_id, b) with a foreign key to table_a.
+///
+/// * `predictability` controls P(b == f(a)) — how well b can be inferred
+///   from the parent attribute.
+/// * `zipf_skew` skews the distribution of a (0 = uniform).
+/// * `fanout_predictability` > 0 switches to group-coherent generation:
+///   b equals a per-parent group value (independent of a) with that
+///   probability — information only reachable through fan-out/self evidence,
+///   which is what separates SSAR from AR models (Fig 5c).
+struct SyntheticConfig {
+  size_t num_parents = 500;
+  double avg_fanout = 4.0;  // mean children per parent, in [1, max_fanout]
+  int max_fanout = 8;
+  int domain_a = 10;
+  int domain_b = 8;
+  double predictability = 0.8;
+  double zipf_skew = 0.0;
+  double fanout_predictability = 0.0;
+  uint64_t seed = 5;
+};
+
+/// Generates the complete synthetic database (with true tuple factors
+/// attached to table_a).
+Result<Database> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,69 @@
+#include "datagen/workload.h"
+
+namespace restore {
+
+std::vector<WorkloadQuery> HousingWorkload() {
+  return {
+      {"Q1", "H1",
+       "SELECT SUM(price) FROM apartment WHERE room_type='entire_home';"},
+      {"Q2", "H2",
+       "SELECT COUNT(*) FROM apartment WHERE room_type='entire_home' AND "
+       "property_type='house' GROUP BY property_type;"},
+      {"Q3", "H3",
+       "SELECT COUNT(*) FROM apartment WHERE property_type='house';"},
+      {"Q4", "H4",
+       "SELECT COUNT(*) FROM landlord WHERE landlord_since >= 2011;"},
+      {"Q5", "H5",
+       "SELECT AVG(landlord_response_rate) FROM landlord WHERE "
+       "landlord_response_time >= 2;"},
+      {"Q6", "H1",
+       "SELECT AVG(price) FROM landlord NATURAL JOIN apartment WHERE "
+       "room_type='entire_home' GROUP BY landlord_since;"},
+      {"Q7", "H2",
+       "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
+       "accommodates >= 3 GROUP BY landlord_since;"},
+      {"Q8", "H3",
+       "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
+       "landlord_since >= 2013 GROUP BY landlord_since;"},
+      {"Q9", "H4",
+       "SELECT SUM(landlord_since) FROM landlord NATURAL JOIN apartment "
+       "WHERE room_type='entire_home' AND landlord_response_time >= 2;"},
+      {"Q10", "H5",
+       "SELECT AVG(landlord_response_rate) FROM landlord NATURAL JOIN "
+       "apartment WHERE room_type='entire_home' AND landlord_response_time "
+       ">= 2;"},
+  };
+}
+
+std::vector<WorkloadQuery> MovieWorkload() {
+  return {
+      {"Q1", "M1", "SELECT COUNT(*) FROM movie GROUP BY production_year;"},
+      {"Q2", "M2",
+       "SELECT COUNT(*) FROM movie WHERE genre='drama' GROUP BY "
+       "production_year;"},
+      {"Q3", "M3",
+       "SELECT COUNT(*) FROM movie WHERE genre='drama' GROUP BY country;"},
+      {"Q4", "M4",
+       "SELECT AVG(birth_year) FROM director WHERE gender='m';"},
+      {"Q5", "M5",
+       "SELECT COUNT(*) FROM company WHERE country_code='us';"},
+      {"Q6", "M1",
+       "SELECT SUM(production_year) FROM movie NATURAL JOIN movie_director "
+       "NATURAL JOIN director WHERE birth_country='usa' GROUP BY "
+       "production_year;"},
+      {"Q7", "M2",
+       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company NATURAL JOIN "
+       "company GROUP BY country_code;"},
+      {"Q8", "M3",
+       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company NATURAL JOIN "
+       "company WHERE country_code='us' GROUP BY production_year;"},
+      {"Q9", "M4",
+       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
+       "director WHERE gender='m';"},
+      {"Q10", "M5",
+       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company NATURAL JOIN "
+       "company WHERE country_code='us' GROUP BY country;"},
+  };
+}
+
+}  // namespace restore

@@ -1,0 +1,27 @@
+#ifndef RESTORE_DATAGEN_WORKLOAD_H_
+#define RESTORE_DATAGEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace restore {
+
+/// One query of the evaluation workload (Table 1 of the paper): the SQL, the
+/// setup it is evaluated under, and its display name.
+struct WorkloadQuery {
+  std::string name;   // "Q1".."Q10"
+  std::string setup;  // "H1".."H5" / "M1".."M5"
+  std::string sql;
+};
+
+/// The ten Housing queries of Table 1, adapted to the generated schema
+/// (same aggregates, joins, filters and groupings).
+std::vector<WorkloadQuery> HousingWorkload();
+
+/// The ten Movies queries of Table 1 (Q1/Q7's missing FROM clauses in the
+/// paper are restored to FROM movie / FROM movie NATURAL JOIN ... company).
+std::vector<WorkloadQuery> MovieWorkload();
+
+}  // namespace restore
+
+#endif  // RESTORE_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,217 @@
+#include "exec/aggregate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "exec/join.h"
+
+namespace restore {
+
+namespace {
+
+/// Evaluates one predicate for every row, ANDing into `keep`.
+Status ApplyPredicate(const Table& table, const Predicate& pred,
+                      std::vector<char>* keep) {
+  RESTORE_ASSIGN_OR_RETURN(size_t ci, ResolveColumn(table, pred.column));
+  const Column& col = table.column(ci);
+  const size_t n = table.NumRows();
+
+  if (col.type() == ColumnType::kCategorical) {
+    if (!pred.literal.is_string()) {
+      return Status::InvalidArgument(
+          StrFormat("categorical column '%s' compared to non-string literal",
+                    pred.column.c_str()));
+    }
+    if (pred.op != CompareOp::kEq && pred.op != CompareOp::kNe) {
+      return Status::InvalidArgument(
+          "categorical columns support only = and !=");
+    }
+    auto code_result = col.dictionary()->Lookup(pred.literal.string_value());
+    // A value absent from the dictionary matches nothing (or everything for
+    // !=); that is a valid query, not an error.
+    const int64_t code = code_result.ok() ? code_result.value() : kNullInt64 + 1;
+    for (size_t r = 0; r < n; ++r) {
+      if (!(*keep)[r]) continue;
+      if (col.IsNull(r)) {
+        (*keep)[r] = 0;
+        continue;
+      }
+      const bool eq = col.GetCode(r) == code;
+      (*keep)[r] = (pred.op == CompareOp::kEq) ? eq : !eq;
+    }
+    return Status::OK();
+  }
+
+  if (pred.literal.is_string()) {
+    return Status::InvalidArgument(
+        StrFormat("numeric column '%s' compared to string literal",
+                  pred.column.c_str()));
+  }
+  const double lit = pred.literal.AsDouble();
+  for (size_t r = 0; r < n; ++r) {
+    if (!(*keep)[r]) continue;
+    if (col.IsNull(r)) {
+      (*keep)[r] = 0;
+      continue;
+    }
+    const double v = col.GetNumeric(r);
+    bool pass = false;
+    switch (pred.op) {
+      case CompareOp::kEq:
+        pass = v == lit;
+        break;
+      case CompareOp::kNe:
+        pass = v != lit;
+        break;
+      case CompareOp::kLt:
+        pass = v < lit;
+        break;
+      case CompareOp::kLe:
+        pass = v <= lit;
+        break;
+      case CompareOp::kGt:
+        pass = v > lit;
+        break;
+      case CompareOp::kGe:
+        pass = v >= lit;
+        break;
+    }
+    (*keep)[r] = pass;
+  }
+  return Status::OK();
+}
+
+/// Renders a group-by cell for the group key.
+std::string RenderCell(const Column& col, size_t row) {
+  if (col.IsNull(row)) return "NULL";
+  switch (col.type()) {
+    case ColumnType::kInt64:
+      return std::to_string(col.GetInt64(row));
+    case ColumnType::kDouble:
+      return StrFormat("%.6g", col.GetDouble(row));
+    case ColumnType::kCategorical:
+      return col.dictionary()->ValueOf(col.GetCode(row));
+  }
+  return "";
+}
+
+struct AggState {
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+}  // namespace
+
+Result<std::vector<size_t>> FilterRows(
+    const Table& table, const std::vector<Predicate>& predicates) {
+  const size_t n = table.NumRows();
+  std::vector<char> keep(n, 1);
+  for (const auto& pred : predicates) {
+    RESTORE_RETURN_IF_ERROR(ApplyPredicate(table, pred, &keep));
+  }
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < n; ++r) {
+    if (keep[r]) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<QueryResult> Aggregate(const Table& table,
+                              const std::vector<size_t>& rows,
+                              const Query& query) {
+  // Resolve group-by and aggregate columns once.
+  std::vector<const Column*> group_cols;
+  for (const auto& g : query.group_by) {
+    RESTORE_ASSIGN_OR_RETURN(size_t ci, ResolveColumn(table, g));
+    group_cols.push_back(&table.column(ci));
+  }
+  std::vector<const Column*> agg_cols;
+  for (const auto& agg : query.aggregates) {
+    if (agg.column.empty()) {
+      agg_cols.push_back(nullptr);  // COUNT(*)
+      continue;
+    }
+    RESTORE_ASSIGN_OR_RETURN(size_t ci, ResolveColumn(table, agg.column));
+    const Column* col = &table.column(ci);
+    if (agg.func != AggregateFunc::kCount && !col->is_numeric()) {
+      return Status::InvalidArgument(
+          StrFormat("%s over categorical column '%s'",
+                    AggregateFuncName(agg.func), agg.column.c_str()));
+    }
+    agg_cols.push_back(col);
+  }
+
+  std::map<std::vector<std::string>, std::vector<AggState>> states;
+  if (query.group_by.empty()) {
+    // SQL semantics: an aggregate query without GROUP BY always yields one
+    // row, even over an empty input (COUNT = 0, SUM = 0).
+    states.try_emplace(std::vector<std::string>{}, query.aggregates.size());
+  }
+  for (size_t r : rows) {
+    std::vector<std::string> key;
+    key.reserve(group_cols.size());
+    for (const Column* gc : group_cols) key.push_back(RenderCell(*gc, r));
+    auto [it, inserted] =
+        states.try_emplace(std::move(key), query.aggregates.size());
+    auto& state = it->second;
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const Column* col = agg_cols[a];
+      if (col == nullptr) {
+        state[a].count += 1.0;  // COUNT(*)
+        continue;
+      }
+      if (col->IsNull(r)) continue;  // SQL semantics: NULLs ignored
+      state[a].count += 1.0;
+      if (col->is_numeric()) state[a].sum += col->GetNumeric(r);
+    }
+  }
+
+  QueryResult result;
+  for (auto& [key, state] : states) {
+    std::vector<double> values(query.aggregates.size(), 0.0);
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      switch (query.aggregates[a].func) {
+        case AggregateFunc::kCount:
+          values[a] = state[a].count;
+          break;
+        case AggregateFunc::kSum:
+          values[a] = state[a].sum;
+          break;
+        case AggregateFunc::kAvg:
+          values[a] =
+              state[a].count > 0 ? state[a].sum / state[a].count : 0.0;
+          break;
+      }
+    }
+    result.groups.emplace(key, std::move(values));
+  }
+  return result;
+}
+
+Result<QueryResult> FilterAndAggregate(const Table& table,
+                                       const Query& query) {
+  RESTORE_ASSIGN_OR_RETURN(std::vector<size_t> rows,
+                           FilterRows(table, query.predicates));
+  return Aggregate(table, rows, query);
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  for (const auto& [key, values] : groups) {
+    os << "(";
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << key[i];
+    }
+    os << ") -> [";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << StrFormat("%.6g", values[i]);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace restore

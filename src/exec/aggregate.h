@@ -1,0 +1,41 @@
+#ifndef RESTORE_EXEC_AGGREGATE_H_
+#define RESTORE_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/query.h"
+#include "storage/table.h"
+
+namespace restore {
+
+/// Evaluates the conjunction of `predicates` over `table` and returns the
+/// indices of qualifying rows. Column references may be unqualified.
+Result<std::vector<size_t>> FilterRows(
+    const Table& table, const std::vector<Predicate>& predicates);
+
+/// The result of an aggregate query: one entry per group. For queries without
+/// GROUP BY there is a single entry with an empty key.
+struct QueryResult {
+  /// group key (rendered values, in group-by order) -> aggregate values in
+  /// SELECT-list order.
+  std::map<std::vector<std::string>, std::vector<double>> groups;
+
+  std::string ToString() const;
+};
+
+/// Computes the grouped aggregates of `query` over the (already joined and
+/// filtered) rows `rows` of `table`.
+Result<QueryResult> Aggregate(const Table& table,
+                              const std::vector<size_t>& rows,
+                              const Query& query);
+
+/// Convenience: filter + aggregate over a joined table.
+Result<QueryResult> FilterAndAggregate(const Table& table,
+                                       const Query& query);
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_AGGREGATE_H_

@@ -1,0 +1,25 @@
+#include "exec/executor.h"
+
+#include "exec/join.h"
+#include "exec/sql_parser.h"
+
+namespace restore {
+
+Result<QueryResult> ExecuteQuery(const Database& db, const Query& query) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  RESTORE_ASSIGN_OR_RETURN(Table joined,
+                           NaturalJoinTables(db, query.tables));
+  return FilterAndAggregate(joined, query);
+}
+
+Result<QueryResult> ExecuteSql(const Database& db, const std::string& sql) {
+  RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  return ExecuteQuery(db, query);
+}
+
+}  // namespace restore

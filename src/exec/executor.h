@@ -1,0 +1,24 @@
+#ifndef RESTORE_EXEC_EXECUTOR_H_
+#define RESTORE_EXEC_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/aggregate.h"
+#include "exec/query.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Executes an SPJA query directly against the base tables of `db`
+/// (joins along foreign keys, then filters, then grouped aggregation).
+/// This is the "classical database" baseline: it does NOT complete missing
+/// data. Use restore::CompletionEngine for completed execution.
+Result<QueryResult> ExecuteQuery(const Database& db, const Query& query);
+
+/// Parses `sql` and executes it against `db`.
+Result<QueryResult> ExecuteSql(const Database& db, const std::string& sql);
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_EXECUTOR_H_

@@ -1,0 +1,129 @@
+#include "exec/join.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace restore {
+
+Result<size_t> ResolveColumn(const Table& table, const std::string& name) {
+  // Pass 1: exact match.
+  for (size_t i = 0; i < table.NumColumns(); ++i) {
+    if (table.column(i).name() == name) return i;
+  }
+  // Pass 2: unique ".<name>" suffix match.
+  const std::string suffix = "." + name;
+  size_t found = table.NumColumns();
+  size_t matches = 0;
+  for (size_t i = 0; i < table.NumColumns(); ++i) {
+    const std::string& cname = table.column(i).name();
+    if (cname.size() > suffix.size() &&
+        cname.compare(cname.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      found = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    return Status::InvalidArgument(
+        StrFormat("column reference '%s' is ambiguous", name.c_str()));
+  }
+  return Status::NotFound(StrFormat("column '%s' not found in '%s'",
+                                    name.c_str(), table.name().c_str()));
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col) {
+  RESTORE_ASSIGN_OR_RETURN(size_t li, ResolveColumn(left, left_col));
+  RESTORE_ASSIGN_OR_RETURN(size_t ri, ResolveColumn(right, right_col));
+  const Column& lkey = left.column(li);
+  const Column& rkey = right.column(ri);
+  if (lkey.type() == ColumnType::kDouble ||
+      rkey.type() == ColumnType::kDouble) {
+    return Status::InvalidArgument(
+        "join keys must be int64 or categorical columns");
+  }
+
+  // Build hash table on the right side: key value -> row indices.
+  std::unordered_map<int64_t, std::vector<size_t>> build;
+  build.reserve(right.NumRows());
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    const int64_t key = rkey.GetInt64(r);
+    if (key == kNullInt64) continue;
+    build[key].push_back(r);
+  }
+
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t l = 0; l < left.NumRows(); ++l) {
+    const int64_t key = lkey.GetInt64(l);
+    if (key == kNullInt64) continue;
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      left_rows.push_back(l);
+      right_rows.push_back(r);
+    }
+  }
+
+  Table out(left.name() + "_x_" + right.name());
+  for (const auto& col : left.columns()) {
+    RESTORE_RETURN_IF_ERROR(out.AddColumn(col.Gather(left_rows)));
+  }
+  for (const auto& col : right.columns()) {
+    Column gathered = col.Gather(right_rows);
+    if (out.HasColumn(gathered.name())) {
+      gathered.set_name(right.name() + "." + gathered.name());
+    }
+    RESTORE_RETURN_IF_ERROR(out.AddColumn(std::move(gathered)));
+  }
+  return out;
+}
+
+Result<Table> NaturalJoinTables(const Database& db,
+                                const std::vector<std::string>& tables) {
+  RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> ordered,
+                           db.OrderJoinTables(tables));
+  RESTORE_ASSIGN_OR_RETURN(const Table* first, db.GetTable(ordered[0]));
+  Table joined = *first;
+  joined.QualifyColumnNames(ordered[0]);
+  std::vector<std::string> placed{ordered[0]};
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    const std::string& next = ordered[i];
+    // Find which placed table `next` connects to.
+    ForeignKey fk;
+    bool found = false;
+    for (const auto& done : placed) {
+      auto fk_result = db.FindForeignKey(next, done);
+      if (fk_result.ok()) {
+        fk = std::move(fk_result).value();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrFormat("table '%s' not connected to previous join tables",
+                    next.c_str()));
+    }
+    RESTORE_ASSIGN_OR_RETURN(const Table* next_table, db.GetTable(next));
+    Table right = *next_table;
+    right.QualifyColumnNames(next);
+    const bool next_is_child = (fk.child_table == next);
+    const std::string left_key =
+        next_is_child ? fk.parent_table + "." + fk.parent_column
+                      : fk.child_table + "." + fk.child_column;
+    const std::string right_key = next_is_child
+                                      ? next + "." + fk.child_column
+                                      : next + "." + fk.parent_column;
+    RESTORE_ASSIGN_OR_RETURN(joined,
+                             HashJoin(joined, right, left_key, right_key));
+    placed.push_back(next);
+  }
+  joined.set_name(Join(ordered, "_"));
+  return joined;
+}
+
+}  // namespace restore

@@ -1,0 +1,37 @@
+#ifndef RESTORE_EXEC_JOIN_H_
+#define RESTORE_EXEC_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace restore {
+
+/// Resolves a (possibly unqualified) column reference against a table whose
+/// columns may be qualified ("table.column"). Matching rules:
+///  1. exact name match, else
+///  2. unique suffix match on ".<name>".
+/// Errors if no column or more than one column matches.
+Result<size_t> ResolveColumn(const Table& table, const std::string& name);
+
+/// Inner hash equi-join of `left` and `right` on left[left_col] ==
+/// right[right_col]. The build side is `right`. NULL keys never match.
+/// Output columns are left columns followed by right columns; the join key
+/// appears once per side (as in the inputs).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_col,
+                       const std::string& right_col);
+
+/// Joins base tables of `db` along foreign keys: `tables` must be orderable
+/// such that each table shares an FK with a previously joined one (the
+/// function performs that ordering). All output columns are qualified as
+/// "table.column".
+Result<Table> NaturalJoinTables(const Database& db,
+                                const std::vector<std::string>& tables);
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_JOIN_H_

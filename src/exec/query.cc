@@ -1,0 +1,75 @@
+#include "exec/query.h"
+
+#include <sstream>
+
+namespace restore {
+
+const char* AggregateFuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kCount:
+      return "COUNT";
+    case AggregateFunc::kSum:
+      return "SUM";
+    case AggregateFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Query::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) os << ", ";
+    const auto& agg = aggregates[i];
+    os << AggregateFuncName(agg.func) << "("
+       << (agg.column.empty() ? "*" : agg.column) << ")";
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) os << " NATURAL JOIN ";
+    os << tables[i];
+  }
+  if (!predicates.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) os << " AND ";
+      const auto& p = predicates[i];
+      os << p.column << " " << CompareOpName(p.op) << " ";
+      if (p.literal.is_string()) {
+        os << "'" << p.literal.string_value() << "'";
+      } else {
+        os << p.literal.ToString();
+      }
+    }
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i];
+    }
+  }
+  os << ";";
+  return os.str();
+}
+
+}  // namespace restore

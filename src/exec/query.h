@@ -1,0 +1,62 @@
+#ifndef RESTORE_EXEC_QUERY_H_
+#define RESTORE_EXEC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace restore {
+
+/// Aggregate functions supported by the SPJA workload (Table 1 of the paper).
+enum class AggregateFunc {
+  kCount,
+  kSum,
+  kAvg,
+};
+
+const char* AggregateFuncName(AggregateFunc func);
+
+/// One aggregate in the SELECT list. `column` is empty for COUNT(*).
+struct AggregateSpec {
+  AggregateFunc func = AggregateFunc::kCount;
+  std::string column;
+};
+
+/// Comparison operators usable in WHERE predicates.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// A simple predicate `column <op> literal`. Conjunctions only (AND), which
+/// covers the paper's entire workload; categorical columns support kEq/kNe.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// An acyclic Select-Project-Join-Aggregate query:
+///   SELECT agg(col), ... FROM t1 NATURAL JOIN t2 ...
+///   WHERE p1 AND p2 ... GROUP BY g1, g2 ...
+/// Joins are equi-joins along foreign keys (resolved by the executor).
+struct Query {
+  std::vector<AggregateSpec> aggregates;
+  std::vector<std::string> tables;
+  std::vector<Predicate> predicates;
+  std::vector<std::string> group_by;
+
+  /// Round-trippable SQL rendering (for logging and reports).
+  std::string ToSql() const;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_QUERY_H_

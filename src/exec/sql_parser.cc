@@ -1,0 +1,313 @@
+#include "exec/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace restore {
+
+namespace {
+
+enum class TokenType {
+  kIdentifier,  // also keywords; normalized lower-case available
+  kNumber,
+  kString,
+  kSymbol,  // ( ) , ; * = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // raw text
+  std::string lower;  // lower-cased text (identifiers/keywords)
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        tokens.push_back(LexNumber());
+      } else if (c == '\'') {
+        RESTORE_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(std::move(t));
+      } else {
+        RESTORE_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        tokens.push_back(std::move(t));
+      }
+    }
+    tokens.push_back(Token{TokenType::kEnd, "", ""});
+    return tokens;
+  }
+
+ private:
+  Token LexIdentifier() {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string text = input_.substr(start, pos_ - start);
+    std::string lower = ToLower(text);
+    return Token{TokenType::kIdentifier, std::move(text), std::move(lower)};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      ++pos_;
+    }
+    std::string text = input_.substr(start, pos_ - start);
+    return Token{TokenType::kNumber, text, text};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '\'') ++pos_;
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("unterminated string literal");
+    }
+    std::string text = input_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return Token{TokenType::kString, text, text};
+  }
+
+  Result<Token> LexSymbol() {
+    const char c = input_[pos_];
+    auto two = [&](const char* sym) {
+      pos_ += 2;
+      return Token{TokenType::kSymbol, sym, sym};
+    };
+    if (c == '!' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+      return two("!=");
+    }
+    if (c == '<' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+      return two("<=");
+    }
+    if (c == '<' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+      return two("!=");
+    }
+    if (c == '>' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+      return two(">=");
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case ';':
+      case '*':
+      case '=':
+      case '<':
+      case '>': {
+        ++pos_;
+        std::string s(1, c);
+        return Token{TokenType::kSymbol, s, s};
+      }
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at position %zu", c, pos_));
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    RESTORE_RETURN_IF_ERROR(ExpectKeyword("select"));
+    RESTORE_RETURN_IF_ERROR(ParseAggregateList(&query));
+    RESTORE_RETURN_IF_ERROR(ExpectKeyword("from"));
+    RESTORE_RETURN_IF_ERROR(ParseFrom(&query));
+    if (AcceptKeyword("where")) {
+      RESTORE_RETURN_IF_ERROR(ParsePredicates(&query));
+    }
+    if (AcceptKeyword("group")) {
+      RESTORE_RETURN_IF_ERROR(ExpectKeyword("by"));
+      RESTORE_RETURN_IF_ERROR(ParseGroupBy(&query));
+    }
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError(
+          StrFormat("trailing input starting at '%s'", Peek().text.c_str()));
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kIdentifier && Peek().lower == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(StrFormat("expected '%s', got '%s'",
+                                          kw.c_str(), Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError(StrFormat("expected '%s', got '%s'",
+                                          sym.c_str(), Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(
+          StrFormat("expected identifier, got '%s'", Peek().text.c_str()));
+    }
+    return Advance().text;
+  }
+
+  Status ParseAggregateList(Query* query) {
+    do {
+      AggregateSpec agg;
+      RESTORE_ASSIGN_OR_RETURN(std::string func, ExpectIdentifier());
+      std::string lower = ToLower(func);
+      if (lower == "count") {
+        agg.func = AggregateFunc::kCount;
+      } else if (lower == "sum") {
+        agg.func = AggregateFunc::kSum;
+      } else if (lower == "avg") {
+        agg.func = AggregateFunc::kAvg;
+      } else {
+        return Status::ParseError(
+            StrFormat("unknown aggregate function '%s'", func.c_str()));
+      }
+      RESTORE_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (AcceptSymbol("*")) {
+        if (agg.func != AggregateFunc::kCount) {
+          return Status::ParseError("'*' only allowed in COUNT(*)");
+        }
+      } else {
+        RESTORE_ASSIGN_OR_RETURN(agg.column, ExpectIdentifier());
+      }
+      RESTORE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      query->aggregates.push_back(std::move(agg));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFrom(Query* query) {
+    RESTORE_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    query->tables.push_back(std::move(first));
+    while (AcceptKeyword("natural")) {
+      RESTORE_RETURN_IF_ERROR(ExpectKeyword("join"));
+      RESTORE_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier());
+      query->tables.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicates(Query* query) {
+    do {
+      Predicate pred;
+      RESTORE_ASSIGN_OR_RETURN(pred.column, ExpectIdentifier());
+      if (Peek().type != TokenType::kSymbol) {
+        return Status::ParseError(StrFormat("expected comparison, got '%s'",
+                                            Peek().text.c_str()));
+      }
+      const std::string sym = Advance().text;
+      if (sym == "=") {
+        pred.op = CompareOp::kEq;
+      } else if (sym == "!=") {
+        pred.op = CompareOp::kNe;
+      } else if (sym == "<") {
+        pred.op = CompareOp::kLt;
+      } else if (sym == "<=") {
+        pred.op = CompareOp::kLe;
+      } else if (sym == ">") {
+        pred.op = CompareOp::kGt;
+      } else if (sym == ">=") {
+        pred.op = CompareOp::kGe;
+      } else {
+        return Status::ParseError(
+            StrFormat("unknown comparison operator '%s'", sym.c_str()));
+      }
+      if (Peek().type == TokenType::kNumber) {
+        const std::string num = Advance().text;
+        if (num.find('.') != std::string::npos) {
+          pred.literal = Value::Double(std::strtod(num.c_str(), nullptr));
+        } else {
+          pred.literal =
+              Value::Int64(std::strtoll(num.c_str(), nullptr, 10));
+        }
+      } else if (Peek().type == TokenType::kString) {
+        pred.literal = Value::Categorical(Advance().text);
+      } else {
+        return Status::ParseError(
+            StrFormat("expected literal, got '%s'", Peek().text.c_str()));
+      }
+      query->predicates.push_back(std::move(pred));
+    } while (AcceptKeyword("and"));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(Query* query) {
+    do {
+      RESTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      query->group_by.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  RESTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace restore

@@ -1,0 +1,30 @@
+#ifndef RESTORE_EXEC_SQL_PARSER_H_
+#define RESTORE_EXEC_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/query.h"
+
+namespace restore {
+
+/// Parses an SPJA SQL query of the grammar used throughout the paper's
+/// workload (Table 1):
+///
+///   SELECT agg_list FROM table (NATURAL JOIN table)*
+///     [WHERE predicate (AND predicate)*]
+///     [GROUP BY column (, column)*] [;]
+///
+///   agg_list  := agg (, agg)*
+///   agg       := COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+///   predicate := col (= | != | <> | < | <= | > | >=) literal
+///   literal   := number | 'string'
+///
+/// Keywords are case-insensitive; identifiers may contain dots and
+/// underscores. Comparison operators written as unicode >= / <= in the paper
+/// are accepted as ">=" / "<=".
+Result<Query> ParseSql(const std::string& sql);
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_SQL_PARSER_H_

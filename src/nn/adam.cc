@@ -1,0 +1,47 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace restore {
+
+AdamOptimizer::AdamOptimizer(std::vector<Param*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i]->value.size(), 0.0f);
+    v_[i].assign(params_[i]->value.size(), 0.0f);
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = options_.learning_rate;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    float* value = p->value.data();
+    float* grad = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t k = 0; k < n; ++k) {
+      float g = grad[k] + options_.weight_decay * value[k];
+      m[k] = b1 * m[k] + (1.0f - b1) * g;
+      v[k] = b2 * v[k] + (1.0f - b2) * g * g;
+      const float m_hat = m[k] / bias1;
+      const float v_hat = v[k] / bias2;
+      value[k] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      grad[k] = 0.0f;
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (Param* p : params_) p->ZeroGrad();
+}
+
+}  // namespace restore

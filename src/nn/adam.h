@@ -1,0 +1,47 @@
+#ifndef RESTORE_NN_ADAM_H_
+#define RESTORE_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace restore {
+
+/// Hyperparameters of AdamOptimizer.
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer (Kingma & Ba) over a fixed set of registered parameters.
+class AdamOptimizer {
+ public:
+  using Options = AdamOptions;
+
+  explicit AdamOptimizer(std::vector<Param*> params,
+                         Options options = Options());
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without stepping.
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  Options options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_NN_ADAM_H_

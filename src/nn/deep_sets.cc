@@ -1,0 +1,97 @@
+#include "nn/deep_sets.h"
+
+#include <cassert>
+
+namespace restore {
+
+DeepSetsEncoder::DeepSetsEncoder(const std::vector<TableSpec>& tables,
+                                 size_t embed_dim, size_t phi_dim,
+                                 size_t context_dim, Rng& rng)
+    : embed_dim_(embed_dim), phi_dim_(phi_dim), context_dim_(context_dim) {
+  for (const auto& spec : tables) {
+    embeds_.emplace_back(spec.vocab_sizes, embed_dim_, rng);
+    const size_t in_dim = spec.vocab_sizes.size() * embed_dim_;
+    phi1_.emplace_back(in_dim, phi_dim_, rng);
+    phi2_.emplace_back(phi_dim_, phi_dim_, rng);
+  }
+  rho_ = Dense(tables.size() * phi_dim_, context_dim_, rng);
+}
+
+void DeepSetsEncoder::Forward(const std::vector<ChildBatch>& children,
+                              Matrix* context) {
+  assert(children.size() == num_tables());
+  children_cache_ = children;
+  const size_t batch = children.empty() ? 0 : children[0].offsets.size() - 1;
+  phi1_out_.assign(num_tables(), Matrix());
+  phi2_out_.assign(num_tables(), Matrix());
+  pooled_.Resize(batch, num_tables() * phi_dim_);
+
+  for (size_t t = 0; t < num_tables(); ++t) {
+    const ChildBatch& cb = children[t];
+    assert(cb.offsets.size() == batch + 1);
+    if (cb.codes.rows() > 0) {
+      Matrix embedded;
+      embeds_[t].Forward(cb.codes, &embedded);
+      Matrix z1;
+      phi1_[t].Forward(embedded, &z1);
+      ReluInPlace(&z1);
+      phi1_out_[t] = z1;
+      Matrix z2;
+      phi2_[t].Forward(z1, &z2);
+      ReluInPlace(&z2);
+      phi2_out_[t] = std::move(z2);
+    }
+    // Sum-pool children per evidence row (rows with no children stay zero —
+    // the permutation-invariant encoding of the empty set).
+    for (size_t r = 0; r < batch; ++r) {
+      float* dst = pooled_.row(r) + t * phi_dim_;
+      for (size_t c = cb.offsets[r]; c < cb.offsets[r + 1]; ++c) {
+        const float* src = phi2_out_[t].row(c);
+        for (size_t k = 0; k < phi_dim_; ++k) dst[k] += src[k];
+      }
+    }
+  }
+  Matrix z;
+  rho_.Forward(pooled_, &z);
+  ReluInPlace(&z);
+  rho_out_ = z;
+  *context = rho_out_;
+}
+
+void DeepSetsEncoder::Backward(const Matrix& dcontext) {
+  Matrix dz = dcontext;
+  ReluBackward(rho_out_, &dz);
+  Matrix dpooled;
+  rho_.Backward(dz, &dpooled);
+
+  const size_t batch = dpooled.rows();
+  for (size_t t = 0; t < num_tables(); ++t) {
+    const ChildBatch& cb = children_cache_[t];
+    if (cb.codes.rows() == 0) continue;
+    // Un-pool: every child of row r receives the row's slice of dpooled.
+    Matrix dphi2(cb.codes.rows(), phi_dim_);
+    for (size_t r = 0; r < batch; ++r) {
+      const float* src = dpooled.row(r) + t * phi_dim_;
+      for (size_t c = cb.offsets[r]; c < cb.offsets[r + 1]; ++c) {
+        float* dst = dphi2.row(c);
+        for (size_t k = 0; k < phi_dim_; ++k) dst[k] = src[k];
+      }
+    }
+    ReluBackward(phi2_out_[t], &dphi2);
+    Matrix dphi1;
+    phi2_[t].Backward(dphi2, &dphi1);
+    ReluBackward(phi1_out_[t], &dphi1);
+    Matrix dembed;
+    phi1_[t].Backward(dphi1, &dembed);
+    embeds_[t].Backward(dembed);
+  }
+}
+
+void DeepSetsEncoder::CollectParams(std::vector<Param*>* params) {
+  for (auto& e : embeds_) e.CollectParams(params);
+  for (auto& l : phi1_) l.CollectParams(params);
+  for (auto& l : phi2_) l.CollectParams(params);
+  rho_.CollectParams(params);
+}
+
+}  // namespace restore

@@ -1,0 +1,70 @@
+#ifndef RESTORE_NN_DEEP_SETS_H_
+#define RESTORE_NN_DEEP_SETS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace restore {
+
+/// Variable-size child-tuple sets attached to a batch of evidence rows, in
+/// CSR layout: evidence row r owns child rows
+/// codes[offsets[r] .. offsets[r+1]) of one child table.
+struct ChildBatch {
+  IntMatrix codes;              // [total_children x n_child_attrs]
+  std::vector<size_t> offsets;  // size batch+1, offsets[0] == 0
+};
+
+/// Deep-sets encoder for the fan-out / self evidence of SSAR models
+/// (Zaheer et al. [42], as used in Section 3.3 of the paper).
+///
+/// Per child table t: each child tuple is embedded (shared per-table
+/// weights), passed through a 2-layer MLP phi_t, and sum-pooled per evidence
+/// row. The pooled vectors of all child tables are concatenated and passed
+/// through a feed-forward layer rho to produce the context vector that
+/// conditions the MADE (always-visible input).
+class DeepSetsEncoder {
+ public:
+  struct TableSpec {
+    std::vector<int> vocab_sizes;  // child-table attribute vocabularies
+  };
+
+  DeepSetsEncoder() = default;
+  DeepSetsEncoder(const std::vector<TableSpec>& tables, size_t embed_dim,
+                  size_t phi_dim, size_t context_dim, Rng& rng);
+
+  size_t num_tables() const { return phi1_.size(); }
+  size_t context_dim() const { return context_dim_; }
+
+  /// Encodes one ChildBatch per child table (order must match construction)
+  /// into a [batch x context_dim] context matrix.
+  void Forward(const std::vector<ChildBatch>& children, Matrix* context);
+
+  /// Backpropagates the context gradient into all encoder parameters.
+  void Backward(const Matrix& dcontext);
+
+  void CollectParams(std::vector<Param*>* params);
+
+ private:
+  size_t embed_dim_ = 0;
+  size_t phi_dim_ = 0;
+  size_t context_dim_ = 0;
+
+  std::vector<EmbeddingSet> embeds_;  // one per child table
+  std::vector<Dense> phi1_;           // per-table child MLP layer 1
+  std::vector<Dense> phi2_;           // per-table child MLP layer 2
+  Dense rho_;                         // pooled concat -> context
+  // Caches.
+  std::vector<ChildBatch> children_cache_;
+  std::vector<Matrix> phi1_out_;   // relu(phi1(embed)) per table
+  std::vector<Matrix> phi2_out_;   // relu(phi2(...)) per table
+  Matrix pooled_;                  // [batch x num_tables*phi_dim]
+  Matrix rho_out_;                 // relu(rho(pooled))
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_NN_DEEP_SETS_H_

@@ -1,0 +1,52 @@
+#include "nn/embedding.h"
+
+#include <cassert>
+
+namespace restore {
+
+EmbeddingSet::EmbeddingSet(const std::vector<int>& vocab_sizes,
+                           size_t embed_dim, Rng& rng)
+    : embed_dim_(embed_dim) {
+  tables_.resize(vocab_sizes.size());
+  for (size_t i = 0; i < vocab_sizes.size(); ++i) {
+    tables_[i].Init(static_cast<size_t>(vocab_sizes[i]), embed_dim);
+    // Small gaussian init as usual for embeddings.
+    for (size_t k = 0; k < tables_[i].value.size(); ++k) {
+      tables_[i].value.data()[k] =
+          static_cast<float>(rng.NextGaussian(0.0, 0.1));
+    }
+  }
+}
+
+void EmbeddingSet::Forward(const IntMatrix& codes, Matrix* out) {
+  assert(codes.cols() == tables_.size());
+  codes_cache_ = codes;
+  out->Resize(codes.rows(), output_dim());
+  for (size_t r = 0; r < codes.rows(); ++r) {
+    float* orow = out->row(r);
+    for (size_t a = 0; a < tables_.size(); ++a) {
+      const int32_t code = codes.at(r, a);
+      assert(code >= 0 &&
+             code < static_cast<int32_t>(tables_[a].value.rows()));
+      const float* emb = tables_[a].value.row(static_cast<size_t>(code));
+      float* dst = orow + a * embed_dim_;
+      for (size_t k = 0; k < embed_dim_; ++k) dst[k] = emb[k];
+    }
+  }
+}
+
+void EmbeddingSet::Backward(const Matrix& dout) {
+  assert(dout.rows() == codes_cache_.rows());
+  assert(dout.cols() == output_dim());
+  for (size_t r = 0; r < codes_cache_.rows(); ++r) {
+    const float* drow = dout.row(r);
+    for (size_t a = 0; a < tables_.size(); ++a) {
+      const int32_t code = codes_cache_.at(r, a);
+      float* grad = tables_[a].grad.row(static_cast<size_t>(code));
+      const float* src = drow + a * embed_dim_;
+      for (size_t k = 0; k < embed_dim_; ++k) grad[k] += src[k];
+    }
+  }
+}
+
+}  // namespace restore

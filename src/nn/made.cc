@@ -1,0 +1,337 @@
+#include "nn/made.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace restore {
+
+namespace {
+
+// Gradient of logits is scaled by 1/batch so the loss is a per-row mean.
+void SoftmaxCrossEntropySlice(const Matrix& logits, const IntMatrix& targets,
+                              size_t attr, size_t begin, size_t end,
+                              float inv_batch, float* loss_out,
+                              Matrix* dlogits) {
+  const size_t batch = logits.rows();
+  float loss = 0.0f;
+  for (size_t r = 0; r < batch; ++r) {
+    const float* row = logits.row(r);
+    float max_v = row[begin];
+    for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
+    const float log_sum = std::log(sum) + max_v;
+    const size_t target =
+        begin + static_cast<size_t>(targets.at(r, attr));
+    assert(target < end);
+    loss += log_sum - row[target];
+    if (dlogits != nullptr) {
+      float* drow = dlogits->row(r);
+      for (size_t c = begin; c < end; ++c) {
+        const float p = std::exp(row[c] - log_sum);
+        drow[c] = p * inv_batch;
+      }
+      drow[target] -= inv_batch;
+    }
+  }
+  *loss_out = loss * inv_batch;
+}
+
+}  // namespace
+
+MadeModel::MadeModel(MadeConfig config, Rng& rng)
+    : config_(std::move(config)) {
+  assert(!config_.vocab_sizes.empty());
+  assert(config_.num_layers >= 1);
+  offsets_.resize(num_attrs() + 1, 0);
+  for (size_t i = 0; i < num_attrs(); ++i) {
+    offsets_[i + 1] = offsets_[i] + static_cast<size_t>(vocab_size(i));
+  }
+  embed_ = EmbeddingSet(config_.vocab_sizes, config_.embed_dim, rng);
+  has_context_ = config_.context_dim > 0;
+
+  hidden_.reserve(config_.num_layers);
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    hidden_.emplace_back(l == 0 ? BuildInputMask() : BuildHiddenMask(), rng);
+    if (has_context_) {
+      ctx_hidden_.emplace_back(config_.context_dim, config_.hidden_dim, rng);
+    }
+  }
+  out_ = MaskedDense(BuildOutputMask(), rng);
+  if (has_context_) {
+    ctx_out_ = Dense(config_.context_dim, total_vocab(), rng);
+  }
+}
+
+int MadeModel::HiddenDegree(size_t unit) const {
+  const size_t n = num_attrs();
+  if (n <= 1) return 0;
+  return static_cast<int>(unit % (n - 1));
+}
+
+Matrix MadeModel::BuildInputMask() const {
+  // Input unit (attr i, embed slot) -> hidden unit: allowed if
+  // hidden_degree >= i.
+  Matrix mask(embed_.output_dim(), config_.hidden_dim);
+  for (size_t a = 0; a < num_attrs(); ++a) {
+    for (size_t e = 0; e < config_.embed_dim; ++e) {
+      const size_t in_unit = a * config_.embed_dim + e;
+      for (size_t h = 0; h < config_.hidden_dim; ++h) {
+        if (HiddenDegree(h) >= static_cast<int>(a)) {
+          mask.at(in_unit, h) = 1.0f;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+Matrix MadeModel::BuildHiddenMask() const {
+  Matrix mask(config_.hidden_dim, config_.hidden_dim);
+  for (size_t from = 0; from < config_.hidden_dim; ++from) {
+    for (size_t to = 0; to < config_.hidden_dim; ++to) {
+      if (HiddenDegree(to) >= HiddenDegree(from)) mask.at(from, to) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+Matrix MadeModel::BuildOutputMask() const {
+  // Hidden unit -> output block of attr i: allowed if degree < i.
+  Matrix mask(config_.hidden_dim, total_vocab());
+  for (size_t h = 0; h < config_.hidden_dim; ++h) {
+    const int deg = HiddenDegree(h);
+    for (size_t a = 0; a < num_attrs(); ++a) {
+      if (deg < static_cast<int>(a)) {
+        for (size_t c = offsets_[a]; c < offsets_[a + 1]; ++c) {
+          mask.at(h, c) = 1.0f;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
+                        Matrix* logits) {
+  assert(codes.cols() == num_attrs());
+  assert(!has_context_ || (context.rows() == codes.rows() &&
+                           context.cols() == config_.context_dim));
+  embed_.Forward(codes, &x0_);
+  relu_.assign(config_.num_layers, Matrix());
+  h_.assign(config_.num_layers, Matrix());
+
+  const Matrix* prev = &x0_;
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    Matrix z;
+    hidden_[l].Forward(*prev, &z);
+    if (has_context_) {
+      Matrix cz;
+      ctx_hidden_[l].Forward(context, &cz);
+      AddInPlace(cz, &z);
+    }
+    ReluInPlace(&z);
+    relu_[l] = z;
+    if (l == 0) {
+      h_[l] = std::move(z);
+    } else {
+      // Residual connection (same width, same degree assignment per layer).
+      h_[l] = relu_[l];
+      AddInPlace(h_[l - 1], &h_[l]);
+    }
+    prev = &h_[l];
+  }
+  out_.Forward(*prev, logits);
+  if (has_context_) {
+    Matrix co;
+    ctx_out_.Forward(context, &co);
+    AddInPlace(co, logits);
+  }
+}
+
+float MadeModel::NllLoss(const Matrix& logits, const IntMatrix& targets,
+                         size_t first_attr, Matrix* dlogits) const {
+  assert(logits.cols() == total_vocab());
+  dlogits->Resize(logits.rows(), logits.cols());
+  const float inv_batch = 1.0f / static_cast<float>(logits.rows());
+  float total = 0.0f;
+  for (size_t a = first_attr; a < num_attrs(); ++a) {
+    float loss = 0.0f;
+    SoftmaxCrossEntropySlice(logits, targets, a, offsets_[a], offsets_[a + 1],
+                             inv_batch, &loss, dlogits);
+    total += loss;
+  }
+  return total;
+}
+
+float MadeModel::NllLossOnly(const Matrix& logits, const IntMatrix& targets,
+                             size_t first_attr) const {
+  const float inv_batch = 1.0f / static_cast<float>(logits.rows());
+  float total = 0.0f;
+  for (size_t a = first_attr; a < num_attrs(); ++a) {
+    float loss = 0.0f;
+    SoftmaxCrossEntropySlice(logits, targets, a, offsets_[a], offsets_[a + 1],
+                             inv_batch, &loss, nullptr);
+    total += loss;
+  }
+  return total;
+}
+
+float MadeModel::NllLossWeighted(const Matrix& logits,
+                                 const IntMatrix& targets, size_t first_attr,
+                                 const Matrix& weights,
+                                 Matrix* dlogits) const {
+  assert(weights.rows() == logits.rows() && weights.cols() == num_attrs());
+  if (dlogits != nullptr) dlogits->Resize(logits.rows(), logits.cols());
+  const size_t batch = logits.rows();
+  float total = 0.0f;
+  for (size_t a = first_attr; a < num_attrs(); ++a) {
+    const size_t begin = offsets_[a];
+    const size_t end = offsets_[a + 1];
+    float weight_sum = 0.0f;
+    for (size_t r = 0; r < batch; ++r) weight_sum += weights.at(r, a);
+    if (weight_sum <= 0.0f) continue;
+    const float inv = 1.0f / weight_sum;
+    float loss = 0.0f;
+    for (size_t r = 0; r < batch; ++r) {
+      const float w = weights.at(r, a);
+      if (w == 0.0f) continue;
+      const float* row = logits.row(r);
+      float max_v = row[begin];
+      for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
+      float sum = 0.0f;
+      for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
+      const float log_sum = std::log(sum) + max_v;
+      const size_t target = begin + static_cast<size_t>(targets.at(r, a));
+      assert(target < end);
+      loss += w * (log_sum - row[target]);
+      if (dlogits != nullptr) {
+        float* drow = dlogits->row(r);
+        const float scale = w * inv;
+        for (size_t c = begin; c < end; ++c) {
+          drow[c] = std::exp(row[c] - log_sum) * scale;
+        }
+        drow[target] -= scale;
+      }
+    }
+    total += loss * inv;
+  }
+  return total;
+}
+
+float MadeModel::AttrNll(const Matrix& logits, const IntMatrix& targets,
+                         size_t attr) const {
+  float loss = 0.0f;
+  SoftmaxCrossEntropySlice(logits, targets, attr, offsets_[attr],
+                           offsets_[attr + 1],
+                           1.0f / static_cast<float>(logits.rows()), &loss,
+                           nullptr);
+  return loss;
+}
+
+void MadeModel::Backward(const Matrix& dlogits, Matrix* dcontext) {
+  if (has_context_ && dcontext != nullptr) {
+    dcontext->Resize(dlogits.rows(), config_.context_dim);
+  }
+  Matrix dh;
+  out_.Backward(dlogits, &dh);
+  if (has_context_) {
+    Matrix dc;
+    ctx_out_.Backward(dlogits, &dc);
+    if (dcontext != nullptr) AddInPlace(dc, dcontext);
+  }
+  for (size_t l = config_.num_layers; l-- > 0;) {
+    // dh is the gradient wrt h_[l]. Through the ReLU branch:
+    Matrix dz = dh;
+    ReluBackward(relu_[l], &dz);
+    if (has_context_) {
+      Matrix dc;
+      ctx_hidden_[l].Backward(dz, &dc);
+      if (dcontext != nullptr) AddInPlace(dc, dcontext);
+    }
+    if (l == 0) {
+      Matrix dx0;
+      hidden_[0].Backward(dz, &dx0);
+      embed_.Backward(dx0);
+    } else {
+      Matrix dprev;
+      hidden_[l].Backward(dz, &dprev);
+      // Residual passthrough: h_l = relu_l + h_{l-1}.
+      AddInPlace(dh, &dprev);
+      dh = std::move(dprev);
+    }
+  }
+}
+
+void MadeModel::SampleConditional(IntMatrix* codes, const Matrix& context,
+                                  size_t first_attr, Rng& rng) {
+  SampleRange(codes, context, first_attr, num_attrs(), rng);
+}
+
+void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
+                            size_t first_attr, size_t end_attr, Rng& rng,
+                            int record_attr, Matrix* recorded) {
+  const size_t batch = codes->rows();
+  Matrix logits;
+  for (size_t a = first_attr; a < end_attr; ++a) {
+    Forward(*codes, context, &logits);
+    SoftmaxSlice(&logits, offsets_[a], offsets_[a + 1]);
+    const size_t vocab = static_cast<size_t>(vocab_size(a));
+    if (record_attr >= 0 && static_cast<size_t>(record_attr) == a &&
+        recorded != nullptr) {
+      recorded->Resize(batch, vocab);
+      for (size_t r = 0; r < batch; ++r) {
+        const float* probs = logits.row(r) + offsets_[a];
+        float* dst = recorded->row(r);
+        for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
+      }
+    }
+    for (size_t r = 0; r < batch; ++r) {
+      const float* probs = logits.row(r) + offsets_[a];
+      double u = rng.NextDouble();
+      double acc = 0.0;
+      int32_t pick = static_cast<int32_t>(vocab) - 1;
+      for (size_t c = 0; c < vocab; ++c) {
+        acc += probs[c];
+        if (u < acc) {
+          pick = static_cast<int32_t>(c);
+          break;
+        }
+      }
+      codes->at(r, a) = pick;
+    }
+  }
+}
+
+void MadeModel::PredictDistribution(const IntMatrix& codes,
+                                    const Matrix& context, size_t attr,
+                                    Matrix* probs) {
+  Matrix logits;
+  Forward(codes, context, &logits);
+  SoftmaxSlice(&logits, offsets_[attr], offsets_[attr + 1]);
+  const size_t vocab = static_cast<size_t>(vocab_size(attr));
+  probs->Resize(codes.rows(), vocab);
+  for (size_t r = 0; r < codes.rows(); ++r) {
+    const float* src = logits.row(r) + offsets_[attr];
+    float* dst = probs->row(r);
+    for (size_t c = 0; c < vocab; ++c) dst[c] = src[c];
+  }
+}
+
+void MadeModel::CollectParams(std::vector<Param*>* params) {
+  embed_.CollectParams(params);
+  for (auto& layer : hidden_) layer.CollectParams(params);
+  for (auto& layer : ctx_hidden_) layer.CollectParams(params);
+  out_.CollectParams(params);
+  if (has_context_) ctx_out_.CollectParams(params);
+}
+
+size_t MadeModel::NumParameters() {
+  std::vector<Param*> params;
+  CollectParams(&params);
+  size_t total = 0;
+  for (Param* p : params) total += p->value.size();
+  return total;
+}
+
+}  // namespace restore

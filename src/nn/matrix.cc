@@ -1,0 +1,117 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restore {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  out->Resize(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  out->Resize(a.rows(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  assert(out->rows() == a.cols() && out->cols() == b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out->row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddBiasRows(const Matrix& bias, Matrix* out) {
+  assert(bias.rows() == 1 && bias.cols() == out->cols());
+  const float* b = bias.row(0);
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* row = out->row(r);
+    for (size_t c = 0; c < out->cols(); ++c) row[c] += b[c];
+  }
+}
+
+void AccumBiasGrad(const Matrix& dy, Matrix* bias_grad) {
+  assert(bias_grad->rows() == 1 && bias_grad->cols() == dy.cols());
+  float* g = bias_grad->row(0);
+  for (size_t r = 0; r < dy.rows(); ++r) {
+    const float* row = dy.row(r);
+    for (size_t c = 0; c < dy.cols(); ++c) g[c] += row[c];
+  }
+}
+
+void AddInPlace(const Matrix& x, Matrix* y) {
+  assert(x.rows() == y->rows() && x.cols() == y->cols());
+  float* yd = y->data();
+  const float* xd = x.data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += xd[i];
+}
+
+void ReluInPlace(Matrix* x) {
+  float* d = x->data();
+  for (size_t i = 0; i < x->size(); ++i) d[i] = std::max(0.0f, d[i]);
+}
+
+void ReluBackward(const Matrix& y, Matrix* dy) {
+  assert(y.size() == dy->size());
+  const float* yd = y.data();
+  float* dd = dy->data();
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (yd[i] <= 0.0f) dd[i] = 0.0f;
+  }
+}
+
+void SoftmaxSlice(Matrix* logits, size_t col_begin, size_t col_end) {
+  assert(col_begin < col_end && col_end <= logits->cols());
+  for (size_t r = 0; r < logits->rows(); ++r) {
+    float* row = logits->row(r);
+    float max_v = row[col_begin];
+    for (size_t c = col_begin; c < col_end; ++c) max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (size_t c = col_begin; c < col_end; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = col_begin; c < col_end; ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace restore

@@ -1,0 +1,124 @@
+#ifndef RESTORE_NN_MATRIX_H_
+#define RESTORE_NN_MATRIX_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace restore {
+
+/// Dense row-major float matrix. This is the only tensor type the NN
+/// substrate needs (all layers operate on [batch x features] activations).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// Integer matrix used for batches of discretized attribute codes.
+class IntMatrix {
+ public:
+  IntMatrix() : rows_(0), cols_(0) {}
+  IntMatrix(size_t rows, size_t cols, int32_t fill = 0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  int32_t& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  int32_t at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const int32_t* row(size_t r) const { return data_.data() + r * cols_; }
+  int32_t* row(size_t r) { return data_.data() + r * cols_; }
+
+  /// Returns a copy containing only the listed rows.
+  IntMatrix GatherRows(const std::vector<size_t>& rows) const {
+    IntMatrix out(rows.size(), cols_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<int32_t> data_;
+};
+
+// ---- BLAS-lite kernels -----------------------------------------------------
+
+/// out = a * b            [m x k] * [k x n] -> [m x n]
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T          [m x k] * [n x k] -> [m x n]
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += a^T * b         [m x k]^T * [m x n] -> [k x n] (accumulating)
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out[r] += bias for every row r. bias is [1 x n].
+void AddBiasRows(const Matrix& bias, Matrix* out);
+
+/// bias_grad += column sums of dy.
+void AccumBiasGrad(const Matrix& dy, Matrix* bias_grad);
+
+/// y += x (shapes must match).
+void AddInPlace(const Matrix& x, Matrix* y);
+
+/// In-place ReLU; returns mask-applied matrix via dy in BackwardRelu.
+void ReluInPlace(Matrix* x);
+
+/// dx = dy masked by (y > 0), where y is the post-ReLU activation.
+void ReluBackward(const Matrix& y, Matrix* dy);
+
+/// Numerically-stable in-place softmax over the column slice
+/// [col_begin, col_end) of every row.
+void SoftmaxSlice(Matrix* logits, size_t col_begin, size_t col_end);
+
+}  // namespace restore
+
+#endif  // RESTORE_NN_MATRIX_H_

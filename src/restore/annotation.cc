@@ -1,0 +1,27 @@
+#include "restore/annotation.h"
+
+#include "common/string_util.h"
+
+namespace restore {
+
+Status SchemaAnnotation::Validate(const Database& db) const {
+  for (const auto& t : incomplete_tables_) {
+    if (!db.HasTable(t)) {
+      return Status::NotFound(
+          StrFormat("annotated incomplete table '%s' not in database",
+                    t.c_str()));
+    }
+  }
+  for (const auto& [key, bias] : suspected_biases_) {
+    (void)key;
+    RESTORE_ASSIGN_OR_RETURN(const Table* table, db.GetTable(bias.table));
+    if (!table->HasColumn(bias.column)) {
+      return Status::NotFound(
+          StrFormat("suspected-bias column '%s.%s' not in database",
+                    bias.table.c_str(), bias.column.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace restore

@@ -1,0 +1,72 @@
+#ifndef RESTORE_RESTORE_ANNOTATION_H_
+#define RESTORE_RESTORE_ANNOTATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Direction of a bias the user suspects in an incomplete table's attribute
+/// (Section 5, "Advanced Selection"): e.g. the average rent is likely
+/// overestimated because low-rent apartments are missing.
+enum class BiasDirection {
+  kOverestimated,   // the incomplete data overestimates the attribute
+  kUnderestimated,  // the incomplete data underestimates the attribute
+};
+
+/// A user-provided hint that attribute `column` of an incomplete table is
+/// biased in the given direction. Optional; improves model selection.
+struct SuspectedBias {
+  std::string table;
+  std::string column;
+  BiasDirection direction = BiasDirection::kOverestimated;
+  /// For categorical columns: the attribute value whose frequency is biased.
+  std::string categorical_value;
+};
+
+/// The schema annotation of Section 2.2: which tables are incomplete, and
+/// optional suspected-bias hints. Tuple-factor observations are stored as
+/// nullable "__tf_<child>" columns on parent tables (see tuple_factor.h), so
+/// they need no annotation here.
+class SchemaAnnotation {
+ public:
+  SchemaAnnotation() = default;
+
+  /// Marks `table` as incomplete (tuples may be missing).
+  void MarkIncomplete(const std::string& table) {
+    incomplete_tables_.insert(table);
+  }
+
+  bool IsComplete(const std::string& table) const {
+    return incomplete_tables_.count(table) == 0;
+  }
+  bool IsIncomplete(const std::string& table) const {
+    return incomplete_tables_.count(table) > 0;
+  }
+
+  const std::set<std::string>& incomplete_tables() const {
+    return incomplete_tables_;
+  }
+
+  void AddSuspectedBias(SuspectedBias bias) {
+    suspected_biases_[bias.table + "." + bias.column] = bias;
+  }
+  const std::map<std::string, SuspectedBias>& suspected_biases() const {
+    return suspected_biases_;
+  }
+
+  /// Checks that every annotated table exists in `db`.
+  Status Validate(const Database& db) const;
+
+ private:
+  std::set<std::string> incomplete_tables_;
+  std::map<std::string, SuspectedBias> suspected_biases_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_ANNOTATION_H_

@@ -1,0 +1,57 @@
+#include "restore/cache.h"
+
+#include <limits>
+
+namespace restore {
+
+std::string CompletionCache::Key(const std::set<std::string>& tables) {
+  std::string key;
+  for (const auto& t : tables) {
+    key += t;
+    key += '|';
+  }
+  return key;
+}
+
+void CompletionCache::Put(const std::set<std::string>& tables, Table joined) {
+  entries_[Key(tables)] = Entry{tables, std::move(joined)};
+}
+
+const Table* CompletionCache::GetExact(
+    const std::set<std::string>& tables) const {
+  auto it = entries_.find(Key(tables));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.joined;
+}
+
+const Table* CompletionCache::GetCovering(
+    const std::set<std::string>& tables) const {
+  const Table* best = nullptr;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    bool covers = true;
+    for (const auto& t : tables) {
+      if (entry.tables.count(t) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers && entry.tables.size() < best_size) {
+      best_size = entry.tables.size();
+      best = &entry.joined;
+    }
+  }
+  if (best == nullptr) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return best;
+}
+
+}  // namespace restore

@@ -1,0 +1,50 @@
+#ifndef RESTORE_RESTORE_CACHE_H_
+#define RESTORE_RESTORE_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace restore {
+
+/// Cache of completed joins (Section 4.5): data synthesized for one query is
+/// reused by later queries over the same join path, and queries over a
+/// sub-path reuse a superset join by projection.
+class CompletionCache {
+ public:
+  CompletionCache() = default;
+
+  /// Stores a completed join covering exactly `tables`.
+  void Put(const std::set<std::string>& tables, Table joined);
+
+  /// Exact hit: a completed join over exactly `tables`, or nullptr.
+  const Table* GetExact(const std::set<std::string>& tables) const;
+
+  /// Superset hit: the smallest cached join whose table set is a superset of
+  /// `tables` (its projection serves the query), or nullptr.
+  const Table* GetCovering(const std::set<std::string>& tables) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  static std::string Key(const std::set<std::string>& tables);
+
+  struct Entry {
+    std::set<std::string> tables;
+    Table joined;
+  };
+  std::map<std::string, Entry> entries_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_CACHE_H_

@@ -1,0 +1,98 @@
+#include "restore/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restore {
+
+double PredictionCertainty(const std::vector<float>& p_model,
+                           const std::vector<double>& p_incomplete) {
+  double kl = 0.0;
+  const size_t n = std::min(p_model.size(), p_incomplete.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double p = std::max(1e-9, static_cast<double>(p_model[i]));
+    const double q = std::max(1e-9, p_incomplete[i]);
+    kl += p * std::log(p / q);
+  }
+  kl = std::max(0.0, kl);
+  return 1.0 - std::exp(-kl);
+}
+
+ConfidenceInterval CountFractionInterval(
+    const std::vector<std::vector<float>>& synth_probs,
+    const std::vector<double>& p_incomplete, size_t value_code,
+    size_t existing_with_value, size_t existing_total, double level) {
+  ConfidenceInterval ci;
+  const double n_synth = static_cast<double>(synth_probs.size());
+  const double total = static_cast<double>(existing_total) + n_synth;
+  if (total == 0.0) return ci;
+
+  double expected = 0.0;
+  double upper = 0.0;
+  double lower = 0.0;
+  for (const auto& probs : synth_probs) {
+    const double c = PredictionCertainty(probs, p_incomplete);
+    const double p_value = value_code < probs.size()
+                               ? static_cast<double>(probs[value_code])
+                               : 0.0;
+    expected += p_value;
+    // Mix the model's prediction with the extreme distributions, weighted by
+    // (1 - certainty): an uncertain model contributes wide bounds.
+    upper += c * p_value + (1.0 - c) * level;
+    lower += c * p_value + (1.0 - c) * (1.0 - level);
+  }
+  const double base = static_cast<double>(existing_with_value);
+  ci.point = (base + expected) / total;
+  ci.upper = (base + upper) / total;
+  ci.lower = (base + lower) / total;
+  ci.theoretical_max = (base + n_synth) / total;
+  ci.theoretical_min = base / total;
+  // Bound sanity: lower <= point <= upper within the theoretical range.
+  ci.lower = std::clamp(ci.lower, ci.theoretical_min, ci.theoretical_max);
+  ci.upper = std::clamp(ci.upper, ci.theoretical_min, ci.theoretical_max);
+  if (ci.lower > ci.upper) std::swap(ci.lower, ci.upper);
+  return ci;
+}
+
+ConfidenceInterval AvgInterval(
+    const std::vector<std::vector<float>>& synth_probs,
+    const std::vector<double>& p_incomplete,
+    const std::vector<double>& code_means, double existing_sum,
+    size_t existing_count, double level) {
+  ConfidenceInterval ci;
+  const double n_synth = static_cast<double>(synth_probs.size());
+  const double total = static_cast<double>(existing_count) + n_synth;
+  if (total == 0.0 || code_means.empty()) return ci;
+
+  const double min_v =
+      *std::min_element(code_means.begin(), code_means.end());
+  const double max_v =
+      *std::max_element(code_means.begin(), code_means.end());
+
+  double expected = 0.0;
+  double upper = 0.0;
+  double lower = 0.0;
+  for (const auto& probs : synth_probs) {
+    const double c = PredictionCertainty(probs, p_incomplete);
+    double mean = 0.0;
+    for (size_t k = 0; k < probs.size() && k < code_means.size(); ++k) {
+      mean += static_cast<double>(probs[k]) * code_means[k];
+    }
+    expected += mean;
+    // P_upper concentrates `level` mass on the maximal code, the remainder
+    // on the model's expectation (and vice versa for P_lower).
+    const double up = level * max_v + (1.0 - level) * mean;
+    const double lo = level * min_v + (1.0 - level) * mean;
+    upper += c * mean + (1.0 - c) * up;
+    lower += c * mean + (1.0 - c) * lo;
+  }
+  ci.point = (existing_sum + expected) / total;
+  ci.upper = (existing_sum + upper) / total;
+  ci.lower = (existing_sum + lower) / total;
+  ci.theoretical_max = (existing_sum + n_synth * max_v) / total;
+  ci.theoretical_min = (existing_sum + n_synth * min_v) / total;
+  if (ci.lower > ci.upper) std::swap(ci.lower, ci.upper);
+  return ci;
+}
+
+}  // namespace restore

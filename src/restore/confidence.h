@@ -1,0 +1,54 @@
+#ifndef RESTORE_RESTORE_CONFIDENCE_H_
+#define RESTORE_RESTORE_CONFIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace restore {
+
+/// A confidence interval plus the point estimate of the completed database
+/// and the theoretical extremes (all / none of the missing tuples take the
+/// queried value).
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+  double theoretical_min = 0.0;
+  double theoretical_max = 0.0;
+};
+
+/// Per-tuple prediction certainty (Section 6):
+///   C = 1 - exp(-KL(P_model || P_incomplete)),
+/// i.e. 0 when the model merely reproduces the training marginal and -> 1
+/// when the evidence makes the prediction sharply different from it.
+double PredictionCertainty(const std::vector<float>& p_model,
+                           const std::vector<double>& p_incomplete);
+
+/// Confidence interval for a COUNT-fraction query: the fraction of tuples of
+/// a (completed) table whose categorical attribute equals the code
+/// `value_code`.
+///
+/// Inputs: per-synthesized-tuple predictive distributions `synth_probs`
+/// (from CompletionResult::recorded_probs), the training marginal
+/// `p_incomplete`, the number of existing tuples carrying / not carrying the
+/// value, and the confidence level (e.g. 0.95 -> P_upper puts 95% mass on
+/// the value, P_lower 5%).
+ConfidenceInterval CountFractionInterval(
+    const std::vector<std::vector<float>>& synth_probs,
+    const std::vector<double>& p_incomplete, size_t value_code,
+    size_t existing_with_value, size_t existing_total, double level = 0.95);
+
+/// Confidence interval for an AVG query over a numeric attribute whose codes
+/// have representative values `code_means` (ColumnDiscretizer::CodeMean).
+/// P_upper/P_lower concentrate `level` mass on the extreme high/low codes.
+ConfidenceInterval AvgInterval(
+    const std::vector<std::vector<float>>& synth_probs,
+    const std::vector<double>& p_incomplete,
+    const std::vector<double>& code_means, double existing_sum,
+    size_t existing_count, double level = 0.95);
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_CONFIDENCE_H_

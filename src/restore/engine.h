@@ -1,0 +1,113 @@
+#ifndef RESTORE_RESTORE_ENGINE_H_
+#define RESTORE_RESTORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/aggregate.h"
+#include "exec/query.h"
+#include "restore/annotation.h"
+#include "restore/cache.h"
+#include "restore/incompleteness_join.h"
+#include "restore/path_model.h"
+#include "restore/path_selection.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Engine-level configuration.
+struct EngineConfig {
+  PathModelConfig model;
+  SelectionStrategy selection = SelectionStrategy::kBestTestLoss;
+  /// Maximum completion-path length explored during candidate enumeration.
+  size_t max_path_len = 5;
+  /// Maximum candidate paths trained per incomplete table.
+  size_t max_candidates = 4;
+  /// Reuse completed joins across queries (Section 4.5).
+  bool enable_cache = true;
+  uint64_t seed = 1234;
+};
+
+/// The public facade of ReStore: owns the trained completion models for an
+/// annotated incomplete database and answers aggregate queries as if the
+/// database were complete.
+///
+/// Typical usage:
+///   CompletionEngine engine(&db, annotation, config);
+///   RETURN_IF_ERROR(engine.TrainModels());
+///   auto result = engine.ExecuteCompletedSql(
+///       "SELECT AVG(rent) FROM neighborhood NATURAL JOIN apartment "
+///       "GROUP BY state;");
+class CompletionEngine {
+ public:
+  /// `db` must outlive the engine.
+  CompletionEngine(const Database* db, SchemaAnnotation annotation,
+                   EngineConfig config);
+
+  /// Enumerates candidate completion paths per incomplete table and trains
+  /// one model per candidate (capped by config.max_candidates).
+  Status TrainModels();
+
+  /// Executes `query` over the completed database (incompleteness joins for
+  /// incomplete tables, normal execution otherwise).
+  Result<QueryResult> ExecuteCompleted(const Query& query);
+  Result<QueryResult> ExecuteCompletedSql(const std::string& sql);
+
+  /// Returns the completed version of one incomplete table: its existing
+  /// tuples plus the synthesized attribute columns (keys are not
+  /// synthesized). Used by the bias-reduction experiments.
+  Result<Table> CompleteTable(const std::string& target);
+
+  /// Completes via a specific (already trained or new) path — used by the
+  /// evaluation harness to score individual models.
+  Result<CompletionResult> CompleteViaPath(
+      const std::vector<std::string>& path,
+      const CompletionOptions& options = CompletionOptions());
+
+  /// Candidates for `target` (path -> model). TrainModels() enumerates the
+  /// paths; the models themselves are trained lazily on first access.
+  struct Candidate {
+    std::vector<std::string> path;
+    const PathModel* model = nullptr;
+  };
+  Result<std::vector<Candidate>> CandidatesFor(const std::string& target);
+
+  /// The path selected for `target` by the configured strategy.
+  Result<std::vector<std::string>> SelectedPathFor(const std::string& target);
+
+  /// Access to a trained model by its path (trains lazily if absent).
+  Result<const PathModel*> ModelForPath(const std::vector<std::string>& path);
+
+  const SchemaAnnotation& annotation() const { return annotation_; }
+  const EngineConfig& config() const { return config_; }
+  CompletionCache& cache() { return cache_; }
+
+  /// Total wall-clock seconds spent training models so far (Fig 11).
+  double total_train_seconds() const { return total_train_seconds_; }
+
+ private:
+  static std::string PathKey(const std::vector<std::string>& path);
+
+  /// Builds the completed join used to answer `query` and returns it
+  /// (qualified column names). Applies caching.
+  Result<Table> CompletedJoinFor(const std::vector<std::string>& tables);
+
+  const Database* db_;
+  SchemaAnnotation annotation_;
+  EngineConfig config_;
+  Rng rng_;
+  CompletionCache cache_;
+
+  std::map<std::string, std::unique_ptr<PathModel>> models_;  // by PathKey
+  std::map<std::string, std::vector<std::vector<std::string>>>
+      candidates_;  // target -> candidate paths
+  std::map<std::string, std::vector<std::string>> selected_;  // target -> path
+  double total_train_seconds_ = 0.0;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_ENGINE_H_

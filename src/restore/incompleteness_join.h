@@ -1,0 +1,72 @@
+#ifndef RESTORE_RESTORE_INCOMPLETENESS_JOIN_H_
+#define RESTORE_RESTORE_INCOMPLETENESS_JOIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "restore/annotation.h"
+#include "restore/path_model.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Optional hooks of a completion run.
+struct CompletionOptions {
+  /// If set, the predictive distribution of `record_table`.`record_column`
+  /// is recorded for every tuple synthesized for that table (confidence
+  /// intervals, Section 6).
+  std::string record_table;
+  std::string record_column;
+};
+
+/// Output of a completed path join.
+struct CompletionResult {
+  /// The approximated complete join of all path tables; columns are
+  /// qualified as "table.column".
+  Table joined;
+  /// Per incomplete table: the synthesized attribute columns (one Column per
+  /// modeled attribute of that table, unqualified names).
+  std::map<std::string, std::vector<Column>> synthesized;
+  /// Per incomplete table: the number of synthesized tuples.
+  std::map<std::string, size_t> synthesized_counts;
+  /// Number of existing (non-synthesized) rows in the final join.
+  size_t existing_join_rows = 0;
+  /// Number of synthesized rows in the final join.
+  size_t synthesized_join_rows = 0;
+  /// Recorded predictive distributions (one row per synthesized tuple of the
+  /// recorded table), when CompletionOptions requested recording.
+  std::vector<std::vector<float>> recorded_probs;
+};
+
+/// Executes the incompleteness join of Section 4 / Algorithm 1: walks the
+/// completion path of `model` from its (complete) root table, joining
+/// existing tuples normally and synthesizing the missing ones — predicting
+/// tuple factors on fan-out hops, generating one parent per orphaned row on
+/// n:1 hops, and applying Euclidean nearest-neighbor replacement whenever
+/// tuples were synthesized for a table annotated as complete.
+class IncompletenessJoinExecutor {
+ public:
+  IncompletenessJoinExecutor(const Database* db,
+                             const SchemaAnnotation* annotation)
+      : db_(db), annotation_(annotation) {}
+
+  /// Walks the full path of `model`, producing the completed join.
+  Result<CompletionResult> CompletePathJoin(
+      const PathModel& model, Rng& rng,
+      const CompletionOptions& options = CompletionOptions());
+
+ private:
+  /// Synthesizes the non-attribute columns of the target-table part of a
+  /// synthesized row block (keys, tuple factors), returning all target
+  /// columns qualified and ordered like the base table.
+  const Database* db_;
+  const SchemaAnnotation* annotation_;
+  int64_t next_synthetic_id_ = -1;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_INCOMPLETENESS_JOIN_H_

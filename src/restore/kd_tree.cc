@@ -1,0 +1,118 @@
+#include "restore/kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace restore {
+
+KdTree::KdTree(std::vector<float> points, size_t num_points, size_t dim,
+               size_t leaf_size)
+    : points_(std::move(points)),
+      num_points_(num_points),
+      dim_(dim),
+      leaf_size_(std::max<size_t>(1, leaf_size)) {
+  assert(points_.size() == num_points_ * dim_);
+  order_.resize(num_points_);
+  for (size_t i = 0; i < num_points_; ++i) order_[i] = i;
+  if (num_points_ > 0) {
+    nodes_.reserve(2 * num_points_ / leaf_size_ + 2);
+    root_ = BuildRecursive(0, num_points_, 0);
+  }
+}
+
+int KdTree::BuildRecursive(size_t begin, size_t end, size_t depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= leaf_size_) {
+    nodes_[node_id].begin = begin;
+    nodes_[node_id].end = end;
+    return node_id;
+  }
+  // Pick the dimension with the largest spread for a balanced split.
+  size_t split_dim = depth % dim_;
+  float best_spread = -1.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (size_t i = begin; i < end; ++i) {
+      const float v = points_[order_[i] * dim_ + d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      split_dim = d;
+    }
+  }
+  const size_t mid = (begin + end) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](size_t a, size_t b) {
+                     return points_[a * dim_ + split_dim] <
+                            points_[b * dim_ + split_dim];
+                   });
+  const float split_value = points_[order_[mid] * dim_ + split_dim];
+  // Degenerate split (all values equal): make a leaf.
+  if (best_spread <= 0.0f) {
+    nodes_[node_id].begin = begin;
+    nodes_[node_id].end = end;
+    return node_id;
+  }
+  const int left = BuildRecursive(begin, mid, depth + 1);
+  const int right = BuildRecursive(mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  nodes_[node_id].split_dim = split_dim;
+  nodes_[node_id].split_value = split_value;
+  return node_id;
+}
+
+float KdTree::Distance2(size_t point, const float* query) const {
+  const float* p = points_.data() + point * dim_;
+  float acc = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    const float diff = p[d] - query[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void KdTree::Search(int node_id, const float* query, size_t* best,
+                    float* best_dist, size_t* leaves_left) const {
+  if (*leaves_left == 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.left < 0) {  // leaf
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const float d = Distance2(order_[i], query);
+      if (d < *best_dist) {
+        *best_dist = d;
+        *best = order_[i];
+      }
+    }
+    --*leaves_left;
+    return;
+  }
+  const float diff = query[node.split_dim] - node.split_value;
+  const int near = diff < 0.0f ? node.left : node.right;
+  const int far = diff < 0.0f ? node.right : node.left;
+  Search(near, query, best, best_dist, leaves_left);
+  if (diff * diff < *best_dist) {
+    Search(far, query, best, best_dist, leaves_left);
+  }
+}
+
+size_t KdTree::NearestNeighbor(const float* query) const {
+  return ApproxNearestNeighbor(query, std::numeric_limits<size_t>::max());
+}
+
+size_t KdTree::ApproxNearestNeighbor(const float* query,
+                                     size_t max_leaves) const {
+  assert(num_points_ > 0);
+  size_t best = order_[0];
+  float best_dist = std::numeric_limits<float>::max();
+  size_t leaves_left = std::max<size_t>(1, max_leaves);
+  Search(root_, query, &best, &best_dist, &leaves_left);
+  return best;
+}
+
+}  // namespace restore

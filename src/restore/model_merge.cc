@@ -1,0 +1,118 @@
+#include "restore/model_merge.h"
+
+#include <map>
+
+namespace restore {
+
+namespace {
+
+/// Working representation of a group of mergeable tasks.
+struct Group {
+  std::set<std::string> tables;
+  // Constraint arcs evidence -> target, accumulated over all tasks.
+  std::set<std::pair<std::string, std::string>> arcs;
+  std::vector<CompletionTask> tasks;
+};
+
+/// Kahn's algorithm; returns true and fills `out` if the arc set over
+/// `tables` is acyclic.
+bool TopologicalSort(const std::set<std::string>& tables,
+                     const std::set<std::pair<std::string, std::string>>& arcs,
+                     std::vector<std::string>* out) {
+  std::map<std::string, int> in_degree;
+  for (const auto& t : tables) in_degree[t] = 0;
+  for (const auto& [from, to] : arcs) {
+    (void)from;
+    ++in_degree[to];
+  }
+  out->clear();
+  std::set<std::string> ready;
+  for (const auto& [t, deg] : in_degree) {
+    if (deg == 0) ready.insert(t);
+  }
+  while (!ready.empty()) {
+    // Deterministic order: smallest name first.
+    const std::string t = *ready.begin();
+    ready.erase(ready.begin());
+    out->push_back(t);
+    for (const auto& [from, to] : arcs) {
+      if (from != t) continue;
+      if (--in_degree[to] == 0) ready.insert(to);
+    }
+  }
+  return out->size() == tables.size();
+}
+
+Group MakeGroup(const CompletionTask& task) {
+  Group g;
+  g.tasks.push_back(task);
+  for (const auto& e : task.evidence) {
+    g.tables.insert(e);
+    g.arcs.emplace(e, task.target);
+  }
+  g.tables.insert(task.target);
+  return g;
+}
+
+bool IsSubset(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const auto& x : a) {
+    if (b.count(x) == 0) return false;
+  }
+  return true;
+}
+
+/// Attempts to merge b into a (modifying a); returns false if impossible.
+bool TryMerge(Group* a, const Group& b) {
+  if (!IsSubset(a->tables, b.tables) && !IsSubset(b.tables, a->tables)) {
+    return false;
+  }
+  Group merged = *a;
+  for (const auto& t : b.tables) merged.tables.insert(t);
+  for (const auto& arc : b.arcs) merged.arcs.insert(arc);
+  std::vector<std::string> order;
+  if (!TopologicalSort(merged.tables, merged.arcs, &order)) return false;
+  merged.tasks.insert(merged.tasks.end(), b.tasks.begin(), b.tasks.end());
+  *a = std::move(merged);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<MergedModel>> MergeCompletionTasks(
+    const std::vector<CompletionTask>& tasks) {
+  for (const auto& task : tasks) {
+    if (task.evidence.empty()) {
+      return Status::InvalidArgument("completion task without evidence");
+    }
+  }
+  std::vector<Group> groups;
+  for (const auto& task : tasks) groups.push_back(MakeGroup(task));
+
+  // Merge until no more non-conflicting merges are available.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < groups.size() && !progress; ++i) {
+      for (size_t j = i + 1; j < groups.size(); ++j) {
+        if (TryMerge(&groups[i], groups[j])) {
+          groups.erase(groups.begin() + static_cast<long>(j));
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<MergedModel> out;
+  for (auto& g : groups) {
+    MergedModel m;
+    if (!TopologicalSort(g.tables, g.arcs, &m.ordering)) {
+      return Status::Internal("merged group unexpectedly cyclic");
+    }
+    m.tasks = std::move(g.tasks);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace restore

@@ -1,0 +1,37 @@
+#ifndef RESTORE_RESTORE_MODEL_MERGE_H_
+#define RESTORE_RESTORE_MODEL_MERGE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace restore {
+
+/// One requested completion: synthesize `target` using the ordered evidence
+/// tables `evidence` (Section 3.4).
+struct CompletionTask {
+  std::vector<std::string> evidence;
+  std::string target;
+};
+
+/// A group of completion tasks served by one merged model. `ordering` is a
+/// consistent variable (table) ordering: for every task, all its evidence
+/// tables precede its target.
+struct MergedModel {
+  std::vector<std::string> ordering;
+  std::vector<CompletionTask> tasks;
+};
+
+/// Greedily merges completion tasks into as few models as possible, following
+/// Section 3.4: two groups merge only if (a) one group's table set is a
+/// subset of the other's, and (b) the union of their evidence->target arcs is
+/// acyclic (so a topological table ordering exists). Returns one MergedModel
+/// per group, with `ordering` the topological sort of its constraint graph.
+Result<std::vector<MergedModel>> MergeCompletionTasks(
+    const std::vector<CompletionTask>& tasks);
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_MODEL_MERGE_H_

@@ -1,0 +1,758 @@
+#include "restore/path_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/join.h"
+#include "nn/adam.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+
+namespace {
+
+constexpr const char kTfFillPrefix[] = "__tffill_";
+constexpr const char kTfObsPrefix[] = "__tfobs_";
+
+/// Collects all key columns (FK endpoints) of `table`.
+std::set<std::string> KeyColumns(const Database& db,
+                                 const std::string& table) {
+  std::set<std::string> keys;
+  for (const auto& fk : db.foreign_keys()) {
+    if (fk.child_table == table) keys.insert(fk.child_column);
+    if (fk.parent_table == table) keys.insert(fk.parent_column);
+  }
+  return keys;
+}
+
+/// Primary-key column of `table`: the column other tables reference, if any.
+Result<std::string> PrimaryKeyColumn(const Database& db,
+                                     const std::string& table) {
+  for (const auto& fk : db.foreign_keys()) {
+    if (fk.parent_table == table) return fk.parent_column;
+  }
+  return Status::NotFound(
+      StrFormat("table '%s' has no referencing foreign key", table.c_str()));
+}
+
+/// Builds a TF discretizer with one code per count in [0, tf_cap].
+Result<ColumnDiscretizer> MakeTfDiscretizer(int tf_cap) {
+  Column tmp("tf", ColumnType::kInt64);
+  for (int v = 0; v <= tf_cap; ++v) tmp.AppendInt64(v);
+  return ColumnDiscretizer::Fit(tmp, tf_cap + 1);
+}
+
+int64_t ClampTf(int64_t v, int tf_cap) {
+  return std::max<int64_t>(0, std::min<int64_t>(v, tf_cap));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathModel>> PathModel::Train(
+    const Database& db, const SchemaAnnotation& annotation,
+    const std::vector<std::string>& path, const PathModelConfig& config) {
+  if (path.size() < 2) {
+    return Status::InvalidArgument("completion path needs >= 2 tables");
+  }
+  std::unique_ptr<PathModel> model(new PathModel());
+  model->path_ = path;
+  model->config_ = config;
+  model->annotation_ = annotation;
+  model->rng_.Seed(config.seed);
+  RESTORE_RETURN_IF_ERROR(model->BuildLayout(db, annotation));
+  if (config.use_ssar) {
+    RESTORE_RETURN_IF_ERROR(model->SetupSsar(db));
+  }
+  RESTORE_RETURN_IF_ERROR(model->BuildTrainingData(db));
+  RESTORE_RETURN_IF_ERROR(model->RunTraining());
+  return model;
+}
+
+Status PathModel::BuildLayout(const Database& db,
+                              const SchemaAnnotation& annotation) {
+  (void)annotation;
+  const size_t n = path_.size();
+  table_attr_begin_.assign(n, 0);
+  table_attr_end_.assign(n, 0);
+  tf_attr_of_hop_.assign(n > 0 ? n - 1 : 0, -1);
+  hop_is_fanout_.assign(n > 0 ? n - 1 : 0, false);
+  for (size_t k = 0; k + 1 < n; ++k) {
+    RESTORE_ASSIGN_OR_RETURN(bool fanout, db.IsFanOut(path_[k], path_[k + 1]));
+    hop_is_fanout_[k] = fanout;
+  }
+
+  for (size_t k = 0; k < n; ++k) {
+    const std::string& tname = path_[k];
+    RESTORE_ASSIGN_OR_RETURN(const Table* table, db.GetTable(tname));
+    const std::set<std::string> keys = KeyColumns(db, tname);
+    table_attr_begin_[k] = attrs_.size();
+    for (const auto& col : table->columns()) {
+      if (keys.count(col.name()) > 0) continue;
+      if (IsTupleFactorColumn(col.name())) continue;
+      if (StartsWith(col.name(), kTfFillPrefix) ||
+          StartsWith(col.name(), kTfObsPrefix)) {
+        continue;
+      }
+      PathAttr attr;
+      attr.table = tname;
+      attr.column = col.name();
+      attr.qualified = tname + "." + col.name();
+      attr.is_tuple_factor = false;
+      RESTORE_ASSIGN_OR_RETURN(attr.disc,
+                               ColumnDiscretizer::Fit(col, config_.max_bins));
+      attrs_.push_back(std::move(attr));
+    }
+    table_attr_end_[k] = attrs_.size();
+    // Tuple-factor attribute of the hop k -> k+1 (fan-out hops only).
+    if (k + 1 < n && hop_is_fanout_[k]) {
+      PathAttr attr;
+      attr.table = tname;
+      attr.column = TupleFactorColumnName(path_[k + 1]);
+      attr.qualified = tname + "." + attr.column;
+      attr.is_tuple_factor = true;
+      RESTORE_ASSIGN_OR_RETURN(attr.disc, MakeTfDiscretizer(config_.tf_cap));
+      tf_attr_of_hop_[k] = static_cast<int>(attrs_.size());
+      attrs_.push_back(std::move(attr));
+    }
+  }
+  if (attrs_.empty()) {
+    return Status::InvalidArgument(
+        "completion path has no non-key attributes to model");
+  }
+  return Status::OK();
+}
+
+Status PathModel::SetupSsar(const Database& db) {
+  // Find the last fan-out hop: its parent table is the deep-sets root.
+  int root_hop = -1;
+  for (size_t k = 0; k + 1 < path_.size(); ++k) {
+    if (hop_is_fanout_[k]) root_hop = static_cast<int>(k);
+  }
+  if (root_hop < 0) {
+    ssar_enabled_ = false;  // no fan-out evidence available: plain AR
+    return Status::OK();
+  }
+  ssar_root_table_ = path_[static_cast<size_t>(root_hop)];
+  RESTORE_ASSIGN_OR_RETURN(ssar_root_key_,
+                           PrimaryKeyColumn(db, ssar_root_table_));
+
+  // Child tables: fan-out children of the root. The on-path child comes
+  // first (self-evidence towards the table being completed).
+  const std::string on_path_child = path_[static_cast<size_t>(root_hop) + 1];
+  std::vector<std::string> candidates{on_path_child};
+  for (const auto& fk : db.foreign_keys()) {
+    if (fk.parent_table == ssar_root_table_ &&
+        fk.child_table != on_path_child) {
+      candidates.push_back(fk.child_table);
+    }
+  }
+
+  for (const auto& child : candidates) {
+    if (ssar_child_tables_.size() >= 2) break;
+    RESTORE_ASSIGN_OR_RETURN(const Table* ctable, db.GetTable(child));
+    const std::set<std::string> keys = KeyColumns(db, child);
+    RowEncoder encoder;
+    for (const auto& col : ctable->columns()) {
+      if (keys.count(col.name()) > 0) continue;
+      if (IsTupleFactorColumn(col.name())) continue;
+      RESTORE_ASSIGN_OR_RETURN(ColumnDiscretizer disc,
+                               ColumnDiscretizer::Fit(col, config_.max_bins));
+      encoder.Add(col.name(), std::move(disc));
+    }
+    if (encoder.num_attrs() == 0) continue;  // e.g. pure link tables
+
+    // Encode all available child rows and index them by the root key.
+    RESTORE_ASSIGN_OR_RETURN(ForeignKey fk,
+                             db.FindForeignKey(child, ssar_root_table_));
+    RESTORE_ASSIGN_OR_RETURN(const Column* fk_col,
+                             ctable->GetColumn(fk.child_column));
+    IntMatrix codes(ctable->NumRows(), encoder.num_attrs());
+    for (size_t a = 0; a < encoder.num_attrs(); ++a) {
+      RESTORE_ASSIGN_OR_RETURN(const Column* col,
+                               ctable->GetColumn(encoder.name(a)));
+      for (size_t r = 0; r < ctable->NumRows(); ++r) {
+        const int32_t code = encoder.discretizer(a).EncodeCell(*col, r);
+        codes.at(r, a) = std::max<int32_t>(0, code);
+      }
+    }
+    std::map<int64_t, std::vector<size_t>> index;
+    for (size_t r = 0; r < ctable->NumRows(); ++r) {
+      const int64_t key = fk_col->GetInt64(r);
+      if (key == kNullInt64) continue;
+      index[key].push_back(r);
+    }
+    // Child primary keys (for leave-one-out exclusion); row index fallback.
+    std::vector<int64_t> pks(ctable->NumRows());
+    auto pk_name = PrimaryKeyColumn(db, child);
+    if (pk_name.ok() && ctable->HasColumn(pk_name.value())) {
+      RESTORE_ASSIGN_OR_RETURN(const Column* pk_col,
+                               ctable->GetColumn(pk_name.value()));
+      for (size_t r = 0; r < ctable->NumRows(); ++r) {
+        pks[r] = pk_col->GetInt64(r);
+      }
+    } else {
+      for (size_t r = 0; r < ctable->NumRows(); ++r) {
+        pks[r] = static_cast<int64_t>(r);
+      }
+    }
+
+    ssar_child_tables_.push_back(child);
+    ssar_child_encoders_.push_back(std::move(encoder));
+    child_codes_.push_back(std::move(codes));
+    children_of_key_.push_back(std::move(index));
+    child_pks_.push_back(std::move(pks));
+  }
+  ssar_enabled_ = !ssar_child_tables_.empty();
+  return Status::OK();
+}
+
+Status PathModel::BuildTrainingData(const Database& db) {
+  // Scratch copy where fan-out parents carry __tffill / __tfobs columns.
+  Database scratch = db.Clone();
+  tf_keep_ratio_.assign(path_.size() > 0 ? path_.size() - 1 : 0, 1.0);
+  for (size_t k = 0; k + 1 < path_.size(); ++k) {
+    if (!hop_is_fanout_[k]) continue;
+    const std::string& parent = path_[k];
+    const std::string& child = path_[k + 1];
+    RESTORE_ASSIGN_OR_RETURN(std::vector<int64_t> current,
+                             CountChildMatches(db, db.FindForeignKey(parent, child).value()));
+    RESTORE_ASSIGN_OR_RETURN(Table * ptable, scratch.GetMutableTable(parent));
+    const std::string tf_name = TupleFactorColumnName(child);
+    Column fill(kTfFillPrefix + child, ColumnType::kInt64);
+    Column obs(kTfObsPrefix + child, ColumnType::kInt64);
+    const bool has_tf = ptable->HasColumn(tf_name);
+    const Column* tf_col = nullptr;
+    if (has_tf) {
+      RESTORE_ASSIGN_OR_RETURN(tf_col, ptable->GetColumn(tf_name));
+    }
+    double observed_tf_sum = 0.0;
+    double observed_have_sum = 0.0;
+    for (size_t r = 0; r < ptable->NumRows(); ++r) {
+      if (has_tf && !tf_col->IsNull(r)) {
+        fill.AppendInt64(ClampTf(tf_col->GetInt64(r), config_.tf_cap));
+        obs.AppendInt64(1);
+        observed_tf_sum += static_cast<double>(tf_col->GetInt64(r));
+        observed_have_sum += static_cast<double>(current[r]);
+      } else if (!has_tf) {
+        // No TF annotation at all: treat the available count as the truth
+        // (complete-relationship default).
+        fill.AppendInt64(ClampTf(current[r], config_.tf_cap));
+        obs.AppendInt64(1);
+      } else {
+        fill.AppendInt64(ClampTf(current[r], config_.tf_cap));
+        obs.AppendInt64(0);
+      }
+    }
+    RESTORE_RETURN_IF_ERROR(ptable->AddColumn(std::move(fill)));
+    RESTORE_RETURN_IF_ERROR(ptable->AddColumn(std::move(obs)));
+    if (observed_tf_sum > 0.0) {
+      tf_keep_ratio_[k] =
+          std::clamp(observed_have_sum / observed_tf_sum, 0.01, 1.0);
+    }
+  }
+
+  RESTORE_ASSIGN_OR_RETURN(Table joined, NaturalJoinTables(scratch, path_));
+  if (joined.NumRows() == 0) {
+    return Status::FailedPrecondition(
+        "no training data: the join of the completion path is empty");
+  }
+
+  // Subsample and shuffle rows.
+  std::vector<size_t> rows(joined.NumRows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  rng_.Shuffle(rows);
+  if (rows.size() > config_.max_train_rows) {
+    rows.resize(config_.max_train_rows);
+  }
+
+  // Resolve the source column of every attribute once. For tuple-factor
+  // attributes, additionally compute the join multiplicity of each parent
+  // row: the training join repeats a parent once per available child, which
+  // would size-bias the learned tuple-factor distribution unless each
+  // parent's loss contribution is down-weighted by 1/multiplicity.
+  std::vector<const Column*> attr_cols(attrs_.size(), nullptr);
+  std::vector<const Column*> obs_cols(attrs_.size(), nullptr);
+  std::vector<const Column*> tf_key_cols(attrs_.size(), nullptr);
+  std::vector<std::unordered_map<int64_t, float>> tf_inv_mult(attrs_.size());
+  for (size_t a = 0; a < attrs_.size(); ++a) {
+    if (attrs_[a].is_tuple_factor) {
+      const std::string child =
+          attrs_[a].column.substr(std::string("__tf_").size());
+      RESTORE_ASSIGN_OR_RETURN(
+          size_t ci,
+          ResolveColumn(joined, attrs_[a].table + "." + kTfFillPrefix + child));
+      attr_cols[a] = &joined.column(ci);
+      RESTORE_ASSIGN_OR_RETURN(
+          size_t oi,
+          ResolveColumn(joined, attrs_[a].table + "." + kTfObsPrefix + child));
+      obs_cols[a] = &joined.column(oi);
+      RESTORE_ASSIGN_OR_RETURN(ForeignKey fk,
+                               db.FindForeignKey(attrs_[a].table, child));
+      RESTORE_ASSIGN_OR_RETURN(
+          size_t ki,
+          ResolveColumn(joined, attrs_[a].table + "." + fk.parent_column));
+      tf_key_cols[a] = &joined.column(ki);
+      std::unordered_map<int64_t, float> counts;
+      for (size_t r = 0; r < joined.NumRows(); ++r) {
+        counts[tf_key_cols[a]->GetInt64(r)] += 1.0f;
+      }
+      for (auto& [key, count] : counts) {
+        (void)key;
+        count = 1.0f / count;
+      }
+      tf_inv_mult[a] = std::move(counts);
+    } else {
+      RESTORE_ASSIGN_OR_RETURN(size_t ci,
+                               ResolveColumn(joined, attrs_[a].qualified));
+      attr_cols[a] = &joined.column(ci);
+    }
+  }
+
+  IntMatrix codes(rows.size(), attrs_.size());
+  Matrix weights(rows.size(), attrs_.size(), 1.0f);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      const int32_t code = attrs_[a].disc.EncodeCell(*attr_cols[a], r);
+      if (code < 0) {
+        codes.at(i, a) = 0;
+        weights.at(i, a) = 0.0f;
+      } else {
+        codes.at(i, a) = code;
+        if (obs_cols[a] != nullptr && obs_cols[a]->GetInt64(r) == 0) {
+          weights.at(i, a) = 0.0f;
+        } else if (tf_key_cols[a] != nullptr) {
+          weights.at(i, a) =
+              tf_inv_mult[a].at(tf_key_cols[a]->GetInt64(r));
+        }
+      }
+    }
+  }
+
+  // SSAR bookkeeping: evidence keys + leave-one-out exclusion pks.
+  std::vector<int64_t> evidence_keys;
+  std::vector<int64_t> exclude_pks;
+  if (ssar_enabled_) {
+    RESTORE_ASSIGN_OR_RETURN(
+        size_t ki,
+        ResolveColumn(joined, ssar_root_table_ + "." + ssar_root_key_));
+    const Column& key_col = joined.column(ki);
+    evidence_keys.resize(rows.size());
+    exclude_pks.assign(rows.size(), kNullInt64);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      evidence_keys[i] = key_col.GetInt64(rows[i]);
+    }
+    // Self-evidence: exclude the row being predicted from its own set.
+    const std::string& self_child = ssar_child_tables_[0];
+    auto self_pk_name = PrimaryKeyColumn(db, self_child);
+    if (self_pk_name.ok()) {
+      auto pk_idx =
+          ResolveColumn(joined, self_child + "." + self_pk_name.value());
+      if (pk_idx.ok()) {
+        const Column& pk_col = joined.column(pk_idx.value());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          exclude_pks[i] = pk_col.GetInt64(rows[i]);
+        }
+      }
+    }
+  }
+
+  // Train/test split.
+  const size_t test_n = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(rows.size()) *
+                             config_.test_fraction));
+  const size_t train_n = rows.size() > test_n ? rows.size() - test_n : 1;
+  std::vector<size_t> train_idx;
+  std::vector<size_t> test_idx;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (i < train_n ? train_idx : test_idx).push_back(i);
+  }
+  auto take = [&](const std::vector<size_t>& idx, IntMatrix* c, Matrix* w,
+                  std::vector<int64_t>* keys, std::vector<int64_t>* excl) {
+    *c = codes.GatherRows(idx);
+    w->Resize(idx.size(), attrs_.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      for (size_t a = 0; a < attrs_.size(); ++a) {
+        w->at(i, a) = weights.at(idx[i], a);
+      }
+    }
+    if (ssar_enabled_) {
+      keys->resize(idx.size());
+      excl->resize(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        (*keys)[i] = evidence_keys[idx[i]];
+        (*excl)[i] = exclude_pks[idx[i]];
+      }
+    }
+  };
+  take(train_idx, &train_codes_, &train_weights_, &train_evidence_keys_,
+       &train_exclude_pk_);
+  take(test_idx, &test_codes_, &test_weights_, &test_evidence_keys_,
+       &test_exclude_pk_);
+
+  // Marginal code distributions of the training data (P_incomplete of
+  // Section 6), with add-one smoothing.
+  train_marginals_.assign(attrs_.size(), {});
+  for (size_t a = 0; a < attrs_.size(); ++a) {
+    std::vector<double> counts(attrs_[a].disc.vocab_size(), 1.0);
+    double total = static_cast<double>(counts.size());
+    for (size_t i = 0; i < train_codes_.rows(); ++i) {
+      if (train_weights_.at(i, a) > 0.0f) {
+        counts[static_cast<size_t>(train_codes_.at(i, a))] += 1.0;
+        total += 1.0;
+      }
+    }
+    for (double& c : counts) c /= total;
+    train_marginals_[a] = std::move(counts);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ChildBatch>> PathModel::BuildChildBatches(
+    const std::vector<int64_t>& evidence_keys,
+    const std::vector<int64_t>* exclude_child_pk) const {
+  std::vector<ChildBatch> out(ssar_child_tables_.size());
+  for (size_t t = 0; t < ssar_child_tables_.size(); ++t) {
+    ChildBatch& cb = out[t];
+    cb.offsets.assign(evidence_keys.size() + 1, 0);
+    std::vector<size_t> picked;
+    for (size_t i = 0; i < evidence_keys.size(); ++i) {
+      auto it = children_of_key_[t].find(evidence_keys[i]);
+      size_t count = 0;
+      if (it != children_of_key_[t].end()) {
+        for (size_t child_row : it->second) {
+          if (count >= config_.max_children) break;
+          if (t == 0 && exclude_child_pk != nullptr &&
+              (*exclude_child_pk)[i] != kNullInt64 &&
+              child_pks_[t][child_row] == (*exclude_child_pk)[i]) {
+            continue;
+          }
+          picked.push_back(child_row);
+          ++count;
+        }
+      }
+      cb.offsets[i + 1] = cb.offsets[i] + count;
+    }
+    cb.codes = child_codes_[t].GatherRows(picked);
+    if (picked.empty()) {
+      // Keep the attr width correct for the encoder even when empty.
+      cb.codes = IntMatrix(0, child_codes_[t].cols());
+    }
+  }
+  return out;
+}
+
+Status PathModel::RunTraining() {
+  Timer timer;
+  MadeConfig made_config;
+  made_config.vocab_sizes.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    made_config.vocab_sizes.push_back(a.disc.vocab_size());
+  }
+  made_config.embed_dim = config_.embed_dim;
+  made_config.hidden_dim = config_.hidden_dim;
+  made_config.num_layers = config_.num_layers;
+  made_config.context_dim = ssar_enabled_ ? config_.context_dim : 0;
+  made_ = std::make_unique<MadeModel>(made_config, rng_);
+
+  if (ssar_enabled_) {
+    std::vector<DeepSetsEncoder::TableSpec> specs;
+    for (const auto& enc : ssar_child_encoders_) {
+      specs.push_back({enc.VocabSizes()});
+    }
+    deep_sets_ = std::make_unique<DeepSetsEncoder>(
+        specs, config_.embed_dim, config_.phi_dim, config_.context_dim, rng_);
+  }
+
+  std::vector<Param*> params;
+  made_->CollectParams(&params);
+  if (deep_sets_ != nullptr) deep_sets_->CollectParams(&params);
+  num_parameters_ = 0;
+  for (Param* p : params) num_parameters_ += p->value.size();
+  AdamOptions opts;
+  opts.learning_rate = config_.learning_rate;
+  AdamOptimizer adam(params, opts);
+
+  const size_t n = train_codes_.rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Ensure a minimum number of optimizer steps on small training joins.
+  const size_t steps_per_epoch =
+      (n + config_.batch_size - 1) / config_.batch_size;
+  const size_t epochs = std::max(
+      config_.epochs,
+      config_.epochs == 0
+          ? 0
+          : (config_.min_train_steps + steps_per_epoch - 1) /
+                std::max<size_t>(1, steps_per_epoch));
+
+  const Matrix empty_context;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(order);
+    for (size_t begin = 0; begin < n; begin += config_.batch_size) {
+      const size_t end = std::min(n, begin + config_.batch_size);
+      std::vector<size_t> batch(order.begin() + begin, order.begin() + end);
+      IntMatrix codes = train_codes_.GatherRows(batch);
+      Matrix weights(batch.size(), attrs_.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        for (size_t a = 0; a < attrs_.size(); ++a) {
+          weights.at(i, a) = train_weights_.at(batch[i], a);
+        }
+      }
+      Matrix context;
+      std::vector<ChildBatch> children;
+      if (ssar_enabled_) {
+        std::vector<int64_t> keys(batch.size());
+        std::vector<int64_t> excl(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          keys[i] = train_evidence_keys_[batch[i]];
+          excl[i] = train_exclude_pk_[batch[i]];
+        }
+        RESTORE_ASSIGN_OR_RETURN(children, BuildChildBatches(keys, &excl));
+        deep_sets_->Forward(children, &context);
+      }
+      Matrix logits;
+      made_->Forward(codes, ssar_enabled_ ? context : empty_context, &logits);
+      Matrix dlogits;
+      made_->NllLossWeighted(logits, codes, 0, weights, &dlogits);
+      Matrix dcontext;
+      made_->Backward(dlogits, ssar_enabled_ ? &dcontext : nullptr);
+      if (ssar_enabled_) deep_sets_->Backward(dcontext);
+      adam.Step();
+    }
+  }
+
+  // Held-out evaluation.
+  {
+    Matrix context;
+    if (ssar_enabled_) {
+      RESTORE_ASSIGN_OR_RETURN(
+          std::vector<ChildBatch> children,
+          BuildChildBatches(test_evidence_keys_, &test_exclude_pk_));
+      deep_sets_->Forward(children, &context);
+    }
+    Matrix logits;
+    made_->Forward(test_codes_, ssar_enabled_ ? context : empty_context,
+                   &logits);
+    test_loss_ =
+        made_->NllLossWeighted(logits, test_codes_, 0, test_weights_, nullptr);
+    // Target loss: final table's attributes plus the final hop's TF.
+    size_t first_target = table_attr_begin_[path_.size() - 1];
+    const int last_tf = tf_attr_of_hop_[path_.size() - 2];
+    if (last_tf >= 0) {
+      first_target = std::min(first_target, static_cast<size_t>(last_tf));
+    }
+    target_test_loss_ = made_->NllLossWeighted(logits, test_codes_,
+                                               first_target, test_weights_,
+                                               nullptr);
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<IntMatrix> PathModel::EncodeEvidencePrefix(
+    const Database& db, const Table& joined, size_t upto_table,
+    const std::vector<size_t>& rows) const {
+  IntMatrix codes(rows.size(), attrs_.size());
+  // Cache of current child counts per fan-out hop (for unobserved TFs).
+  std::unordered_map<size_t, std::unordered_map<int64_t, int64_t>> counts;
+
+  const size_t attr_end = table_attr_end_[upto_table];
+  for (size_t a = 0; a < attrs_.size(); ++a) {
+    const PathAttr& attr = attrs_[a];
+    // Include table blocks up to `upto_table` and TF attrs of hops strictly
+    // before it (TF of hop `upto_table` is sampled, not encoded).
+    bool in_prefix = false;
+    if (!attr.is_tuple_factor) {
+      in_prefix = a < attr_end;
+    } else {
+      for (size_t k = 0; k < upto_table; ++k) {
+        if (tf_attr_of_hop_[k] == static_cast<int>(a)) in_prefix = true;
+      }
+    }
+    if (!in_prefix) continue;
+
+    auto ci = ResolveColumn(joined, attr.qualified);
+    if (!attr.is_tuple_factor) {
+      if (!ci.ok()) return ci.status();
+      const Column& col = joined.column(ci.value());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const int32_t code = attr.disc.EncodeCell(col, rows[i]);
+        codes.at(i, a) = std::max<int32_t>(0, code);
+      }
+      continue;
+    }
+    // Tuple-factor attribute inside the prefix: observed value if present,
+    // else the currently available child count.
+    size_t hop = 0;
+    for (size_t k = 0; k < upto_table; ++k) {
+      if (tf_attr_of_hop_[k] == static_cast<int>(a)) hop = k;
+    }
+    const std::string& parent = path_[hop];
+    const std::string& child = path_[hop + 1];
+    if (counts.count(hop) == 0) {
+      RESTORE_ASSIGN_OR_RETURN(ForeignKey fk, db.FindForeignKey(parent, child));
+      RESTORE_ASSIGN_OR_RETURN(std::vector<int64_t> per_parent,
+                               CountChildMatches(db, fk));
+      RESTORE_ASSIGN_OR_RETURN(const Table* ptable, db.GetTable(parent));
+      RESTORE_ASSIGN_OR_RETURN(const Column* pk,
+                               ptable->GetColumn(fk.parent_column));
+      auto& map = counts[hop];
+      for (size_t r = 0; r < ptable->NumRows(); ++r) {
+        map[pk->GetInt64(r)] = per_parent[r];
+      }
+    }
+    RESTORE_ASSIGN_OR_RETURN(ForeignKey fk, db.FindForeignKey(parent, child));
+    RESTORE_ASSIGN_OR_RETURN(
+        size_t key_ci, ResolveColumn(joined, parent + "." + fk.parent_column));
+    const Column& key_col = joined.column(key_ci);
+    const bool has_obs = ci.ok();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int64_t tf = kNullInt64;
+      if (has_obs && !joined.column(ci.value()).IsNull(rows[i])) {
+        tf = joined.column(ci.value()).GetInt64(rows[i]);
+      } else {
+        auto it = counts[hop].find(key_col.GetInt64(rows[i]));
+        tf = it == counts[hop].end() ? 0 : it->second;
+      }
+      codes.at(i, a) = static_cast<int32_t>(ClampTf(tf, config_.tf_cap));
+    }
+  }
+  return codes;
+}
+
+Result<Matrix> PathModel::ComputeContext(
+    const Table& joined, const std::vector<size_t>& rows) const {
+  if (!ssar_enabled_) return Matrix();
+  RESTORE_ASSIGN_OR_RETURN(
+      size_t ki, ResolveColumn(joined, ssar_root_table_ + "." + ssar_root_key_));
+  const Column& key_col = joined.column(ki);
+  std::vector<int64_t> keys(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys[i] = key_col.GetInt64(rows[i]);
+  }
+  RESTORE_ASSIGN_OR_RETURN(std::vector<ChildBatch> children,
+                           BuildChildBatches(keys, nullptr));
+  Matrix context;
+  deep_sets_->Forward(children, &context);
+  return context;
+}
+
+Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
+    const Database& db, const Table& joined, IntMatrix* codes,
+    const std::vector<size_t>& rows, size_t hop, Rng& rng,
+    const std::vector<int64_t>* available_counts) const {
+  const int tf_attr = tf_attr_of_hop_[hop];
+  if (tf_attr < 0) {
+    return Status::InvalidArgument("hop is not a fan-out hop");
+  }
+  const PathAttr& attr = attrs_[static_cast<size_t>(tf_attr)];
+  // Observed TFs take precedence; only unobserved rows are predicted.
+  std::vector<int64_t> out(rows.size(), kNullInt64);
+  auto obs_ci = ResolveColumn(joined, attr.qualified);
+  std::vector<size_t> unobserved;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (obs_ci.ok() && !joined.column(obs_ci.value()).IsNull(rows[i])) {
+      out[i] = ClampTf(joined.column(obs_ci.value()).GetInt64(rows[i]),
+                       config_.tf_cap);
+      codes->at(i, static_cast<size_t>(tf_attr)) =
+          static_cast<int32_t>(out[i]);
+    } else {
+      unobserved.push_back(i);
+    }
+  }
+  if (!unobserved.empty()) {
+    RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
+    // Predict the CONDITIONAL EXPECTATION of the tuple factor rather than a
+    // sample: counts derived from independent samples would systematically
+    // overshoot E[max(0, TF - available)] (Jensen), inflating synthesis.
+    Matrix probs;
+    made_->PredictDistribution(*codes, context, static_cast<size_t>(tf_attr),
+                               &probs);
+    const double rho = tf_keep_ratio_[hop];
+    for (size_t i : unobserved) {
+      double expected = 0.0;
+      if (available_counts != nullptr && rho < 1.0) {
+        // Binomial missingness posterior over the model's distribution.
+        const double h = static_cast<double>(
+            std::min<int64_t>((*available_counts)[i], config_.tf_cap));
+        double norm = 0.0;
+        double weighted = 0.0;
+        for (size_t k = 0; k < probs.cols(); ++k) {
+          const double t = attr.disc.CodeMean(static_cast<int32_t>(k));
+          if (t < h) continue;
+          const double log_binom = std::lgamma(t + 1.0) -
+                                   std::lgamma(h + 1.0) -
+                                   std::lgamma(t - h + 1.0);
+          const double log_lik =
+              log_binom + h * std::log(rho) + (t - h) * std::log1p(-rho);
+          const double w =
+              static_cast<double>(probs.at(i, k)) * std::exp(log_lik);
+          norm += w;
+          weighted += w * t;
+        }
+        if (norm > 1e-30) expected = weighted / norm;
+      }
+      if (expected == 0.0) {
+        for (size_t k = 0; k < probs.cols(); ++k) {
+          expected += static_cast<double>(probs.at(i, k)) *
+                      attr.disc.CodeMean(static_cast<int32_t>(k));
+        }
+        if (available_counts != nullptr) {
+          expected = std::max(
+              expected, static_cast<double>((*available_counts)[i]));
+        }
+      }
+      const int64_t tf = ClampTf(std::llround(expected), config_.tf_cap);
+      out[i] = tf;
+      codes->at(i, static_cast<size_t>(tf_attr)) =
+          attr.disc.EncodeNumeric(static_cast<double>(tf));
+    }
+  }
+  (void)db;
+  (void)rng;
+  return out;
+}
+
+Result<std::vector<Column>> PathModel::SynthesizeHop(
+    const Database& db, const Table& joined, IntMatrix* codes,
+    const std::vector<size_t>& rows, size_t hop, Rng& rng, int record_attr,
+    Matrix* recorded) const {
+  const size_t target_idx = hop + 1;
+  const size_t first = table_attr_begin_[target_idx];
+  const size_t end = table_attr_end_[target_idx];
+  RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
+  made_->SampleRange(codes, context, first, end, rng, record_attr, recorded);
+
+  RESTORE_ASSIGN_OR_RETURN(const Table* target,
+                           db.GetTable(path_[target_idx]));
+  std::vector<Column> out;
+  for (size_t a = first; a < end; ++a) {
+    RESTORE_ASSIGN_OR_RETURN(const Column* base,
+                             target->GetColumn(attrs_[a].column));
+    Column col = base->CloneEmpty();
+    col.Reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      attrs_[a].disc.DecodeInto(codes->at(i, a), &col, rng);
+    }
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+Result<Matrix> PathModel::PredictAttrDistribution(
+    const Database& db, const Table& joined, const IntMatrix& codes,
+    const std::vector<size_t>& rows, size_t attr) const {
+  (void)db;
+  RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
+  Matrix probs;
+  made_->PredictDistribution(codes, context, attr, &probs);
+  return probs;
+}
+
+}  // namespace restore

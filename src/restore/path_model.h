@@ -1,0 +1,238 @@
+#ifndef RESTORE_RESTORE_PATH_MODEL_H_
+#define RESTORE_RESTORE_PATH_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/deep_sets.h"
+#include "nn/made.h"
+#include "restore/annotation.h"
+#include "restore/discretizer.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Hyperparameters of a completion model (AR or SSAR) over one completion
+/// path.
+struct PathModelConfig {
+  // Encoding.
+  int max_bins = 24;  // numeric-column bin count
+  int tf_cap = 31;    // tuple factors clamped to [0, tf_cap]
+
+  // MADE architecture.
+  size_t embed_dim = 8;
+  size_t hidden_dim = 48;
+  size_t num_layers = 2;
+
+  // SSAR: deep-sets tree embedding of fan-out / self evidence (Section 3.3).
+  bool use_ssar = false;
+  size_t phi_dim = 32;
+  size_t context_dim = 24;
+  size_t max_children = 16;  // children per evidence tuple fed to the encoder
+
+  // Training.
+  size_t epochs = 20;
+  size_t batch_size = 64;
+  float learning_rate = 3e-3f;
+  /// Lower bound on total optimizer steps: small training joins repeat
+  /// epochs until at least this many minibatch updates ran.
+  size_t min_train_steps = 400;
+  double test_fraction = 0.1;
+  size_t max_train_rows = 60000;
+  uint64_t seed = 17;
+};
+
+/// One attribute of the autoregressive ordering.
+struct PathAttr {
+  std::string table;      // owning base table
+  std::string column;     // unqualified column name
+  std::string qualified;  // "table.column" (name in joined training data)
+  bool is_tuple_factor = false;
+  ColumnDiscretizer disc;
+};
+
+/// A completion model over an ordered table path [T_1, ..., T_n]:
+/// a (SS)AR network trained on the join T_1 |><| ... |><| T_n of the
+/// available data, whose attribute ordering follows the path. Because the
+/// factorization is autoregressive per table block, one PathModel provides
+/// the conditional p(T_{k+1} | T_1..T_k) for EVERY hop k of the path — this
+/// is exactly the model-merging property of Section 3.4.
+///
+/// Tuple factors: for each fan-out hop T_k -> T_{k+1} the parent's observed
+/// tuple-factor column (TupleFactorColumnName) is inserted as an extra
+/// attribute after T_k's attributes; unobserved cells fall back to the
+/// currently-available child count as input and are masked out of the loss.
+class PathModel {
+ public:
+  /// Builds and trains a model for `path` (ordered: evidence first, the
+  /// table(s) to complete last) over the available data in `db`.
+  static Result<std::unique_ptr<PathModel>> Train(
+      const Database& db, const SchemaAnnotation& annotation,
+      const std::vector<std::string>& path, const PathModelConfig& config);
+
+  const std::vector<std::string>& path() const { return path_; }
+  const PathModelConfig& config() const { return config_; }
+  bool is_ssar() const { return config_.use_ssar && ssar_enabled_; }
+
+  /// Held-out NLL over all attributes (Fig 5b's "training loss" criterion).
+  double test_loss() const { return test_loss_; }
+  /// Held-out NLL restricted to the final table's attributes (+ its TF):
+  /// the predictability of what the model must synthesize. Used by the
+  /// Basic model-selection strategy (Section 5).
+  double target_test_loss() const { return target_test_loss_; }
+  /// Wall-clock training time (Fig 11).
+  double train_seconds() const { return train_seconds_; }
+  size_t num_parameters() const { return num_parameters_; }
+
+  // ---- Attribute layout ---------------------------------------------------
+  const std::vector<PathAttr>& attrs() const { return attrs_; }
+  /// [first, end) attribute range of table `path()[table_idx]` (excluding
+  /// its TF attribute).
+  size_t FirstAttrOfTable(size_t table_idx) const {
+    return table_attr_begin_[table_idx];
+  }
+  size_t EndAttrOfTable(size_t table_idx) const {
+    return table_attr_end_[table_idx];
+  }
+  /// Attribute index of the tuple factor of hop `hop` (path[hop] ->
+  /// path[hop+1]), or -1 if that hop is n:1.
+  int TfAttrIndex(size_t hop) const { return tf_attr_of_hop_[hop]; }
+  /// True if hop `hop` goes from a parent to a child table (1:n).
+  bool HopIsFanOut(size_t hop) const { return hop_is_fanout_[hop]; }
+  /// Attribute index of `table`.`column`, or -1 if not modeled.
+  int FindAttr(const std::string& table, const std::string& column) const {
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      if (attrs_[a].table == table && attrs_[a].column == column) {
+        return static_cast<int>(a);
+      }
+    }
+    return -1;
+  }
+
+  // ---- Completion-time inference -------------------------------------------
+  /// Encodes the attributes of tables path[0..upto_table] from the rows
+  /// `rows` of a joined table `joined` whose columns are qualified
+  /// ("table.column"). Attributes beyond the prefix are zero-filled.
+  /// Null cells (e.g. unobserved TF) encode to the available-count fallback
+  /// where possible, else 0.
+  Result<IntMatrix> EncodeEvidencePrefix(const Database& db,
+                                         const Table& joined,
+                                         size_t upto_table,
+                                         const std::vector<size_t>& rows) const;
+
+  /// Predicts the tuple factor of hop `hop` for the given evidence rows.
+  /// `codes` must contain the encoded prefix up to table `hop` (from
+  /// EncodeEvidencePrefix); the predicted TF codes are also written into it.
+  ///
+  /// If `available_counts` is provided (one entry per row: the number of
+  /// child tuples currently available for that evidence row), the model
+  /// posterior is refined with a binomial missingness model
+  ///   P(TF = t | have = h) ~ P_model(t) * C(t, h) rho^h (1-rho)^(t-h),
+  /// where rho is the child keep ratio estimated from parents whose true
+  /// tuple factor is observed. This couples the prediction to the observed
+  /// count and avoids systematic over-synthesis.
+  Result<std::vector<int64_t>> SampleTupleFactors(
+      const Database& db, const Table& joined, IntMatrix* codes,
+      const std::vector<size_t>& rows, size_t hop, Rng& rng,
+      const std::vector<int64_t>* available_counts = nullptr) const;
+
+  /// Estimated child keep ratio of hop `hop` (1.0 when unknown).
+  double TfKeepRatio(size_t hop) const { return tf_keep_ratio_[hop]; }
+
+  /// Synthesizes the attribute columns of table path[hop+1] for the given
+  /// (already encoded) evidence rows. Returns one column per attribute of
+  /// the target table, with unqualified names, `rows.size()` cells each.
+  /// If `record_attr` is a valid attr index of the target table, the
+  /// predictive distribution of that attribute is appended per row to
+  /// `recorded` (for confidence intervals).
+  Result<std::vector<Column>> SynthesizeHop(
+      const Database& db, const Table& joined, IntMatrix* codes,
+      const std::vector<size_t>& rows, size_t hop, Rng& rng,
+      int record_attr = -1, Matrix* recorded = nullptr) const;
+
+  /// Predictive distribution of a single attribute given the encoded prefix
+  /// (used by the confidence machinery and tests).
+  Result<Matrix> PredictAttrDistribution(const Database& db,
+                                         const Table& joined,
+                                         const IntMatrix& codes,
+                                         const std::vector<size_t>& rows,
+                                         size_t attr) const;
+
+  /// Marginal distribution of attribute `attr` in the training data
+  /// (the P_incomplete of Section 6).
+  const std::vector<double>& TrainMarginal(size_t attr) const {
+    return train_marginals_[attr];
+  }
+
+ private:
+  PathModel() = default;
+
+  Status BuildLayout(const Database& db, const SchemaAnnotation& annotation);
+  Status BuildTrainingData(const Database& db);
+  Status SetupSsar(const Database& db);
+  Status RunTraining();
+
+  /// Builds deep-sets child batches for evidence key values. During
+  /// training, `exclude_child_pk[i]` (if non-null) removes the child row with
+  /// that primary key from row i's set (leave-one-out for self-evidence).
+  Result<std::vector<ChildBatch>> BuildChildBatches(
+      const std::vector<int64_t>& evidence_keys,
+      const std::vector<int64_t>* exclude_child_pk) const;
+
+  /// Computes the SSAR context for completion-time evidence rows (or an
+  /// empty matrix for plain AR models).
+  Result<Matrix> ComputeContext(const Table& joined,
+                                const std::vector<size_t>& rows) const;
+
+  std::vector<std::string> path_;
+  PathModelConfig config_;
+  SchemaAnnotation annotation_;
+  mutable Rng rng_;
+
+  // Attribute layout.
+  std::vector<PathAttr> attrs_;
+  std::vector<size_t> table_attr_begin_;
+  std::vector<size_t> table_attr_end_;
+  std::vector<int> tf_attr_of_hop_;
+  std::vector<bool> hop_is_fanout_;
+  std::vector<double> tf_keep_ratio_;  // per hop; 1.0 = complete
+
+  // Training data.
+  IntMatrix train_codes_;
+  Matrix train_weights_;
+  IntMatrix test_codes_;
+  Matrix test_weights_;
+  std::vector<int64_t> train_evidence_keys_;  // SSAR root keys per row
+  std::vector<int64_t> test_evidence_keys_;
+  std::vector<int64_t> train_exclude_pk_;  // self-evidence leave-one-out
+  std::vector<int64_t> test_exclude_pk_;
+  std::vector<std::vector<double>> train_marginals_;
+
+  // SSAR wiring.
+  bool ssar_enabled_ = false;
+  std::string ssar_root_table_;      // evidence table owning the children
+  std::string ssar_root_key_;        // its primary-key column
+  std::vector<std::string> ssar_child_tables_;
+  std::vector<RowEncoder> ssar_child_encoders_;
+  // Per child table: encoded child rows + parent-key -> child row index map
+  // and child pk per row (for exclusion).
+  std::vector<IntMatrix> child_codes_;
+  std::vector<std::map<int64_t, std::vector<size_t>>> children_of_key_;
+  std::vector<std::vector<int64_t>> child_pks_;
+  std::unique_ptr<DeepSetsEncoder> deep_sets_;
+
+  std::unique_ptr<MadeModel> made_;
+  double test_loss_ = 0.0;
+  double target_test_loss_ = 0.0;
+  double train_seconds_ = 0.0;
+  size_t num_parameters_ = 0;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_PATH_MODEL_H_

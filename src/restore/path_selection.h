@@ -1,0 +1,63 @@
+#ifndef RESTORE_RESTORE_PATH_SELECTION_H_
+#define RESTORE_RESTORE_PATH_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "restore/annotation.h"
+#include "restore/path_model.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Strategies for picking a completion model / path (Section 5).
+enum class SelectionStrategy {
+  /// Take the first enumerated candidate path (mostly for tests).
+  kFirst,
+  /// Basic selection: the model whose held-out target loss is lowest —
+  /// unpredictable attributes yield a high test loss (Fig 5b).
+  kBestTestLoss,
+  /// Advanced selection: derive an additional incomplete scenario from the
+  /// incomplete dataset, reconstruct it with each candidate, and pick the
+  /// one that reconstructs the known data best.
+  kReconstruction,
+  /// Advanced selection + a user-provided suspected bias: prefer candidates
+  /// whose completion shifts the biased attribute in the indicated
+  /// direction.
+  kSuspectedBias,
+};
+
+/// Enumerates candidate completion paths for `target`: simple FK-graph paths
+/// [C, ..., target] of length in [2, max_len] whose root table C is complete.
+/// Intermediate tables may be incomplete (they are completed on the walk).
+std::vector<std::vector<std::string>> EnumerateCompletionPaths(
+    const Database& db, const SchemaAnnotation& annotation,
+    const std::string& target, size_t max_len = 5);
+
+/// Score assigned to one candidate by the selection procedure
+/// (lower is better).
+struct PathScore {
+  std::vector<std::string> path;
+  double score = 0.0;
+};
+
+/// Selects the best path among `candidates` (already-trained models) for
+/// completing `target`, following `strategy`. `models[i]` must be the model
+/// trained for `candidates[i]`.
+///
+/// For kReconstruction / kSuspectedBias, a derived scenario is built by
+/// removing `holdout_fraction` of the target's tuples from the incomplete
+/// database and measuring how well each candidate restores the table mean
+/// (and, with a suspected bias, whether the correction direction matches).
+Result<size_t> SelectPath(
+    const Database& db, const SchemaAnnotation& annotation,
+    const std::string& target,
+    const std::vector<std::vector<std::string>>& candidates,
+    const std::vector<const PathModel*>& models, SelectionStrategy strategy,
+    const PathModelConfig& probe_config, double holdout_fraction = 0.3,
+    uint64_t seed = 99);
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_PATH_SELECTION_H_

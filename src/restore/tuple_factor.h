@@ -1,0 +1,35 @@
+#ifndef RESTORE_RESTORE_TUPLE_FACTOR_H_
+#define RESTORE_RESTORE_TUPLE_FACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Name of the (nullable int64) column on a parent table that stores the
+/// observed tuple factor towards `child_table`: the TRUE number of child
+/// tuples the parent row has in the complete database. NULL means the tuple
+/// factor was not observed and must be predicted by a completion model.
+std::string TupleFactorColumnName(const std::string& child_table);
+
+/// True if `column` is a tuple-factor bookkeeping column.
+bool IsTupleFactorColumn(const std::string& column);
+
+/// Counts, for every row of the FK's parent table, how many child rows
+/// currently reference it in `db` (i.e. the tuple factor of the AVAILABLE
+/// data — a lower bound on the true one when the child table is incomplete).
+Result<std::vector<int64_t>> CountChildMatches(const Database& db,
+                                               const ForeignKey& fk);
+
+/// Computes the true tuple factors of `fk` from the (complete) database and
+/// attaches them as a TupleFactorColumnName column on the parent table.
+/// Used by data generators before tuples are removed; the incompleteness
+/// injector then nulls out a share of them (the "tuple factor keep rate").
+Status AttachTupleFactors(Database* db, const ForeignKey& fk);
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_TUPLE_FACTOR_H_

@@ -1,0 +1,188 @@
+#include "storage/database.h"
+
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace restore {
+
+Status Database::AddTable(Table table) {
+  const std::string name = table.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table must have a name");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' already exists", name.c_str()));
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not found", name.c_str()));
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not found", name.c_str()));
+  }
+  return &it->second;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Database::ReplaceTable(Table table) {
+  auto it = tables_.find(table.name());
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StrFormat("table '%s' not found", table.name().c_str()));
+  }
+  it->second = std::move(table);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::AddForeignKey(const std::string& child_table,
+                               const std::string& child_column,
+                               const std::string& parent_table,
+                               const std::string& parent_column) {
+  RESTORE_ASSIGN_OR_RETURN(const Table* child, GetTable(child_table));
+  RESTORE_ASSIGN_OR_RETURN(const Table* parent, GetTable(parent_table));
+  if (!child->HasColumn(child_column)) {
+    return Status::NotFound(StrFormat("FK column '%s.%s' not found",
+                                      child_table.c_str(),
+                                      child_column.c_str()));
+  }
+  if (!parent->HasColumn(parent_column)) {
+    return Status::NotFound(StrFormat("FK target '%s.%s' not found",
+                                      parent_table.c_str(),
+                                      parent_column.c_str()));
+  }
+  foreign_keys_.push_back(
+      {child_table, child_column, parent_table, parent_column});
+  return Status::OK();
+}
+
+Result<ForeignKey> Database::FindForeignKey(const std::string& a,
+                                            const std::string& b) const {
+  for (const auto& fk : foreign_keys_) {
+    if ((fk.child_table == a && fk.parent_table == b) ||
+        (fk.child_table == b && fk.parent_table == a)) {
+      return fk;
+    }
+  }
+  return Status::NotFound(StrFormat("no foreign key between '%s' and '%s'",
+                                    a.c_str(), b.c_str()));
+}
+
+std::vector<std::string> Database::Neighbors(const std::string& table) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& fk : foreign_keys_) {
+    if (fk.child_table == table && seen.insert(fk.parent_table).second) {
+      out.push_back(fk.parent_table);
+    }
+    if (fk.parent_table == table && seen.insert(fk.child_table).second) {
+      out.push_back(fk.child_table);
+    }
+  }
+  return out;
+}
+
+Result<bool> Database::IsFanOut(const std::string& from,
+                                const std::string& to) const {
+  RESTORE_ASSIGN_OR_RETURN(ForeignKey fk, FindForeignKey(from, to));
+  return fk.parent_table == from;
+}
+
+Result<std::vector<std::string>> Database::FindJoinPath(
+    const std::string& from, const std::string& to) const {
+  if (!HasTable(from)) {
+    return Status::NotFound(StrFormat("table '%s' not found", from.c_str()));
+  }
+  if (!HasTable(to)) {
+    return Status::NotFound(StrFormat("table '%s' not found", to.c_str()));
+  }
+  if (from == to) return std::vector<std::string>{from};
+  std::map<std::string, std::string> parent_of;
+  std::deque<std::string> frontier{from};
+  parent_of[from] = "";
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& next : Neighbors(cur)) {
+      if (parent_of.count(next) > 0) continue;
+      parent_of[next] = cur;
+      if (next == to) {
+        std::vector<std::string> path;
+        for (std::string t = to; !t.empty(); t = parent_of[t]) {
+          path.push_back(t);
+        }
+        return std::vector<std::string>(path.rbegin(), path.rend());
+      }
+      frontier.push_back(next);
+    }
+  }
+  return Status::NotFound(StrFormat(
+      "tables '%s' and '%s' are not connected in the FK graph", from.c_str(),
+      to.c_str()));
+}
+
+Result<std::vector<std::string>> Database::OrderJoinTables(
+    const std::vector<std::string>& tables) const {
+  if (tables.empty()) {
+    return Status::InvalidArgument("no tables to join");
+  }
+  for (const auto& t : tables) {
+    if (!HasTable(t)) {
+      return Status::NotFound(StrFormat("table '%s' not found", t.c_str()));
+    }
+  }
+  std::vector<std::string> ordered{tables[0]};
+  std::set<std::string> placed{tables[0]};
+  std::set<std::string> remaining(tables.begin() + 1, tables.end());
+  while (!remaining.empty()) {
+    bool progress = false;
+    for (const auto& cand : remaining) {
+      for (const auto& done : placed) {
+        if (FindForeignKey(cand, done).ok()) {
+          ordered.push_back(cand);
+          placed.insert(cand);
+          remaining.erase(cand);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) break;
+    }
+    if (!progress) {
+      return Status::InvalidArgument(
+          "join tables are not connected via foreign keys");
+    }
+  }
+  return ordered;
+}
+
+Database Database::Clone() const {
+  Database out;
+  out.tables_ = tables_;
+  out.foreign_keys_ = foreign_keys_;
+  return out;
+}
+
+}  // namespace restore

@@ -1,0 +1,82 @@
+#ifndef RESTORE_STORAGE_DATABASE_H_
+#define RESTORE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace restore {
+
+/// A foreign-key relationship: `child_table.child_column` references
+/// `parent_table.parent_column` (the parent column is a primary key).
+/// One parent row can have many child rows (1:n from parent to child).
+struct ForeignKey {
+  std::string child_table;
+  std::string child_column;
+  std::string parent_table;
+  std::string parent_column;
+};
+
+/// A database: a set of named tables plus the foreign-key graph that connects
+/// them. The FK graph is what the completion models walk to gather evidence.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a table; the name must be unique.
+  Status AddTable(Table table);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  /// Replaces an existing table with the same name.
+  Status ReplaceTable(Table table);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Registers a foreign key; both endpoints must exist.
+  Status AddForeignKey(const std::string& child_table,
+                       const std::string& child_column,
+                       const std::string& parent_table,
+                       const std::string& parent_column);
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// Finds the FK connecting `a` and `b` in either direction.
+  Result<ForeignKey> FindForeignKey(const std::string& a,
+                                    const std::string& b) const;
+
+  /// Tables directly connected to `table` via some FK.
+  std::vector<std::string> Neighbors(const std::string& table) const;
+
+  /// True if moving from `from` to `to` along their FK is a fan-out hop,
+  /// i.e. `from` is the parent (one `from` row can match many `to` rows).
+  Result<bool> IsFanOut(const std::string& from, const std::string& to) const;
+
+  /// Shortest path in the FK graph from `from` to `to` (inclusive on both
+  /// ends), found via BFS. Errors if the tables are not connected.
+  Result<std::vector<std::string>> FindJoinPath(const std::string& from,
+                                                const std::string& to) const;
+
+  /// Orders `tables` into a connected join sequence: each table after the
+  /// first shares an FK with some earlier table. Errors if impossible.
+  Result<std::vector<std::string>> OrderJoinTables(
+      const std::vector<std::string>& tables) const;
+
+  /// Deep copy (tables are value types; dictionaries stay shared).
+  Database Clone() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_STORAGE_DATABASE_H_

@@ -1,0 +1,26 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace restore {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return StrFormat("%g", double_value());
+  return string_value();
+}
+
+}  // namespace restore

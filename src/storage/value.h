@@ -1,0 +1,81 @@
+#ifndef RESTORE_STORAGE_VALUE_H_
+#define RESTORE_STORAGE_VALUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <variant>
+
+namespace restore {
+
+/// Physical column types supported by the storage layer.
+///
+/// Categorical columns are dictionary-encoded: cell values are int64 codes
+/// into a per-column dictionary of strings (see Column::dictionary()).
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kCategorical,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Sentinel used to represent NULL in int64/categorical cells (e.g. foreign
+/// keys of synthesized tuples, which completion models do not generate).
+inline constexpr int64_t kNullInt64 = std::numeric_limits<int64_t>::min();
+
+/// NULL for double cells.
+inline double NullDouble() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+inline bool IsNullDouble(double v) { return std::isnan(v); }
+
+/// A dynamically-typed cell value used at API boundaries (row appends,
+/// literals in SQL predicates). Columnar storage itself never materializes
+/// Value objects per cell.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value Categorical(std::string v) { return Value(Data(std::move(v))); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric view: int64 and double cells as double (used by predicates and
+  /// aggregates). Must not be called on string/null values.
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(int64());
+    return double_value();
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+  Data data_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_STORAGE_VALUE_H_

@@ -1,0 +1,138 @@
+// Tests for the common substrate: Status/Result, Rng, string utilities.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace restore {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  RESTORE_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPropagation) {
+  Result<int> ok = DoublePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err = DoublePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedUniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextUint64(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallIndices) {
+  Rng rng(11);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.NextZipf(10, 1.5)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 20000 / 10);  // much more than uniform share
+}
+
+TEST(RngTest, ZipfZeroIsUniform) {
+  Rng rng(12);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[rng.NextZipf(6, 0.0)];
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    EXPECT_NEAR(c, 5000, 450);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextCategorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, TrimAndLowerAndJoin) {
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(Join({"a", "b", "c"}, "->"), "a->b->c");
+  EXPECT_TRUE(StartsWith("__tf_movie", "__tf_"));
+  EXPECT_FALSE(StartsWith("_tf", "__tf_"));
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+}  // namespace
+}  // namespace restore

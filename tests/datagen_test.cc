@@ -1,0 +1,290 @@
+// Tests for the data generators and the incompleteness injector.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/housing.h"
+#include "datagen/incompleteness.h"
+#include "datagen/movies.h"
+#include "datagen/setups.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+#include "exec/executor.h"
+#include "metrics/metrics.h"
+#include "restore/tuple_factor.h"
+
+namespace restore {
+namespace {
+
+TEST(SyntheticTest, SchemaAndSizes) {
+  SyntheticConfig config;
+  config.num_parents = 100;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto a = db->GetTable("table_a");
+  auto b = db->GetTable("table_b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a.value()).NumRows(), 100u);
+  EXPECT_GE((*b.value()).NumRows(), 100u);  // fanout >= 1
+  EXPECT_TRUE(db->FindForeignKey("table_a", "table_b").ok());
+}
+
+TEST(SyntheticTest, PredictabilityControlsDependency) {
+  auto measure = [](double predictability) {
+    SyntheticConfig config;
+    config.num_parents = 400;
+    config.predictability = predictability;
+    config.seed = 21;
+    auto db = GenerateSynthetic(config);
+    EXPECT_TRUE(db.ok());
+    // Fraction of children whose b equals the deterministic f(a).
+    auto joined = ExecuteSql(*db,
+                             "SELECT COUNT(*) FROM table_a NATURAL JOIN "
+                             "table_b;");
+    EXPECT_TRUE(joined.ok());
+    // Measure conditional purity: for each a value, the max-fraction b.
+    auto a = db->GetTable("table_a").value();
+    auto b = db->GetTable("table_b").value();
+    const Column* acol = a->GetColumn("a").value();
+    const Column* bcol = b->GetColumn("b").value();
+    const Column* fkcol = b->GetColumn("a_id").value();
+    std::map<int64_t, std::map<int64_t, int>> cond;
+    for (size_t r = 0; r < b->NumRows(); ++r) {
+      const int64_t parent = fkcol->GetInt64(r);
+      ++cond[acol->GetCode(static_cast<size_t>(parent))][bcol->GetCode(r)];
+    }
+    double purity = 0.0;
+    int total = 0;
+    for (const auto& [av, dist] : cond) {
+      (void)av;
+      int max_c = 0;
+      int sum = 0;
+      for (const auto& [bv, c] : dist) {
+        (void)bv;
+        max_c = std::max(max_c, c);
+        sum += c;
+      }
+      purity += max_c;
+      total += sum;
+    }
+    return purity / total;
+  };
+  EXPECT_GT(measure(1.0), 0.95);
+  EXPECT_GT(measure(0.8), measure(0.2));
+}
+
+TEST(BiasedRemovalTest, KeepRateApproximatelyRespected) {
+  SyntheticConfig config;
+  config.num_parents = 800;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  const size_t before = (*db->GetTable("table_b").value()).NumRows();
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.6;
+  removal.removal_correlation = 0.5;
+  auto reduced = ApplyBiasedRemoval(*db, removal);
+  ASSERT_TRUE(reduced.ok()) << reduced.status();
+  const size_t after = (*reduced->GetTable("table_b").value()).NumRows();
+  EXPECT_NEAR(static_cast<double>(after) / before, 0.6, 0.06);
+}
+
+TEST(BiasedRemovalTest, CorrelationBiasesTheKeptData) {
+  auto db = GenerateHousing({.num_neighborhoods = 60,
+                             .num_landlords = 300,
+                             .num_apartments = 2500,
+                             .seed = 3});
+  ASSERT_TRUE(db.ok());
+  auto true_mean =
+      ColumnMean(*db->GetTable("apartment").value(), "price");
+  ASSERT_TRUE(true_mean.ok());
+
+  auto mean_after = [&](double correlation) {
+    BiasedRemovalConfig removal;
+    removal.table = "apartment";
+    removal.column = "price";
+    removal.keep_rate = 0.5;
+    removal.removal_correlation = correlation;
+    removal.seed = 77;
+    auto reduced = ApplyBiasedRemoval(*db, removal);
+    EXPECT_TRUE(reduced.ok());
+    auto m = ColumnMean(*reduced->GetTable("apartment").value(), "price");
+    EXPECT_TRUE(m.ok());
+    return m.value();
+  };
+  // Removing high-price rows biases the mean downwards, monotonically in c.
+  EXPECT_NEAR(mean_after(0.0), true_mean.value(),
+              0.03 * true_mean.value());
+  EXPECT_LT(mean_after(0.8), mean_after(0.3));
+  EXPECT_LT(mean_after(0.3), true_mean.value());
+}
+
+TEST(BiasedRemovalTest, CategoricalValueRemovedPreferentially) {
+  auto db = GenerateHousing({.num_neighborhoods = 50,
+                             .num_landlords = 200,
+                             .num_apartments = 2000,
+                             .seed = 4});
+  ASSERT_TRUE(db.ok());
+  auto frac_before = CategoricalFraction(
+      *db->GetTable("apartment").value(), "room_type", "entire_home");
+  ASSERT_TRUE(frac_before.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "apartment";
+  removal.column = "room_type";
+  removal.categorical_value = "entire_home";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.8;
+  auto reduced = ApplyBiasedRemoval(*db, removal);
+  ASSERT_TRUE(reduced.ok());
+  auto frac_after = CategoricalFraction(
+      *reduced->GetTable("apartment").value(), "room_type", "entire_home");
+  ASSERT_TRUE(frac_after.ok());
+  EXPECT_LT(frac_after.value(), frac_before.value() - 0.05);
+}
+
+TEST(ThinTupleFactorsTest, KeepsRequestedShare) {
+  SyntheticConfig config;
+  config.num_parents = 1000;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(ThinTupleFactors(&*db, 0.3, 5).ok());
+  auto a = db->GetTable("table_a").value();
+  const Column* tf = a->GetColumn("__tf_table_b").value();
+  size_t observed = 0;
+  for (size_t r = 0; r < a->NumRows(); ++r) {
+    if (!tf->IsNull(r)) ++observed;
+  }
+  EXPECT_NEAR(static_cast<double>(observed) / a->NumRows(), 0.3, 0.05);
+}
+
+TEST(CascadeRemovalTest, LinkRowsWithoutParentsVanish) {
+  auto db = GenerateMovies({.num_movies = 200,
+                            .num_directors = 80,
+                            .num_actors = 150,
+                            .num_companies = 50,
+                            .seed = 6});
+  ASSERT_TRUE(db.ok());
+  auto reduced = ApplyUniformRemoval(*db, "movie", 0.5, 9);
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_TRUE(CascadeRemoveLinkRows(
+                  &*reduced, {"movie_director", "movie_actor", "movie_company"})
+                  .ok());
+  // Every remaining link row must resolve both FKs.
+  for (const char* link : {"movie_director", "movie_actor", "movie_company"}) {
+    auto joined_count = ExecuteSql(
+        *reduced, std::string("SELECT COUNT(*) FROM movie NATURAL JOIN ") +
+                      link + ";");
+    ASSERT_TRUE(joined_count.ok()) << joined_count.status();
+    auto direct_count =
+        ExecuteSql(*reduced, std::string("SELECT COUNT(*) FROM ") + link + ";");
+    ASSERT_TRUE(direct_count.ok());
+    EXPECT_DOUBLE_EQ(joined_count->groups.at({})[0],
+                     direct_count->groups.at({})[0])
+        << link;
+  }
+}
+
+TEST(HousingTest, PlantedCorrelationsPresent) {
+  auto db = GenerateHousing({.num_neighborhoods = 80,
+                             .num_landlords = 400,
+                             .num_apartments = 3000,
+                             .seed = 7});
+  ASSERT_TRUE(db.ok());
+  // Denser neighborhoods -> higher prices.
+  auto result = ExecuteSql(*db,
+                           "SELECT AVG(price) FROM neighborhood NATURAL JOIN "
+                           "apartment GROUP BY urbanization;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->groups.count({"urban"}) == 1);
+  ASSERT_TRUE(result->groups.count({"rural"}) == 1);
+  EXPECT_GT(result->groups.at({"urban"})[0], result->groups.at({"rural"})[0]);
+  // Veteran landlords respond faster (higher rate).
+  auto rates = ExecuteSql(*db,
+                          "SELECT AVG(landlord_response_rate) FROM landlord "
+                          "WHERE landlord_since <= 2012;");
+  auto rates_new = ExecuteSql(*db,
+                              "SELECT AVG(landlord_response_rate) FROM "
+                              "landlord WHERE landlord_since >= 2018;");
+  ASSERT_TRUE(rates.ok());
+  ASSERT_TRUE(rates_new.ok());
+  EXPECT_GT(rates->groups.at({})[0], rates_new->groups.at({})[0]);
+}
+
+TEST(MoviesTest, SchemaTopologyMatchesPaper) {
+  auto db = GenerateMovies({.num_movies = 150,
+                            .num_directors = 60,
+                            .num_actors = 120,
+                            .num_companies = 40,
+                            .seed = 8});
+  ASSERT_TRUE(db.ok());
+  for (const char* t : {"movie", "director", "actor", "company",
+                        "movie_director", "movie_actor", "movie_company"}) {
+    EXPECT_TRUE(db->HasTable(t)) << t;
+  }
+  // Directors' birth years precede their movies' production years by 25-55.
+  auto joined = ExecuteSql(*db,
+                           "SELECT AVG(production_year), AVG(birth_year) FROM "
+                           "movie NATURAL JOIN movie_director NATURAL JOIN "
+                           "director;");
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  const auto& row = joined->groups.at({});
+  EXPECT_GT(row[0] - row[1], 20.0);
+  EXPECT_LT(row[0] - row[1], 60.0);
+}
+
+TEST(SetupsTest, AllTenSetupsConstructible) {
+  EXPECT_EQ(HousingSetups().size(), 5u);
+  EXPECT_EQ(MovieSetups().size(), 5u);
+  for (const char* name : {"H1", "H3", "H5", "M1", "M4", "M5"}) {
+    EXPECT_TRUE(SetupByName(name).ok()) << name;
+  }
+  EXPECT_FALSE(SetupByName("X9").ok());
+}
+
+TEST(SetupsTest, ApplySetupProducesAnnotatedIncompleteness) {
+  auto setup = SetupByName("M4");
+  ASSERT_TRUE(setup.ok());
+  auto complete = BuildCompleteDatabase("movies", 10, 0.1);
+  ASSERT_TRUE(complete.ok()) << complete.status();
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 11);
+  ASSERT_TRUE(incomplete.ok()) << incomplete.status();
+  // director lost ~50%, movie lost ~20%.
+  const double dir_ratio =
+      static_cast<double>(
+          (*incomplete->GetTable("director").value()).NumRows()) /
+      (*complete->GetTable("director").value()).NumRows();
+  EXPECT_NEAR(dir_ratio, 0.5, 0.12);
+  const double movie_ratio =
+      static_cast<double>((*incomplete->GetTable("movie").value()).NumRows()) /
+      (*complete->GetTable("movie").value()).NumRows();
+  EXPECT_NEAR(movie_ratio, 0.8, 0.08);
+  SchemaAnnotation ann = AnnotationFor(*setup);
+  EXPECT_TRUE(ann.IsIncomplete("director"));
+  EXPECT_TRUE(ann.IsIncomplete("movie"));
+  EXPECT_TRUE(ann.IsIncomplete("movie_actor"));
+  EXPECT_TRUE(ann.IsComplete("actor"));
+  EXPECT_TRUE(ann.Validate(*incomplete).ok());
+}
+
+TEST(WorkloadTest, AllQueriesParseAndRunOnCompleteData) {
+  auto housing = BuildCompleteDatabase("housing", 12, 0.2);
+  ASSERT_TRUE(housing.ok());
+  for (const auto& wq : HousingWorkload()) {
+    auto result = ExecuteSql(*housing, wq.sql);
+    EXPECT_TRUE(result.ok()) << wq.name << ": " << result.status();
+    EXPECT_FALSE(result->groups.empty()) << wq.name;
+  }
+  auto movies = BuildCompleteDatabase("movies", 13, 0.1);
+  ASSERT_TRUE(movies.ok());
+  for (const auto& wq : MovieWorkload()) {
+    auto result = ExecuteSql(*movies, wq.sql);
+    EXPECT_TRUE(result.ok()) << wq.name << ": " << result.status();
+    EXPECT_FALSE(result->groups.empty()) << wq.name;
+  }
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,178 @@
+// Tests for the query layer: SQL parser, hash join, filters, aggregation.
+
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/executor.h"
+#include "exec/join.h"
+#include "exec/query.h"
+#include "exec/sql_parser.h"
+#include "storage/database.h"
+
+namespace restore {
+namespace {
+
+TEST(SqlParserTest, ParsesFullSpjaQuery) {
+  auto q = ParseSql(
+      "SELECT AVG(price), COUNT(*) FROM landlord NATURAL JOIN apartment "
+      "WHERE room_type='Entire home' AND landlord_since >= 2011 "
+      "GROUP BY landlord_since, state;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregates.size(), 2u);
+  EXPECT_EQ(q->aggregates[0].func, AggregateFunc::kAvg);
+  EXPECT_EQ(q->aggregates[0].column, "price");
+  EXPECT_EQ(q->aggregates[1].func, AggregateFunc::kCount);
+  EXPECT_TRUE(q->aggregates[1].column.empty());
+  EXPECT_EQ(q->tables, (std::vector<std::string>{"landlord", "apartment"}));
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_EQ(q->predicates[0].op, CompareOp::kEq);
+  EXPECT_EQ(q->predicates[0].literal.string_value(), "Entire home");
+  EXPECT_EQ(q->predicates[1].op, CompareOp::kGe);
+  EXPECT_EQ(q->predicates[1].literal.int64(), 2011);
+  EXPECT_EQ(q->group_by, (std::vector<std::string>{"landlord_since", "state"}));
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywordsAndNoSemicolon) {
+  auto q = ParseSql("select sum(x) from t where x != 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregates[0].func, AggregateFunc::kSum);
+  EXPECT_EQ(q->predicates[0].op, CompareOp::kNe);
+}
+
+TEST(SqlParserTest, AcceptsDiamondNotEquals) {
+  auto q = ParseSql("SELECT COUNT(*) FROM t WHERE a <> 5;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates[0].op, CompareOp::kNe);
+}
+
+TEST(SqlParserTest, DoubleAndNegativeLiterals) {
+  auto q = ParseSql("SELECT COUNT(*) FROM t WHERE a >= -2 AND b < 3.5;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates[0].literal.int64(), -2);
+  EXPECT_DOUBLE_EQ(q->predicates[1].literal.double_value(), 3.5);
+}
+
+TEST(SqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t;").ok());
+  EXPECT_FALSE(ParseSql("SELECT MAX(x) FROM t;").ok());  // unsupported agg
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t;").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) t;").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE x = ;").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE x = 'open;").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t trailing;").ok());
+}
+
+TEST(QueryTest, ToSqlRoundTripsThroughParser) {
+  auto q = ParseSql(
+      "SELECT SUM(price) FROM a NATURAL JOIN b WHERE x='y' AND z >= 2 "
+      "GROUP BY g;");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseSql(q->ToSql());
+  ASSERT_TRUE(q2.ok()) << q2.status() << " for " << q->ToSql();
+  EXPECT_EQ(q2->ToSql(), q->ToSql());
+}
+
+Database MakeJoinDb() {
+  Database db;
+  Table parent("parent", {{"id", ColumnType::kInt64},
+                          {"grp", ColumnType::kCategorical}});
+  EXPECT_TRUE(parent.AppendRow({Value::Int64(1), Value::Categorical("g1")}).ok());
+  EXPECT_TRUE(parent.AppendRow({Value::Int64(2), Value::Categorical("g2")}).ok());
+  EXPECT_TRUE(parent.AppendRow({Value::Int64(3), Value::Categorical("g1")}).ok());
+  Table child("child", {{"id", ColumnType::kInt64},
+                        {"parent_id", ColumnType::kInt64},
+                        {"v", ColumnType::kDouble}});
+  EXPECT_TRUE(
+      child.AppendRow({Value::Int64(10), Value::Int64(1), Value::Double(1.0)})
+          .ok());
+  EXPECT_TRUE(
+      child.AppendRow({Value::Int64(11), Value::Int64(1), Value::Double(2.0)})
+          .ok());
+  EXPECT_TRUE(
+      child.AppendRow({Value::Int64(12), Value::Int64(2), Value::Double(4.0)})
+          .ok());
+  EXPECT_TRUE(
+      child.AppendRow({Value::Int64(13), Value::Null(), Value::Double(8.0)})
+          .ok());
+  EXPECT_TRUE(db.AddTable(std::move(parent)).ok());
+  EXPECT_TRUE(db.AddTable(std::move(child)).ok());
+  EXPECT_TRUE(db.AddForeignKey("child", "parent_id", "parent", "id").ok());
+  return db;
+}
+
+TEST(JoinTest, HashJoinMatchesAndSkipsNullKeys) {
+  Database db = MakeJoinDb();
+  auto joined = NaturalJoinTables(db, {"parent", "child"});
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  // parent 1 has 2 children, parent 2 has 1, parent 3 none; null FK dropped.
+  EXPECT_EQ(joined->NumRows(), 3u);
+  EXPECT_TRUE(joined->HasColumn("parent.grp"));
+  EXPECT_TRUE(joined->HasColumn("child.v"));
+}
+
+TEST(JoinTest, ResolveColumnSuffixMatching) {
+  Database db = MakeJoinDb();
+  auto joined = NaturalJoinTables(db, {"parent", "child"});
+  ASSERT_TRUE(joined.ok());
+  auto v = ResolveColumn(*joined, "v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(joined->column(v.value()).name(), "child.v");
+  // "id" matches both parent.id and child.id -> ambiguous.
+  EXPECT_FALSE(ResolveColumn(*joined, "id").ok());
+  EXPECT_TRUE(ResolveColumn(*joined, "parent.id").ok());
+}
+
+TEST(AggregateTest, GroupByWithCountSumAvg) {
+  Database db = MakeJoinDb();
+  auto result = ExecuteSql(
+      db, "SELECT COUNT(*), SUM(v), AVG(v) FROM parent NATURAL JOIN child "
+          "GROUP BY grp;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->groups.size(), 2u);
+  const auto& g1 = result->groups.at({"g1"});
+  EXPECT_DOUBLE_EQ(g1[0], 2.0);
+  EXPECT_DOUBLE_EQ(g1[1], 3.0);
+  EXPECT_DOUBLE_EQ(g1[2], 1.5);
+  const auto& g2 = result->groups.at({"g2"});
+  EXPECT_DOUBLE_EQ(g2[0], 1.0);
+  EXPECT_DOUBLE_EQ(g2[1], 4.0);
+}
+
+TEST(AggregateTest, FiltersApplyConjunctively) {
+  Database db = MakeJoinDb();
+  auto result = ExecuteSql(
+      db, "SELECT COUNT(*) FROM parent NATURAL JOIN child "
+          "WHERE grp='g1' AND v >= 2;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->groups.at({})[0], 1.0);
+}
+
+TEST(AggregateTest, FilterOnAbsentCategoricalValueMatchesNothing) {
+  Database db = MakeJoinDb();
+  auto result =
+      ExecuteSql(db, "SELECT COUNT(*) FROM parent WHERE grp='nope';");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->groups.at({})[0], 0.0);
+}
+
+TEST(AggregateTest, SingleTableQueryNeedsNoJoin) {
+  Database db = MakeJoinDb();
+  auto result = ExecuteSql(db, "SELECT AVG(v) FROM child;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->groups.at({})[0], (1.0 + 2.0 + 4.0 + 8.0) / 4.0);
+}
+
+TEST(AggregateTest, CategoricalOrderingComparisonRejected) {
+  Database db = MakeJoinDb();
+  EXPECT_FALSE(ExecuteSql(db, "SELECT COUNT(*) FROM parent WHERE grp >= 'a';")
+                   .ok());
+  EXPECT_FALSE(ExecuteSql(db, "SELECT SUM(grp) FROM parent;").ok());
+}
+
+TEST(ExecutorTest, ErrorsOnUnknownTable) {
+  Database db = MakeJoinDb();
+  EXPECT_FALSE(ExecuteSql(db, "SELECT COUNT(*) FROM nope;").ok());
+}
+
+}  // namespace
+}  // namespace restore

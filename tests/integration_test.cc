@@ -1,0 +1,212 @@
+// End-to-end integration tests: CompletionEngine over the housing and
+// movies datasets, including completed query execution.
+
+#include <gtest/gtest.h>
+
+#include "datagen/setups.h"
+#include "datagen/workload.h"
+#include "exec/executor.h"
+#include "metrics/metrics.h"
+#include "restore/engine.h"
+
+namespace restore {
+namespace {
+
+EngineConfig FastEngineConfig() {
+  EngineConfig config;
+  config.model.epochs = 15;
+  config.model.hidden_dim = 32;
+  config.model.embed_dim = 6;
+  config.model.max_bins = 16;
+  config.max_candidates = 2;
+  config.selection = SelectionStrategy::kBestTestLoss;
+  return config;
+}
+
+TEST(EngineHousingTest, CompletesApartmentTableAndReducesBias) {
+  auto complete = BuildCompleteDatabase("housing", 201, 0.4);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.6, 202);
+  ASSERT_TRUE(incomplete.ok());
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+
+  auto completed = engine.CompleteTable("apartment");
+  ASSERT_TRUE(completed.ok()) << completed.status();
+
+  auto true_mean = ColumnMean(*complete->GetTable("apartment").value(),
+                              "price");
+  auto incomplete_mean =
+      ColumnMean(*incomplete->GetTable("apartment").value(), "price");
+  auto completed_mean = ColumnMean(*completed, "price");
+  ASSERT_TRUE(true_mean.ok());
+  ASSERT_TRUE(incomplete_mean.ok());
+  ASSERT_TRUE(completed_mean.ok());
+  // The biased removal lowered the observed mean; completion must push it
+  // back towards the truth.
+  ASSERT_LT(incomplete_mean.value(), true_mean.value());
+  const double reduction = BiasReduction(
+      true_mean.value(), incomplete_mean.value(), completed_mean.value());
+  EXPECT_GT(reduction, 0.2) << "true=" << true_mean.value()
+                            << " incomplete=" << incomplete_mean.value()
+                            << " completed=" << completed_mean.value();
+}
+
+TEST(EngineHousingTest, CompletedQueryBeatsIncompleteExecution) {
+  auto complete = BuildCompleteDatabase("housing", 203, 0.4);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.4, 0.6, 204);
+  ASSERT_TRUE(incomplete.ok());
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+
+  const std::string sql =
+      "SELECT SUM(price) FROM apartment WHERE room_type='entire_home';";
+  auto truth = ExecuteSql(*complete, sql);
+  auto on_incomplete = ExecuteSql(*incomplete, sql);
+  auto on_completed = engine.ExecuteCompletedSql(sql);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_TRUE(on_incomplete.ok());
+  ASSERT_TRUE(on_completed.ok()) << on_completed.status();
+
+  const double err_incomplete =
+      AverageRelativeError(*truth, *on_incomplete);
+  const double err_completed = AverageRelativeError(*truth, *on_completed);
+  EXPECT_LT(err_completed, err_incomplete)
+      << "incomplete err=" << err_incomplete
+      << " completed err=" << err_completed;
+}
+
+TEST(EngineHousingTest, JoinQueryWithIncompleteTableExecutes) {
+  auto complete = BuildCompleteDatabase("housing", 205, 0.3);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H2");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 206);
+  ASSERT_TRUE(incomplete.ok());
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  const std::string sql =
+      "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
+      "accommodates >= 3 GROUP BY landlord_since;";
+  auto result = engine.ExecuteCompletedSql(sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->groups.empty());
+  // Count must be >= the incomplete count overall (tuples were added).
+  auto on_incomplete = ExecuteSql(*incomplete, sql);
+  ASSERT_TRUE(on_incomplete.ok());
+  double completed_total = 0.0;
+  double incomplete_total = 0.0;
+  for (const auto& [k, v] : result->groups) {
+    (void)k;
+    completed_total += v[0];
+  }
+  for (const auto& [k, v] : on_incomplete->groups) {
+    (void)k;
+    incomplete_total += v[0];
+  }
+  EXPECT_GE(completed_total, incomplete_total);
+}
+
+TEST(EngineHousingTest, CacheReusesCompletedJoin) {
+  auto complete = BuildCompleteDatabase("housing", 207, 0.25);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 208);
+  ASSERT_TRUE(incomplete.ok());
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  ASSERT_TRUE(
+      engine
+          .ExecuteCompletedSql(
+              "SELECT AVG(price) FROM apartment WHERE accommodates >= 2;")
+          .ok());
+  const size_t misses_after_first = engine.cache().misses();
+  ASSERT_TRUE(engine
+                  .ExecuteCompletedSql(
+                      "SELECT COUNT(*) FROM apartment WHERE "
+                      "room_type='entire_home';")
+                  .ok());
+  EXPECT_GT(engine.cache().hits(), 0u);
+  EXPECT_EQ(engine.cache().misses(), misses_after_first);
+}
+
+TEST(EngineMoviesTest, MultiIncompleteJoinQueryExecutes) {
+  auto complete = BuildCompleteDatabase("movies", 209, 0.15);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("M1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 210);
+  ASSERT_TRUE(incomplete.ok());
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  const std::string sql =
+      "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
+      "director WHERE gender='m';";
+  auto truth = ExecuteSql(*complete, sql);
+  auto on_incomplete = ExecuteSql(*incomplete, sql);
+  auto on_completed = engine.ExecuteCompletedSql(sql);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_TRUE(on_incomplete.ok());
+  ASSERT_TRUE(on_completed.ok()) << on_completed.status();
+  // Completion must recover a meaningful share of the missing join rows.
+  const double t = truth->groups.at({})[0];
+  const double i = on_incomplete->groups.at({})[0];
+  const double c = on_completed->groups.at({})[0];
+  EXPECT_GT(c, i) << "completed count should exceed the incomplete count";
+  EXPECT_LT(std::abs(c - t) / t, std::abs(i - t) / t)
+      << "truth=" << t << " incomplete=" << i << " completed=" << c;
+}
+
+TEST(EngineTest, SelectedPathStartsCompleteAndEndsAtTarget) {
+  auto complete = BuildCompleteDatabase("housing", 211, 0.25);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H4");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 212);
+  ASSERT_TRUE(incomplete.ok());
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  auto path = engine.SelectedPathFor("landlord");
+  ASSERT_TRUE(path.ok()) << path.status();
+  ASSERT_GE(path->size(), 2u);
+  EXPECT_EQ(path->back(), "landlord");
+  EXPECT_TRUE(engine.annotation().IsComplete(path->front()));
+}
+
+TEST(EngineTest, CompleteQueriesOnCompleteTablesBypassModels) {
+  auto complete = BuildCompleteDatabase("housing", 213, 0.25);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 214);
+  ASSERT_TRUE(incomplete.ok());
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  // neighborhood is complete: the completed result equals direct execution.
+  const std::string sql = "SELECT COUNT(*) FROM neighborhood;";
+  auto direct = ExecuteSql(*incomplete, sql);
+  auto completed = engine.ExecuteCompletedSql(sql);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(completed.ok()) << completed.status();
+  EXPECT_DOUBLE_EQ(direct->groups.at({})[0], completed->groups.at({})[0]);
+}
+
+}  // namespace
+}  // namespace restore

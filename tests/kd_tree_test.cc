@@ -1,0 +1,151 @@
+// Tests for the k-d tree and the Euclidean replacement step.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "restore/kd_tree.h"
+#include "restore/nn_replace.h"
+#include "storage/table.h"
+
+namespace restore {
+namespace {
+
+size_t BruteForceNn(const std::vector<float>& points, size_t n, size_t dim,
+                    const float* query) {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (size_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      const float diff = points[i * dim + d] - query[d];
+      acc += diff * diff;
+    }
+    if (acc < best_dist) {
+      best_dist = acc;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeTest, ExactSearchMatchesBruteForce) {
+  Rng rng(1);
+  const size_t n = 500;
+  const size_t dim = 3;
+  std::vector<float> points(n * dim);
+  for (auto& p : points) p = static_cast<float>(rng.NextGaussian());
+  KdTree tree(points, n, dim, 8);
+  for (int q = 0; q < 100; ++q) {
+    float query[dim];
+    for (size_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextGaussian());
+    }
+    const size_t expected = BruteForceNn(points, n, dim, query);
+    const size_t got = tree.NearestNeighbor(query);
+    // Distances must match (ties may pick different indices).
+    float de = 0.0f;
+    float dg = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      de += (points[expected * dim + d] - query[d]) *
+            (points[expected * dim + d] - query[d]);
+      dg += (points[got * dim + d] - query[d]) *
+            (points[got * dim + d] - query[d]);
+    }
+    EXPECT_FLOAT_EQ(de, dg);
+  }
+}
+
+TEST(KdTreeTest, ApproximateSearchIsCloseToExact) {
+  Rng rng(2);
+  const size_t n = 2000;
+  const size_t dim = 4;
+  std::vector<float> points(n * dim);
+  for (auto& p : points) p = static_cast<float>(rng.NextGaussian());
+  KdTree tree(points, n, dim, 16);
+  double exact_total = 0.0;
+  double approx_total = 0.0;
+  for (int q = 0; q < 200; ++q) {
+    float query[dim];
+    for (size_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextGaussian());
+    }
+    auto dist2 = [&](size_t idx) {
+      float acc = 0.0f;
+      for (size_t d = 0; d < dim; ++d) {
+        acc += (points[idx * dim + d] - query[d]) *
+               (points[idx * dim + d] - query[d]);
+      }
+      return std::sqrt(acc);
+    };
+    exact_total += dist2(tree.NearestNeighbor(query));
+    approx_total += dist2(tree.ApproxNearestNeighbor(query, 4));
+  }
+  // The 4-leaf-budget search should be within 25% of the exact distance.
+  EXPECT_LE(approx_total, exact_total * 1.25);
+}
+
+TEST(KdTreeTest, SinglePointAndDuplicatePoints) {
+  std::vector<float> one{1.0f, 2.0f};
+  KdTree tree(one, 1, 2);
+  float q[2] = {0.0f, 0.0f};
+  EXPECT_EQ(tree.NearestNeighbor(q), 0u);
+
+  // All-identical points must not break the splitter.
+  std::vector<float> dup(100 * 2, 3.0f);
+  KdTree tree2(dup, 100, 2, 4);
+  EXPECT_LT(tree2.NearestNeighbor(q), 100u);
+}
+
+TEST(EuclideanReplacerTest, ReplacesWithMostSimilarTuple) {
+  Table table("landlord", {{"id", ColumnType::kInt64},
+                           {"age", ColumnType::kInt64},
+                           {"rate", ColumnType::kDouble}});
+  ASSERT_TRUE(
+      table.AppendRow({Value::Int64(0), Value::Int64(30), Value::Double(10.0)})
+          .ok());
+  ASSERT_TRUE(
+      table.AppendRow({Value::Int64(1), Value::Int64(60), Value::Double(90.0)})
+          .ok());
+  ASSERT_TRUE(
+      table.AppendRow({Value::Int64(2), Value::Int64(45), Value::Double(50.0)})
+          .ok());
+  auto rep = EuclideanReplacer::Build(table, {"age", "rate"});
+  ASSERT_TRUE(rep.ok()) << rep.status();
+
+  Column age("age", ColumnType::kInt64);
+  Column rate("rate", ColumnType::kDouble);
+  age.AppendInt64(58);
+  rate.AppendDouble(85.0);  // close to row 1
+  age.AppendInt64(33);
+  rate.AppendDouble(12.0);  // close to row 0
+  auto idx = rep->FindReplacements({age, rate});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value()[0], 1u);
+  EXPECT_EQ(idx.value()[1], 0u);
+}
+
+TEST(EuclideanReplacerTest, EmptyTableRejected) {
+  Table table("t", {{"x", ColumnType::kDouble}});
+  EXPECT_FALSE(EuclideanReplacer::Build(table, {"x"}).ok());
+}
+
+TEST(EuclideanReplacerTest, NullSynthesizedValuesUseColumnMean) {
+  Table table("t", {{"x", ColumnType::kDouble}});
+  ASSERT_TRUE(table.AppendRow({Value::Double(0.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Double(100.0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Double(50.0)}).ok());
+  auto rep = EuclideanReplacer::Build(table, {"x"});
+  ASSERT_TRUE(rep.ok());
+  Column x("x", ColumnType::kDouble);
+  x.AppendNull();  // mean = 50 -> row 2
+  auto idx = rep->FindReplacements({x});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value()[0], 2u);
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,108 @@
+// Tests for the model-merging algorithm of Section 3.4.
+
+#include <gtest/gtest.h>
+
+#include "restore/model_merge.h"
+
+namespace restore {
+namespace {
+
+TEST(ModelMergeTest, PaperExampleMerges) {
+  // Completing T2 from T3, and T1 from {T2, T3}: one model suffices with
+  // ordering T3 < T2 < T1 (Section 3.4's merging example).
+  std::vector<CompletionTask> tasks{
+      {{"t3"}, "t2"},
+      {{"t2", "t3"}, "t1"},
+  };
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ASSERT_EQ(merged->size(), 1u);
+  const auto& order = (*merged)[0].ordering;
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const std::string& t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos("t3"), pos("t2"));
+  EXPECT_LT(pos("t2"), pos("t1"));
+  EXPECT_LT(pos("t3"), pos("t1"));
+}
+
+TEST(ModelMergeTest, ConflictingDirectionsDoNotMerge) {
+  // p(T2|T1) and p(T1|T2) have no consistent shared ordering.
+  std::vector<CompletionTask> tasks{
+      {{"t1"}, "t2"},
+      {{"t2"}, "t1"},
+  };
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 2u);
+}
+
+TEST(ModelMergeTest, DisjointTableSetsDoNotMerge) {
+  // Table sets must be subsets of each other to merge.
+  std::vector<CompletionTask> tasks{
+      {{"a"}, "b"},
+      {{"c"}, "d"},
+  };
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 2u);
+}
+
+TEST(ModelMergeTest, OrderingRespectsEveryTask) {
+  std::vector<CompletionTask> tasks{
+      {{"a"}, "b"},
+      {{"a", "b"}, "c"},
+      {{"a", "b", "c"}, "d"},
+  };
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 1u);
+  const auto& m = (*merged)[0];
+  EXPECT_EQ(m.tasks.size(), 3u);
+  auto pos = [&](const std::string& t) {
+    return std::find(m.ordering.begin(), m.ordering.end(), t) -
+           m.ordering.begin();
+  };
+  for (const auto& task : m.tasks) {
+    for (const auto& e : task.evidence) {
+      EXPECT_LT(pos(e), pos(task.target))
+          << e << " must precede " << task.target;
+    }
+  }
+}
+
+TEST(ModelMergeTest, IdenticalTasksCollapse) {
+  std::vector<CompletionTask> tasks{
+      {{"a"}, "b"},
+      {{"a"}, "b"},
+      {{"a"}, "b"},
+  };
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 1u);
+  EXPECT_EQ((*merged)[0].tasks.size(), 3u);
+}
+
+TEST(ModelMergeTest, EmptyEvidenceRejected) {
+  std::vector<CompletionTask> tasks{{{}, "b"}};
+  EXPECT_FALSE(MergeCompletionTasks(tasks).ok());
+}
+
+TEST(ModelMergeTest, ReducesModelCountOnChain) {
+  // A chain of per-hop completions over 5 tables merges into one model.
+  std::vector<CompletionTask> tasks;
+  std::vector<std::string> evidence;
+  const std::vector<std::string> chain{"t1", "t2", "t3", "t4", "t5"};
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    evidence.push_back(chain[i]);
+    tasks.push_back({evidence, chain[i + 1]});
+  }
+  auto merged = MergeCompletionTasks(tasks);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 1u);
+  EXPECT_EQ((*merged)[0].ordering, chain);
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,288 @@
+// Tests for the PathModel (AR/SSAR completion models) and the
+// incompleteness join on small synthetic data.
+
+#include <gtest/gtest.h>
+
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
+#include "metrics/metrics.h"
+#include "restore/incompleteness_join.h"
+#include "restore/path_model.h"
+#include "restore/path_selection.h"
+
+namespace restore {
+namespace {
+
+PathModelConfig FastConfig() {
+  PathModelConfig config;
+  config.epochs = 20;
+  config.hidden_dim = 32;
+  config.embed_dim = 6;
+  config.seed = 42;
+  return config;
+}
+
+struct Scenario {
+  Database complete;
+  Database incomplete;
+  SchemaAnnotation annotation;
+};
+
+Scenario MakeScenario(double predictability, double keep_rate,
+                      double correlation, uint64_t seed = 50) {
+  SyntheticConfig config;
+  config.num_parents = 400;
+  config.predictability = predictability;
+  config.seed = seed;
+  auto complete = GenerateSynthetic(config);
+  EXPECT_TRUE(complete.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = keep_rate;
+  removal.removal_correlation = correlation;
+  removal.seed = seed + 1;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  EXPECT_TRUE(incomplete.ok());
+  EXPECT_TRUE(ThinTupleFactors(&*incomplete, 0.3, seed + 2).ok());
+  Scenario s{std::move(*complete), std::move(*incomplete), {}};
+  s.annotation.MarkIncomplete("table_b");
+  return s;
+}
+
+TEST(PathModelTest, TrainsAndReportsLosses) {
+  Scenario s = MakeScenario(0.9, 0.5, 0.5);
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GT((*model)->test_loss(), 0.0);
+  EXPECT_GT((*model)->target_test_loss(), 0.0);
+  EXPECT_GT((*model)->train_seconds(), 0.0);
+  EXPECT_GT((*model)->num_parameters(), 0u);
+  EXPECT_EQ((*model)->path().size(), 2u);
+  EXPECT_TRUE((*model)->HopIsFanOut(0));
+  EXPECT_GE((*model)->TfAttrIndex(0), 0);
+}
+
+TEST(PathModelTest, HigherPredictabilityGivesLowerTargetLoss) {
+  Scenario predictable = MakeScenario(1.0, 0.5, 0.4, 60);
+  Scenario noisy = MakeScenario(0.2, 0.5, 0.4, 60);
+  auto m1 = PathModel::Train(predictable.incomplete, predictable.annotation,
+                             {"table_a", "table_b"}, FastConfig());
+  auto m2 = PathModel::Train(noisy.incomplete, noisy.annotation,
+                             {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_LT((*m1)->target_test_loss(), (*m2)->target_test_loss());
+}
+
+TEST(PathModelTest, RejectsTrivialPaths) {
+  Scenario s = MakeScenario(0.8, 0.5, 0.5);
+  EXPECT_FALSE(
+      PathModel::Train(s.incomplete, s.annotation, {"table_b"}, FastConfig())
+          .ok());
+}
+
+TEST(IncompletenessJoinTest, RestoresCardinality) {
+  Scenario s = MakeScenario(0.9, 0.4, 0.5, 70);
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status();
+  IncompletenessJoinExecutor exec(&s.incomplete, &s.annotation);
+  Rng rng(71);
+  auto result = exec.CompletePathJoin(**model, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const size_t true_rows = (*s.complete.GetTable("table_b").value()).NumRows();
+  const size_t incomplete_rows =
+      (*s.incomplete.GetTable("table_b").value()).NumRows();
+  const size_t completed_rows =
+      incomplete_rows + result->synthesized_counts["table_b"];
+  // Completion must move the cardinality most of the way back.
+  const double correction =
+      CardinalityCorrection(true_rows, incomplete_rows, completed_rows);
+  EXPECT_GT(correction, 0.5)
+      << "true=" << true_rows << " incomplete=" << incomplete_rows
+      << " completed=" << completed_rows;
+  // The completed join contains existing + synthesized rows.
+  EXPECT_EQ(result->joined.NumRows(),
+            result->existing_join_rows + result->synthesized_join_rows);
+  EXPECT_TRUE(result->joined.HasColumn("table_a.a"));
+  EXPECT_TRUE(result->joined.HasColumn("table_b.b"));
+}
+
+TEST(IncompletenessJoinTest, ReducesBiasWhenPredictable) {
+  Scenario s = MakeScenario(1.0, 0.4, 0.6, 80);
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status();
+  IncompletenessJoinExecutor exec(&s.incomplete, &s.annotation);
+  Rng rng(81);
+  auto result = exec.CompletePathJoin(**model, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Fraction of the most biased value on complete/incomplete/completed data.
+  auto fraction = [](const Table& t, const std::string& value) {
+    auto f = CategoricalFraction(t, "b", value);
+    EXPECT_TRUE(f.ok());
+    return f.value();
+  };
+  const Table& complete_b = *s.complete.GetTable("table_b").value();
+  const Table& incomplete_b = *s.incomplete.GetTable("table_b").value();
+  // Find the value with the largest deviation.
+  std::string worst;
+  double worst_dev = -1.0;
+  for (size_t code = 0;
+       code < complete_b.GetColumn("b").value()->dictionary()->size();
+       ++code) {
+    const std::string value =
+        complete_b.GetColumn("b").value()->dictionary()->ValueOf(
+            static_cast<int64_t>(code));
+    const double dev =
+        std::abs(fraction(complete_b, value) - fraction(incomplete_b, value));
+    if (dev > worst_dev) {
+      worst_dev = dev;
+      worst = value;
+    }
+  }
+  ASSERT_GT(worst_dev, 0.02) << "removal produced no bias to correct";
+
+  // Completed fraction: existing + synthesized values.
+  const auto& synth_cols = result->synthesized.at("table_b");
+  const Column* synth_b = nullptr;
+  for (const auto& c : synth_cols) {
+    if (c.name() == "b") synth_b = &c;
+  }
+  ASSERT_NE(synth_b, nullptr);
+  const Column* inc_b = incomplete_b.GetColumn("b").value();
+  const int64_t code =
+      inc_b->dictionary()->Lookup(worst).value();
+  size_t hits = 0;
+  for (size_t r = 0; r < inc_b->size(); ++r) {
+    if (inc_b->GetCode(r) == code) ++hits;
+  }
+  for (size_t r = 0; r < synth_b->size(); ++r) {
+    if (synth_b->GetCode(r) == code) ++hits;
+  }
+  const double completed_fraction =
+      static_cast<double>(hits) /
+      static_cast<double>(inc_b->size() + synth_b->size());
+  const double reduction =
+      BiasReduction(fraction(complete_b, worst), fraction(incomplete_b, worst),
+                    completed_fraction);
+  EXPECT_GT(reduction, 0.3) << "value=" << worst;
+}
+
+TEST(IncompletenessJoinTest, RecordsPredictiveDistributions) {
+  Scenario s = MakeScenario(0.9, 0.5, 0.4, 90);
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(model.ok());
+  IncompletenessJoinExecutor exec(&s.incomplete, &s.annotation);
+  Rng rng(91);
+  CompletionOptions options;
+  options.record_table = "table_b";
+  options.record_column = "b";
+  auto result = exec.CompletePathJoin(**model, rng, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->recorded_probs.size(), 0u);
+  EXPECT_EQ(result->recorded_probs.size(),
+            result->synthesized_counts["table_b"]);
+  for (const auto& probs : result->recorded_probs) {
+    double sum = 0.0;
+    for (float p : probs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(IncompletenessJoinTest, RefusesIncompleteRoot) {
+  Scenario s = MakeScenario(0.9, 0.5, 0.4, 95);
+  s.annotation.MarkIncomplete("table_a");
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(model.ok());
+  IncompletenessJoinExecutor exec(&s.incomplete, &s.annotation);
+  Rng rng(96);
+  EXPECT_FALSE(exec.CompletePathJoin(**model, rng).ok());
+}
+
+TEST(PathSelectionTest, EnumeratesOnlyCompleteRoots) {
+  Scenario s = MakeScenario(0.9, 0.5, 0.4, 97);
+  auto paths =
+      EnumerateCompletionPaths(s.incomplete, s.annotation, "table_b", 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0],
+            (std::vector<std::string>{"table_a", "table_b"}));
+}
+
+TEST(PathSelectionTest, BestTestLossPicksLowerLossModel) {
+  Scenario s = MakeScenario(0.9, 0.5, 0.4, 98);
+  auto good = PathModel::Train(s.incomplete, s.annotation,
+                               {"table_a", "table_b"}, FastConfig());
+  ASSERT_TRUE(good.ok());
+  // An untrained (0-epoch) model has a higher test loss.
+  PathModelConfig bad_config = FastConfig();
+  bad_config.epochs = 0;
+  auto bad = PathModel::Train(s.incomplete, s.annotation,
+                              {"table_a", "table_b"}, bad_config);
+  ASSERT_TRUE(bad.ok());
+  std::vector<std::vector<std::string>> candidates{
+      {"table_a", "table_b"}, {"table_a", "table_b"}};
+  std::vector<const PathModel*> models{bad->get(), good->get()};
+  auto pick = SelectPath(s.incomplete, s.annotation, "table_b", candidates,
+                         models, SelectionStrategy::kBestTestLoss,
+                         FastConfig());
+  ASSERT_TRUE(pick.ok()) << pick.status();
+  EXPECT_EQ(pick.value(), 1u);
+}
+
+TEST(PathModelTest, SsarFallsBackToArWithoutFanOut) {
+  // A path whose only hop is n:1 has no fan-out evidence; SSAR must
+  // gracefully degrade to a plain AR model.
+  Scenario s = MakeScenario(0.9, 0.5, 0.4, 99);
+  s.annotation = SchemaAnnotation();
+  s.annotation.MarkIncomplete("table_a");
+  PathModelConfig config = FastConfig();
+  config.use_ssar = true;
+  auto model = PathModel::Train(s.incomplete, s.annotation,
+                                {"table_b", "table_a"}, config);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_FALSE((*model)->is_ssar());
+}
+
+TEST(PathModelTest, SsarTrainsWithSelfEvidence) {
+  SyntheticConfig config;
+  config.num_parents = 300;
+  config.fanout_predictability = 0.9;
+  config.seed = 100;
+  auto complete = GenerateSynthetic(config);
+  ASSERT_TRUE(complete.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.6;
+  removal.removal_correlation = 0.4;
+  removal.seed = 101;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  ASSERT_TRUE(incomplete.ok());
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+
+  PathModelConfig ssar_config = FastConfig();
+  ssar_config.use_ssar = true;
+  auto ssar = PathModel::Train(*incomplete, annotation,
+                               {"table_a", "table_b"}, ssar_config);
+  ASSERT_TRUE(ssar.ok()) << ssar.status();
+  EXPECT_TRUE((*ssar)->is_ssar());
+
+  auto ar = PathModel::Train(*incomplete, annotation, {"table_a", "table_b"},
+                             FastConfig());
+  ASSERT_TRUE(ar.ok());
+  // With group-coherent data the self-evidence must help: SSAR's target
+  // loss should not be (much) worse than AR's.
+  EXPECT_LT((*ssar)->target_test_loss(),
+            (*ar)->target_test_loss() + 0.15);
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,175 @@
+// Parameterized property tests for the incompleteness injector: keep rates
+// are respected across the full parameter grid, and stronger removal
+// correlations produce monotonically stronger biases.
+
+#include <gtest/gtest.h>
+
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace restore {
+namespace {
+
+class KeepRateGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(KeepRateGrid, KeepRateRespectedWithinTolerance) {
+  const auto& [keep, corr] = GetParam();
+  SyntheticConfig config;
+  config.num_parents = 700;
+  config.seed = 400;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  const size_t before = (*db->GetTable("table_b").value()).NumRows();
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = keep;
+  removal.removal_correlation = corr;
+  removal.seed = 401;
+  auto reduced = ApplyBiasedRemoval(*db, removal);
+  ASSERT_TRUE(reduced.ok()) << reduced.status();
+  const double ratio =
+      static_cast<double>((*reduced->GetTable("table_b").value()).NumRows()) /
+      static_cast<double>(before);
+  EXPECT_NEAR(ratio, keep, 0.07) << "keep=" << keep << " corr=" << corr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KeepRateGrid,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.6, 0.8),
+                       ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8)));
+
+class CorrelationMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationMonotonicity, StrongerCorrelationStrongerBias) {
+  const double keep = GetParam();
+  SyntheticConfig config;
+  config.num_parents = 700;
+  config.seed = 410;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  // Find the most frequent b value (the auto-picked biased value).
+  auto frac_after = [&](double corr) {
+    BiasedRemovalConfig removal;
+    removal.table = "table_b";
+    removal.column = "b";
+    removal.keep_rate = keep;
+    removal.removal_correlation = corr;
+    removal.seed = 411;
+    auto reduced = ApplyBiasedRemoval(*db, removal);
+    EXPECT_TRUE(reduced.ok());
+    // Fraction of the globally most frequent value after removal.
+    const Table& truth = *db->GetTable("table_b").value();
+    const Column* col = truth.GetColumn("b").value();
+    std::vector<size_t> counts(col->dictionary()->size(), 0);
+    for (size_t r = 0; r < truth.NumRows(); ++r) {
+      ++counts[static_cast<size_t>(col->GetCode(r))];
+    }
+    const size_t top = static_cast<size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    const std::string value =
+        col->dictionary()->ValueOf(static_cast<int64_t>(top));
+    auto f = CategoricalFraction(*reduced->GetTable("table_b").value(), "b",
+                                 value);
+    EXPECT_TRUE(f.ok());
+    return f.value();
+  };
+  const double weak = frac_after(0.2);
+  const double strong = frac_after(0.8);
+  EXPECT_LT(strong, weak)
+      << "a stronger removal correlation must deplete the value more";
+}
+
+INSTANTIATE_TEST_SUITE_P(Keeps, CorrelationMonotonicity,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+TEST(RemovalEdgeCases, ZeroCorrelationPreservesDistribution) {
+  SyntheticConfig config;
+  config.num_parents = 900;
+  config.seed = 420;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.0;
+  removal.seed = 421;
+  auto reduced = ApplyBiasedRemoval(*db, removal);
+  ASSERT_TRUE(reduced.ok());
+  const Column* col =
+      (*db->GetTable("table_b").value()).GetColumn("b").value();
+  for (size_t code = 0; code < col->dictionary()->size(); ++code) {
+    const std::string value =
+        col->dictionary()->ValueOf(static_cast<int64_t>(code));
+    auto before =
+        CategoricalFraction(*db->GetTable("table_b").value(), "b", value);
+    auto after = CategoricalFraction(*reduced->GetTable("table_b").value(),
+                                     "b", value);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_NEAR(before.value(), after.value(), 0.05) << value;
+  }
+}
+
+TEST(RemovalEdgeCases, InvalidParametersRejected) {
+  SyntheticConfig config;
+  config.num_parents = 30;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.0;  // invalid
+  EXPECT_FALSE(ApplyBiasedRemoval(*db, removal).ok());
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 1.5;  // invalid
+  EXPECT_FALSE(ApplyBiasedRemoval(*db, removal).ok());
+  removal.removal_correlation = 0.5;
+  removal.table = "nope";
+  EXPECT_FALSE(ApplyBiasedRemoval(*db, removal).ok());
+  removal.table = "table_b";
+  removal.column = "nope";
+  EXPECT_FALSE(ApplyBiasedRemoval(*db, removal).ok());
+}
+
+TEST(RemovalEdgeCases, UniformRemovalIgnoresColumnSemantics) {
+  SyntheticConfig config;
+  config.num_parents = 400;
+  config.seed = 430;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  auto reduced = ApplyUniformRemoval(*db, "table_a", 0.7, 431);
+  ASSERT_TRUE(reduced.ok()) << reduced.status();
+  const double ratio =
+      static_cast<double>((*reduced->GetTable("table_a").value()).NumRows()) /
+      400.0;
+  EXPECT_NEAR(ratio, 0.7, 0.08);
+}
+
+class TfThinningGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(TfThinningGrid, ObservedShareMatches) {
+  const double tf_keep = GetParam();
+  SyntheticConfig config;
+  config.num_parents = 1200;
+  config.seed = 440;
+  auto db = GenerateSynthetic(config);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(ThinTupleFactors(&*db, tf_keep, 441).ok());
+  const Table& a = *db->GetTable("table_a").value();
+  const Column* tf = a.GetColumn("__tf_table_b").value();
+  size_t observed = 0;
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    if (!tf->IsNull(r)) ++observed;
+  }
+  EXPECT_NEAR(static_cast<double>(observed) / a.NumRows(), tf_keep, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TfThinningGrid,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.9));
+
+}  // namespace
+}  // namespace restore

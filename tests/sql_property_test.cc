@@ -1,0 +1,122 @@
+// Property tests for the SQL layer: every workload query round-trips
+// through parse -> ToSql -> parse, and parser behavior is stable across a
+// grid of operator / literal combinations.
+
+#include <gtest/gtest.h>
+
+#include "datagen/workload.h"
+#include "exec/sql_parser.h"
+
+namespace restore {
+namespace {
+
+class WorkloadRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(WorkloadRoundTrip, ParseToSqlParseIsStable) {
+  const auto& [name, sql] = GetParam();
+  auto q1 = ParseSql(sql);
+  ASSERT_TRUE(q1.ok()) << name << ": " << q1.status();
+  const std::string rendered = q1->ToSql();
+  auto q2 = ParseSql(rendered);
+  ASSERT_TRUE(q2.ok()) << name << ": " << q2.status() << " for " << rendered;
+  EXPECT_EQ(q2->ToSql(), rendered) << name;
+  EXPECT_EQ(q2->tables, q1->tables);
+  EXPECT_EQ(q2->group_by, q1->group_by);
+  EXPECT_EQ(q2->predicates.size(), q1->predicates.size());
+  EXPECT_EQ(q2->aggregates.size(), q1->aggregates.size());
+}
+
+std::vector<std::tuple<std::string, std::string>> AllWorkloadQueries() {
+  std::vector<std::tuple<std::string, std::string>> out;
+  for (const auto& wq : HousingWorkload()) {
+    out.emplace_back("housing_" + wq.name, wq.sql);
+  }
+  for (const auto& wq : MovieWorkload()) {
+    out.emplace_back("movies_" + wq.name, wq.sql);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, WorkloadRoundTrip, ::testing::ValuesIn(AllWorkloadQueries()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) { return std::get<0>(info.param); });
+
+struct OpCase {
+  const char* op;
+  CompareOp expected;
+};
+
+class OperatorGrid : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OperatorGrid, ComparisonOperatorsParse) {
+  const OpCase& c = GetParam();
+  auto q = ParseSql(std::string("SELECT COUNT(*) FROM t WHERE x ") + c.op +
+                    " 5;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_EQ(q->predicates[0].op, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, OperatorGrid,
+                         ::testing::Values(OpCase{"=", CompareOp::kEq},
+                                           OpCase{"!=", CompareOp::kNe},
+                                           OpCase{"<>", CompareOp::kNe},
+                                           OpCase{"<", CompareOp::kLt},
+                                           OpCase{"<=", CompareOp::kLe},
+                                           OpCase{">", CompareOp::kGt},
+                                           OpCase{">=", CompareOp::kGe}));
+
+class AggregateGrid
+    : public ::testing::TestWithParam<std::tuple<const char*, AggregateFunc>> {
+};
+
+TEST_P(AggregateGrid, AggregateFunctionsParse) {
+  const auto& [name, func] = GetParam();
+  auto q =
+      ParseSql(std::string("SELECT ") + name + "(x) FROM t GROUP BY g;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregates[0].func, func);
+  EXPECT_EQ(q->aggregates[0].column, "x");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Funcs, AggregateGrid,
+    ::testing::Values(std::make_tuple("COUNT", AggregateFunc::kCount),
+                      std::make_tuple("count", AggregateFunc::kCount),
+                      std::make_tuple("SUM", AggregateFunc::kSum),
+                      std::make_tuple("Avg", AggregateFunc::kAvg)));
+
+TEST(ParserEdgeCases, ManyJoinsAndPredicates) {
+  std::string sql = "SELECT COUNT(*) FROM t0";
+  for (int i = 1; i < 8; ++i) {
+    sql += " NATURAL JOIN t" + std::to_string(i);
+  }
+  sql += " WHERE a = 1";
+  for (int i = 0; i < 10; ++i) {
+    sql += " AND c" + std::to_string(i) + " >= " + std::to_string(i);
+  }
+  sql += " GROUP BY g1, g2, g3;";
+  auto q = ParseSql(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->tables.size(), 8u);
+  EXPECT_EQ(q->predicates.size(), 11u);
+  EXPECT_EQ(q->group_by.size(), 3u);
+}
+
+TEST(ParserEdgeCases, WhitespaceAndNewlinesTolerated) {
+  auto q = ParseSql("  SELECT\n\tCOUNT( * )\nFROM\tt\nWHERE x\n=\n1 ;  ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->tables[0], "t");
+}
+
+TEST(ParserEdgeCases, EmptyStringLiteralAllowed) {
+  auto q = ParseSql("SELECT COUNT(*) FROM t WHERE x = '';");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicates[0].literal.string_value(), "");
+}
+
+}  // namespace
+}  // namespace restore
