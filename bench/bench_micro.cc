@@ -1,18 +1,64 @@
 // Microbenchmarks (google-benchmark) for the performance-critical substrate
-// components: MADE forward/sampling, hash join, k-d tree lookups, and
-// discretizer encoding.
+// components: GEMM kernels, MADE forward/sampling, hash join, k-d tree
+// lookups, and discretizer encoding.
+//
+// Besides the console table, results are written to BENCH_micro.json (via
+// bench_util's WriteBenchJson) so future PRs can track the perf trajectory
+// mechanically.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "exec/join.h"
 #include "nn/made.h"
+#include "nn/matrix.h"
 #include "restore/discretizer.h"
 #include "restore/kd_tree.h"
 #include "storage/table.h"
 
 namespace restore {
 namespace {
+
+void FillRandom(Matrix* m, Rng& rng) {
+  for (size_t i = 0; i < m->size(); ++i) {
+    m->data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+}
+
+// The three BLAS-lite kernels at square sizes: op 0 = MatMul,
+// 1 = MatMulTransB, 2 = MatMulTransAAccum.
+void BM_GemmKernels(benchmark::State& state) {
+  Rng rng(7);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int op = static_cast<int>(state.range(1));
+  Matrix a(dim, dim), b(dim, dim), out(dim, dim);
+  FillRandom(&a, rng);
+  FillRandom(&b, rng);
+  for (auto _ : state) {
+    switch (op) {
+      case 0:
+        MatMul(a, b, &out);
+        break;
+      case 1:
+        MatMulTransB(a, b, &out);
+        break;
+      default:
+        // Reset between iterations or the accumulation overflows to inf and
+        // the kernel gets timed on degenerate inputs. The O(n^2) fill is
+        // noise next to the O(n^3) kernel.
+        out.Fill(0.0f);
+        MatMulTransAAccum(a, b, &out);
+        break;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim);
+  state.SetLabel(op == 0 ? "MatMul" : op == 1 ? "TransB" : "TransAAccum");
+}
+BENCHMARK(BM_GemmKernels)
+    ->ArgsProduct({{64, 256}, {0, 1, 2}})
+    ->ArgNames({"dim", "op"});
 
 void BM_MadeForward(benchmark::State& state) {
   Rng rng(1);
@@ -36,9 +82,9 @@ void BM_MadeForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 256);
 }
-BENCHMARK(BM_MadeForward)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MadeForward)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_MadeSampleRange(benchmark::State& state) {
+void BM_MadeSample(benchmark::State& state) {
   Rng rng(2);
   MadeConfig config;
   config.vocab_sizes = {16, 16, 32, 8, 24};
@@ -53,7 +99,7 @@ void BM_MadeSampleRange(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_MadeSampleRange)->Arg(64)->Arg(512);
+BENCHMARK(BM_MadeSample)->Arg(64)->Arg(512);
 
 void BM_HashJoin(benchmark::State& state) {
   Rng rng(3);
@@ -115,7 +161,45 @@ void BM_DiscretizerEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscretizerEncode);
 
+/// Console reporter that additionally captures every run as a BenchRecord
+/// for the JSON results file.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.real_ns = run.GetAdjustedRealTime();
+      record.cpu_ns = run.GetAdjustedCPUTime();
+      record.iterations = run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        record.counters[name] = counter.value;
+      }
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<bench::BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<bench::BenchRecord> records_;
+};
+
 }  // namespace
 }  // namespace restore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  restore::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const restore::Status status =
+      restore::bench::WriteBenchJson("BENCH_micro.json", reporter.records());
+  if (!status.ok()) {
+    fprintf(stderr, "WriteBenchJson: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,58 @@
 #include "bench/bench_util.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "common/timer.h"
 #include "metrics/metrics.h"
 
 namespace restore {
 namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::ostringstream out;
+  out << "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "    {\"name\": \"" << JsonEscape(r.name) << "\""
+        << ", \"real_ns\": " << JsonNumber(r.real_ns)
+        << ", \"cpu_ns\": " << JsonNumber(r.cpu_ns)
+        << ", \"iterations\": " << r.iterations;
+    for (const auto& [key, value] : r.counters) {
+      out << ", \"" << JsonEscape(key) << "\": " << JsonNumber(value);
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open bench JSON file: " + path);
+  }
+  file << out.str();
+  return Status::OK();
+}
 
 EngineConfig BenchEngineConfig(bool use_ssar) {
   EngineConfig config;

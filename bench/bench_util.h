@@ -8,7 +8,9 @@
 // finishes in minutes on a laptop. Set RESTORE_BENCH_FULL=1 to sweep the
 // paper's full parameter grids.
 
+#include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,25 @@ inline std::vector<double> RemovalCorrelations() {
 /// Default engine configuration used by the harnesses (small models,
 /// enough optimizer steps via the min_train_steps floor).
 EngineConfig BenchEngineConfig(bool use_ssar = false);
+
+// ---- Machine-readable results ----------------------------------------------
+
+/// One benchmark measurement destined for a JSON results file. `counters`
+/// carries rate metrics such as items_per_second.
+struct BenchRecord {
+  std::string name;
+  double real_ns = 0.0;  // wall time per iteration
+  double cpu_ns = 0.0;   // CPU time per iteration
+  int64_t iterations = 0;
+  std::map<std::string, double> counters;
+};
+
+/// Writes `records` to `path` as a JSON document
+/// ({"benchmarks": [{name, real_ns, cpu_ns, iterations, <counters>...}]}),
+/// so successive PRs can diff perf trajectories mechanically
+/// (e.g. BENCH_micro.json emitted by bench_micro).
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchRecord>& records);
 
 /// A fully-prepared completion scenario for one setup of Fig 4c.
 struct SetupRun {

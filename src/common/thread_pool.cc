@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace restore {
+
+namespace {
+
+size_t DefaultWidth() {
+  const char* env = std::getenv("RESTORE_NUM_THREADS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool(new ThreadPool(DefaultWidth() - 1));
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() { return *GlobalSlot(); }
+
+void ThreadPool::SetGlobalWidth(size_t width) {
+  if (width == 0) width = DefaultWidth();
+  GlobalSlot().reset(new ThreadPool(width - 1));
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Run(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t shards = (n + grain - 1) / grain;
+  if (shards <= 1) {
+    fn(begin, end);
+    return;
+  }
+  if (threads_.empty()) {
+    // Walk the SAME fixed-grain shards a threaded pool would, in order:
+    // callers accumulate per-shard partials, so collapsing to one giant
+    // shard here would change float reduction order vs. width >= 2 and
+    // break the bit-identical-at-any-width contract.
+    for (size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, lo + grain < end ? lo + grain : end);
+    }
+    return;
+  }
+
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t shards;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->shards = shards;
+
+  auto work = [state, &fn, begin, end, grain] {
+    for (;;) {
+      const size_t s = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= state->shards) return;
+      const size_t lo = begin + s * grain;
+      const size_t hi = lo + grain < end ? lo + grain : end;
+      fn(lo, hi);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->shards) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers run the SAME shared lambda as the caller; `fn` stays alive until
+  // the caller's wait below completes, and late-dequeued helpers no-op once
+  // every shard is claimed. The caller participates, so a saturated pool
+  // degrades to inline execution instead of deadlocking.
+  const size_t helpers = std::min(threads_.size(), shards - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) queue_.push_back(work);
+  }
+  cv_.notify_all();
+  work();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->shards;
+    });
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace restore

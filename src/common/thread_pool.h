@@ -1,0 +1,77 @@
+#ifndef RESTORE_COMMON_THREAD_POOL_H_
+#define RESTORE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace restore {
+
+/// A fixed-size thread pool shared by the whole NN substrate (GEMM row
+/// panels, embedding lookups, Adam updates, loss slices, candidate-model
+/// training).
+///
+/// Determinism contract: `ParallelFor` splits [begin, end) into shards whose
+/// boundaries depend only on the range and the `grain` argument — never on
+/// the number of threads. Each shard is executed exactly once, by exactly one
+/// thread, over its indices in ascending order. Work that writes disjoint
+/// outputs per shard (all uses in this codebase) therefore produces
+/// bit-identical results at any thread count, including 0 workers.
+///
+/// Nesting: `ParallelFor` is work-sharing, not work-stealing — the calling
+/// thread always participates and claims shards from a shared atomic cursor,
+/// so calling it from inside a pool task cannot deadlock (the caller drains
+/// the loop itself if every worker is busy).
+class ThreadPool {
+ public:
+  /// `num_threads` is the number of WORKER threads; the thread invoking
+  /// ParallelFor always helps, so compute width is num_threads + 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// The process-wide pool. Sized to hardware_concurrency() - 1 workers by
+  /// default; the RESTORE_NUM_THREADS environment variable (total compute
+  /// width, >= 1) overrides it.
+  static ThreadPool& Global();
+
+  /// Rebuilds the global pool with `width - 1` workers (width >= 1 is the
+  /// total compute width including the caller); width == 0 resets to the
+  /// environment default. Intended for tests that pin the thread count; not
+  /// thread-safe against concurrent Global() users.
+  static void SetGlobalWidth(size_t width);
+
+  /// Enqueues an independent task.
+  void Run(std::function<void()> fn);
+
+  /// Runs fn(shard_begin, shard_end) over consecutive shards of [begin, end)
+  /// of size `grain` (the last shard may be short). Blocks until every shard
+  /// completed. Shard boundaries are independent of the thread count.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::Global().ParallelFor.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_THREAD_POOL_H_

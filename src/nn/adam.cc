@@ -2,15 +2,27 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace restore {
+
+namespace {
+// Elements per update slice: large enough to amortize pool dispatch, small
+// enough to spread big embedding/output matrices across workers.
+constexpr size_t kSliceElems = 16384;
+}  // namespace
 
 AdamOptimizer::AdamOptimizer(std::vector<Param*> params, Options options)
     : params_(std::move(params)), options_(options) {
   m_.resize(params_.size());
   v_.resize(params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
-    m_[i].assign(params_[i]->value.size(), 0.0f);
-    v_[i].assign(params_[i]->value.size(), 0.0f);
+    const size_t n = params_[i]->value.size();
+    m_[i].assign(n, 0.0f);
+    v_[i].assign(n, 0.0f);
+    for (size_t begin = 0; begin < n; begin += kSliceElems) {
+      slices_.push_back({i, begin, std::min(n, begin + kSliceElems)});
+    }
   }
 }
 
@@ -21,23 +33,27 @@ void AdamOptimizer::Step() {
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
   const float lr = options_.learning_rate;
-  for (size_t i = 0; i < params_.size(); ++i) {
-    Param* p = params_[i];
-    float* value = p->value.data();
-    float* grad = p->grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
-    const size_t n = p->value.size();
-    for (size_t k = 0; k < n; ++k) {
-      float g = grad[k] + options_.weight_decay * value[k];
-      m[k] = b1 * m[k] + (1.0f - b1) * g;
-      v[k] = b2 * v[k] + (1.0f - b2) * g * g;
-      const float m_hat = m[k] / bias1;
-      const float v_hat = v[k] / bias2;
-      value[k] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
-      grad[k] = 0.0f;
+  const float wd = options_.weight_decay;
+  const float eps = options_.epsilon;
+  ParallelFor(0, slices_.size(), 1, [&](size_t s_lo, size_t s_hi) {
+    for (size_t s = s_lo; s < s_hi; ++s) {
+      const Slice& slice = slices_[s];
+      Param* p = params_[slice.param];
+      float* __restrict__ value = p->value.data();
+      float* __restrict__ grad = p->grad.data();
+      float* __restrict__ m = m_[slice.param].data();
+      float* __restrict__ v = v_[slice.param].data();
+      for (size_t k = slice.begin; k < slice.end; ++k) {
+        const float g = grad[k] + wd * value[k];
+        m[k] = b1 * m[k] + (1.0f - b1) * g;
+        v[k] = b2 * v[k] + (1.0f - b2) * g * g;
+        const float m_hat = m[k] / bias1;
+        const float v_hat = v[k] / bias2;
+        value[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        grad[k] = 0.0f;
+      }
     }
-  }
+  });
 }
 
 void AdamOptimizer::ZeroGrad() {

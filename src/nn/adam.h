@@ -35,10 +35,21 @@ class AdamOptimizer {
   int64_t step_count() const { return t_; }
 
  private:
+  /// A contiguous slice of one parameter's flattened storage. The update of
+  /// every element is independent, so slices are precomputed once (fixed
+  /// boundaries, independent of the thread count) and sharded across the
+  /// pool on every Step — deterministic at any pool size.
+  struct Slice {
+    size_t param;
+    size_t begin;
+    size_t end;
+  };
+
   std::vector<Param*> params_;
   Options options_;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
+  std::vector<Slice> slices_;
   int64_t t_ = 0;
 };
 

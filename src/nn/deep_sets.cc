@@ -25,6 +25,7 @@ void DeepSetsEncoder::Forward(const std::vector<ChildBatch>& children,
   phi1_out_.assign(num_tables(), Matrix());
   phi2_out_.assign(num_tables(), Matrix());
   pooled_.Resize(batch, num_tables() * phi_dim_);
+  pooled_.Fill(0.0f);  // sum-pooled into below
 
   for (size_t t = 0; t < num_tables(); ++t) {
     const ChildBatch& cb = children[t];

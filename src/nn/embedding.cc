@@ -1,6 +1,9 @@
 #include "nn/embedding.h"
 
 #include <cassert>
+#include <cstring>
+
+#include "common/thread_pool.h"
 
 namespace restore {
 
@@ -18,35 +21,46 @@ EmbeddingSet::EmbeddingSet(const std::vector<int>& vocab_sizes,
   }
 }
 
-void EmbeddingSet::Forward(const IntMatrix& codes, Matrix* out) {
+void EmbeddingSet::Forward(const IntMatrix& codes, Matrix* out,
+                           bool cache_codes) {
   assert(codes.cols() == tables_.size());
-  codes_cache_ = codes;
+  if (cache_codes) codes_cache_ = codes;
   out->Resize(codes.rows(), output_dim());
-  for (size_t r = 0; r < codes.rows(); ++r) {
-    float* orow = out->row(r);
-    for (size_t a = 0; a < tables_.size(); ++a) {
-      const int32_t code = codes.at(r, a);
-      assert(code >= 0 &&
-             code < static_cast<int32_t>(tables_[a].value.rows()));
-      const float* emb = tables_[a].value.row(static_cast<size_t>(code));
-      float* dst = orow + a * embed_dim_;
-      for (size_t k = 0; k < embed_dim_; ++k) dst[k] = emb[k];
+  const size_t row_bytes = embed_dim_ * sizeof(float);
+  // Gather rows are independent: shard them across the pool (fixed grain).
+  ParallelFor(0, codes.rows(), 64, [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      float* orow = out->row(r);
+      for (size_t a = 0; a < tables_.size(); ++a) {
+        const int32_t code = codes.at(r, a);
+        assert(code >= 0 &&
+               code < static_cast<int32_t>(tables_[a].value.rows()));
+        std::memcpy(orow + a * embed_dim_,
+                    tables_[a].value.row(static_cast<size_t>(code)),
+                    row_bytes);
+      }
     }
-  }
+  });
 }
 
 void EmbeddingSet::Backward(const Matrix& dout) {
   assert(dout.rows() == codes_cache_.rows());
   assert(dout.cols() == output_dim());
-  for (size_t r = 0; r < codes_cache_.rows(); ++r) {
-    const float* drow = dout.row(r);
-    for (size_t a = 0; a < tables_.size(); ++a) {
-      const int32_t code = codes_cache_.at(r, a);
-      float* grad = tables_[a].grad.row(static_cast<size_t>(code));
-      const float* src = drow + a * embed_dim_;
-      for (size_t k = 0; k < embed_dim_; ++k) grad[k] += src[k];
+  // Scatter-adds into the same table row can collide ACROSS batch rows, so
+  // rows cannot be sharded — but different ATTRIBUTES write disjoint tables.
+  // Each shard walks the batch in ascending order, so per-table accumulation
+  // order is fixed regardless of thread count.
+  ParallelFor(0, tables_.size(), 1, [&](size_t a_lo, size_t a_hi) {
+    for (size_t a = a_lo; a < a_hi; ++a) {
+      Param& table = tables_[a];
+      for (size_t r = 0; r < codes_cache_.rows(); ++r) {
+        const int32_t code = codes_cache_.at(r, a);
+        float* grad = table.grad.row(static_cast<size_t>(code));
+        const float* src = dout.row(r) + a * embed_dim_;
+        for (size_t k = 0; k < embed_dim_; ++k) grad[k] += src[k];
+      }
     }
-  }
+  });
 }
 
 }  // namespace restore

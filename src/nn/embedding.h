@@ -28,7 +28,8 @@ class EmbeddingSet {
 
   /// Embeds `codes` ([batch x n_attrs]) into `out`
   /// ([batch x n_attrs*embed_dim]). Codes must be in range per attribute.
-  void Forward(const IntMatrix& codes, Matrix* out);
+  /// `cache_codes` = false skips the snapshot Backward needs (inference).
+  void Forward(const IntMatrix& codes, Matrix* out, bool cache_codes = true);
 
   /// Scatter-adds `dout` into the embedding-table gradients (uses the codes
   /// from the last Forward call).

@@ -18,8 +18,8 @@ Dense::Dense(size_t in_dim, size_t out_dim, Rng& rng) {
   KaimingInit(&w_.value, in_dim, rng);
 }
 
-void Dense::Forward(const Matrix& x, Matrix* y) {
-  x_cache_ = x;
+void Dense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
+  if (cache_input) x_cache_ = x;
   MatMul(x, w_.value, y);
   AddBiasRows(b_.value, y);
 }
@@ -43,38 +43,33 @@ MaskedDense::MaskedDense(Matrix mask, Rng& rng) : mask_(std::move(mask)) {
 
 void MaskedDense::ApplyMask() {
   masked_w_.Resize(w_.value.rows(), w_.value.cols());
-  const float* w = w_.value.data();
-  const float* m = mask_.data();
-  float* out = masked_w_.data();
+  const float* __restrict__ w = w_.value.data();
+  const float* __restrict__ m = mask_.data();
+  float* __restrict__ out = masked_w_.data();
   for (size_t i = 0; i < w_.value.size(); ++i) out[i] = w[i] * m[i];
 }
 
-void MaskedDense::Forward(const Matrix& x, Matrix* y) {
-  x_cache_ = x;
+void MaskedDense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
+  if (cache_input) x_cache_ = x;
   ApplyMask();
   MatMul(x, masked_w_, y);
   AddBiasRows(b_.value, y);
 }
 
 void MaskedDense::Backward(const Matrix& dy, Matrix* dx) {
-  // dW = (x^T dy) * M  -- accumulate masked.
-  Matrix dw(w_.value.rows(), w_.value.cols());
-  MatMulTransAAccum(x_cache_, dy, &dw);
-  const float* m = mask_.data();
-  float* g = w_.grad.data();
-  const float* d = dw.data();
-  for (size_t i = 0; i < dw.size(); ++i) g[i] += d[i] * m[i];
-  AccumBiasGrad(dy, &b_.grad);
+  BackwardNoInputGrad(dy);
   MatMulTransB(dy, masked_w_, dx);
 }
 
 void MaskedDense::BackwardNoInputGrad(const Matrix& dy) {
-  Matrix dw(w_.value.rows(), w_.value.cols());
-  MatMulTransAAccum(x_cache_, dy, &dw);
-  const float* m = mask_.data();
-  float* g = w_.grad.data();
-  const float* d = dw.data();
-  for (size_t i = 0; i < dw.size(); ++i) g[i] += d[i] * m[i];
+  // dW = (x^T dy) * M  -- accumulate masked.
+  dw_scratch_.Resize(w_.value.rows(), w_.value.cols());
+  dw_scratch_.Fill(0.0f);
+  MatMulTransAAccum(x_cache_, dy, &dw_scratch_);
+  const float* __restrict__ m = mask_.data();
+  float* __restrict__ g = w_.grad.data();
+  const float* __restrict__ d = dw_scratch_.data();
+  for (size_t i = 0; i < dw_scratch_.size(); ++i) g[i] += d[i] * m[i];
   AccumBiasGrad(dy, &b_.grad);
 }
 

@@ -15,7 +15,9 @@ struct Param {
 
   void Init(size_t rows, size_t cols) {
     value.Resize(rows, cols);
+    value.Fill(0.0f);
     grad.Resize(rows, cols);
+    grad.Fill(0.0f);
   }
   void ZeroGrad() { grad.Fill(0.0f); }
 };
@@ -33,8 +35,10 @@ class Dense {
   Dense() = default;
   Dense(size_t in_dim, size_t out_dim, Rng& rng);
 
-  /// y = x W + b
-  void Forward(const Matrix& x, Matrix* y);
+  /// y = x W + b. `cache_input` = false skips the input snapshot for
+  /// inference-only passes (sampling, evaluation); Backward then requires a
+  /// preceding caching Forward.
+  void Forward(const Matrix& x, Matrix* y, bool cache_input = true);
   /// Accumulates dW, db; writes dx (same shape as the cached x).
   void Backward(const Matrix& dy, Matrix* dx);
   /// Backward variant that skips computing dx (for the first layer).
@@ -66,7 +70,7 @@ class MaskedDense {
   /// `mask` must be [in_dim x out_dim] with entries in {0, 1}.
   MaskedDense(Matrix mask, Rng& rng);
 
-  void Forward(const Matrix& x, Matrix* y);
+  void Forward(const Matrix& x, Matrix* y, bool cache_input = true);
   void Backward(const Matrix& dy, Matrix* dx);
   void BackwardNoInputGrad(const Matrix& dy);
 
@@ -86,7 +90,8 @@ class MaskedDense {
   Param w_;
   Param b_;
   Matrix mask_;
-  Matrix masked_w_;  // W * M, refreshed on every Forward
+  Matrix masked_w_;   // W * M, refreshed on every Forward
+  Matrix dw_scratch_;  // unmasked x^T dy, reused across Backward calls
   Matrix x_cache_;
 };
 

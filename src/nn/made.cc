@@ -3,37 +3,48 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace restore {
 
 namespace {
 
 // Gradient of logits is scaled by 1/batch so the loss is a per-row mean.
+// Rows are sharded across the thread pool; each shard accumulates its own
+// partial loss, and partials are reduced in shard order afterwards.
 void SoftmaxCrossEntropySlice(const Matrix& logits, const IntMatrix& targets,
                               size_t attr, size_t begin, size_t end,
                               float inv_batch, float* loss_out,
                               Matrix* dlogits) {
   const size_t batch = logits.rows();
-  float loss = 0.0f;
-  for (size_t r = 0; r < batch; ++r) {
-    const float* row = logits.row(r);
-    float max_v = row[begin];
-    for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
-    float sum = 0.0f;
-    for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
-    const float log_sum = std::log(sum) + max_v;
-    const size_t target =
-        begin + static_cast<size_t>(targets.at(r, attr));
-    assert(target < end);
-    loss += log_sum - row[target];
-    if (dlogits != nullptr) {
-      float* drow = dlogits->row(r);
-      for (size_t c = begin; c < end; ++c) {
-        const float p = std::exp(row[c] - log_sum);
-        drow[c] = p * inv_batch;
+  const size_t grain = LossRowGrain(end - begin);
+  const size_t shards = batch == 0 ? 0 : (batch + grain - 1) / grain;
+  std::vector<float> partial(shards, 0.0f);
+  ParallelFor(0, batch, grain, [&](size_t lo, size_t hi) {
+    float loss = 0.0f;
+    for (size_t r = lo; r < hi; ++r) {
+      const float* row = logits.row(r);
+      float max_v = row[begin];
+      for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
+      float sum = 0.0f;
+      for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
+      const float log_sum = std::log(sum) + max_v;
+      const size_t target = begin + static_cast<size_t>(targets.at(r, attr));
+      assert(target < end);
+      loss += log_sum - row[target];
+      if (dlogits != nullptr) {
+        float* drow = dlogits->row(r);
+        for (size_t c = begin; c < end; ++c) {
+          const float p = std::exp(row[c] - log_sum);
+          drow[c] = p * inv_batch;
+        }
+        drow[target] -= inv_batch;
       }
-      drow[target] -= inv_batch;
     }
-  }
+    partial[lo / grain] = loss;
+  });
+  float loss = 0.0f;
+  for (float p : partial) loss += p;
   *loss_out = loss * inv_batch;
 }
 
@@ -113,39 +124,39 @@ Matrix MadeModel::BuildOutputMask() const {
 }
 
 void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
-                        Matrix* logits) {
+                        Matrix* logits, bool for_backward) {
   assert(codes.cols() == num_attrs());
   assert(!has_context_ || (context.rows() == codes.rows() &&
                            context.cols() == config_.context_dim));
-  embed_.Forward(codes, &x0_);
-  relu_.assign(config_.num_layers, Matrix());
-  h_.assign(config_.num_layers, Matrix());
+  embed_.Forward(codes, &x0_, for_backward);
+  if (relu_.size() != config_.num_layers) {
+    relu_.assign(config_.num_layers, Matrix());
+    h_.assign(config_.num_layers, Matrix());
+  }
 
   const Matrix* prev = &x0_;
   for (size_t l = 0; l < config_.num_layers; ++l) {
-    Matrix z;
-    hidden_[l].Forward(*prev, &z);
+    Matrix& z = relu_[l];  // activation buffers persist across calls
+    hidden_[l].Forward(*prev, &z, for_backward);
     if (has_context_) {
-      Matrix cz;
-      ctx_hidden_[l].Forward(context, &cz);
-      AddInPlace(cz, &z);
+      ctx_hidden_[l].Forward(context, &ctx_scratch_, for_backward);
+      AddInPlace(ctx_scratch_, &z);
     }
     ReluInPlace(&z);
-    relu_[l] = z;
     if (l == 0) {
-      h_[l] = std::move(z);
+      // No residual into the first layer: its post-activation IS relu_[0].
+      prev = &relu_[0];
     } else {
       // Residual connection (same width, same degree assignment per layer).
       h_[l] = relu_[l];
-      AddInPlace(h_[l - 1], &h_[l]);
+      AddInPlace(l == 1 ? relu_[0] : h_[l - 1], &h_[l]);
+      prev = &h_[l];
     }
-    prev = &h_[l];
   }
-  out_.Forward(*prev, logits);
+  out_.Forward(*prev, logits, for_backward);
   if (has_context_) {
-    Matrix co;
-    ctx_out_.Forward(context, &co);
-    AddInPlace(co, logits);
+    ctx_out_.Forward(context, &ctx_out_scratch_, for_backward);
+    AddInPlace(ctx_out_scratch_, logits);
   }
 }
 
@@ -153,6 +164,7 @@ float MadeModel::NllLoss(const Matrix& logits, const IntMatrix& targets,
                          size_t first_attr, Matrix* dlogits) const {
   assert(logits.cols() == total_vocab());
   dlogits->Resize(logits.rows(), logits.cols());
+  if (first_attr > 0) dlogits->Fill(0.0f);  // skipped blocks must be zero
   const float inv_batch = 1.0f / static_cast<float>(logits.rows());
   float total = 0.0f;
   for (size_t a = first_attr; a < num_attrs(); ++a) {
@@ -182,7 +194,11 @@ float MadeModel::NllLossWeighted(const Matrix& logits,
                                  const Matrix& weights,
                                  Matrix* dlogits) const {
   assert(weights.rows() == logits.rows() && weights.cols() == num_attrs());
-  if (dlogits != nullptr) dlogits->Resize(logits.rows(), logits.cols());
+  if (dlogits != nullptr) {
+    // Zero-weight cells and skipped blocks leave their gradient untouched.
+    dlogits->Resize(logits.rows(), logits.cols());
+    dlogits->Fill(0.0f);
+  }
   const size_t batch = logits.rows();
   float total = 0.0f;
   for (size_t a = first_attr; a < num_attrs(); ++a) {
@@ -192,28 +208,36 @@ float MadeModel::NllLossWeighted(const Matrix& logits,
     for (size_t r = 0; r < batch; ++r) weight_sum += weights.at(r, a);
     if (weight_sum <= 0.0f) continue;
     const float inv = 1.0f / weight_sum;
-    float loss = 0.0f;
-    for (size_t r = 0; r < batch; ++r) {
-      const float w = weights.at(r, a);
-      if (w == 0.0f) continue;
-      const float* row = logits.row(r);
-      float max_v = row[begin];
-      for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
-      float sum = 0.0f;
-      for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
-      const float log_sum = std::log(sum) + max_v;
-      const size_t target = begin + static_cast<size_t>(targets.at(r, a));
-      assert(target < end);
-      loss += w * (log_sum - row[target]);
-      if (dlogits != nullptr) {
-        float* drow = dlogits->row(r);
-        const float scale = w * inv;
-        for (size_t c = begin; c < end; ++c) {
-          drow[c] = std::exp(row[c] - log_sum) * scale;
+    const size_t grain = LossRowGrain(end - begin);
+    const size_t shards = batch == 0 ? 0 : (batch + grain - 1) / grain;
+    std::vector<float> partial(shards, 0.0f);
+    ParallelFor(0, batch, grain, [&](size_t lo, size_t hi) {
+      float loss = 0.0f;
+      for (size_t r = lo; r < hi; ++r) {
+        const float w = weights.at(r, a);
+        if (w == 0.0f) continue;
+        const float* row = logits.row(r);
+        float max_v = row[begin];
+        for (size_t c = begin; c < end; ++c) max_v = std::max(max_v, row[c]);
+        float sum = 0.0f;
+        for (size_t c = begin; c < end; ++c) sum += std::exp(row[c] - max_v);
+        const float log_sum = std::log(sum) + max_v;
+        const size_t target = begin + static_cast<size_t>(targets.at(r, a));
+        assert(target < end);
+        loss += w * (log_sum - row[target]);
+        if (dlogits != nullptr) {
+          float* drow = dlogits->row(r);
+          const float scale = w * inv;
+          for (size_t c = begin; c < end; ++c) {
+            drow[c] = std::exp(row[c] - log_sum) * scale;
+          }
+          drow[target] -= scale;
         }
-        drow[target] -= scale;
       }
-    }
+      partial[lo / grain] = loss;
+    });
+    float loss = 0.0f;
+    for (float p : partial) loss += p;
     total += loss * inv;
   }
   return total;
@@ -232,33 +256,31 @@ float MadeModel::AttrNll(const Matrix& logits, const IntMatrix& targets,
 void MadeModel::Backward(const Matrix& dlogits, Matrix* dcontext) {
   if (has_context_ && dcontext != nullptr) {
     dcontext->Resize(dlogits.rows(), config_.context_dim);
+    dcontext->Fill(0.0f);  // accumulated into via AddInPlace below
   }
-  Matrix dh;
+  Matrix& dh = dh_scratch_;
   out_.Backward(dlogits, &dh);
   if (has_context_) {
-    Matrix dc;
-    ctx_out_.Backward(dlogits, &dc);
-    if (dcontext != nullptr) AddInPlace(dc, dcontext);
+    ctx_out_.Backward(dlogits, &dctx_scratch_);
+    if (dcontext != nullptr) AddInPlace(dctx_scratch_, dcontext);
   }
   for (size_t l = config_.num_layers; l-- > 0;) {
     // dh is the gradient wrt h_[l]. Through the ReLU branch:
-    Matrix dz = dh;
+    Matrix& dz = dz_scratch_;
+    dz = dh;
     ReluBackward(relu_[l], &dz);
     if (has_context_) {
-      Matrix dc;
-      ctx_hidden_[l].Backward(dz, &dc);
-      if (dcontext != nullptr) AddInPlace(dc, dcontext);
+      ctx_hidden_[l].Backward(dz, &dctx_scratch_);
+      if (dcontext != nullptr) AddInPlace(dctx_scratch_, dcontext);
     }
     if (l == 0) {
-      Matrix dx0;
-      hidden_[0].Backward(dz, &dx0);
-      embed_.Backward(dx0);
+      hidden_[0].Backward(dz, &dprev_scratch_);
+      embed_.Backward(dprev_scratch_);
     } else {
-      Matrix dprev;
-      hidden_[l].Backward(dz, &dprev);
+      hidden_[l].Backward(dz, &dprev_scratch_);
       // Residual passthrough: h_l = relu_l + h_{l-1}.
-      AddInPlace(dh, &dprev);
-      dh = std::move(dprev);
+      AddInPlace(dh, &dprev_scratch_);
+      std::swap(dh, dprev_scratch_);
     }
   }
 }
@@ -272,42 +294,59 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
                             size_t first_attr, size_t end_attr, Rng& rng,
                             int record_attr, Matrix* recorded) {
   const size_t batch = codes->rows();
-  Matrix logits;
+  Matrix& logits = sample_logits_;
   for (size_t a = first_attr; a < end_attr; ++a) {
-    Forward(*codes, context, &logits);
-    SoftmaxSlice(&logits, offsets_[a], offsets_[a + 1]);
+    Forward(*codes, context, &logits, /*for_backward=*/false);
+    const size_t begin = offsets_[a];
     const size_t vocab = static_cast<size_t>(vocab_size(a));
-    if (record_attr >= 0 && static_cast<size_t>(record_attr) == a &&
-        recorded != nullptr) {
-      recorded->Resize(batch, vocab);
-      for (size_t r = 0; r < batch; ++r) {
-        const float* probs = logits.row(r) + offsets_[a];
-        float* dst = recorded->row(r);
-        for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
-      }
-    }
-    for (size_t r = 0; r < batch; ++r) {
-      const float* probs = logits.row(r) + offsets_[a];
-      double u = rng.NextDouble();
-      double acc = 0.0;
-      int32_t pick = static_cast<int32_t>(vocab) - 1;
-      for (size_t c = 0; c < vocab; ++c) {
-        acc += probs[c];
-        if (u < acc) {
-          pick = static_cast<int32_t>(c);
-          break;
+    const bool record = record_attr >= 0 &&
+                        static_cast<size_t>(record_attr) == a &&
+                        recorded != nullptr;
+    if (record) recorded->Resize(batch, vocab);
+    // Uniform draws are taken from the shared stream SEQUENTIALLY before the
+    // parallel section, so the sampled codes are independent of the thread
+    // count (and the rng consumption order matches the sequential version).
+    sample_u_.resize(batch);
+    for (size_t r = 0; r < batch; ++r) sample_u_[r] = rng.NextDouble();
+    // Row blocks: softmax the attribute's logit slice and inverse-CDF pick,
+    // each row independent.
+    ParallelFor(0, batch, LossRowGrain(vocab), [&](size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        float* probs = logits.row(r) + begin;
+        float max_v = probs[0];
+        for (size_t c = 0; c < vocab; ++c) max_v = std::max(max_v, probs[c]);
+        float sum = 0.0f;
+        for (size_t c = 0; c < vocab; ++c) {
+          probs[c] = std::exp(probs[c] - max_v);
+          sum += probs[c];
         }
+        const float inv = 1.0f / sum;
+        for (size_t c = 0; c < vocab; ++c) probs[c] *= inv;
+        if (record) {
+          float* dst = recorded->row(r);
+          for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
+        }
+        const double u = sample_u_[r];
+        double acc = 0.0;
+        int32_t pick = static_cast<int32_t>(vocab) - 1;
+        for (size_t c = 0; c < vocab; ++c) {
+          acc += probs[c];
+          if (u < acc) {
+            pick = static_cast<int32_t>(c);
+            break;
+          }
+        }
+        codes->at(r, a) = pick;
       }
-      codes->at(r, a) = pick;
-    }
+    });
   }
 }
 
 void MadeModel::PredictDistribution(const IntMatrix& codes,
                                     const Matrix& context, size_t attr,
                                     Matrix* probs) {
-  Matrix logits;
-  Forward(codes, context, &logits);
+  Matrix& logits = sample_logits_;
+  Forward(codes, context, &logits, /*for_backward=*/false);
   SoftmaxSlice(&logits, offsets_[attr], offsets_[attr + 1]);
   const size_t vocab = static_cast<size_t>(vocab_size(attr));
   probs->Resize(codes.rows(), vocab);

@@ -51,8 +51,11 @@ class MadeModel {
 
   /// Computes logits [batch x total_vocab] for all attributes.
   /// `context` must be [batch x context_dim] (ignored when context_dim == 0;
-  /// pass an empty Matrix). Caches activations for Backward.
-  void Forward(const IntMatrix& codes, const Matrix& context, Matrix* logits);
+  /// pass an empty Matrix). Caches activations for Backward unless
+  /// `for_backward` is false (inference-only passes skip the input
+  /// snapshots). Activation buffers are reused across calls.
+  void Forward(const IntMatrix& codes, const Matrix& context, Matrix* logits,
+               bool for_backward = true);
 
   /// Mean (over batch) of the summed per-attribute cross-entropies for
   /// attributes in [first_attr, num_attrs). Writes the matching logits
@@ -119,10 +122,21 @@ class MadeModel {
   MaskedDense out_;
   Dense ctx_out_;
 
-  // Cached activations (per Forward call).
+  // Cached activations. The buffers persist across Forward calls (shapes are
+  // stable within a training run), so steady-state forward/backward passes
+  // allocate nothing. h_[0] is unused: layer 0 has no residual input, its
+  // post-activation IS relu_[0].
   Matrix x0_;                  // embedded input
   std::vector<Matrix> relu_;   // relu(z_l) per layer
-  std::vector<Matrix> h_;      // post-residual activation per layer
+  std::vector<Matrix> h_;      // post-residual activation per layer (l >= 1)
+  Matrix ctx_scratch_;         // Forward: per-layer context projection
+  Matrix ctx_out_scratch_;     // Forward: output-layer context projection
+  Matrix dh_scratch_;          // Backward: gradient wrt h_[l]
+  Matrix dz_scratch_;          // Backward: gradient through the ReLU branch
+  Matrix dprev_scratch_;       // Backward: gradient wrt the layer input
+  Matrix dctx_scratch_;        // Backward: per-layer context gradient
+  Matrix sample_logits_;       // SampleRange: logits buffer
+  std::vector<double> sample_u_;  // SampleRange: pre-drawn uniforms
   bool has_context_ = false;
 };
 

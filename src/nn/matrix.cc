@@ -3,7 +3,81 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
+#define RESTORE_RESTRICT __restrict__
+
+// The portable kernel variant passes 32-byte vectors between TU-local static
+// inline helpers; GCC notes the pre-AVX ABI difference, which is irrelevant
+// for internal linkage.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
 namespace restore {
+
+namespace {
+
+// ---- Kernel variants -------------------------------------------------------
+// gemm_kernels.inc is included twice: `generic` compiles with the base flags
+// (portable), `avx2` compiles every kernel with target("avx2,fma"). The
+// runtime dispatcher below picks the AVX2 path when the CPU supports it.
+
+namespace generic {
+#define RESTORE_GEMM_TARGET
+#include "nn/gemm_kernels.inc"
+#undef RESTORE_GEMM_TARGET
+}  // namespace generic
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RESTORE_HAVE_AVX2_VARIANT 1
+namespace avx2 {
+#define RESTORE_GEMM_TARGET __attribute__((target("avx2,fma")))
+#include "nn/gemm_kernels.inc"
+#undef RESTORE_GEMM_TARGET
+}  // namespace avx2
+#endif
+
+using MatMulRowsFn = void (*)(const float*, const float*, float*, size_t,
+                              size_t, size_t, size_t);
+using TransAAccumRowsFn = void (*)(const float*, const float*, float*, size_t,
+                                   size_t, size_t, size_t, size_t);
+
+struct KernelTable {
+  MatMulRowsFn matmul_rows;
+  MatMulRowsFn matmul_transb_rows;
+  TransAAccumRowsFn matmul_transa_accum_rows;
+};
+
+const KernelTable& Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t{generic::MatMulRowsKernel, generic::MatMulTransBRowsKernel,
+                  generic::MatMulTransAAccumRowsKernel};
+#ifdef RESTORE_HAVE_AVX2_VARIANT
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      t = {avx2::MatMulRowsKernel, avx2::MatMulTransBRowsKernel,
+           avx2::MatMulTransAAccumRowsKernel};
+    }
+#endif
+    return t;
+  }();
+  return table;
+}
+
+// ---- Parallel sharding -----------------------------------------------------
+// Output-row shards. The grain depends only on the problem shape (never on
+// the thread count), each shard owns a disjoint row panel, and rows inside a
+// shard are processed in ascending order — so results are bit-identical at
+// any thread count. Small problems run inline to skip pool overhead.
+
+constexpr size_t kMinParallelFlops = 1 << 17;
+
+size_t RowGrain(size_t rows, size_t flops_per_row) {
+  // Aim for >= ~64K flops per shard, rounded to the 4-row micro-tile.
+  size_t grain = (kMinParallelFlops / 2) / (flops_per_row > 0 ? flops_per_row : 1);
+  grain = std::max<size_t>(4, grain - grain % 4);
+  return std::min(grain, rows > 0 ? rows : size_t{1});
+}
+
+}  // namespace
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.rows());
@@ -11,16 +85,19 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    out->Fill(0.0f);
+    return;
   }
+  const auto fn = Kernels().matmul_rows;
+  if (m * n * k < kMinParallelFlops) {
+    fn(a.data(), b.data(), out->data(), 0, m, k, n);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
+    fn(a.data(), b.data(), out->data(), lo, hi, k, n);
+  });
 }
 
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -29,16 +106,19 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
-    }
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    out->Fill(0.0f);
+    return;
   }
+  const auto fn = Kernels().matmul_transb_rows;
+  if (m * n * k < kMinParallelFlops) {
+    fn(a.data(), b.data(), out->data(), 0, m, k, n);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
+    fn(a.data(), b.data(), out->data(), lo, hi, k, n);
+  });
 }
 
 void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -47,52 +127,55 @@ void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    const float* brow = b.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* orow = out->row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+  if (k == 0 || n == 0 || m == 0) return;
+  const auto fn = Kernels().matmul_transa_accum_rows;
+  if (m * n * k < kMinParallelFlops) {
+    fn(a.data(), b.data(), out->data(), 0, k, m, k, n);
+    return;
   }
+  // Sharded over OUTPUT rows (columns of a): each out row is accumulated by
+  // exactly one shard, keeping the gradient sums deterministic.
+  ParallelFor(0, k, RowGrain(k, m * n), [&](size_t lo, size_t hi) {
+    fn(a.data(), b.data(), out->data(), lo, hi, m, k, n);
+  });
 }
 
 void AddBiasRows(const Matrix& bias, Matrix* out) {
   assert(bias.rows() == 1 && bias.cols() == out->cols());
-  const float* b = bias.row(0);
+  const float* RESTORE_RESTRICT b = bias.row(0);
+  const size_t cols = out->cols();
   for (size_t r = 0; r < out->rows(); ++r) {
-    float* row = out->row(r);
-    for (size_t c = 0; c < out->cols(); ++c) row[c] += b[c];
+    float* RESTORE_RESTRICT row = out->row(r);
+    for (size_t c = 0; c < cols; ++c) row[c] += b[c];
   }
 }
 
 void AccumBiasGrad(const Matrix& dy, Matrix* bias_grad) {
   assert(bias_grad->rows() == 1 && bias_grad->cols() == dy.cols());
-  float* g = bias_grad->row(0);
+  float* RESTORE_RESTRICT g = bias_grad->row(0);
+  const size_t cols = dy.cols();
   for (size_t r = 0; r < dy.rows(); ++r) {
-    const float* row = dy.row(r);
-    for (size_t c = 0; c < dy.cols(); ++c) g[c] += row[c];
+    const float* RESTORE_RESTRICT row = dy.row(r);
+    for (size_t c = 0; c < cols; ++c) g[c] += row[c];
   }
 }
 
 void AddInPlace(const Matrix& x, Matrix* y) {
   assert(x.rows() == y->rows() && x.cols() == y->cols());
-  float* yd = y->data();
-  const float* xd = x.data();
+  float* RESTORE_RESTRICT yd = y->data();
+  const float* RESTORE_RESTRICT xd = x.data();
   for (size_t i = 0; i < x.size(); ++i) yd[i] += xd[i];
 }
 
 void ReluInPlace(Matrix* x) {
-  float* d = x->data();
+  float* RESTORE_RESTRICT d = x->data();
   for (size_t i = 0; i < x->size(); ++i) d[i] = std::max(0.0f, d[i]);
 }
 
 void ReluBackward(const Matrix& y, Matrix* dy) {
   assert(y.size() == dy->size());
-  const float* yd = y.data();
-  float* dd = dy->data();
+  const float* RESTORE_RESTRICT yd = y.data();
+  float* RESTORE_RESTRICT dd = dy->data();
   for (size_t i = 0; i < y.size(); ++i) {
     if (yd[i] <= 0.0f) dd[i] = 0.0f;
   }
@@ -100,18 +183,23 @@ void ReluBackward(const Matrix& y, Matrix* dy) {
 
 void SoftmaxSlice(Matrix* logits, size_t col_begin, size_t col_end) {
   assert(col_begin < col_end && col_end <= logits->cols());
-  for (size_t r = 0; r < logits->rows(); ++r) {
-    float* row = logits->row(r);
-    float max_v = row[col_begin];
-    for (size_t c = col_begin; c < col_end; ++c) max_v = std::max(max_v, row[c]);
-    float sum = 0.0f;
-    for (size_t c = col_begin; c < col_end; ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
+  ParallelFor(0, logits->rows(), LossRowGrain(col_end - col_begin),
+              [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      float* RESTORE_RESTRICT row = logits->row(r);
+      float max_v = row[col_begin];
+      for (size_t c = col_begin; c < col_end; ++c) {
+        max_v = std::max(max_v, row[c]);
+      }
+      float sum = 0.0f;
+      for (size_t c = col_begin; c < col_end; ++c) {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t c = col_begin; c < col_end; ++c) row[c] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (size_t c = col_begin; c < col_end; ++c) row[c] *= inv;
-  }
+  });
 }
 
 }  // namespace restore

@@ -40,7 +40,14 @@ class Matrix {
   const std::vector<float>& vec() const { return data_; }
 
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Shape-preserving resize: when the shape already matches, this is a
+  /// no-op (existing contents are KEPT — callers that need zeros must call
+  /// Fill(0) explicitly). On a shape change the storage is zero-filled.
+  /// This kills the per-call zero/realloc churn of forward/backward scratch
+  /// buffers, which keep the same shape across training steps.
   void Resize(size_t rows, size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, 0.0f);
@@ -74,13 +81,30 @@ class IntMatrix {
   const int32_t* row(size_t r) const { return data_.data() + r * cols_; }
   int32_t* row(size_t r) { return data_.data() + r * cols_; }
 
+  /// Shape-preserving resize (same contract as Matrix::Resize): a matching
+  /// shape keeps the contents, a shape change zero-fills.
+  void Resize(size_t rows, size_t cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0);
+  }
+
   /// Returns a copy containing only the listed rows.
   IntMatrix GatherRows(const std::vector<size_t>& rows) const {
     IntMatrix out(rows.size(), cols_);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      for (size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
-    }
+    GatherRowsInto(rows, &out);
     return out;
+  }
+
+  /// Allocation-free variant for hot loops: gathers into a reused buffer.
+  void GatherRowsInto(const std::vector<size_t>& rows, IntMatrix* out) const {
+    out->Resize(rows.size(), cols_);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const int32_t* src = row(rows[i]);
+      int32_t* dst = out->row(i);
+      for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    }
   }
 
  private:
@@ -118,6 +142,15 @@ void ReluBackward(const Matrix& y, Matrix* dy);
 /// Numerically-stable in-place softmax over the column slice
 /// [col_begin, col_end) of every row.
 void SoftmaxSlice(Matrix* logits, size_t col_begin, size_t col_end);
+
+/// Fixed row-shard grain for row-parallel loss/softmax/sampling loops over a
+/// slice of `slice_width` columns. Depends only on the width (never the
+/// thread count) so shard boundaries — and float accumulation orders — are
+/// identical at any pool size.
+inline size_t LossRowGrain(size_t slice_width) {
+  const size_t grain = 4096 / (slice_width > 0 ? slice_width : 1);
+  return grain > 16 ? grain : 16;
+}
 
 }  // namespace restore
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "exec/join.h"
 #include "exec/sql_parser.h"
@@ -66,10 +67,50 @@ CompletionEngine::CandidatesFor(const std::string& target) {
         StrFormat("no candidates for '%s' (call TrainModels first)",
                   target.c_str()));
   }
+  // Candidate models are independent: train the missing ones concurrently on
+  // the shared pool. Seeds are assigned up front in candidate order — the
+  // exact values the sequential ModelForPath calls would have produced — so
+  // the trained models are identical regardless of completion order or
+  // thread count. models_ is only mutated after all training joined.
+  struct Pending {
+    std::string key;
+    const std::vector<std::string>* path;
+    PathModelConfig cfg;
+  };
+  std::vector<Pending> pending;
+  std::set<std::string> queued;
+  for (const auto& path : it->second) {
+    const std::string key = PathKey(path);
+    if (models_.count(key) > 0 || queued.count(key) > 0) continue;
+    PathModelConfig cfg = config_.model;
+    cfg.seed = config_.seed + models_.size() + queued.size() + 1;
+    queued.insert(key);
+    pending.push_back({key, &path, cfg});
+  }
+  if (!pending.empty()) {
+    std::vector<Status> errors(pending.size(), Status::OK());
+    std::vector<std::unique_ptr<PathModel>> trained(pending.size());
+    ThreadPool::Global().ParallelFor(
+        0, pending.size(), 1, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            Result<std::unique_ptr<PathModel>> r = PathModel::Train(
+                *db_, annotation_, *pending[i].path, pending[i].cfg);
+            if (r.ok()) {
+              trained[i] = std::move(r).value();
+            } else {
+              errors[i] = r.status();
+            }
+          }
+        });
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!errors[i].ok()) return errors[i];
+      total_train_seconds_ += trained[i]->train_seconds();
+      models_.emplace(pending[i].key, std::move(trained[i]));
+    }
+  }
   std::vector<Candidate> out;
   for (const auto& path : it->second) {
-    RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
-    out.push_back({path, model});
+    out.push_back({path, models_.at(PathKey(path)).get()});
   }
   return out;
 }

@@ -492,23 +492,34 @@ Status PathModel::RunTraining() {
                 std::max<size_t>(1, steps_per_epoch));
 
   const Matrix empty_context;
+  // Minibatch scratch buffers live OUTSIDE the training loops: shapes repeat
+  // (full batches all match, plus one short tail per epoch), so the
+  // shape-preserving Resize makes every steady-state step allocation-free.
+  std::vector<size_t> batch;
+  IntMatrix codes;
+  Matrix weights;
+  Matrix context;
+  Matrix logits;
+  Matrix dlogits;
+  Matrix dcontext;
+  std::vector<int64_t> keys;
+  std::vector<int64_t> excl;
+  std::vector<ChildBatch> children;
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     rng_.Shuffle(order);
     for (size_t begin = 0; begin < n; begin += config_.batch_size) {
       const size_t end = std::min(n, begin + config_.batch_size);
-      std::vector<size_t> batch(order.begin() + begin, order.begin() + end);
-      IntMatrix codes = train_codes_.GatherRows(batch);
-      Matrix weights(batch.size(), attrs_.size());
+      batch.assign(order.begin() + begin, order.begin() + end);
+      train_codes_.GatherRowsInto(batch, &codes);
+      weights.Resize(batch.size(), attrs_.size());
       for (size_t i = 0; i < batch.size(); ++i) {
         for (size_t a = 0; a < attrs_.size(); ++a) {
           weights.at(i, a) = train_weights_.at(batch[i], a);
         }
       }
-      Matrix context;
-      std::vector<ChildBatch> children;
       if (ssar_enabled_) {
-        std::vector<int64_t> keys(batch.size());
-        std::vector<int64_t> excl(batch.size());
+        keys.resize(batch.size());
+        excl.resize(batch.size());
         for (size_t i = 0; i < batch.size(); ++i) {
           keys[i] = train_evidence_keys_[batch[i]];
           excl[i] = train_exclude_pk_[batch[i]];
@@ -516,11 +527,8 @@ Status PathModel::RunTraining() {
         RESTORE_ASSIGN_OR_RETURN(children, BuildChildBatches(keys, &excl));
         deep_sets_->Forward(children, &context);
       }
-      Matrix logits;
       made_->Forward(codes, ssar_enabled_ ? context : empty_context, &logits);
-      Matrix dlogits;
       made_->NllLossWeighted(logits, codes, 0, weights, &dlogits);
-      Matrix dcontext;
       made_->Backward(dlogits, ssar_enabled_ ? &dcontext : nullptr);
       if (ssar_enabled_) deep_sets_->Backward(dcontext);
       adam.Step();

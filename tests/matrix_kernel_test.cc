@@ -1,0 +1,195 @@
+// Conformance property tests for the blocked/vectorized GEMM kernels: the
+// dispatched kernels (AVX2 or portable, threaded or inline) must match a
+// naive reference implementation within tolerance across random rectangular
+// shapes, including empty, 1xN, and non-multiple-of-tile sizes that exercise
+// every micro-kernel edge path.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/matrix.h"
+
+namespace restore {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+void NaiveMatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Resize(a.rows(), b.cols());
+  out->Fill(0.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out->at(i, j) += a.at(i, p) * b.at(p, j);
+      }
+    }
+  }
+}
+
+void NaiveMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Resize(a.rows(), b.rows());
+  out->Fill(0.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a.at(i, p) * b.at(j, p);
+      out->at(i, j) = acc;
+    }
+  }
+}
+
+void NaiveMatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out->at(p, j) += a.at(i, p) * b.at(i, j);
+      }
+    }
+  }
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, const char* what,
+                size_t m, size_t k, size_t n) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got.data()[i], want.data()[i], kTol)
+        << what << " mismatch at flat index " << i << " for shape m=" << m
+        << " k=" << k << " n=" << n;
+  }
+}
+
+// Shapes chosen to hit: empty matrices, single rows/cols, sizes below one
+// register tile, exact tile multiples (4 rows, 24/16/8 cols), and every
+// remainder path (rows % 4, cols % 24 in {1..23}, k % 8).
+const size_t kDims[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 23, 24, 25, 33, 64};
+
+TEST(MatrixKernelConformance, MatMulMatchesNaive) {
+  Rng rng(101);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        if (m * k * n > 30000 && (m + k + n) % 3 != 0) continue;  // subsample
+        Matrix a = RandomMatrix(m, k, rng);
+        Matrix b = RandomMatrix(k, n, rng);
+        Matrix got, want;
+        MatMul(a, b, &got);
+        NaiveMatMul(a, b, &want);
+        ExpectNear(got, want, "MatMul", m, k, n);
+      }
+    }
+  }
+}
+
+TEST(MatrixKernelConformance, MatMulTransBMatchesNaive) {
+  Rng rng(202);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        if (m * k * n > 30000 && (m + k + n) % 3 != 0) continue;
+        Matrix a = RandomMatrix(m, k, rng);
+        Matrix b = RandomMatrix(n, k, rng);
+        Matrix got, want;
+        MatMulTransB(a, b, &got);
+        NaiveMatMulTransB(a, b, &want);
+        ExpectNear(got, want, "MatMulTransB", m, k, n);
+      }
+    }
+  }
+}
+
+TEST(MatrixKernelConformance, MatMulTransAAccumMatchesNaiveAndAccumulates) {
+  Rng rng(303);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        if (m * k * n > 30000 && (m + k + n) % 3 != 0) continue;
+        Matrix a = RandomMatrix(m, k, rng);
+        Matrix b = RandomMatrix(m, n, rng);
+        // Non-zero initial contents verify the ACCUMULATE semantics.
+        Matrix got = RandomMatrix(k, n, rng);
+        Matrix want = got;
+        MatMulTransAAccum(a, b, &got);
+        NaiveMatMulTransAAccum(a, b, &want);
+        ExpectNear(got, want, "MatMulTransAAccum", m, k, n);
+      }
+    }
+  }
+}
+
+TEST(MatrixKernelConformance, LargeShapesCrossParallelThreshold) {
+  // Shapes big enough to take the ParallelFor path with several shards.
+  Rng rng(404);
+  const struct { size_t m, k, n; } shapes[] = {
+      {129, 65, 77}, {256, 40, 256}, {100, 256, 96}, {515, 33, 17}};
+  for (const auto& s : shapes) {
+    Matrix a = RandomMatrix(s.m, s.k, rng);
+    Matrix b = RandomMatrix(s.k, s.n, rng);
+    Matrix got, want;
+    MatMul(a, b, &got);
+    NaiveMatMul(a, b, &want);
+    ExpectNear(got, want, "MatMul(parallel)", s.m, s.k, s.n);
+
+    Matrix bt = RandomMatrix(s.n, s.k, rng);
+    Matrix got_t, want_t;
+    MatMulTransB(a, bt, &got_t);
+    NaiveMatMulTransB(a, bt, &want_t);
+    ExpectNear(got_t, want_t, "MatMulTransB(parallel)", s.m, s.k, s.n);
+  }
+}
+
+TEST(MatrixKernelConformance, ResizePreservesContentsOnSameShape) {
+  Matrix m(3, 5);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = static_cast<float>(i);
+  m.Resize(3, 5);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.data()[i], static_cast<float>(i));
+  }
+  m.Resize(5, 3);  // shape change -> zero-filled
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (size_t width : {size_t{1}, size_t{3}}) {
+    ThreadPool pool(width - 1);
+    std::vector<int> hits(1000, 0);
+    pool.ParallelFor(0, hits.size(), 7, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at width " << width;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<int> outer(8, 0);
+  pool.ParallelFor(0, outer.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      std::vector<int> inner(64, 0);
+      pool.ParallelFor(0, inner.size(), 4, [&](size_t jlo, size_t jhi) {
+        for (size_t j = jlo; j < jhi; ++j) ++inner[j];
+      });
+      int sum = 0;
+      for (int v : inner) sum += v;
+      outer[i] = sum;
+    }
+  });
+  for (int v : outer) EXPECT_EQ(v, 64);
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,0 +1,111 @@
+// Determinism regression test for the threaded NN substrate: training and
+// sampling a MadeModel with the global pool at 1 vs. 4 threads must produce
+// bit-identical losses and samples for a fixed seed. This pins the contract
+// documented in src/nn/README.md — shard boundaries and accumulation orders
+// depend only on problem shapes, never on the thread count.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/adam.h"
+#include "nn/made.h"
+#include "nn/matrix.h"
+
+namespace restore {
+namespace {
+
+struct TrainResult {
+  std::vector<float> losses;
+  std::vector<int32_t> samples;
+  std::vector<float> probs;
+};
+
+/// Trains a small MADE for a few steps and then samples from it, entirely
+/// driven by the fixed seed.
+TrainResult TrainAndSample(uint64_t seed) {
+  Rng rng(seed);
+  MadeConfig config;
+  // One wide attribute (vocab 300) forces the loss row grain down to
+  // max(16, 4096/300) = 16, so the 96-row batch spans 6 shards and the
+  // per-shard partial-sum reduction order is actually exercised — a single
+  // collapsed shard at width 1 would produce different float sums.
+  config.vocab_sizes = {7, 300, 11, 3};
+  config.embed_dim = 4;
+  config.hidden_dim = 32;
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+
+  const size_t batch = 96;
+  IntMatrix codes(batch, config.vocab_sizes.size());
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t a = 0; a < config.vocab_sizes.size(); ++a) {
+      codes.at(r, a) = static_cast<int32_t>(
+          rng.NextUint64(static_cast<uint64_t>(config.vocab_sizes[a])));
+    }
+  }
+
+  std::vector<Param*> params;
+  made.CollectParams(&params);
+  AdamOptimizer adam(params);
+
+  TrainResult result;
+  const Matrix empty_context;
+  Matrix logits;
+  Matrix dlogits;
+  for (int step = 0; step < 8; ++step) {
+    made.Forward(codes, empty_context, &logits);
+    result.losses.push_back(made.NllLoss(logits, codes, 0, &dlogits));
+    made.Backward(dlogits, nullptr);
+    adam.Step();
+  }
+
+  IntMatrix sampled(batch, config.vocab_sizes.size(), 0);
+  Matrix recorded;
+  made.SampleRange(&sampled, empty_context, 0, config.vocab_sizes.size(), rng,
+                   /*record_attr=*/2, &recorded);
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t a = 0; a < config.vocab_sizes.size(); ++a) {
+      result.samples.push_back(sampled.at(r, a));
+    }
+  }
+  result.probs.assign(recorded.data(), recorded.data() + recorded.size());
+  return result;
+}
+
+TEST(ThreadDeterminismTest, TrainingAndSamplingIdenticalAt1And4Threads) {
+  ThreadPool::SetGlobalWidth(1);
+  const TrainResult single = TrainAndSample(/*seed=*/42);
+  ThreadPool::SetGlobalWidth(4);
+  const TrainResult quad = TrainAndSample(/*seed=*/42);
+  ThreadPool::SetGlobalWidth(1);
+  const TrainResult single_again = TrainAndSample(/*seed=*/42);
+  // Restore the environment-default pool for any later test in this binary.
+  ThreadPool::SetGlobalWidth(0);
+
+  ASSERT_EQ(single.losses.size(), quad.losses.size());
+  for (size_t i = 0; i < single.losses.size(); ++i) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(single.losses[i], quad.losses[i]) << "loss step " << i;
+    EXPECT_EQ(single.losses[i], single_again.losses[i]) << "rerun step " << i;
+  }
+  EXPECT_TRUE(std::isfinite(single.losses.front()));
+  EXPECT_LT(single.losses.back(), single.losses.front())
+      << "training should reduce the loss";
+
+  ASSERT_EQ(single.samples.size(), quad.samples.size());
+  for (size_t i = 0; i < single.samples.size(); ++i) {
+    ASSERT_EQ(single.samples[i], quad.samples[i]) << "sample " << i;
+  }
+  ASSERT_EQ(single.probs.size(), quad.probs.size());
+  for (size_t i = 0; i < single.probs.size(); ++i) {
+    ASSERT_EQ(single.probs[i], quad.probs[i]) << "recorded prob " << i;
+  }
+}
+
+}  // namespace
+}  // namespace restore
