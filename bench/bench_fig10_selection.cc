@@ -7,12 +7,14 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 
 namespace restore {
 namespace bench {
 namespace {
 
 int Run() {
+  FigureJson json("fig10");
   std::printf("# Figure 10: model selection vs all candidate models\n");
   std::printf(
       "setup,keep_rate,removal_correlation,path,bias_reduction,"
@@ -84,10 +86,20 @@ int Run() {
           std::printf("%s,%.0f%%,%.0f%%,%s,%.3f,%s\n", setup.name.c_str(),
                       keep * 100, corr * 100, path_str.c_str(), reductions[i],
                       chosen.c_str());
+          json.Add(
+              StrFormat("%s/keep=%.0f/corr=%.0f/path=%s", setup.name.c_str(),
+                        keep * 100, corr * 100, path_str.c_str()),
+              {{"bias_reduction", reductions[i]},
+               {"chosen_basic", basic.ok() && basic.value() == i ? 1.0 : 0.0},
+               {"chosen_informed",
+                informed.ok() && informed.value() == i ? 1.0 : 0.0}});
         }
         std::fflush(stdout);
       }
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "restore/path_selection.h"
 
 namespace restore {
@@ -14,6 +15,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  FigureJson json("fig11");
   std::printf("# Figure 11: training time per model (seconds)\n");
   std::printf("setup,model,path_len,train_seconds,parameters\n");
   const double housing_scale = FullGrids() ? 0.5 : 0.2;
@@ -40,8 +42,16 @@ int Run() {
       std::printf("%s,%s,%zu,%.3f,%zu\n", setup.name.c_str(),
                   ssar ? "SSAR" : "AR", paths[0].size(),
                   (*model)->train_seconds(), (*model)->num_parameters());
+      json.Add(StrFormat("%s/%s", setup.name.c_str(), ssar ? "SSAR" : "AR"),
+               {{"path_len", static_cast<double>(paths[0].size())},
+                {"train_seconds", (*model)->train_seconds()},
+                {"parameters",
+                 static_cast<double>((*model)->num_parameters())}});
       std::fflush(stdout);
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "restore/incompleteness_join.h"
 #include "restore/path_selection.h"
@@ -15,6 +16,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  FigureJson json("fig12");
   std::printf("# Figure 12: completion time per path (seconds)\n");
   std::printf("setup,model,nn_replacement,path_len,completion_seconds\n");
   const double housing_scale = FullGrids() ? 0.5 : 0.2;
@@ -64,9 +66,16 @@ int Run() {
         std::printf("%s,%s,%s,%zu,%.3f\n", setup.name.c_str(),
                     ssar ? "SSAR" : "AR", label, path.size(),
                     timer.ElapsedSeconds());
+        json.Add(StrFormat("%s/%s/replace=%s", setup.name.c_str(),
+                           ssar ? "SSAR" : "AR", label),
+                 {{"path_len", static_cast<double>(path.size())},
+                  {"completion_seconds", timer.ElapsedSeconds()}});
         std::fflush(stdout);
       }
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/confidence_util.h"
+#include "common/string_util.h"
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
 #include "metrics/metrics.h"
@@ -39,6 +40,7 @@ Result<std::string> MostBiasedValue(const Database& complete,
 }
 
 int Run() {
+  FigureJson json("fig13");
   std::printf("# Figure 13: confidence intervals, full synthetic grid\n");
   std::printf(
       "removal_correlation,keep_rate,predictability,true_fraction,"
@@ -87,11 +89,22 @@ int Run() {
                     eval->interval.lower, eval->interval.upper,
                     eval->interval.theoretical_min,
                     eval->interval.theoretical_max, hit ? "yes" : "no");
+        json.Add(StrFormat("corr=%.0f/keep=%.0f/pred=%.0f", corr * 100,
+                           keep * 100, pred * 100),
+                 {{"true_fraction", eval->true_fraction},
+                  {"ci_lower", eval->interval.lower},
+                  {"ci_upper", eval->interval.upper},
+                  {"covered", hit ? 1.0 : 0.0}});
       }
     }
   }
   std::printf("# coverage: %zu/%zu intervals contain the true fraction\n",
               covered, total);
+  json.Add("coverage", {{"covered", static_cast<double>(covered)},
+                        {"total", static_cast<double>(total)}});
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
   return 0;
 }
 

@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/confidence_util.h"
+#include "common/string_util.h"
 #include "metrics/metrics.h"
 #include "restore/path_selection.h"
 
@@ -16,6 +17,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  FigureJson json("fig14");
   std::printf("# Figure 14: confidence intervals on real-world setups\n");
   std::printf(
       "setup,keep_rate,removal_correlation,true_fraction,"
@@ -54,9 +56,19 @@ int Run() {
                     keep * 100, corr * 100, eval->true_fraction,
                     eval->incomplete_fraction, eval->interval.lower,
                     eval->interval.upper, covered ? "yes" : "no");
+        json.Add(StrFormat("%s/keep=%.0f/corr=%.0f", name, keep * 100,
+                           corr * 100),
+                 {{"true_fraction", eval->true_fraction},
+                  {"incomplete_fraction", eval->incomplete_fraction},
+                  {"ci_lower", eval->interval.lower},
+                  {"ci_upper", eval->interval.upper},
+                  {"covered", covered ? 1.0 : 0.0}});
         std::fflush(stdout);
       }
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

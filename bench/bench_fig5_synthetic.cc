@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
 #include "metrics/metrics.h"
@@ -116,6 +117,7 @@ Result<SyntheticEval> RunSynthetic(double predictability, double zipf,
 }
 
 int Run() {
+  FigureJson json("fig5");
   const std::vector<double> predictabilities =
       FullGrids() ? std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0}
                   : std::vector<double>{0.2, 0.6, 1.0};
@@ -134,6 +136,9 @@ int Run() {
         }
         std::printf("%.0f%%,%.0f%%,%.0f%%,%.3f\n", p * 100, c * 100, k * 100,
                     eval->bias_reduction);
+        json.Add(StrFormat("5a_top/pred=%.0f/corr=%.0f/keep=%.0f", p * 100,
+                           c * 100, k * 100),
+                 {{"bias_reduction", eval->bias_reduction}});
       }
     }
   }
@@ -151,6 +156,9 @@ int Run() {
         if (!eval.ok()) continue;
         std::printf("%.1f,%.0f%%,%.0f%%,%.3f\n", z, c * 100, k * 100,
                     eval->bias_reduction);
+        json.Add(StrFormat("5a_bottom/zipf=%.1f/corr=%.0f/keep=%.0f", z,
+                           c * 100, k * 100),
+                 {{"bias_reduction", eval->bias_reduction}});
       }
     }
   }
@@ -162,6 +170,8 @@ int Run() {
     auto eval = RunSynthetic(p, 0.0, 0.0, 0.6, 0.4, false, 700);
     if (!eval.ok()) continue;
     std::printf("%.0f%%,%.3f\n", p * 100, eval->test_loss);
+    json.Add(StrFormat("5b/pred=%.0f", p * 100),
+             {{"target_test_loss", eval->test_loss}});
   }
 
   std::printf("\n# Figure 5c: SSAR vs AR improvement vs fan-out "
@@ -179,6 +189,14 @@ int Run() {
     std::printf("%.0f%%,%.3f,%.3f,%.3f\n", fp * 100, ar->bias_reduction,
                 ssar->bias_reduction,
                 ssar->bias_reduction - ar->bias_reduction);
+    json.Add(StrFormat("5c/fanout_pred=%.0f", fp * 100),
+             {{"ar_bias_reduction", ar->bias_reduction},
+              {"ssar_bias_reduction", ssar->bias_reduction},
+              {"improvement",
+               ssar->bias_reduction - ar->bias_reduction}});
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

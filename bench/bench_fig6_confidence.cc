@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/confidence_util.h"
+#include "common/string_util.h"
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
 #include "metrics/metrics.h"
@@ -43,6 +44,7 @@ Result<std::string> MostBiasedValue(const Database& complete,
 }
 
 int RunGrid(const std::vector<double>& correlations, const char* header) {
+  FigureJson json("fig6");
   std::printf("%s\n", header);
   std::printf(
       "removal_correlation,keep_rate,predictability,true_fraction,"
@@ -92,8 +94,18 @@ int RunGrid(const std::vector<double>& correlations, const char* header) {
                     eval->interval.lower, eval->interval.point,
                     eval->interval.upper, eval->interval.theoretical_min,
                     eval->interval.theoretical_max, covered ? "yes" : "no");
+        json.Add(StrFormat("corr=%.0f/keep=%.0f/pred=%.0f", corr * 100,
+                           keep * 100, pred * 100),
+                 {{"true_fraction", eval->true_fraction},
+                  {"ci_lower", eval->interval.lower},
+                  {"ci_point", eval->interval.point},
+                  {"ci_upper", eval->interval.upper},
+                  {"covered", covered ? 1.0 : 0.0}});
       }
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 
 namespace restore {
 namespace bench {
 namespace {
 
 int Run() {
+  FigureJson json("fig7");
   const double housing_scale = FullGrids() ? 0.5 : 0.15;
   const double movies_scale = FullGrids() ? 0.4 : 0.1;
   std::printf("# Figure 7a/7b: bias reduction and cardinality correction\n");
@@ -45,9 +47,16 @@ int Run() {
         std::printf("%s,%.0f%%,%.0f%%,%.3f,%.3f\n", setup.name.c_str(),
                     keep * 100, corr * 100, eval->bias_reduction,
                     eval->cardinality_correction);
+        json.Add(StrFormat("%s/keep=%.0f/corr=%.0f", setup.name.c_str(),
+                           keep * 100, corr * 100),
+                 {{"bias_reduction", eval->bias_reduction},
+                  {"cardinality_correction", eval->cardinality_correction}});
         std::fflush(stdout);
       }
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
   }
   return 0;
 }

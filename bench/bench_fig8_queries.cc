@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "datagen/workload.h"
 #include "exec/executor.h"
 #include "metrics/metrics.h"
@@ -15,7 +16,7 @@ namespace bench {
 namespace {
 
 int RunWorkload(const std::vector<WorkloadQuery>& workload, double scale,
-                const char* dataset) {
+                const char* dataset, FigureJson* json) {
   const std::vector<double> keeps =
       FullGrids() ? KeepRates() : std::vector<double>{0.4};
   const std::vector<double> corrs =
@@ -44,6 +45,9 @@ int RunWorkload(const std::vector<WorkloadQuery>& workload, double scale,
         std::printf("%s,%s,%s,%.0f%%,%.0f%%,%.4f\n", dataset,
                     wq.name.c_str(), wq.setup.c_str(), keep * 100, corr * 100,
                     improvement);
+        json->Add(StrFormat("%s/%s/keep=%.0f/corr=%.0f", dataset,
+                            wq.name.c_str(), keep * 100, corr * 100),
+                  {{"relative_error_improvement", improvement}});
         std::fflush(stdout);
       }
     }
@@ -58,8 +62,12 @@ int Run() {
       "relative_error_improvement\n");
   const double housing_scale = FullGrids() ? 0.5 : 0.12;
   const double movies_scale = FullGrids() ? 0.4 : 0.08;
-  RunWorkload(HousingWorkload(), housing_scale, "housing");
-  RunWorkload(MovieWorkload(), movies_scale, "movies");
+  FigureJson json("fig8");
+  RunWorkload(HousingWorkload(), housing_scale, "housing", &json);
+  RunWorkload(MovieWorkload(), movies_scale, "movies", &json);
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
   return 0;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 
 namespace restore {
 namespace bench {
@@ -40,6 +41,7 @@ Summary Summarize(std::vector<double> values) {
 }
 
 int Run() {
+  FigureJson json("fig9");
   std::printf("# Figure 9: AR vs SSAR bias-reduction distributions\n");
   std::printf("setup,model,min,q25,median,q75,max,n\n");
   const double housing_scale = FullGrids() ? 0.4 : 0.12;
@@ -73,8 +75,18 @@ int Run() {
       std::printf("%s,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%zu\n", setup.name.c_str(),
                   ssar ? "SSAR" : "AR", s.min, s.q25, s.median, s.q75, s.max,
                   reductions.size());
+      json.Add(StrFormat("%s/%s", setup.name.c_str(), ssar ? "SSAR" : "AR"),
+               {{"min", s.min},
+                {"q25", s.q25},
+                {"median", s.median},
+                {"q75", s.q75},
+                {"max", s.max},
+                {"n", static_cast<double>(reductions.size())}});
       std::fflush(stdout);
     }
+  }
+  if (Status st = json.Write(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
   }
   return 0;
 }

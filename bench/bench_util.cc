@@ -54,6 +54,23 @@ Status WriteBenchJson(const std::string& path,
   return Status::OK();
 }
 
+void FigureJson::Add(const std::string& name,
+                     std::map<std::string, double> counters) {
+  BenchRecord record;
+  record.name = name;
+  record.iterations = 1;
+  record.counters = std::move(counters);
+  records_.push_back(std::move(record));
+}
+
+Status FigureJson::Write() const {
+  const std::string path = "BENCH_" + figure_ + ".json";
+  RESTORE_RETURN_IF_ERROR(WriteBenchJson(path, records_));
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(),
+               records_.size());
+  return Status::OK();
+}
+
 EngineConfig BenchEngineConfig(bool use_ssar) {
   EngineConfig config;
   config.model.epochs = 12;

@@ -64,6 +64,28 @@ struct BenchRecord {
 Status WriteBenchJson(const std::string& path,
                       const std::vector<BenchRecord>& records);
 
+/// Machine-readable mirror of a figure harness's CSV output: every result
+/// row is recorded as one BenchRecord (name = the row's identity, counters =
+/// its numeric series values) and written as BENCH_<figure>.json next to the
+/// CSV on stdout, so full reproduction runs diff mechanically run-to-run
+/// just like bench_micro.
+class FigureJson {
+ public:
+  explicit FigureJson(std::string figure) : figure_(std::move(figure)) {}
+
+  /// Records one row. `name` identifies the series point (e.g.
+  /// "H1/keep=50/corr=60/path=neighborhood>apartment").
+  void Add(const std::string& name, std::map<std::string, double> counters);
+
+  /// Writes BENCH_<figure>.json into the current directory and reports the
+  /// destination on stderr (the CSV on stdout stays byte-identical).
+  Status Write() const;
+
+ private:
+  std::string figure_;
+  std::vector<BenchRecord> records_;
+};
+
 /// A fully-prepared completion scenario for one setup of Fig 4c.
 struct SetupRun {
   CompletionSetup setup;

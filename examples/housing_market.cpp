@@ -1,8 +1,10 @@
 // Housing-market scenario (the paper's motivating example): the apartment
 // table is systematically incomplete — listings in expensive areas are
 // underrepresented — and we want the average rent per landlord cohort.
+// Also demonstrates model persistence: trained models are saved and a second
+// Db is reopened from disk, answering its first query without any training.
 //
-//   $ ./build/examples/housing_market
+//   $ ./build/housing_market
 
 #include <cstdio>
 
@@ -10,7 +12,7 @@
 #include "datagen/workload.h"
 #include "exec/executor.h"
 #include "metrics/metrics.h"
-#include "restore/engine.h"
+#include "restore/db.h"
 
 using namespace restore;
 
@@ -19,26 +21,42 @@ int main() {
   // H1 incompleteness setup: apartments removed with a price-correlated
   // bias, 40% keep rate, 30% of tuple factors observed.
   auto complete = BuildCompleteDatabase("housing", /*seed=*/31, /*scale=*/0.3);
-  if (!complete.ok()) return 1;
-  auto setup = SetupByName("H1");
-  auto incomplete = ApplySetup(*complete, *setup, /*keep_rate=*/0.4,
-                               /*removal_correlation=*/0.6, /*seed=*/32);
-  if (!incomplete.ok()) return 1;
-
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup), EngineConfig());
-  if (auto s = engine.TrainModels(); !s.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+  if (!complete.ok()) {
+    std::fprintf(stderr, "building database failed: %s\n",
+                 complete.status().ToString().c_str());
     return 1;
   }
+  auto setup = SetupByName("H1");
+  if (!setup.ok()) {
+    std::fprintf(stderr, "unknown setup: %s\n",
+                 setup.status().ToString().c_str());
+    return 1;
+  }
+  auto incomplete = ApplySetup(*complete, *setup, /*keep_rate=*/0.4,
+                               /*removal_correlation=*/0.6, /*seed=*/32);
+  if (!incomplete.ok()) {
+    std::fprintf(stderr, "applying setup failed: %s\n",
+                 incomplete.status().ToString().c_str());
+    return 1;
+  }
+
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup), DbOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "opening Db failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Session session = (*db)->CreateSession();
 
   // How biased is the incomplete data, and how much does completion help?
   auto true_mean = ColumnMean(*complete->GetTable("apartment").value(),
                               "price");
   auto incomplete_mean =
       ColumnMean(*incomplete->GetTable("apartment").value(), "price");
-  auto completed_table = engine.CompleteTable("apartment");
+  auto completed_table = (*db)->CompleteTable("apartment");
   if (!completed_table.ok()) {
-    std::fprintf(stderr, "%s\n", completed_table.status().ToString().c_str());
+    std::fprintf(stderr, "completing apartment failed: %s\n",
+                 completed_table.status().ToString().c_str());
     return 1;
   }
   auto completed_mean = ColumnMean(*completed_table, "price");
@@ -48,8 +66,13 @@ int main() {
   std::printf("bias reduction: %.1f%%\n\n",
               100.0 * BiasReduction(*true_mean, *incomplete_mean,
                                     *completed_mean));
+  auto path = (*db)->SelectedPathFor("apartment");
+  if (!path.ok()) {
+    std::fprintf(stderr, "path selection failed: %s\n",
+                 path.status().ToString().c_str());
+    return 1;
+  }
   std::printf("selected completion path:");
-  auto path = engine.SelectedPathFor("apartment");
   for (const auto& t : *path) std::printf(" %s", t.c_str());
   std::printf("\n\n");
 
@@ -58,12 +81,47 @@ int main() {
     if (wq.setup != "H1") continue;
     auto truth = ExecuteSql(*complete, wq.sql);
     auto naive = ExecuteSql(*incomplete, wq.sql);
-    auto completed = engine.ExecuteCompletedSql(wq.sql);
-    if (!truth.ok() || !naive.ok() || !completed.ok()) continue;
+    auto completed = session.Execute(wq.sql);
+    if (!truth.ok() || !naive.ok() || !completed.ok()) {
+      std::fprintf(stderr, "%s failed: truth=%s naive=%s completed=%s\n",
+                   wq.name.c_str(), truth.status().ToString().c_str(),
+                   naive.status().ToString().c_str(),
+                   completed.status().ToString().c_str());
+      return 1;
+    }
     std::printf("%s: %s\n", wq.name.c_str(), wq.sql.c_str());
     std::printf("  rel. error incomplete: %.3f | completed: %.3f\n",
                 AverageRelativeError(*truth, *naive),
                 AverageRelativeError(*truth, *completed));
   }
+
+  // Persist the trained models and reopen them in a second Db — the restart
+  // story: a fresh server answers with zero training time.
+  const std::string model_dir = "/tmp/restore_housing_models";
+  if (auto s = (*db)->SaveModels(model_dir); !s.ok()) {
+    std::fprintf(stderr, "saving models failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  DbOptions reopen_options;
+  reopen_options.model_dir = model_dir;
+  auto reopened = Db::Open(&*incomplete, AnnotationFor(*setup),
+                           reopen_options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopening from %s failed: %s\n", model_dir.c_str(),
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto warm = (*reopened)->CreateSession().Execute(
+      "SELECT AVG(price) FROM apartment;");
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warm query failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nreopened from %s: %zu models loaded, %.2fs training, "
+              "AVG(price) = %.2f\n",
+              model_dir.c_str(), (*reopened)->models_loaded(),
+              (*reopened)->total_train_seconds(), warm->groups.at({})[0]);
   return 0;
 }

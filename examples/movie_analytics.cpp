@@ -1,9 +1,10 @@
 // Movie-analytics scenario: the movie table (and the m:n link tables that
 // reference it) are incomplete; queries join movies with directors through
 // movie_director. ReStore walks a completion path from the complete director
-// table through the link table to synthesize the missing movies.
+// table through the link table to synthesize the missing movies. Queries run
+// through concurrent sessions, including an async one on the shared pool.
 //
-//   $ ./build/examples/movie_analytics
+//   $ ./build/movie_analytics
 
 #include <cstdio>
 
@@ -11,19 +12,32 @@
 #include "datagen/workload.h"
 #include "exec/executor.h"
 #include "metrics/metrics.h"
-#include "restore/engine.h"
+#include "restore/db.h"
 
 using namespace restore;
 
 int main() {
   auto complete = BuildCompleteDatabase("movies", /*seed=*/41, /*scale=*/0.2);
-  if (!complete.ok()) return 1;
+  if (!complete.ok()) {
+    std::fprintf(stderr, "building database failed: %s\n",
+                 complete.status().ToString().c_str());
+    return 1;
+  }
   // M1: movies removed with a production-year bias (older movies missing),
   // link tables cascade-removed, only 20% of tuple factors observed.
   auto setup = SetupByName("M1");
+  if (!setup.ok()) {
+    std::fprintf(stderr, "unknown setup: %s\n",
+                 setup.status().ToString().c_str());
+    return 1;
+  }
   auto incomplete = ApplySetup(*complete, *setup, /*keep_rate=*/0.5,
                                /*removal_correlation=*/0.5, /*seed=*/42);
-  if (!incomplete.ok()) return 1;
+  if (!incomplete.ok()) {
+    std::fprintf(stderr, "applying setup failed: %s\n",
+                 incomplete.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("movies:        %zu complete, %zu available\n",
               (*complete->GetTable("movie").value()).NumRows(),
@@ -32,22 +46,45 @@ int main() {
               (*complete->GetTable("movie_director").value()).NumRows(),
               (*incomplete->GetTable("movie_director").value()).NumRows());
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup), EngineConfig());
-  if (auto s = engine.TrainModels(); !s.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup), DbOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "opening Db failed: %s\n",
+                 db.status().ToString().c_str());
     return 1;
   }
+  Session session = (*db)->CreateSession();
 
   // A join query across two incomplete tables (movie, movie_director) and a
-  // complete one (director).
+  // complete one (director) — kicked off asynchronously while the
+  // production-year histogram below runs on this thread. Both share the
+  // same lazily-trained models; the once-latches make that safe.
   const std::string sql =
       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
       "director WHERE gender='m';";
+  QueryFuture future = session.ExecuteAsync(sql);
+
+  // Production-year histogram: completion restores the missing (old) years.
+  const std::string hist =
+      "SELECT COUNT(*) FROM movie GROUP BY production_year;";
+  auto truth_h = ExecuteSql(*complete, hist);
+  auto naive_h = ExecuteSql(*incomplete, hist);
+  auto completed_h = session.Execute(hist);
+  if (!truth_h.ok() || !naive_h.ok() || !completed_h.ok()) {
+    std::fprintf(stderr, "histogram failed: truth=%s naive=%s completed=%s\n",
+                 truth_h.status().ToString().c_str(),
+                 naive_h.status().ToString().c_str(),
+                 completed_h.status().ToString().c_str());
+    return 1;
+  }
+
   auto truth = ExecuteSql(*complete, sql);
   auto naive = ExecuteSql(*incomplete, sql);
-  auto completed = engine.ExecuteCompletedSql(sql);
+  Result<QueryResult>& completed = future.Get();
   if (!truth.ok() || !naive.ok() || !completed.ok()) {
-    std::fprintf(stderr, "%s\n", completed.status().ToString().c_str());
+    std::fprintf(stderr, "join query failed: truth=%s naive=%s completed=%s\n",
+                 truth.status().ToString().c_str(),
+                 naive.status().ToString().c_str(),
+                 completed.status().ToString().c_str());
     return 1;
   }
   std::printf("query: %s\n", sql.c_str());
@@ -55,17 +92,9 @@ int main() {
               truth->groups.at({})[0], naive->groups.at({})[0],
               completed->groups.at({})[0]);
 
-  // Production-year histogram: completion restores the missing (old) years.
-  const std::string hist =
-      "SELECT COUNT(*) FROM movie GROUP BY production_year;";
-  auto truth_h = ExecuteSql(*complete, hist);
-  auto naive_h = ExecuteSql(*incomplete, hist);
-  auto completed_h = engine.ExecuteCompletedSql(hist);
-  if (truth_h.ok() && naive_h.ok() && completed_h.ok()) {
-    std::printf("\nproduction-year histogram rel. error: incomplete %.3f | "
-                "completed %.3f\n",
-                AverageRelativeError(*truth_h, *naive_h),
-                AverageRelativeError(*truth_h, *completed_h));
-  }
+  std::printf("\nproduction-year histogram rel. error: incomplete %.3f | "
+              "completed %.3f\n",
+              AverageRelativeError(*truth_h, *naive_h),
+              AverageRelativeError(*truth_h, *completed_h));
   return 0;
 }

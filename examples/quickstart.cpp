@@ -1,8 +1,8 @@
 // Quickstart: complete a two-table database where child tuples were removed
 // with a systematic bias, then compare an aggregate on the incomplete vs the
-// completed data.
+// completed data — through the concurrent restore::Db session API.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 
 #include <cstdio>
 
@@ -10,7 +10,7 @@
 #include "datagen/synthetic.h"
 #include "exec/executor.h"
 #include "metrics/metrics.h"
-#include "restore/engine.h"
+#include "restore/db.h"
 
 using namespace restore;
 
@@ -22,7 +22,8 @@ int main() {
   data_config.predictability = 0.9;  // b is mostly determined by a
   auto complete = GenerateSynthetic(data_config);
   if (!complete.ok()) {
-    std::fprintf(stderr, "%s\n", complete.status().ToString().c_str());
+    std::fprintf(stderr, "generating data failed: %s\n",
+                 complete.status().ToString().c_str());
     return 1;
   }
 
@@ -34,28 +35,53 @@ int main() {
   removal.keep_rate = 0.5;
   removal.removal_correlation = 0.6;
   auto incomplete = ApplyBiasedRemoval(*complete, removal);
-  if (!incomplete.ok()) return 1;
+  if (!incomplete.ok()) {
+    std::fprintf(stderr, "applying biased removal failed: %s\n",
+                 incomplete.status().ToString().c_str());
+    return 1;
+  }
   // Only 30% of the true tuple factors are known.
-  (void)ThinTupleFactors(&*incomplete, 0.3, 7);
+  if (auto s = ThinTupleFactors(&*incomplete, 0.3, 7); !s.ok()) {
+    std::fprintf(stderr, "thinning tuple factors failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
 
   // 3. Annotate the schema: which table is incomplete?
   SchemaAnnotation annotation;
   annotation.MarkIncomplete("table_b");
 
-  // 4. Train the completion models and answer a query on the completed data.
-  EngineConfig config;
-  CompletionEngine engine(&*incomplete, annotation, config);
-  if (auto s = engine.TrainModels(); !s.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+  // 4. Open the completion facade. Candidate paths are enumerated here;
+  //    models train lazily on first use and are shared by all sessions.
+  auto db = Db::Open(&*incomplete, annotation, DbOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "opening Db failed: %s\n",
+                 db.status().ToString().c_str());
     return 1;
   }
+  Session session = (*db)->CreateSession();
 
+  // 5. Answer a query on the completed data and compare against the truth.
   const std::string sql =
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
   auto truth = ExecuteSql(*complete, sql);
   auto naive = ExecuteSql(*incomplete, sql);
-  auto completed = engine.ExecuteCompletedSql(sql);
-  if (!truth.ok() || !naive.ok() || !completed.ok()) return 1;
+  auto completed = session.Execute(sql);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "truth query failed: %s\n",
+                 truth.status().ToString().c_str());
+    return 1;
+  }
+  if (!naive.ok()) {
+    std::fprintf(stderr, "incomplete query failed: %s\n",
+                 naive.status().ToString().c_str());
+    return 1;
+  }
+  if (!completed.ok()) {
+    std::fprintf(stderr, "completed query failed: %s\n",
+                 completed.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("query: %s\n\n", sql.c_str());
   std::printf("%-8s %10s %12s %10s\n", "group", "truth", "incomplete",
@@ -71,5 +97,29 @@ int main() {
               AverageRelativeError(*truth, *naive));
   std::printf("avg relative error completed:  %.3f\n",
               AverageRelativeError(*truth, *completed));
+
+  // 6. Prepared queries: parse once, bind and execute many times.
+  auto prepared =
+      session.Prepare("SELECT COUNT(*) FROM table_b WHERE b != ?;");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+  const std::string b0 = (*incomplete->GetTable("table_b").value())
+                             .GetColumn("b")
+                             .value()
+                             ->dictionary()
+                             ->ValueOf(0);
+  auto bound = prepared->Execute({Value::Categorical(b0)});
+  if (!bound.ok()) {
+    std::fprintf(stderr, "prepared execution failed: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncompleted COUNT(*) with b != '%s': %.0f\n", b0.c_str(),
+              bound->groups.at({})[0]);
+  std::printf("models trained: %zu (%.2fs)\n", (*db)->models_trained(),
+              (*db)->total_train_seconds());
   return 0;
 }

@@ -1,0 +1,111 @@
+#ifndef RESTORE_COMMON_FUTURE_H_
+#define RESTORE_COMMON_FUTURE_H_
+
+#include <cassert>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace restore {
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::function<T()> fn;   // cleared once claimed
+  bool claimed = false;
+  bool done = false;
+  std::optional<T> value;
+
+  /// Claims and runs the task if nobody has yet. Both pool workers and
+  /// waiting consumers call this, so the task makes progress even on a pool
+  /// with zero workers (the consumer runs it inline in Get()).
+  void TryRun() {
+    std::function<T()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (claimed) return;
+      claimed = true;
+      task = std::move(fn);
+      fn = nullptr;
+    }
+    T result = task();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      value.emplace(std::move(result));
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace internal
+
+/// A minimal single-consumer future for asynchronous query execution on the
+/// shared ThreadPool. Unlike std::async there is no detached thread: the task
+/// is claimed either by a pool worker or — if none got to it first, e.g. on a
+/// single-core machine with an empty pool — by the consumer inside Get().
+/// This guarantees progress at any pool width and cannot deadlock when every
+/// worker is busy.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True if the result is already available (non-blocking).
+  bool IsReady() const {
+    if (state_ == nullptr) return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the result is available and returns it (moves on rvalue
+  /// use; the future stays valid and Get may be called again on an lvalue).
+  /// Must not be called on a default-constructed (invalid) future.
+  T& Get() {
+    assert(state_ != nullptr && "Get() on an invalid Future");
+    state_->TryRun();  // run inline if no worker claimed the task yet
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    return *state_->value;
+  }
+
+  /// Wraps an already-computed value (e.g. an early validation error).
+  static Future<T> MakeReady(T value) {
+    Future<T> f;
+    f.state_ = std::make_shared<internal::FutureState<T>>();
+    f.state_->claimed = true;
+    f.state_->done = true;
+    f.state_->value.emplace(std::move(value));
+    return f;
+  }
+
+  /// Schedules `fn` on `pool` and returns the future of its result. With
+  /// zero workers the task is deferred until Get().
+  static Future<T> Async(ThreadPool& pool, std::function<T()> fn) {
+    Future<T> f;
+    f.state_ = std::make_shared<internal::FutureState<T>>();
+    f.state_->fn = std::move(fn);
+    if (pool.num_threads() > 0) {
+      auto state = f.state_;
+      pool.Run([state] { state->TryRun(); });
+    }
+    return f;
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_FUTURE_H_

@@ -1,0 +1,74 @@
+#ifndef RESTORE_COMMON_ONCE_LATCH_H_
+#define RESTORE_COMMON_ONCE_LATCH_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace restore {
+
+/// A run-exactly-once latch for expensive fallible initialization shared by
+/// concurrent callers (e.g. lazily training one completion model per path).
+///
+/// The first caller of `RunOnce` executes `fn`; concurrent callers block
+/// until it finishes and then observe the same Status. The outcome — success
+/// or failure — is cached: `fn` never runs twice, so a deterministic failure
+/// is reported identically to every caller instead of being retried.
+///
+/// The closure runs OUTSIDE the latch mutex, so it may itself block, use the
+/// shared ThreadPool, or take other latches (as long as the latch graph is
+/// acyclic, which path-keyed model training trivially satisfies).
+class OnceLatch {
+ public:
+  OnceLatch() = default;
+  OnceLatch(const OnceLatch&) = delete;
+  OnceLatch& operator=(const OnceLatch&) = delete;
+
+  /// Runs `fn` if no caller has before, else waits for the first run to
+  /// finish. Returns the Status of the one-and-only execution.
+  Status RunOnce(const std::function<Status()>& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kDone) return status_;
+    if (state_ == State::kRunning) {
+      cv_.wait(lock, [this] { return state_ == State::kDone; });
+      return status_;
+    }
+    state_ = State::kRunning;
+    lock.unlock();
+    Status s = fn();
+    lock.lock();
+    status_ = s;
+    state_ = State::kDone;
+    cv_.notify_all();
+    return status_;
+  }
+
+  /// Marks the latch as already completed with `status` without running
+  /// anything (e.g. a model restored from disk). Must not race RunOnce.
+  void SetDone(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = std::move(status);
+    state_ = State::kDone;
+    cv_.notify_all();
+  }
+
+  /// True once the latched work completed successfully. Does not block.
+  bool done_ok() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == State::kDone && status_.ok();
+  }
+
+ private:
+  enum class State { kIdle, kRunning, kDone };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  Status status_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_ONCE_LATCH_H_

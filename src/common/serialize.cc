@@ -1,0 +1,95 @@
+#include "common/serialize.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace restore {
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status WriteChecksummedFile(const std::string& path, uint32_t magic,
+                            uint32_t version, const std::string& payload) {
+  BinaryWriter header;
+  header.U32(magic);
+  header.U32(version);
+  header.U64(payload.size());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  const uint64_t checksum = Fnv1a64(payload);
+  file.write(header.buffer().data(),
+             static_cast<std::streamsize>(header.buffer().size()));
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  file.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  file.flush();
+  if (!file) {
+    return Status::Internal(
+        StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadChecksummedFile(const std::string& path,
+                                        uint32_t magic, uint32_t max_version,
+                                        uint32_t* version_out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+
+  constexpr size_t kHeaderSize = 4 + 4 + 8;
+  if (contents.size() < kHeaderSize + sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is truncated (only %zu bytes)", path.c_str(),
+                  contents.size()));
+  }
+  uint32_t file_magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  std::memcpy(&file_magic, contents.data(), sizeof(file_magic));
+  std::memcpy(&version, contents.data() + 4, sizeof(version));
+  std::memcpy(&payload_size, contents.data() + 8, sizeof(payload_size));
+  if (file_magic != magic) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' has wrong magic 0x%08x (expected 0x%08x)",
+                  path.c_str(), file_magic, magic));
+  }
+  if (version == 0 || version > max_version) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' has unsupported format version %u (max %u)",
+                  path.c_str(), version, max_version));
+  }
+  if (contents.size() != kHeaderSize + payload_size + sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is truncated or padded: %zu bytes, expected %zu",
+                  path.c_str(), contents.size(),
+                  kHeaderSize + payload_size + sizeof(uint64_t)));
+  }
+  std::string payload = contents.substr(kHeaderSize, payload_size);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, contents.data() + kHeaderSize + payload_size,
+              sizeof(stored_checksum));
+  if (Fnv1a64(payload) != stored_checksum) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' failed its checksum: the file is corrupted",
+                  path.c_str()));
+  }
+  if (version_out != nullptr) *version_out = version;
+  return payload;
+}
+
+}  // namespace restore

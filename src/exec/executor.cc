@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "exec/join.h"
+#include "exec/prepared.h"
 #include "exec/sql_parser.h"
 
 namespace restore {
@@ -12,6 +13,7 @@ Result<QueryResult> ExecuteQuery(const Database& db, const Query& query) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
+  RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
   RESTORE_ASSIGN_OR_RETURN(Table joined,
                            NaturalJoinTables(db, query.tables));
   return FilterAndAggregate(joined, query);

@@ -1,0 +1,94 @@
+#include "exec/prepared.h"
+
+#include "common/string_util.h"
+#include "exec/sql_parser.h"
+
+namespace restore {
+
+namespace {
+
+/// Qualifies one unqualified column reference against the query's tables.
+Result<std::string> QualifyColumn(const Database& db,
+                                  const std::vector<std::string>& tables,
+                                  const std::string& column) {
+  if (column.find('.') != std::string::npos) return column;
+  std::string qualified;
+  int hits = 0;
+  for (const auto& t : tables) {
+    RESTORE_ASSIGN_OR_RETURN(const Table* table, db.GetTable(t));
+    if (table->HasColumn(column)) {
+      qualified = t + "." + column;
+      ++hits;
+    }
+  }
+  if (hits == 0) {
+    return Status::NotFound(
+        StrFormat("column '%s' not found in query tables", column.c_str()));
+  }
+  if (hits > 1) {
+    return Status::InvalidArgument(
+        StrFormat("column reference '%s' is ambiguous", column.c_str()));
+  }
+  return qualified;
+}
+
+}  // namespace
+
+Status QualifyQueryColumns(const Database& db, Query* query) {
+  for (auto& agg : query->aggregates) {
+    if (agg.column.empty()) continue;
+    RESTORE_ASSIGN_OR_RETURN(agg.column,
+                             QualifyColumn(db, query->tables, agg.column));
+  }
+  for (auto& pred : query->predicates) {
+    RESTORE_ASSIGN_OR_RETURN(pred.column,
+                             QualifyColumn(db, query->tables, pred.column));
+  }
+  for (auto& g : query->group_by) {
+    RESTORE_ASSIGN_OR_RETURN(g, QualifyColumn(db, query->tables, g));
+  }
+  return Status::OK();
+}
+
+Status CheckFullyBound(const Query& query) {
+  if (!query.IsFullyBound()) {
+    return Status::FailedPrecondition(
+        StrFormat("query has %zu unbound '?' parameter(s); call Bind first",
+                  query.num_params));
+  }
+  return Status::OK();
+}
+
+Result<PreparedStatement> PreparedStatement::Prepare(const Database& db,
+                                                     const std::string& sql) {
+  RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  if (query.tables.empty() || query.aggregates.empty()) {
+    return Status::InvalidArgument("malformed query");
+  }
+  RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(db, &query));
+  return PreparedStatement(std::move(query));
+}
+
+Result<Query> PreparedStatement::Bind(const std::vector<Value>& params) const {
+  if (params.size() != query_.num_params) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu parameter(s), got %zu", query_.num_params,
+                  params.size()));
+  }
+  Query bound = query_;
+  for (auto& pred : bound.predicates) {
+    if (pred.param_index < 0) continue;
+    const Value& v = params[static_cast<size_t>(pred.param_index)];
+    if (v.is_null()) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter %d is NULL; predicates require a concrete literal",
+          pred.param_index));
+    }
+    pred.literal = v;
+    pred.param_index = -1;
+  }
+  bound.num_params = 0;
+  return bound;
+}
+
+}  // namespace restore

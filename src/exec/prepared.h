@@ -1,0 +1,55 @@
+#ifndef RESTORE_EXEC_PREPARED_H_
+#define RESTORE_EXEC_PREPARED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/query.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Rewrites every unqualified column reference of `query` (aggregates,
+/// predicates, GROUP BY) to its table-qualified form "table.column",
+/// resolving against the query's FROM tables only. Fails on unknown or
+/// ambiguous references. Idempotent: already-qualified names pass through.
+///
+/// Qualifying against the QUERY's tables (not a joined result) matters for
+/// completed execution: completion paths can pull in extra evidence tables
+/// with clashing column names (e.g. actor.gender vs director.gender).
+Status QualifyQueryColumns(const Database& db, Query* query);
+
+/// Returns an error if `query` still contains unbound `?` parameters.
+Status CheckFullyBound(const Query& query);
+
+/// A parse-once / bind-and-execute-many query handle: the SQL is tokenized,
+/// parsed, and column-qualified exactly once; each execution only
+/// substitutes the positional parameters. This removes per-call parsing
+/// from the hot query path and is the exec-layer half of restore::Session's
+/// PreparedQuery.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  /// Parses `sql` and qualifies its column references against `db`.
+  static Result<PreparedStatement> Prepare(const Database& db,
+                                           const std::string& sql);
+
+  /// The parsed (qualified, possibly parameterized) query.
+  const Query& query() const { return query_; }
+  size_t num_params() const { return query_.num_params; }
+
+  /// Returns an executable copy of the query with each `?` replaced by the
+  /// corresponding entry of `params` (size must equal num_params()).
+  Result<Query> Bind(const std::vector<Value>& params) const;
+
+ private:
+  explicit PreparedStatement(Query query) : query_(std::move(query)) {}
+
+  Query query_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_EXEC_PREPARED_H_

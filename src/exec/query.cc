@@ -54,7 +54,9 @@ std::string Query::ToSql() const {
       if (i > 0) os << " AND ";
       const auto& p = predicates[i];
       os << p.column << " " << CompareOpName(p.op) << " ";
-      if (p.literal.is_string()) {
+      if (p.param_index >= 0) {
+        os << "?";
+      } else if (p.literal.is_string()) {
         os << "'" << p.literal.string_value() << "'";
       } else {
         os << p.literal.ToString();

@@ -37,10 +37,16 @@ const char* CompareOpName(CompareOp op);
 
 /// A simple predicate `column <op> literal`. Conjunctions only (AND), which
 /// covers the paper's entire workload; categorical columns support kEq/kNe.
+///
+/// Prepared queries may use a positional `?` placeholder instead of a
+/// literal: `param_index` is then the 0-based parameter slot and `literal`
+/// is unset until PreparedStatement::Bind substitutes it. Executors reject
+/// queries that still contain unbound parameters.
 struct Predicate {
   std::string column;
   CompareOp op = CompareOp::kEq;
   Value literal;
+  int param_index = -1;
 };
 
 /// An acyclic Select-Project-Join-Aggregate query:
@@ -52,6 +58,16 @@ struct Query {
   std::vector<std::string> tables;
   std::vector<Predicate> predicates;
   std::vector<std::string> group_by;
+  /// Number of positional `?` parameters (0 for fully-literal queries).
+  size_t num_params = 0;
+
+  /// True if every predicate carries a literal (no unbound `?` slots).
+  bool IsFullyBound() const {
+    for (const auto& p : predicates) {
+      if (p.param_index >= 0) return false;
+    }
+    return true;
+  }
 
   /// Round-trippable SQL rendering (for logging and reports).
   std::string ToSql() const;

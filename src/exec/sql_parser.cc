@@ -121,7 +121,8 @@ class Lexer {
       case '*':
       case '=':
       case '<':
-      case '>': {
+      case '>':
+      case '?': {
         ++pos_;
         std::string s(1, c);
         return Token{TokenType::kSymbol, s, s};
@@ -280,9 +281,12 @@ class Parser {
         }
       } else if (Peek().type == TokenType::kString) {
         pred.literal = Value::Categorical(Advance().text);
+      } else if (AcceptSymbol("?")) {
+        pred.param_index = static_cast<int>(query->num_params++);
       } else {
         return Status::ParseError(
-            StrFormat("expected literal, got '%s'", Peek().text.c_str()));
+            StrFormat("expected literal or '?', got '%s'",
+                      Peek().text.c_str()));
       }
       query->predicates.push_back(std::move(pred));
     } while (AcceptKeyword("and"));

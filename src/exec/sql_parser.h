@@ -17,8 +17,12 @@ namespace restore {
 ///
 ///   agg_list  := agg (, agg)*
 ///   agg       := COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
-///   predicate := col (= | != | <> | < | <= | > | >=) literal
+///   predicate := col (= | != | <> | < | <= | > | >=) (literal | ?)
 ///   literal   := number | 'string'
+///
+/// A `?` is a positional parameter placeholder for prepared queries
+/// (see exec/prepared.h); the resulting Query must be bound before
+/// execution.
 ///
 /// Keywords are case-insensitive; identifiers may contain dots and
 /// underscores. Comparison operators written as unicode >= / <= in the paper

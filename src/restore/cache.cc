@@ -2,7 +2,16 @@
 
 #include <limits>
 
+#include "common/serialize.h"
+
 namespace restore {
+
+CompletionCache::CompletionCache(size_t budget_bytes, size_t num_shards)
+    : budget_bytes_(budget_bytes),
+      shard_budget_(budget_bytes == 0
+                        ? 0
+                        : std::max<size_t>(1, budget_bytes / num_shards)),
+      shards_(num_shards == 0 ? 1 : num_shards) {}
 
 std::string CompletionCache::Key(const std::set<std::string>& tables) {
   std::string key;
@@ -13,45 +22,143 @@ std::string CompletionCache::Key(const std::set<std::string>& tables) {
   return key;
 }
 
-void CompletionCache::Put(const std::set<std::string>& tables, Table joined) {
-  entries_[Key(tables)] = Entry{tables, std::move(joined)};
+CompletionCache::Shard& CompletionCache::ShardFor(
+    const std::string& key) const {
+  return shards_[Fnv1a64(key.data(), key.size()) % shards_.size()];
 }
 
-const Table* CompletionCache::GetExact(
-    const std::set<std::string>& tables) const {
-  auto it = entries_.find(Key(tables));
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
+size_t CompletionCache::ApproxTableBytes(const Table& table) {
+  size_t bytes = sizeof(Table);
+  for (const auto& col : table.columns()) {
+    bytes += sizeof(Column) + col.name().size();
+    bytes += col.ints().capacity() * sizeof(int64_t);
+    bytes += col.doubles().capacity() * sizeof(double);
   }
-  ++hits_;
-  return &it->second.joined;
+  return bytes;
 }
 
-const Table* CompletionCache::GetCovering(
-    const std::set<std::string>& tables) const {
-  const Table* best = nullptr;
-  size_t best_size = std::numeric_limits<size_t>::max();
-  for (const auto& [key, entry] : entries_) {
-    (void)key;
-    bool covers = true;
-    for (const auto& t : tables) {
-      if (entry.tables.count(t) == 0) {
-        covers = false;
-        break;
+void CompletionCache::EvictLocked(Shard* shard, const std::string& keep) {
+  if (shard_budget_ == 0) return;
+  while (shard->bytes > shard_budget_ && shard->entries.size() > 1) {
+    auto victim = shard->entries.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = shard->entries.begin(); it != shard->entries.end(); ++it) {
+      if (it->first == keep) continue;
+      if (it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
       }
     }
-    if (covers && entry.tables.size() < best_size) {
-      best_size = entry.tables.size();
-      best = &entry.joined;
+    if (victim == shard->entries.end()) break;
+    shard->bytes -= victim->second.bytes;
+    shard->entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CompletionCache::Put(const std::set<std::string>& tables,
+                          std::shared_ptr<const Table> joined) {
+  const std::string key = Key(tables);
+  Entry entry;
+  entry.tables = tables;
+  entry.bytes = ApproxTableBytes(*joined);
+  // An entry that alone exceeds the shard budget is not worth caching —
+  // rejecting it up front (rather than inserting and evicting back down)
+  // keeps it from flushing every other entry of its shard first.
+  if (shard_budget_ != 0 && entry.bytes > shard_budget_) return;
+  entry.joined = std::move(joined);
+  entry.last_used = clock_.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.bytes -= it->second.bytes;
+    shard.entries.erase(it);
+  }
+  shard.bytes += entry.bytes;
+  shard.entries.emplace(key, std::move(entry));
+  EvictLocked(&shard, key);
+}
+
+std::shared_ptr<const Table> CompletionCache::GetExact(
+    const std::set<std::string>& tables) const {
+  const std::string key = Key(tables);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  it->second.last_used = clock_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.joined;
+}
+
+std::shared_ptr<const Table> CompletionCache::GetCovering(
+    const std::set<std::string>& tables) const {
+  std::shared_ptr<const Table> best;
+  std::string best_key;
+  Shard* best_shard = nullptr;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, entry] : shard.entries) {
+      bool covers = true;
+      for (const auto& t : tables) {
+        if (entry.tables.count(t) == 0) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers && entry.tables.size() < best_size) {
+        best_size = entry.tables.size();
+        best = entry.joined;
+        best_key = key;
+        best_shard = &shard;
+      }
     }
   }
   if (best == nullptr) {
-    ++misses_;
-  } else {
-    ++hits_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return best;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Bump recency only for the entry actually served — bumping intermediate
+  // "best so far" candidates would let never-used entries outlive hot ones.
+  std::lock_guard<std::mutex> lock(best_shard->mu);
+  auto it = best_shard->entries.find(best_key);
+  if (it != best_shard->entries.end()) {
+    it->second.last_used = clock_.fetch_add(1, std::memory_order_relaxed);
   }
   return best;
+}
+
+size_t CompletionCache::size() const {
+  size_t n = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+size_t CompletionCache::bytes() const {
+  size_t n = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.bytes;
+  }
+  return n;
+}
+
+void CompletionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.bytes = 0;
+  }
 }
 
 }  // namespace restore

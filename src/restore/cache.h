@@ -1,8 +1,10 @@
 #ifndef RESTORE_RESTORE_CACHE_H_
 #define RESTORE_RESTORE_CACHE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -14,35 +16,81 @@ namespace restore {
 /// Cache of completed joins (Section 4.5): data synthesized for one query is
 /// reused by later queries over the same join path, and queries over a
 /// sub-path reuse a superset join by projection.
+///
+/// Thread safety: all operations are safe under concurrent access. Entries
+/// are hash-sharded with one mutex per shard so unrelated lookups do not
+/// contend; hit/miss counters are atomics (the old implementation mutated
+/// `mutable` non-atomic counters from const lookups — a data race under the
+/// concurrent Db facade).
+///
+/// Budget: `budget_bytes` bounds the total approximate payload size. On
+/// overflow the least-recently-used entries of the shard are evicted; an
+/// entry larger than a shard's budget is not cached at all. 0 = unbounded.
+/// Lookups return shared_ptr handles, so a result stays valid even if its
+/// entry is evicted while the caller still aggregates over it.
 class CompletionCache {
  public:
-  CompletionCache() = default;
+  explicit CompletionCache(size_t budget_bytes = 0, size_t num_shards = 8);
+
+  CompletionCache(const CompletionCache&) = delete;
+  CompletionCache& operator=(const CompletionCache&) = delete;
 
   /// Stores a completed join covering exactly `tables`.
-  void Put(const std::set<std::string>& tables, Table joined);
+  void Put(const std::set<std::string>& tables,
+           std::shared_ptr<const Table> joined);
+  void Put(const std::set<std::string>& tables, Table joined) {
+    Put(tables, std::make_shared<const Table>(std::move(joined)));
+  }
 
   /// Exact hit: a completed join over exactly `tables`, or nullptr.
-  const Table* GetExact(const std::set<std::string>& tables) const;
+  std::shared_ptr<const Table> GetExact(
+      const std::set<std::string>& tables) const;
 
   /// Superset hit: the smallest cached join whose table set is a superset of
   /// `tables` (its projection serves the query), or nullptr.
-  const Table* GetCovering(const std::set<std::string>& tables) const;
+  std::shared_ptr<const Table> GetCovering(
+      const std::set<std::string>& tables) const;
 
-  size_t size() const { return entries_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  void Clear() { entries_.clear(); }
+  size_t size() const;
+  /// Approximate bytes of all cached payloads.
+  size_t bytes() const;
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t budget_bytes() const { return budget_bytes_; }
+  void Clear();
+
+  /// Approximate in-memory payload size of a table (column vectors only).
+  static size_t ApproxTableBytes(const Table& table);
 
  private:
-  static std::string Key(const std::set<std::string>& tables);
-
   struct Entry {
     std::set<std::string> tables;
-    Table joined;
+    std::shared_ptr<const Table> joined;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
   };
-  std::map<std::string, Entry> entries_;
-  mutable size_t hits_ = 0;
-  mutable size_t misses_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+    size_t bytes = 0;
+  };
+
+  static std::string Key(const std::set<std::string>& tables);
+  Shard& ShardFor(const std::string& key) const;
+  /// Evicts LRU entries of `shard` until it fits its budget slice.
+  /// `keep` is never evicted. Caller holds the shard mutex.
+  void EvictLocked(Shard* shard, const std::string& keep);
+
+  const size_t budget_bytes_;
+  const size_t shard_budget_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> clock_{0};
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  mutable std::atomic<size_t> evictions_{0};
 };
 
 }  // namespace restore

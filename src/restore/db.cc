@@ -1,0 +1,535 @@
+#include "restore/db.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <set>
+
+#include "common/serialize.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "exec/join.h"
+#include "exec/sql_parser.h"
+
+namespace restore {
+
+namespace {
+
+// Model-persistence framing (see common/serialize.h). Bump kFormatVersion on
+// any layout change; readers reject newer versions.
+constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
+constexpr uint32_t kModelMagic = 0x4f545352;     // "RSTO"
+constexpr uint32_t kFormatVersion = 1;
+constexpr const char kManifestName[] = "restore_models.manifest";
+
+std::string ModelFileName(const std::string& path_key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(path_key)));
+  return StrFormat("model_%s.rsm", buf);
+}
+
+Status MakeDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::InvalidArgument(
+      StrFormat("cannot create model directory '%s'", dir.c_str()));
+}
+
+}  // namespace
+
+Db::Db(const Database* database, SchemaAnnotation annotation,
+       EngineConfig config)
+    : database_(database),
+      annotation_(std::move(annotation)),
+      config_(std::move(config)),
+      cache_(config_.cache_budget_bytes) {}
+
+std::string Db::PathKey(const std::vector<std::string>& path) {
+  return Join(path, "->");
+}
+
+Result<std::shared_ptr<Db>> Db::Open(const Database* database,
+                                     SchemaAnnotation annotation,
+                                     DbOptions options) {
+  RESTORE_RETURN_IF_ERROR(annotation.Validate(*database));
+  std::shared_ptr<Db> db(
+      new Db(database, std::move(annotation), std::move(options.engine)));
+  for (const auto& target : db->annotation_.incomplete_tables()) {
+    std::vector<std::vector<std::string>> paths = EnumerateCompletionPaths(
+        *database, db->annotation_, target, db->config_.max_path_len);
+    if (paths.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("no completion path for incomplete table '%s'",
+                    target.c_str()));
+    }
+    if (paths.size() > db->config_.max_candidates) {
+      paths.resize(db->config_.max_candidates);
+    }
+    db->candidates_[target] = std::move(paths);
+    db->selected_[target] = std::make_unique<SelectionEntry>();
+  }
+  // Stable per-path training seeds, assigned in enumeration order. These
+  // reproduce the seeds sequential training historically used, but are a
+  // pure function of the schema — never of request order — so concurrent
+  // and restarted servers train identical models.
+  uint64_t next = 1;
+  for (const auto& [target, paths] : db->candidates_) {
+    (void)target;
+    for (const auto& path : paths) {
+      const std::string key = PathKey(path);
+      if (db->path_seeds_.count(key) == 0) {
+        db->path_seeds_[key] = db->config_.seed + next++;
+      }
+    }
+  }
+  if (!options.model_dir.empty()) {
+    RESTORE_RETURN_IF_ERROR(db->LoadModels(options.model_dir));
+  }
+  return db;
+}
+
+Session Db::CreateSession() { return Session(shared_from_this()); }
+
+uint64_t Db::SeedForPath(const std::string& key) const {
+  auto it = path_seeds_.find(key);
+  if (it != path_seeds_.end()) return it->second;
+  // Ad-hoc path outside the candidate registry: hash the key into a seed
+  // disjoint from the compact candidate indices.
+  return config_.seed + 1000003 + (Fnv1a64(key) % 1000000007ull);
+}
+
+uint64_t Db::CompletionSeed(const std::string& key) const {
+  return config_.seed ^ (Fnv1a64(key) | 1ull);
+}
+
+Db::ModelEntry* Db::EntryFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::unique_ptr<ModelEntry>& slot = models_[key];
+  if (slot == nullptr) slot = std::make_unique<ModelEntry>();
+  return slot.get();
+}
+
+Result<const PathModel*> Db::ModelForPath(
+    const std::vector<std::string>& path) {
+  const std::string key = PathKey(path);
+  ModelEntry* entry = EntryFor(key);
+  Status s = entry->latch.RunOnce([&]() -> Status {
+    PathModelConfig cfg = config_.model;
+    cfg.seed = SeedForPath(key);
+    Result<std::unique_ptr<PathModel>> trained =
+        PathModel::Train(*database_, annotation_, path, cfg);
+    if (!trained.ok()) return trained.status();
+    entry->model = std::move(trained).value();
+    models_trained_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_train_seconds_ += entry->model->train_seconds();
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return entry->model.get();
+}
+
+double Db::total_train_seconds() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return total_train_seconds_;
+}
+
+Result<std::vector<Db::Candidate>> Db::CandidatesFor(
+    const std::string& target) {
+  auto it = candidates_.find(target);
+  if (it == candidates_.end()) {
+    return Status::NotFound(StrFormat(
+        "no candidates for '%s' (not an incomplete table of this Db)",
+        target.c_str()));
+  }
+  const std::vector<std::vector<std::string>>& paths = it->second;
+  // Candidate models are independent: train the missing ones concurrently on
+  // the shared pool. Each path's once-latch guarantees a single training run
+  // even if another session races us on the same candidate.
+  std::vector<Status> errors(paths.size(), Status::OK());
+  ThreadPool::Global().ParallelFor(0, paths.size(), 1,
+                                   [&](size_t lo, size_t hi) {
+                                     for (size_t i = lo; i < hi; ++i) {
+                                       errors[i] =
+                                           ModelForPath(paths[i]).status();
+                                     }
+                                   });
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  std::vector<Candidate> out;
+  out.reserve(paths.size());
+  for (const auto& path : paths) {
+    RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
+    out.push_back({path, model});
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Db::SelectedPathFor(
+    const std::string& target) {
+  auto it = selected_.find(target);
+  if (it == selected_.end()) {
+    return Status::NotFound(StrFormat(
+        "no selection for '%s' (not an incomplete table of this Db)",
+        target.c_str()));
+  }
+  SelectionEntry* entry = it->second.get();
+  Status s = entry->latch.RunOnce([&]() -> Status {
+    Result<std::vector<Candidate>> cands = CandidatesFor(target);
+    if (!cands.ok()) return cands.status();
+    if (cands->empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("no trained candidates for '%s'", target.c_str()));
+    }
+    std::vector<std::vector<std::string>> paths;
+    std::vector<const PathModel*> models;
+    for (const auto& c : *cands) {
+      paths.push_back(c.path);
+      models.push_back(c.model);
+    }
+    PathModelConfig probe = config_.model;
+    probe.epochs = std::max<size_t>(2, probe.epochs / 3);
+    Result<size_t> best =
+        SelectPath(*database_, annotation_, target, paths, models,
+                   config_.selection, probe, /*holdout_fraction=*/0.3,
+                   config_.seed + 7);
+    if (!best.ok()) return best.status();
+    entry->path = paths[best.value()];
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return entry->path;
+}
+
+Result<CompletionResult> Db::CompleteViaPath(
+    const std::vector<std::string>& path, const CompletionOptions& options) {
+  RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
+  // The synthesis RNG is derived from the path so a completion is a pure
+  // function of (db, models, path) — concurrent sessions and restarted
+  // processes produce bit-identical synthesized data.
+  Rng rng(CompletionSeed(PathKey(path)));
+  IncompletenessJoinExecutor exec(database_, &annotation_);
+  return exec.CompletePathJoin(*model, rng, options);
+}
+
+Result<Table> Db::CompleteTable(const std::string& target) {
+  RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> path,
+                           SelectedPathFor(target));
+  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion, CompleteViaPath(path));
+  RESTORE_ASSIGN_OR_RETURN(const Table* base, database_->GetTable(target));
+
+  // Completed table = existing tuples + synthesized tuples (attr columns;
+  // key columns of synthesized tuples are NULL).
+  Table out(target);
+  auto it = completion.synthesized.find(target);
+  for (const auto& col : base->columns()) {
+    Column merged = col;
+    if (it != completion.synthesized.end()) {
+      const Column* synth = nullptr;
+      for (const auto& sc : it->second) {
+        if (sc.name() == col.name()) {
+          synth = &sc;
+          break;
+        }
+      }
+      const size_t n = it->second.empty() ? 0 : it->second.front().size();
+      for (size_t r = 0; r < n; ++r) {
+        if (synth == nullptr) {
+          merged.AppendNull();
+        } else if (synth->type() == ColumnType::kDouble) {
+          merged.AppendDouble(synth->GetDouble(r));
+        } else {
+          merged.AppendInt64(synth->GetInt64(r));
+        }
+      }
+    }
+    RESTORE_RETURN_IF_ERROR(out.AddColumn(std::move(merged)));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
+    const std::vector<std::string>& tables) {
+  // Single incomplete table: answer from the completed TABLE rather than a
+  // completed path join — the path necessarily enters through a fan-out
+  // (e.g. a link table), which would count each target tuple once per link.
+  if (tables.size() == 1 && annotation_.IsIncomplete(tables[0])) {
+    // Exact-match caching only: projecting a cached superset join would
+    // change tuple multiplicities.
+    const std::set<std::string> key{tables[0]};
+    if (config_.enable_cache) {
+      std::shared_ptr<const Table> cached = cache_.GetExact(key);
+      if (cached != nullptr) return cached;
+    }
+    RESTORE_ASSIGN_OR_RETURN(Table completed, CompleteTable(tables[0]));
+    completed.QualifyColumnNames(tables[0]);
+    auto result = std::make_shared<const Table>(std::move(completed));
+    if (config_.enable_cache) cache_.Put(key, result);
+    return result;
+  }
+  std::set<std::string> table_set(tables.begin(), tables.end());
+  if (config_.enable_cache) {
+    std::shared_ptr<const Table> cached = cache_.GetCovering(table_set);
+    if (cached != nullptr) return cached;
+  }
+
+  // Incomplete tables among the requested join.
+  std::vector<std::string> incomplete;
+  for (const auto& t : tables) {
+    if (annotation_.IsIncomplete(t)) incomplete.push_back(t);
+  }
+  if (incomplete.empty()) {
+    RESTORE_ASSIGN_OR_RETURN(Table joined,
+                             NaturalJoinTables(*database_, tables));
+    return std::make_shared<const Table>(std::move(joined));
+  }
+
+  // Build the extended completion path: a completion path for the primary
+  // incomplete table, then any remaining query tables appended in FK-
+  // connected order. The walk completes every incomplete table it crosses.
+  //
+  // Path choice is query-aware: a fan-out hop into a table OUTSIDE the query
+  // multiplies the join rows of the answer (Section 4.4 would require
+  // reweighting), so candidates are ranked first by how few off-query
+  // fan-out hops they introduce, then by the configured selection strategy.
+  RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> selected,
+                           SelectedPathFor(incomplete[0]));
+  RESTORE_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                           CandidatesFor(incomplete[0]));
+  auto fanout_penalty = [&](const std::vector<std::string>& p) {
+    size_t penalty = 0;
+    for (size_t k = 0; k + 1 < p.size(); ++k) {
+      auto fan = database_->IsFanOut(p[k], p[k + 1]);
+      const bool off_query =
+          std::find(tables.begin(), tables.end(), p[k + 1]) == tables.end();
+      if (fan.ok() && fan.value() && off_query) ++penalty;
+    }
+    return penalty;
+  };
+  std::vector<std::string> path = selected;
+  size_t best_penalty = fanout_penalty(selected);
+  for (const auto& cand : cands) {
+    const size_t penalty = fanout_penalty(cand.path);
+    if (penalty < best_penalty) {
+      best_penalty = penalty;
+      path = cand.path;
+    }
+  }
+  std::vector<std::string> extended = path;
+  std::set<std::string> placed(path.begin(), path.end());
+  std::set<std::string> remaining;
+  for (const auto& t : tables) {
+    if (placed.count(t) == 0) remaining.insert(t);
+  }
+  while (!remaining.empty()) {
+    bool progress = false;
+    // Prefer a table connected to the LAST path table (a proper walk), else
+    // any connected table.
+    for (const auto& cand : remaining) {
+      if (database_->FindForeignKey(extended.back(), cand).ok()) {
+        extended.push_back(cand);
+        placed.insert(cand);
+        remaining.erase(cand);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (const auto& cand : remaining) {
+      bool connected = false;
+      for (const auto& done : placed) {
+        if (database_->FindForeignKey(cand, done).ok()) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected) {
+        return Status::Unimplemented(
+            StrFormat("query table '%s' is not FK-adjacent to the completion "
+                      "path tail; bushy completion plans are not supported",
+                      cand.c_str()));
+      }
+      return Status::InvalidArgument(
+          StrFormat("query table '%s' is not connected", cand.c_str()));
+    }
+  }
+
+  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
+                           CompleteViaPath(extended));
+  auto result = std::make_shared<const Table>(std::move(completion.joined));
+  if (config_.enable_cache) {
+    std::set<std::string> covered(extended.begin(), extended.end());
+    cache_.Put(covered, result);
+  }
+  return result;
+}
+
+Result<QueryResult> Db::ExecuteCompleted(const Query& query) {
+  if (query.tables.empty() || query.aggregates.empty()) {
+    return Status::InvalidArgument("malformed query");
+  }
+  RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
+  // Rewrite column references to be table-qualified w.r.t. the query tables
+  // so that evidence tables pulled in by the completion path cannot make
+  // them ambiguous. Idempotent for pre-qualified prepared queries.
+  Query rewritten = query;
+  RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*database_, &rewritten));
+  RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const Table> joined,
+                           CompletedJoinFor(query.tables));
+  return FilterAndAggregate(*joined, rewritten);
+}
+
+Result<QueryResult> Db::ExecuteCompletedSql(const std::string& sql) {
+  RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  return ExecuteCompleted(query);
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+Status Db::SaveModels(const std::string& dir) const {
+  RESTORE_RETURN_IF_ERROR(MakeDirectory(dir));
+
+  // Snapshot the successfully-trained models; training that completes after
+  // this point is simply not part of the snapshot. Models are immutable once
+  // their latch is done, so serialization needs no further locking.
+  std::vector<std::pair<std::string, const PathModel*>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [key, entry] : models_) {
+      if (entry->latch.done_ok()) {
+        snapshot.emplace_back(key, entry->model.get());
+      }
+    }
+  }
+
+  BinaryWriter manifest;
+  manifest.U64(snapshot.size());
+  for (const auto& [key, model] : snapshot) {
+    BinaryWriter w;
+    model->Save(&w);
+    const std::string filename = ModelFileName(key);
+    RESTORE_RETURN_IF_ERROR(WriteChecksummedFile(
+        dir + "/" + filename, kModelMagic, kFormatVersion, w.buffer()));
+    manifest.Str(key);
+    manifest.Str(filename);
+  }
+
+  // Persist completed path selections so a reopened Db answers without
+  // re-running (and possibly re-training for) the selection procedure.
+  std::vector<std::pair<std::string, std::vector<std::string>>> selections;
+  for (const auto& [target, entry] : selected_) {
+    if (entry->latch.done_ok()) selections.emplace_back(target, entry->path);
+  }
+  manifest.U64(selections.size());
+  for (const auto& [target, path] : selections) {
+    manifest.Str(target);
+    manifest.VecStr(path);
+  }
+  return WriteChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
+                              kFormatVersion, manifest.buffer());
+}
+
+Status Db::LoadModels(const std::string& dir) {
+  RESTORE_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
+                          kFormatVersion));
+  BinaryReader manifest(std::move(payload));
+  const uint64_t num_models = manifest.U64();
+  RESTORE_RETURN_IF_ERROR(manifest.status());
+  for (uint64_t i = 0; i < num_models; ++i) {
+    const std::string key = manifest.Str();
+    const std::string filename = manifest.Str();
+    RESTORE_RETURN_IF_ERROR(manifest.status());
+    RESTORE_ASSIGN_OR_RETURN(
+        std::string model_payload,
+        ReadChecksummedFile(dir + "/" + filename, kModelMagic,
+                            kFormatVersion));
+    BinaryReader r(std::move(model_payload));
+    RESTORE_ASSIGN_OR_RETURN(std::unique_ptr<PathModel> model,
+                             PathModel::Load(*database_, annotation_, &r));
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument(
+          StrFormat("'%s' has %zu trailing bytes", filename.c_str(),
+                    r.remaining()));
+    }
+    if (PathKey(model->path()) != key) {
+      return Status::InvalidArgument(
+          StrFormat("'%s' stores path '%s' but the manifest says '%s'",
+                    filename.c_str(), PathKey(model->path()).c_str(),
+                    key.c_str()));
+    }
+    auto entry = std::make_unique<ModelEntry>();
+    entry->model = std::move(model);
+    entry->latch.SetDone(Status::OK());
+    models_[key] = std::move(entry);
+    ++models_loaded_;
+  }
+  const uint64_t num_selections = manifest.U64();
+  RESTORE_RETURN_IF_ERROR(manifest.status());
+  for (uint64_t i = 0; i < num_selections; ++i) {
+    const std::string target = manifest.Str();
+    std::vector<std::string> path = manifest.VecStr();
+    RESTORE_RETURN_IF_ERROR(manifest.status());
+    auto it = selected_.find(target);
+    if (it == selected_.end()) continue;  // target no longer incomplete
+    it->second->path = std::move(path);
+    it->second->latch.SetDone(Status::OK());
+  }
+  if (!manifest.AtEnd()) {
+    return Status::InvalidArgument("manifest has trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ---- Session / PreparedQuery -----------------------------------------------
+
+Result<PreparedQuery> Session::Prepare(const std::string& sql) const {
+  RESTORE_ASSIGN_OR_RETURN(PreparedStatement stmt,
+                           PreparedStatement::Prepare(db_->database(), sql));
+  return PreparedQuery(db_, std::move(stmt));
+}
+
+Result<QueryResult> Session::Execute(const std::string& sql) const {
+  return db_->ExecuteCompletedSql(sql);
+}
+
+Result<QueryResult> Session::Execute(const Query& query) const {
+  return db_->ExecuteCompleted(query);
+}
+
+QueryFuture Session::ExecuteAsync(const std::string& sql) const {
+  std::shared_ptr<Db> db = db_;
+  return QueryFuture::Async(ThreadPool::Global(), [db, sql]() {
+    return db->ExecuteCompletedSql(sql);
+  });
+}
+
+Result<QueryResult> PreparedQuery::Execute(
+    const std::vector<Value>& params) const {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("PreparedQuery is not bound to a Db");
+  }
+  RESTORE_ASSIGN_OR_RETURN(Query bound, stmt_.Bind(params));
+  return db_->ExecuteCompleted(bound);
+}
+
+QueryFuture PreparedQuery::ExecuteAsync(
+    const std::vector<Value>& params) const {
+  if (db_ == nullptr) {
+    return QueryFuture::MakeReady(
+        Status::FailedPrecondition("PreparedQuery is not bound to a Db"));
+  }
+  std::shared_ptr<Db> db = db_;
+  PreparedStatement stmt = stmt_;
+  return QueryFuture::Async(
+      ThreadPool::Global(), [db, stmt, params]() -> Result<QueryResult> {
+        RESTORE_ASSIGN_OR_RETURN(Query bound, stmt.Bind(params));
+        return db->ExecuteCompleted(bound);
+      });
+}
+
+}  // namespace restore

@@ -1,0 +1,253 @@
+#ifndef RESTORE_RESTORE_DB_H_
+#define RESTORE_RESTORE_DB_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/future.h"
+#include "common/once_latch.h"
+#include "common/result.h"
+#include "exec/aggregate.h"
+#include "exec/prepared.h"
+#include "exec/query.h"
+#include "restore/annotation.h"
+#include "restore/cache.h"
+#include "restore/incompleteness_join.h"
+#include "restore/path_model.h"
+#include "restore/path_selection.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Engine-level configuration.
+struct EngineConfig {
+  PathModelConfig model;
+  SelectionStrategy selection = SelectionStrategy::kBestTestLoss;
+  /// Maximum completion-path length explored during candidate enumeration.
+  size_t max_path_len = 5;
+  /// Maximum candidate paths trained per incomplete table.
+  size_t max_candidates = 4;
+  /// Reuse completed joins across queries (Section 4.5).
+  bool enable_cache = true;
+  /// LRU byte budget of the completion cache; 0 = unbounded.
+  size_t cache_budget_bytes = 0;
+  uint64_t seed = 1234;
+};
+
+/// Options of Db::Open beyond the engine configuration.
+struct DbOptions {
+  EngineConfig engine;
+  /// If non-empty, trained models previously written by Db::SaveModels are
+  /// restored from this directory at open, so the first query is answered
+  /// without any training (total_train_seconds() stays 0 until a query
+  /// needs a path that was never trained).
+  std::string model_dir;
+};
+
+class Session;
+
+/// A future holding the asynchronous result of a completed-query execution.
+using QueryFuture = Future<Result<QueryResult>>;
+
+/// The service-grade facade of ReStore: owns the trained completion models,
+/// the completion cache, and the candidate/selection registries for one
+/// annotated incomplete database, and answers aggregate queries as if the
+/// database were complete.
+///
+/// Thread safety: a Db is safe for concurrent use from any number of
+/// sessions/threads. Lazily-trained PathModels are guarded by per-path
+/// once-training latches — concurrent queries needing the same path train
+/// it exactly once and share the result; model seeds are a stable function
+/// of the path (never of request order), so concurrent execution returns
+/// bit-identical results to sequential execution.
+///
+/// Typical usage:
+///   RESTORE_ASSIGN_OR_RETURN(auto db, Db::Open(&database, annotation, {}));
+///   Session session = db->CreateSession();
+///   RESTORE_ASSIGN_OR_RETURN(auto avg_rent, session.Prepare(
+///       "SELECT AVG(rent) FROM apartment WHERE accommodates >= ?;"));
+///   auto r2 = avg_rent.Execute({Value::Int64(2)});
+///   auto r4 = avg_rent.ExecuteAsync({Value::Int64(4)});
+///   ...
+///   RESTORE_RETURN_IF_ERROR(db->SaveModels("/var/lib/restore/models"));
+class Db : public std::enable_shared_from_this<Db> {
+ public:
+  /// Validates the annotation, enumerates candidate completion paths for
+  /// every incomplete table (failing early if one has none), and — when
+  /// `options.model_dir` is set — restores persisted models so queries run
+  /// training-free. `database` must outlive the returned Db.
+  static Result<std::shared_ptr<Db>> Open(const Database* database,
+                                          SchemaAnnotation annotation,
+                                          DbOptions options = DbOptions());
+
+  /// Creates a lightweight session handle bound to this Db.
+  Session CreateSession();
+
+  /// Executes `query` over the completed database (incompleteness joins for
+  /// incomplete tables, normal execution otherwise).
+  Result<QueryResult> ExecuteCompleted(const Query& query);
+  Result<QueryResult> ExecuteCompletedSql(const std::string& sql);
+
+  /// Returns the completed version of one incomplete table: its existing
+  /// tuples plus the synthesized attribute columns (keys are not
+  /// synthesized). Used by the bias-reduction experiments.
+  Result<Table> CompleteTable(const std::string& target);
+
+  /// Completes via a specific (already trained or new) path — used by the
+  /// evaluation harness to score individual models. Deterministic: the
+  /// synthesis RNG is derived from the path, not from call order.
+  Result<CompletionResult> CompleteViaPath(
+      const std::vector<std::string>& path,
+      const CompletionOptions& options = CompletionOptions());
+
+  /// Candidates for `target` (path -> model). Paths are enumerated at Open;
+  /// missing models are trained (in parallel, each exactly once) here.
+  struct Candidate {
+    std::vector<std::string> path;
+    const PathModel* model = nullptr;
+  };
+  Result<std::vector<Candidate>> CandidatesFor(const std::string& target);
+
+  /// The path selected for `target` by the configured strategy (computed
+  /// once per target, under a latch).
+  Result<std::vector<std::string>> SelectedPathFor(const std::string& target);
+
+  /// Access to a trained model by its path (trains lazily if absent;
+  /// concurrent callers block until the single training run finishes).
+  Result<const PathModel*> ModelForPath(const std::vector<std::string>& path);
+
+  /// Persists every trained model plus the per-target path selections to
+  /// `dir` (created if missing) in a versioned, checksummed binary format.
+  /// Safe to call while queries are running; models trained after the
+  /// snapshot was taken are not included.
+  Status SaveModels(const std::string& dir) const;
+
+  const Database& database() const { return *database_; }
+  const SchemaAnnotation& annotation() const { return annotation_; }
+  const EngineConfig& config() const { return config_; }
+  CompletionCache& cache() { return cache_; }
+
+  /// Total wall-clock seconds spent training models so far (Fig 11).
+  /// Models restored from disk contribute nothing.
+  double total_train_seconds() const;
+  /// Number of PathModel::Train runs this Db executed (restored models do
+  /// not count). Under concurrency this equals the number of distinct
+  /// trained paths — the once-latches make duplicate training impossible.
+  size_t models_trained() const {
+    return models_trained_.load(std::memory_order_relaxed);
+  }
+  /// Number of models restored from `model_dir` at Open.
+  size_t models_loaded() const { return models_loaded_; }
+
+ private:
+  struct ModelEntry {
+    OnceLatch latch;
+    std::unique_ptr<PathModel> model;
+  };
+  struct SelectionEntry {
+    OnceLatch latch;
+    std::vector<std::string> path;
+  };
+
+  Db(const Database* database, SchemaAnnotation annotation,
+     EngineConfig config);
+
+  static std::string PathKey(const std::vector<std::string>& path);
+  /// Stable training seed for a path: candidate paths get compact indices
+  /// assigned in enumeration order at Open (matching what sequential
+  /// training produced historically); ad-hoc paths hash their key.
+  uint64_t SeedForPath(const std::string& key) const;
+  /// RNG seed of a completion run over `key` — a pure function of the path
+  /// so completions are independent of request interleaving and process
+  /// restarts.
+  uint64_t CompletionSeed(const std::string& key) const;
+
+  /// Returns (creating if needed) the registry entry for `key`.
+  ModelEntry* EntryFor(const std::string& key);
+
+  /// Builds the completed join used to answer a query over `tables`,
+  /// applying the cache.
+  Result<std::shared_ptr<const Table>> CompletedJoinFor(
+      const std::vector<std::string>& tables);
+
+  Status LoadModels(const std::string& dir);
+
+  const Database* database_;
+  SchemaAnnotation annotation_;
+  EngineConfig config_;
+  CompletionCache cache_;
+
+  // Immutable after Open.
+  std::map<std::string, std::vector<std::vector<std::string>>>
+      candidates_;  // target -> candidate paths
+  std::map<std::string, uint64_t> path_seeds_;  // PathKey -> training seed
+  std::map<std::string, std::unique_ptr<SelectionEntry>> selected_;
+  size_t models_loaded_ = 0;
+
+  // Model registry: the map structure is guarded by registry_mu_; each
+  // entry's model is guarded by its latch (immutable once trained).
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::unique_ptr<ModelEntry>> models_;
+
+  mutable std::mutex stats_mu_;
+  double total_train_seconds_ = 0.0;
+  std::atomic<size_t> models_trained_{0};
+};
+
+/// A prepared completed-query: parsed and column-qualified once, executable
+/// many times with different positional parameters. Cheap to copy; keeps the
+/// Db alive.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  const Query& query() const { return stmt_.query(); }
+  size_t num_params() const { return stmt_.num_params(); }
+
+  /// Binds `params` to the `?` placeholders and executes over the completed
+  /// database.
+  Result<QueryResult> Execute(const std::vector<Value>& params = {}) const;
+
+  /// Asynchronous variant running on the shared ThreadPool.
+  QueryFuture ExecuteAsync(const std::vector<Value>& params = {}) const;
+
+ private:
+  friend class Session;
+  PreparedQuery(std::shared_ptr<Db> db, PreparedStatement stmt)
+      : db_(std::move(db)), stmt_(std::move(stmt)) {}
+
+  std::shared_ptr<Db> db_;
+  PreparedStatement stmt_;
+};
+
+/// A lightweight handle through which one client talks to a shared Db.
+/// Sessions are cheap to create/copy and may live on any thread; all
+/// heavyweight state (models, cache) lives in the Db.
+class Session {
+ public:
+  explicit Session(std::shared_ptr<Db> db) : db_(std::move(db)) {}
+
+  /// Parses and qualifies `sql` once, returning a bind-and-execute-many
+  /// handle.
+  Result<PreparedQuery> Prepare(const std::string& sql) const;
+
+  /// One-shot execution over the completed database.
+  Result<QueryResult> Execute(const std::string& sql) const;
+  Result<QueryResult> Execute(const Query& query) const;
+
+  /// Schedules the query on the shared ThreadPool and returns immediately.
+  QueryFuture ExecuteAsync(const std::string& sql) const;
+
+  const std::shared_ptr<Db>& db() const { return db_; }
+
+ private:
+  std::shared_ptr<Db> db_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_DB_H_

@@ -134,4 +134,40 @@ double ColumnDiscretizer::CodeMean(int32_t code) const {
   return bin_mean_[static_cast<size_t>(code)];
 }
 
+void ColumnDiscretizer::Save(BinaryWriter* w) const {
+  w->U32(static_cast<uint32_t>(type_));
+  w->I32(vocab_size_);
+  w->VecF64(upper_edges_);
+  w->VecF64(bin_lo_);
+  w->VecF64(bin_hi_);
+  w->VecF64(bin_mean_);
+}
+
+Result<ColumnDiscretizer> ColumnDiscretizer::Load(BinaryReader* r) {
+  ColumnDiscretizer disc;
+  const uint32_t type = r->U32();
+  if (type > static_cast<uint32_t>(ColumnType::kCategorical)) {
+    return Status::InvalidArgument("invalid column type in discretizer");
+  }
+  disc.type_ = static_cast<ColumnType>(type);
+  disc.vocab_size_ = r->I32();
+  disc.upper_edges_ = r->VecF64();
+  disc.bin_lo_ = r->VecF64();
+  disc.bin_hi_ = r->VecF64();
+  disc.bin_mean_ = r->VecF64();
+  RESTORE_RETURN_IF_ERROR(r->status());
+  if (disc.vocab_size_ < 0) {
+    return Status::InvalidArgument("negative vocab size in discretizer");
+  }
+  if (disc.type_ != ColumnType::kCategorical) {
+    const size_t bins = static_cast<size_t>(disc.vocab_size_);
+    if (disc.upper_edges_.size() != bins || disc.bin_lo_.size() != bins ||
+        disc.bin_hi_.size() != bins || disc.bin_mean_.size() != bins) {
+      return Status::InvalidArgument(
+          "discretizer bin arrays do not match its vocab size");
+    }
+  }
+  return disc;
+}
+
 }  // namespace restore

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "storage/column.h"
 
 namespace restore {
@@ -45,6 +46,11 @@ class ColumnDiscretizer {
   /// numeric columns, the code itself for categorical ones. Used by the
   /// confidence-interval machinery for AVG queries.
   double CodeMean(int32_t code) const;
+
+  /// Serializes the fitted bins (model persistence). Load restores a
+  /// discretizer that encodes/decodes bit-identically to the saved one.
+  void Save(BinaryWriter* w) const;
+  static Result<ColumnDiscretizer> Load(BinaryReader* r);
 
  private:
   ColumnType type_ = ColumnType::kInt64;

@@ -1,367 +1,76 @@
 #include "restore/engine.h"
 
-#include <algorithm>
-#include <set>
-
-#include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "exec/executor.h"
-#include "exec/join.h"
-#include "exec/sql_parser.h"
-
 namespace restore {
 
 CompletionEngine::CompletionEngine(const Database* db,
                                    SchemaAnnotation annotation,
                                    EngineConfig config)
-    : db_(db),
-      annotation_(std::move(annotation)),
-      config_(std::move(config)),
-      rng_(config_.seed) {}
+    : annotation_(std::move(annotation)), config_(std::move(config)) {
+  DbOptions options;
+  options.engine = config_;
+  Result<std::shared_ptr<Db>> opened = Db::Open(db, annotation_, options);
+  if (opened.ok()) {
+    db_ = std::move(opened).value();
+  } else {
+    open_status_ = opened.status();
+  }
+}
 
-std::string CompletionEngine::PathKey(const std::vector<std::string>& path) {
-  return Join(path, "->");
+Result<Db*> CompletionEngine::GetDb() {
+  if (db_ == nullptr) return open_status_;
+  return db_.get();
 }
 
 Status CompletionEngine::TrainModels() {
-  RESTORE_RETURN_IF_ERROR(annotation_.Validate(*db_));
-  for (const auto& target : annotation_.incomplete_tables()) {
-    std::vector<std::vector<std::string>> paths = EnumerateCompletionPaths(
-        *db_, annotation_, target, config_.max_path_len);
-    if (paths.empty()) {
-      return Status::FailedPrecondition(
-          StrFormat("no completion path for incomplete table '%s'",
-                    target.c_str()));
-    }
-    if (paths.size() > config_.max_candidates) {
-      paths.resize(config_.max_candidates);
-    }
-    // Candidate models are trained lazily by CandidatesFor / ModelForPath:
-    // queries typically exercise one incomplete table's candidates, and
-    // merged path models already serve the other tables on the same path.
-    candidates_[target] = std::move(paths);
-  }
-  return Status::OK();
+  return db_ == nullptr ? open_status_ : Status::OK();
 }
-
-Result<const PathModel*> CompletionEngine::ModelForPath(
-    const std::vector<std::string>& path) {
-  const std::string key = PathKey(path);
-  auto it = models_.find(key);
-  if (it != models_.end()) return it->second.get();
-  PathModelConfig cfg = config_.model;
-  cfg.seed = config_.seed + models_.size() + 1;
-  RESTORE_ASSIGN_OR_RETURN(std::unique_ptr<PathModel> model,
-                           PathModel::Train(*db_, annotation_, path, cfg));
-  total_train_seconds_ += model->train_seconds();
-  const PathModel* raw = model.get();
-  models_.emplace(key, std::move(model));
-  return raw;
-}
-
-Result<std::vector<CompletionEngine::Candidate>>
-CompletionEngine::CandidatesFor(const std::string& target) {
-  auto it = candidates_.find(target);
-  if (it == candidates_.end()) {
-    return Status::NotFound(
-        StrFormat("no candidates for '%s' (call TrainModels first)",
-                  target.c_str()));
-  }
-  // Candidate models are independent: train the missing ones concurrently on
-  // the shared pool. Seeds are assigned up front in candidate order — the
-  // exact values the sequential ModelForPath calls would have produced — so
-  // the trained models are identical regardless of completion order or
-  // thread count. models_ is only mutated after all training joined.
-  struct Pending {
-    std::string key;
-    const std::vector<std::string>* path;
-    PathModelConfig cfg;
-  };
-  std::vector<Pending> pending;
-  std::set<std::string> queued;
-  for (const auto& path : it->second) {
-    const std::string key = PathKey(path);
-    if (models_.count(key) > 0 || queued.count(key) > 0) continue;
-    PathModelConfig cfg = config_.model;
-    cfg.seed = config_.seed + models_.size() + queued.size() + 1;
-    queued.insert(key);
-    pending.push_back({key, &path, cfg});
-  }
-  if (!pending.empty()) {
-    std::vector<Status> errors(pending.size(), Status::OK());
-    std::vector<std::unique_ptr<PathModel>> trained(pending.size());
-    ThreadPool::Global().ParallelFor(
-        0, pending.size(), 1, [&](size_t lo, size_t hi) {
-          for (size_t i = lo; i < hi; ++i) {
-            Result<std::unique_ptr<PathModel>> r = PathModel::Train(
-                *db_, annotation_, *pending[i].path, pending[i].cfg);
-            if (r.ok()) {
-              trained[i] = std::move(r).value();
-            } else {
-              errors[i] = r.status();
-            }
-          }
-        });
-    for (size_t i = 0; i < pending.size(); ++i) {
-      if (!errors[i].ok()) return errors[i];
-      total_train_seconds_ += trained[i]->train_seconds();
-      models_.emplace(pending[i].key, std::move(trained[i]));
-    }
-  }
-  std::vector<Candidate> out;
-  for (const auto& path : it->second) {
-    out.push_back({path, models_.at(PathKey(path)).get()});
-  }
-  return out;
-}
-
-Result<std::vector<std::string>> CompletionEngine::SelectedPathFor(
-    const std::string& target) {
-  auto sel = selected_.find(target);
-  if (sel != selected_.end()) return sel->second;
-  RESTORE_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
-                           CandidatesFor(target));
-  if (cands.empty()) {
-    return Status::FailedPrecondition(
-        StrFormat("no trained candidates for '%s'", target.c_str()));
-  }
-  std::vector<std::vector<std::string>> paths;
-  std::vector<const PathModel*> models;
-  for (const auto& c : cands) {
-    paths.push_back(c.path);
-    models.push_back(c.model);
-  }
-  PathModelConfig probe = config_.model;
-  probe.epochs = std::max<size_t>(2, probe.epochs / 3);
-  RESTORE_ASSIGN_OR_RETURN(
-      size_t best,
-      SelectPath(*db_, annotation_, target, paths, models, config_.selection,
-                 probe, /*holdout_fraction=*/0.3, config_.seed + 7));
-  selected_[target] = paths[best];
-  return paths[best];
-}
-
-Result<CompletionResult> CompletionEngine::CompleteViaPath(
-    const std::vector<std::string>& path, const CompletionOptions& options) {
-  RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
-  IncompletenessJoinExecutor exec(db_, &annotation_);
-  return exec.CompletePathJoin(*model, rng_, options);
-}
-
-Result<Table> CompletionEngine::CompleteTable(const std::string& target) {
-  RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> path,
-                           SelectedPathFor(target));
-  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
-                           CompleteViaPath(path));
-  RESTORE_ASSIGN_OR_RETURN(const Table* base, db_->GetTable(target));
-
-  // Completed table = existing tuples + synthesized tuples (attr columns;
-  // key columns of synthesized tuples are NULL).
-  Table out(target);
-  auto it = completion.synthesized.find(target);
-  for (const auto& col : base->columns()) {
-    Column merged = col;
-    if (it != completion.synthesized.end()) {
-      const Column* synth = nullptr;
-      for (const auto& sc : it->second) {
-        if (sc.name() == col.name()) {
-          synth = &sc;
-          break;
-        }
-      }
-      const size_t n =
-          it->second.empty() ? 0 : it->second.front().size();
-      for (size_t r = 0; r < n; ++r) {
-        if (synth == nullptr) {
-          merged.AppendNull();
-        } else if (synth->type() == ColumnType::kDouble) {
-          merged.AppendDouble(synth->GetDouble(r));
-        } else {
-          merged.AppendInt64(synth->GetInt64(r));
-        }
-      }
-    }
-    RESTORE_RETURN_IF_ERROR(out.AddColumn(std::move(merged)));
-  }
-  return out;
-}
-
-Result<Table> CompletionEngine::CompletedJoinFor(
-    const std::vector<std::string>& tables) {
-  // Single incomplete table: answer from the completed TABLE rather than a
-  // completed path join — the path necessarily enters through a fan-out
-  // (e.g. a link table), which would count each target tuple once per link.
-  if (tables.size() == 1 && annotation_.IsIncomplete(tables[0])) {
-    // Exact-match caching only: projecting a cached superset join would
-    // change tuple multiplicities.
-    const std::set<std::string> key{tables[0]};
-    if (config_.enable_cache) {
-      const Table* cached = cache_.GetExact(key);
-      if (cached != nullptr) return *cached;
-    }
-    RESTORE_ASSIGN_OR_RETURN(Table completed, CompleteTable(tables[0]));
-    completed.QualifyColumnNames(tables[0]);
-    if (config_.enable_cache) cache_.Put(key, completed);
-    return completed;
-  }
-  std::set<std::string> table_set(tables.begin(), tables.end());
-  if (config_.enable_cache) {
-    const Table* cached = cache_.GetCovering(table_set);
-    if (cached != nullptr) return *cached;
-  }
-
-  // Incomplete tables among the requested join.
-  std::vector<std::string> incomplete;
-  for (const auto& t : tables) {
-    if (annotation_.IsIncomplete(t)) incomplete.push_back(t);
-  }
-  if (incomplete.empty()) {
-    return NaturalJoinTables(*db_, tables);
-  }
-
-  // Build the extended completion path: a completion path for the primary
-  // incomplete table, then any remaining query tables appended in FK-
-  // connected order. The walk completes every incomplete table it crosses.
-  //
-  // Path choice is query-aware: a fan-out hop into a table OUTSIDE the query
-  // multiplies the join rows of the answer (Section 4.4 would require
-  // reweighting), so candidates are ranked first by how few off-query
-  // fan-out hops they introduce, then by the configured selection strategy.
-  RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> selected,
-                           SelectedPathFor(incomplete[0]));
-  RESTORE_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
-                           CandidatesFor(incomplete[0]));
-  auto fanout_penalty = [&](const std::vector<std::string>& p) {
-    size_t penalty = 0;
-    for (size_t k = 0; k + 1 < p.size(); ++k) {
-      auto fan = db_->IsFanOut(p[k], p[k + 1]);
-      const bool off_query =
-          std::find(tables.begin(), tables.end(), p[k + 1]) == tables.end();
-      if (fan.ok() && fan.value() && off_query) ++penalty;
-    }
-    return penalty;
-  };
-  std::vector<std::string> path = selected;
-  size_t best_penalty = fanout_penalty(selected);
-  for (const auto& cand : cands) {
-    const size_t penalty = fanout_penalty(cand.path);
-    if (penalty < best_penalty) {
-      best_penalty = penalty;
-      path = cand.path;
-    }
-  }
-  std::vector<std::string> extended = path;
-  std::set<std::string> placed(path.begin(), path.end());
-  std::set<std::string> remaining;
-  for (const auto& t : tables) {
-    if (placed.count(t) == 0) remaining.insert(t);
-  }
-  while (!remaining.empty()) {
-    bool progress = false;
-    // Prefer a table connected to the LAST path table (a proper walk), else
-    // any connected table.
-    for (const auto& cand : remaining) {
-      if (db_->FindForeignKey(extended.back(), cand).ok()) {
-        extended.push_back(cand);
-        placed.insert(cand);
-        remaining.erase(cand);
-        progress = true;
-        break;
-      }
-    }
-    if (progress) continue;
-    for (const auto& cand : remaining) {
-      bool connected = false;
-      for (const auto& done : placed) {
-        if (db_->FindForeignKey(cand, done).ok()) {
-          connected = true;
-          break;
-        }
-      }
-      if (connected) {
-        // Re-root the walk through this table by appending it; the path
-        // model treats consecutive tables as hops, so enforce adjacency by
-        // inserting it right after a neighbor.
-        return Status::Unimplemented(
-            StrFormat("query table '%s' is not FK-adjacent to the completion "
-                      "path tail; bushy completion plans are not supported",
-                      cand.c_str()));
-      }
-      return Status::InvalidArgument(
-          StrFormat("query table '%s' is not connected", cand.c_str()));
-    }
-  }
-
-  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
-                           CompleteViaPath(extended));
-  if (config_.enable_cache) {
-    std::set<std::string> covered(extended.begin(), extended.end());
-    cache_.Put(covered, completion.joined);
-  }
-  return std::move(completion.joined);
-}
-
-namespace {
-
-/// Qualifies an unqualified column reference against the QUERY's tables (the
-/// completed join may contain extra evidence tables with clashing column
-/// names, e.g. actor.gender vs director.gender).
-Result<std::string> QualifyAgainstQueryTables(
-    const Database& db, const std::vector<std::string>& tables,
-    const std::string& column) {
-  if (column.find('.') != std::string::npos) return column;
-  std::string qualified;
-  int hits = 0;
-  for (const auto& t : tables) {
-    RESTORE_ASSIGN_OR_RETURN(const Table* table, db.GetTable(t));
-    if (table->HasColumn(column)) {
-      qualified = t + "." + column;
-      ++hits;
-    }
-  }
-  if (hits == 0) {
-    return Status::NotFound(
-        StrFormat("column '%s' not found in query tables", column.c_str()));
-  }
-  if (hits > 1) {
-    return Status::InvalidArgument(
-        StrFormat("column reference '%s' is ambiguous", column.c_str()));
-  }
-  return qualified;
-}
-
-}  // namespace
 
 Result<QueryResult> CompletionEngine::ExecuteCompleted(const Query& query) {
-  if (query.tables.empty() || query.aggregates.empty()) {
-    return Status::InvalidArgument("malformed query");
-  }
-  // Rewrite column references to be table-qualified w.r.t. the query tables
-  // so that evidence tables pulled in by the completion path cannot make
-  // them ambiguous.
-  Query rewritten = query;
-  for (auto& agg : rewritten.aggregates) {
-    if (agg.column.empty()) continue;
-    RESTORE_ASSIGN_OR_RETURN(
-        agg.column, QualifyAgainstQueryTables(*db_, query.tables, agg.column));
-  }
-  for (auto& pred : rewritten.predicates) {
-    RESTORE_ASSIGN_OR_RETURN(
-        pred.column,
-        QualifyAgainstQueryTables(*db_, query.tables, pred.column));
-  }
-  for (auto& g : rewritten.group_by) {
-    RESTORE_ASSIGN_OR_RETURN(
-        g, QualifyAgainstQueryTables(*db_, query.tables, g));
-  }
-  RESTORE_ASSIGN_OR_RETURN(Table joined, CompletedJoinFor(query.tables));
-  return FilterAndAggregate(joined, rewritten);
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->ExecuteCompleted(query);
 }
 
 Result<QueryResult> CompletionEngine::ExecuteCompletedSql(
     const std::string& sql) {
-  RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
-  return ExecuteCompleted(query);
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->ExecuteCompletedSql(sql);
+}
+
+Result<Table> CompletionEngine::CompleteTable(const std::string& target) {
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->CompleteTable(target);
+}
+
+Result<CompletionResult> CompletionEngine::CompleteViaPath(
+    const std::vector<std::string>& path, const CompletionOptions& options) {
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->CompleteViaPath(path, options);
+}
+
+Result<std::vector<CompletionEngine::Candidate>>
+CompletionEngine::CandidatesFor(const std::string& target) {
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->CandidatesFor(target);
+}
+
+Result<std::vector<std::string>> CompletionEngine::SelectedPathFor(
+    const std::string& target) {
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->SelectedPathFor(target);
+}
+
+Result<const PathModel*> CompletionEngine::ModelForPath(
+    const std::vector<std::string>& path) {
+  RESTORE_ASSIGN_OR_RETURN(Db * db, GetDb());
+  return db->ModelForPath(path);
+}
+
+CompletionCache& CompletionEngine::cache() {
+  return db_ != nullptr ? db_->cache() : fallback_cache_;
+}
+
+double CompletionEngine::total_train_seconds() const {
+  return db_ != nullptr ? db_->total_train_seconds() : 0.0;
 }
 
 }  // namespace restore

@@ -1,7 +1,6 @@
 #ifndef RESTORE_RESTORE_ENGINE_H_
 #define RESTORE_RESTORE_ENGINE_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "exec/query.h"
 #include "restore/annotation.h"
 #include "restore/cache.h"
+#include "restore/db.h"
 #include "restore/incompleteness_join.h"
 #include "restore/path_model.h"
 #include "restore/path_selection.h"
@@ -18,24 +18,12 @@
 
 namespace restore {
 
-/// Engine-level configuration.
-struct EngineConfig {
-  PathModelConfig model;
-  SelectionStrategy selection = SelectionStrategy::kBestTestLoss;
-  /// Maximum completion-path length explored during candidate enumeration.
-  size_t max_path_len = 5;
-  /// Maximum candidate paths trained per incomplete table.
-  size_t max_candidates = 4;
-  /// Reuse completed joins across queries (Section 4.5).
-  bool enable_cache = true;
-  uint64_t seed = 1234;
-};
-
-/// The public facade of ReStore: owns the trained completion models for an
-/// annotated incomplete database and answers aggregate queries as if the
-/// database were complete.
+/// DEPRECATED single-threaded facade, kept as a thin shim over restore::Db
+/// so existing callers (figure benches, older tests) keep compiling. New
+/// code should use Db::Open + Session (restore/db.h): it adds concurrent
+/// sessions, prepared queries, async execution, and model persistence.
 ///
-/// Typical usage:
+/// Typical legacy usage:
 ///   CompletionEngine engine(&db, annotation, config);
 ///   RETURN_IF_ERROR(engine.TrainModels());
 ///   auto result = engine.ExecuteCompletedSql(
@@ -43,12 +31,15 @@ struct EngineConfig {
 ///       "GROUP BY state;");
 class CompletionEngine {
  public:
-  /// `db` must outlive the engine.
+  using Candidate = Db::Candidate;
+
+  /// `db` must outlive the engine. Candidate enumeration happens here (via
+  /// Db::Open); any enumeration error is reported by TrainModels().
   CompletionEngine(const Database* db, SchemaAnnotation annotation,
                    EngineConfig config);
 
-  /// Enumerates candidate completion paths per incomplete table and trains
-  /// one model per candidate (capped by config.max_candidates).
+  /// Historically trained everything up front; the Db facade enumerates at
+  /// open and trains lazily, so this only reports open errors.
   Status TrainModels();
 
   /// Executes `query` over the completed database (incompleteness joins for
@@ -57,8 +48,7 @@ class CompletionEngine {
   Result<QueryResult> ExecuteCompletedSql(const std::string& sql);
 
   /// Returns the completed version of one incomplete table: its existing
-  /// tuples plus the synthesized attribute columns (keys are not
-  /// synthesized). Used by the bias-reduction experiments.
+  /// tuples plus the synthesized attribute columns.
   Result<Table> CompleteTable(const std::string& target);
 
   /// Completes via a specific (already trained or new) path — used by the
@@ -67,12 +57,7 @@ class CompletionEngine {
       const std::vector<std::string>& path,
       const CompletionOptions& options = CompletionOptions());
 
-  /// Candidates for `target` (path -> model). TrainModels() enumerates the
-  /// paths; the models themselves are trained lazily on first access.
-  struct Candidate {
-    std::vector<std::string> path;
-    const PathModel* model = nullptr;
-  };
+  /// Candidates for `target` (path -> model); models train lazily.
   Result<std::vector<Candidate>> CandidatesFor(const std::string& target);
 
   /// The path selected for `target` by the configured strategy.
@@ -83,29 +68,24 @@ class CompletionEngine {
 
   const SchemaAnnotation& annotation() const { return annotation_; }
   const EngineConfig& config() const { return config_; }
-  CompletionCache& cache() { return cache_; }
+  CompletionCache& cache();
 
   /// Total wall-clock seconds spent training models so far (Fig 11).
-  double total_train_seconds() const { return total_train_seconds_; }
+  double total_train_seconds() const;
+
+  /// The underlying thread-safe facade (nullptr only if opening failed).
+  const std::shared_ptr<Db>& db() const { return db_; }
 
  private:
-  static std::string PathKey(const std::vector<std::string>& path);
+  /// Returns the wrapped Db or the error Open produced.
+  Result<Db*> GetDb();
 
-  /// Builds the completed join used to answer `query` and returns it
-  /// (qualified column names). Applies caching.
-  Result<Table> CompletedJoinFor(const std::vector<std::string>& tables);
-
-  const Database* db_;
   SchemaAnnotation annotation_;
   EngineConfig config_;
-  Rng rng_;
-  CompletionCache cache_;
-
-  std::map<std::string, std::unique_ptr<PathModel>> models_;  // by PathKey
-  std::map<std::string, std::vector<std::vector<std::string>>>
-      candidates_;  // target -> candidate paths
-  std::map<std::string, std::vector<std::string>> selected_;  // target -> path
-  double total_train_seconds_ = 0.0;
+  std::shared_ptr<Db> db_;
+  Status open_status_;
+  /// Fallback so cache() stays callable when Open failed.
+  CompletionCache fallback_cache_;
 };
 
 }  // namespace restore

@@ -659,6 +659,7 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
   if (tf_attr < 0) {
     return Status::InvalidArgument("hop is not a fan-out hop");
   }
+  std::lock_guard<std::mutex> lock(infer_mu_);
   const PathAttr& attr = attrs_[static_cast<size_t>(tf_attr)];
   // Observed TFs take precedence; only unobserved rows are predicted.
   std::vector<int64_t> out(rows.size(), kNullInt64);
@@ -734,6 +735,7 @@ Result<std::vector<Column>> PathModel::SynthesizeHop(
   const size_t target_idx = hop + 1;
   const size_t first = table_attr_begin_[target_idx];
   const size_t end = table_attr_end_[target_idx];
+  std::lock_guard<std::mutex> lock(infer_mu_);
   RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
   made_->SampleRange(codes, context, first, end, rng, record_attr, recorded);
 
@@ -757,10 +759,295 @@ Result<Matrix> PathModel::PredictAttrDistribution(
     const Database& db, const Table& joined, const IntMatrix& codes,
     const std::vector<size_t>& rows, size_t attr) const {
   (void)db;
+  std::lock_guard<std::mutex> lock(infer_mu_);
   RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
   Matrix probs;
   made_->PredictDistribution(codes, context, attr, &probs);
   return probs;
+}
+
+// ---- Persistence -----------------------------------------------------------
+
+namespace {
+
+void SaveSizeVec(BinaryWriter* w, const std::vector<size_t>& v) {
+  w->U64(v.size());
+  for (size_t x : v) w->U64(x);
+}
+
+std::vector<size_t> LoadSizeVec(BinaryReader* r) {
+  const uint64_t n = r->U64();
+  std::vector<size_t> v;
+  if (n > r->remaining() / sizeof(uint64_t)) return v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    v.push_back(static_cast<size_t>(r->U64()));
+  }
+  return v;
+}
+
+void SaveParams(BinaryWriter* w, const std::vector<Param*>& params) {
+  w->U64(params.size());
+  for (const Param* p : params) {
+    w->U64(p->value.rows());
+    w->U64(p->value.cols());
+    w->VecF32(p->value.vec());
+  }
+}
+
+Status LoadParams(BinaryReader* r, const std::vector<Param*>& params,
+                  const char* what) {
+  const uint64_t count = r->U64();
+  if (!r->ok() || count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: saved model has %llu parameter tensors, expected %zu",
+                  what, static_cast<unsigned long long>(count),
+                  params.size()));
+  }
+  for (Param* p : params) {
+    const uint64_t rows = r->U64();
+    const uint64_t cols = r->U64();
+    std::vector<float> values = r->VecF32();
+    if (!r->ok()) return r->status();
+    if (rows != p->value.rows() || cols != p->value.cols() ||
+        values.size() != p->value.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: parameter shape mismatch (saved %llux%llu, model %zux%zu) — "
+          "the model file does not match this database/config",
+          what, static_cast<unsigned long long>(rows),
+          static_cast<unsigned long long>(cols), p->value.rows(),
+          p->value.cols()));
+    }
+    p->value.vec() = std::move(values);
+    p->ZeroGrad();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void PathModel::Save(BinaryWriter* w) const {
+  w->VecStr(path_);
+
+  // PathModelConfig (every field, fixed order).
+  w->I32(config_.max_bins);
+  w->I32(config_.tf_cap);
+  w->U64(config_.embed_dim);
+  w->U64(config_.hidden_dim);
+  w->U64(config_.num_layers);
+  w->Bool(config_.use_ssar);
+  w->U64(config_.phi_dim);
+  w->U64(config_.context_dim);
+  w->U64(config_.max_children);
+  w->U64(config_.epochs);
+  w->U64(config_.batch_size);
+  w->F32(config_.learning_rate);
+  w->U64(config_.min_train_steps);
+  w->F64(config_.test_fraction);
+  w->U64(config_.max_train_rows);
+  w->U64(config_.seed);
+
+  // Attribute layout + discretizer bins.
+  w->U64(attrs_.size());
+  for (const auto& attr : attrs_) {
+    w->Str(attr.table);
+    w->Str(attr.column);
+    w->Str(attr.qualified);
+    w->Bool(attr.is_tuple_factor);
+    attr.disc.Save(w);
+  }
+  SaveSizeVec(w, table_attr_begin_);
+  SaveSizeVec(w, table_attr_end_);
+  w->VecI32(tf_attr_of_hop_);
+  w->U64(hop_is_fanout_.size());
+  for (bool b : hop_is_fanout_) w->Bool(b);
+  w->VecF64(tf_keep_ratio_);
+
+  w->U64(train_marginals_.size());
+  for (const auto& m : train_marginals_) w->VecF64(m);
+
+  w->F64(test_loss_);
+  w->F64(target_test_loss_);
+  w->F64(train_seconds_);
+  w->U64(num_parameters_);
+
+  // SSAR wiring fingerprint (the evidence indexes themselves are rebuilt
+  // from the database at load; this is for validation).
+  w->Bool(ssar_enabled_);
+  if (ssar_enabled_) {
+    w->VecStr(ssar_child_tables_);
+    w->U64(ssar_child_encoders_.size());
+    for (const auto& enc : ssar_child_encoders_) {
+      std::vector<std::string> names;
+      for (size_t i = 0; i < enc.num_attrs(); ++i) names.push_back(enc.name(i));
+      w->VecStr(names);
+      w->VecI32(enc.VocabSizes());
+    }
+  }
+
+  // Learned parameters.
+  std::vector<Param*> made_params;
+  made_->CollectParams(&made_params);
+  SaveParams(w, made_params);
+  if (ssar_enabled_) {
+    std::vector<Param*> ds_params;
+    deep_sets_->CollectParams(&ds_params);
+    SaveParams(w, ds_params);
+  }
+}
+
+Result<std::unique_ptr<PathModel>> PathModel::Load(
+    const Database& db, const SchemaAnnotation& annotation, BinaryReader* r) {
+  std::unique_ptr<PathModel> model(new PathModel());
+  model->annotation_ = annotation;
+  model->path_ = r->VecStr();
+
+  PathModelConfig& cfg = model->config_;
+  cfg.max_bins = r->I32();
+  cfg.tf_cap = r->I32();
+  cfg.embed_dim = static_cast<size_t>(r->U64());
+  cfg.hidden_dim = static_cast<size_t>(r->U64());
+  cfg.num_layers = static_cast<size_t>(r->U64());
+  cfg.use_ssar = r->Bool();
+  cfg.phi_dim = static_cast<size_t>(r->U64());
+  cfg.context_dim = static_cast<size_t>(r->U64());
+  cfg.max_children = static_cast<size_t>(r->U64());
+  cfg.epochs = static_cast<size_t>(r->U64());
+  cfg.batch_size = static_cast<size_t>(r->U64());
+  cfg.learning_rate = r->F32();
+  cfg.min_train_steps = static_cast<size_t>(r->U64());
+  cfg.test_fraction = r->F64();
+  cfg.max_train_rows = static_cast<size_t>(r->U64());
+  cfg.seed = r->U64();
+  model->rng_.Seed(cfg.seed);
+
+  const uint64_t num_attrs = r->U64();
+  RESTORE_RETURN_IF_ERROR(r->status());
+  for (uint64_t a = 0; a < num_attrs && r->ok(); ++a) {
+    PathAttr attr;
+    attr.table = r->Str();
+    attr.column = r->Str();
+    attr.qualified = r->Str();
+    attr.is_tuple_factor = r->Bool();
+    RESTORE_ASSIGN_OR_RETURN(attr.disc, ColumnDiscretizer::Load(r));
+    model->attrs_.push_back(std::move(attr));
+  }
+  model->table_attr_begin_ = LoadSizeVec(r);
+  model->table_attr_end_ = LoadSizeVec(r);
+  model->tf_attr_of_hop_ = r->VecI32();
+  const uint64_t num_hops = r->U64();
+  RESTORE_RETURN_IF_ERROR(r->status());
+  if (num_hops > r->remaining()) {
+    return Status::InvalidArgument("truncated hop flags in model file");
+  }
+  for (uint64_t k = 0; k < num_hops; ++k) {
+    model->hop_is_fanout_.push_back(r->Bool());
+  }
+  model->tf_keep_ratio_ = r->VecF64();
+
+  const uint64_t num_marginals = r->U64();
+  RESTORE_RETURN_IF_ERROR(r->status());
+  for (uint64_t a = 0; a < num_marginals && r->ok(); ++a) {
+    model->train_marginals_.push_back(r->VecF64());
+  }
+
+  model->test_loss_ = r->F64();
+  model->target_test_loss_ = r->F64();
+  r->F64();  // train_seconds of the original run; a loaded model reports 0
+  model->train_seconds_ = 0.0;
+  model->num_parameters_ = static_cast<size_t>(r->U64());
+  const bool saved_ssar = r->Bool();
+  std::vector<std::string> saved_child_tables;
+  std::vector<std::vector<std::string>> saved_encoder_names;
+  std::vector<std::vector<int32_t>> saved_vocab_sizes;
+  if (saved_ssar) {
+    saved_child_tables = r->VecStr();
+    const uint64_t num_encoders = r->U64();
+    RESTORE_RETURN_IF_ERROR(r->status());
+    for (uint64_t t = 0; t < num_encoders && r->ok(); ++t) {
+      saved_encoder_names.push_back(r->VecStr());
+      saved_vocab_sizes.push_back(r->VecI32());
+    }
+  }
+  RESTORE_RETURN_IF_ERROR(r->status());
+
+  // Structural sanity before reconstructing the networks.
+  const size_t n = model->path_.size();
+  if (n < 2 || model->attrs_.empty() || model->table_attr_begin_.size() != n ||
+      model->table_attr_end_.size() != n ||
+      model->tf_attr_of_hop_.size() != n - 1 ||
+      model->hop_is_fanout_.size() != n - 1 ||
+      model->tf_keep_ratio_.size() != n - 1 ||
+      model->train_marginals_.size() != model->attrs_.size()) {
+    return Status::InvalidArgument("inconsistent model layout in model file");
+  }
+  for (const auto& tname : model->path_) {
+    RESTORE_RETURN_IF_ERROR(db.GetTable(tname).status());
+  }
+
+  // Rebuild the SSAR evidence indexes from the database and check they match
+  // what the model was trained against.
+  if (cfg.use_ssar) {
+    RESTORE_RETURN_IF_ERROR(model->SetupSsar(db));
+  }
+  if (model->ssar_enabled_ != saved_ssar) {
+    return Status::InvalidArgument(
+        "model file SSAR wiring does not match this database");
+  }
+  if (saved_ssar) {
+    if (model->ssar_child_tables_ != saved_child_tables ||
+        model->ssar_child_encoders_.size() != saved_encoder_names.size()) {
+      return Status::InvalidArgument(
+          "model file child-evidence tables do not match this database");
+    }
+    for (size_t t = 0; t < model->ssar_child_encoders_.size(); ++t) {
+      const RowEncoder& enc = model->ssar_child_encoders_[t];
+      std::vector<std::string> names;
+      for (size_t i = 0; i < enc.num_attrs(); ++i) names.push_back(enc.name(i));
+      if (names != saved_encoder_names[t] ||
+          enc.VocabSizes() != saved_vocab_sizes[t]) {
+        return Status::InvalidArgument(
+            "model file child-evidence schema does not match this database");
+      }
+    }
+  }
+
+  // Reconstruct the networks (masks/shapes are pure functions of the config)
+  // and overwrite their parameters with the saved values.
+  MadeConfig made_config;
+  for (const auto& a : model->attrs_) {
+    made_config.vocab_sizes.push_back(a.disc.vocab_size());
+  }
+  made_config.embed_dim = cfg.embed_dim;
+  made_config.hidden_dim = cfg.hidden_dim;
+  made_config.num_layers = cfg.num_layers;
+  made_config.context_dim = model->ssar_enabled_ ? cfg.context_dim : 0;
+  Rng init_rng(cfg.seed);
+  model->made_ = std::make_unique<MadeModel>(made_config, init_rng);
+  std::vector<Param*> made_params;
+  model->made_->CollectParams(&made_params);
+  RESTORE_RETURN_IF_ERROR(LoadParams(r, made_params, "MADE"));
+
+  size_t num_parameters = 0;
+  for (Param* p : made_params) num_parameters += p->value.size();
+  if (model->ssar_enabled_) {
+    std::vector<DeepSetsEncoder::TableSpec> specs;
+    for (const auto& enc : model->ssar_child_encoders_) {
+      specs.push_back({enc.VocabSizes()});
+    }
+    model->deep_sets_ = std::make_unique<DeepSetsEncoder>(
+        specs, cfg.embed_dim, cfg.phi_dim, cfg.context_dim, init_rng);
+    std::vector<Param*> ds_params;
+    model->deep_sets_->CollectParams(&ds_params);
+    RESTORE_RETURN_IF_ERROR(LoadParams(r, ds_params, "deep-sets"));
+    for (Param* p : ds_params) num_parameters += p->value.size();
+  }
+  RESTORE_RETURN_IF_ERROR(r->status());
+  if (model->num_parameters_ != num_parameters) {
+    return Status::InvalidArgument(
+        "model file parameter count does not match the reconstructed model");
+  }
+  return model;
 }
 
 }  // namespace restore

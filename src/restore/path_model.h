@@ -3,12 +3,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "nn/deep_sets.h"
 #include "nn/made.h"
 #include "restore/annotation.h"
@@ -74,6 +76,21 @@ class PathModel {
   static Result<std::unique_ptr<PathModel>> Train(
       const Database& db, const SchemaAnnotation& annotation,
       const std::vector<std::string>& path, const PathModelConfig& config);
+
+  /// Serializes the trained model: config, attribute layout, discretizer
+  /// bins, training marginals, and every learned parameter (embedding
+  /// tables, MADE layers, deep-sets encoder). The payload is framed and
+  /// checksummed by the caller (see Db::SaveModels).
+  void Save(BinaryWriter* w) const;
+
+  /// Restores a model saved by Save. `db` must be the incomplete database
+  /// the model was trained on: SSAR child-evidence indexes are rebuilt from
+  /// it, and mismatching schemas (child tables, vocabulary sizes, parameter
+  /// shapes) are rejected. A loaded model produces bit-identical
+  /// completions to the one that was saved; train_seconds() is 0.
+  static Result<std::unique_ptr<PathModel>> Load(
+      const Database& db, const SchemaAnnotation& annotation,
+      BinaryReader* r);
 
   const std::vector<std::string>& path() const { return path_; }
   const PathModelConfig& config() const { return config_; }
@@ -193,6 +210,15 @@ class PathModel {
   PathModelConfig config_;
   SchemaAnnotation annotation_;
   mutable Rng rng_;
+
+  // The MADE / deep-sets networks reuse persistent activation scratch across
+  // forward passes (a deliberate allocation-killer, see src/nn/README.md),
+  // so inference is NOT reentrant. Concurrent sessions share trained models;
+  // this mutex serializes the network-touching entry points
+  // (SampleTupleFactors, SynthesizeHop, PredictAttrDistribution). Distinct
+  // models still run fully in parallel, and repeated queries over the same
+  // tables are absorbed by the CompletionCache before reaching the model.
+  mutable std::mutex infer_mu_;
 
   // Attribute layout.
   std::vector<PathAttr> attrs_;

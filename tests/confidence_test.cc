@@ -95,7 +95,7 @@ TEST(CompletionCacheTest, CoveringPicksSmallestSuperset) {
   CompletionCache cache;
   cache.Put({"a", "b", "c", "d"}, MakeJoined("abcd", 4));
   cache.Put({"a", "b", "c"}, MakeJoined("abc", 3));
-  const Table* hit = cache.GetCovering({"a", "b"});
+  std::shared_ptr<const Table> hit = cache.GetCovering({"a", "b"});
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->name(), "abc");  // smaller superset wins
   EXPECT_EQ(cache.GetCovering({"a", "z"}), nullptr);
@@ -105,7 +105,7 @@ TEST(CompletionCacheTest, PutOverwritesSameKey) {
   CompletionCache cache;
   cache.Put({"a"}, MakeJoined("v1", 1));
   cache.Put({"a"}, MakeJoined("v2", 2));
-  const Table* hit = cache.GetExact({"a"});
+  std::shared_ptr<const Table> hit = cache.GetExact({"a"});
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->NumRows(), 2u);
   EXPECT_EQ(cache.size(), 1u);

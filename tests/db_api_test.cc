@@ -1,0 +1,235 @@
+// Tests of the session-facing Db API: prepared queries with positional
+// parameters, async execution, and the byte-budgeted completion cache.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/future.h"
+#include "common/once_latch.h"
+#include "common/thread_pool.h"
+#include "datagen/setups.h"
+#include "exec/executor.h"
+#include "exec/prepared.h"
+#include "restore/db.h"
+
+namespace restore {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.model.epochs = 6;
+  config.model.hidden_dim = 24;
+  config.model.embed_dim = 4;
+  config.model.max_bins = 12;
+  config.model.min_train_steps = 150;
+  config.max_candidates = 2;
+  return config;
+}
+
+std::shared_ptr<Db> OpenHousing(uint64_t seed) {
+  auto complete = BuildCompleteDatabase("housing", seed, 0.25);
+  EXPECT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  EXPECT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, seed + 1);
+  EXPECT_TRUE(incomplete.ok());
+  // The database must outlive the Db; keep it alive via a static pool.
+  static std::vector<std::unique_ptr<Database>> databases;
+  databases.push_back(std::make_unique<Database>(std::move(*incomplete)));
+  auto db = Db::Open(databases.back().get(), AnnotationFor(*setup),
+                     {FastConfig(), ""});
+  EXPECT_TRUE(db.ok()) << db.status();
+  return *db;
+}
+
+TEST(PreparedStatementTest, ParsesAndCountsParams) {
+  auto complete = BuildCompleteDatabase("housing", 401, 0.2);
+  ASSERT_TRUE(complete.ok());
+  auto stmt = PreparedStatement::Prepare(
+      *complete,
+      "SELECT COUNT(*), AVG(price) FROM apartment WHERE accommodates >= ? "
+      "AND room_type = ?;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->num_params(), 2u);
+  // Columns were qualified at prepare time.
+  EXPECT_EQ(stmt->query().aggregates[1].column, "apartment.price");
+  EXPECT_EQ(stmt->query().predicates[0].column, "apartment.accommodates");
+
+  // Unbound execution is rejected...
+  auto direct = ExecuteQuery(*complete, stmt->query());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("unbound"), std::string::npos);
+
+  // ...binding substitutes the literals and renders back as SQL.
+  auto bound = stmt->Bind(
+      {Value::Int64(3), Value::Categorical("entire_home")});
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_TRUE(bound->IsFullyBound());
+  auto wrong_arity = stmt->Bind({Value::Int64(3)});
+  EXPECT_FALSE(wrong_arity.ok());
+
+  // A bound prepared query equals the literal query.
+  auto via_bound = ExecuteQuery(*complete, *bound);
+  auto via_sql = ExecuteSql(
+      *complete,
+      "SELECT COUNT(*), AVG(price) FROM apartment WHERE accommodates >= 3 "
+      "AND room_type = 'entire_home';");
+  ASSERT_TRUE(via_bound.ok());
+  ASSERT_TRUE(via_sql.ok());
+  EXPECT_EQ(via_bound->groups, via_sql->groups);
+}
+
+TEST(DbSessionTest, PreparedQueryMatchesAdHocExecution) {
+  auto db = OpenHousing(403);
+  Session session = db->CreateSession();
+  auto prepared = session.Prepare(
+      "SELECT COUNT(*) FROM apartment WHERE accommodates >= ?;");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ASSERT_EQ(prepared->num_params(), 1u);
+
+  for (int64_t threshold : {1, 2, 3}) {
+    auto via_prepared = prepared->Execute({Value::Int64(threshold)});
+    ASSERT_TRUE(via_prepared.ok()) << via_prepared.status();
+    auto via_sql = session.Execute(
+        "SELECT COUNT(*) FROM apartment WHERE accommodates >= " +
+        std::to_string(threshold) + ";");
+    ASSERT_TRUE(via_sql.ok()) << via_sql.status();
+    EXPECT_EQ(via_prepared->groups, via_sql->groups)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(DbSessionTest, AsyncExecutionMatchesSynchronous) {
+  auto db = OpenHousing(405);
+  Session session = db->CreateSession();
+  const std::string sql =
+      "SELECT AVG(price) FROM apartment GROUP BY room_type;";
+
+  QueryFuture future = session.ExecuteAsync(sql);
+  auto prepared = session.Prepare(
+      "SELECT AVG(price) FROM apartment GROUP BY room_type;");
+  ASSERT_TRUE(prepared.ok());
+  QueryFuture prepared_future = prepared->ExecuteAsync();
+
+  auto sync = session.Execute(sql);
+  ASSERT_TRUE(sync.ok()) << sync.status();
+
+  Result<QueryResult>& async1 = future.Get();
+  Result<QueryResult>& async2 = prepared_future.Get();
+  ASSERT_TRUE(async1.ok()) << async1.status();
+  ASSERT_TRUE(async2.ok()) << async2.status();
+  EXPECT_EQ(async1->groups, sync->groups);
+  EXPECT_EQ(async2->groups, sync->groups);
+}
+
+TEST(DbSessionTest, AsyncParseErrorSurfacesThroughFuture) {
+  auto db = OpenHousing(407);
+  Session session = db->CreateSession();
+  QueryFuture future = session.ExecuteAsync("SELECT nonsense;");
+  Result<QueryResult>& result = future.Get();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FutureTest, RunsInlineWhenPoolHasNoWorkers) {
+  ThreadPool pool(0);
+  Future<int> f = Future<int>::Async(pool, [] { return 41 + 1; });
+  EXPECT_EQ(f.Get(), 42);
+  Future<int> ready = Future<int>::MakeReady(7);
+  EXPECT_TRUE(ready.IsReady());
+  EXPECT_EQ(ready.Get(), 7);
+}
+
+TEST(OnceLatchTest, RunsExactlyOnceAndCachesFailure) {
+  OnceLatch ok_latch;
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ok_latch
+                    .RunOnce([&] {
+                      ++runs;
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(ok_latch.done_ok());
+
+  OnceLatch fail_latch;
+  int fail_runs = 0;
+  for (int i = 0; i < 2; ++i) {
+    Status s = fail_latch.RunOnce([&] {
+      ++fail_runs;
+      return Status::Internal("boom");
+    });
+    EXPECT_FALSE(s.ok());
+  }
+  EXPECT_EQ(fail_runs, 1);
+  EXPECT_FALSE(fail_latch.done_ok());
+}
+
+TEST(CompletionCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  auto make_table = [](const std::string& name, size_t rows) {
+    Table t(name);
+    Column c("x", ColumnType::kInt64);
+    for (size_t r = 0; r < rows; ++r) c.AppendInt64(static_cast<int64_t>(r));
+    EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+    return t;
+  };
+  // One shard so the LRU order is global and deterministic.
+  const size_t entry_bytes =
+      CompletionCache::ApproxTableBytes(make_table("t", 100));
+  CompletionCache cache(/*budget_bytes=*/2 * entry_bytes + entry_bytes / 2,
+                        /*num_shards=*/1);
+
+  cache.Put({"a"}, make_table("a", 100));
+  cache.Put({"b"}, make_table("b", 100));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.GetExact({"a"}), nullptr);
+  cache.Put({"c"}, make_table("c", 100));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.GetExact({"a"}), nullptr);
+  EXPECT_NE(cache.GetExact({"c"}), nullptr);
+  EXPECT_EQ(cache.GetExact({"b"}), nullptr);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+
+  // An entry bigger than the whole budget is not cached at all.
+  CompletionCache tiny(/*budget_bytes=*/64, /*num_shards=*/1);
+  tiny.Put({"huge"}, make_table("huge", 10000));
+  EXPECT_EQ(tiny.size(), 0u);
+
+  // Unbounded cache (the default) never evicts.
+  CompletionCache unbounded;
+  for (int i = 0; i < 16; ++i) {
+    unbounded.Put({"t" + std::to_string(i)}, make_table("t", 1000));
+  }
+  EXPECT_EQ(unbounded.size(), 16u);
+  EXPECT_EQ(unbounded.evictions(), 0u);
+}
+
+TEST(DbTest, CacheBudgetIsWiredThroughEngineConfig) {
+  EngineConfig config = FastConfig();
+  config.cache_budget_bytes = 123456;
+  auto complete = BuildCompleteDatabase("housing", 409, 0.2);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 410);
+  ASSERT_TRUE(incomplete.ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup), {config, ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->cache().budget_bytes(), 123456u);
+}
+
+TEST(DbTest, UnknownTargetIsRejected) {
+  auto db = OpenHousing(411);
+  EXPECT_FALSE(db->CandidatesFor("no_such_table").ok());
+  EXPECT_FALSE(db->SelectedPathFor("no_such_table").ok());
+  // neighborhood is complete: it has no candidates either.
+  EXPECT_FALSE(db->CandidatesFor("neighborhood").ok());
+}
+
+}  // namespace
+}  // namespace restore

@@ -1,5 +1,6 @@
-// End-to-end integration tests: CompletionEngine over the housing and
-// movies datasets, including completed query execution.
+// End-to-end integration tests: the restore::Db session API over the housing
+// and movies datasets, including completed query execution, plus one legacy
+// check that the deprecated CompletionEngine shim still answers identically.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,7 @@
 #include "datagen/workload.h"
 #include "exec/executor.h"
 #include "metrics/metrics.h"
+#include "restore/db.h"
 #include "restore/engine.h"
 
 namespace restore {
@@ -23,7 +25,7 @@ EngineConfig FastEngineConfig() {
   return config;
 }
 
-TEST(EngineHousingTest, CompletesApartmentTableAndReducesBias) {
+TEST(DbHousingTest, CompletesApartmentTableAndReducesBias) {
   auto complete = BuildCompleteDatabase("housing", 201, 0.4);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
@@ -31,11 +33,11 @@ TEST(EngineHousingTest, CompletesApartmentTableAndReducesBias) {
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.6, 202);
   ASSERT_TRUE(incomplete.ok());
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
 
-  auto completed = engine.CompleteTable("apartment");
+  auto completed = (*db)->CompleteTable("apartment");
   ASSERT_TRUE(completed.ok()) << completed.status();
 
   auto true_mean = ColumnMean(*complete->GetTable("apartment").value(),
@@ -56,7 +58,7 @@ TEST(EngineHousingTest, CompletesApartmentTableAndReducesBias) {
                             << " completed=" << completed_mean.value();
 }
 
-TEST(EngineHousingTest, CompletedQueryBeatsIncompleteExecution) {
+TEST(DbHousingTest, CompletedQueryBeatsIncompleteExecution) {
   auto complete = BuildCompleteDatabase("housing", 203, 0.4);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
@@ -64,15 +66,16 @@ TEST(EngineHousingTest, CompletedQueryBeatsIncompleteExecution) {
   auto incomplete = ApplySetup(*complete, *setup, 0.4, 0.6, 204);
   ASSERT_TRUE(incomplete.ok());
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = (*db)->CreateSession();
 
   const std::string sql =
       "SELECT SUM(price) FROM apartment WHERE room_type='entire_home';";
   auto truth = ExecuteSql(*complete, sql);
   auto on_incomplete = ExecuteSql(*incomplete, sql);
-  auto on_completed = engine.ExecuteCompletedSql(sql);
+  auto on_completed = session.Execute(sql);
   ASSERT_TRUE(truth.ok());
   ASSERT_TRUE(on_incomplete.ok());
   ASSERT_TRUE(on_completed.ok()) << on_completed.status();
@@ -85,7 +88,7 @@ TEST(EngineHousingTest, CompletedQueryBeatsIncompleteExecution) {
       << " completed err=" << err_completed;
 }
 
-TEST(EngineHousingTest, JoinQueryWithIncompleteTableExecutes) {
+TEST(DbHousingTest, PreparedJoinQueryWithIncompleteTableExecutes) {
   auto complete = BuildCompleteDatabase("housing", 205, 0.3);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H2");
@@ -93,16 +96,24 @@ TEST(EngineHousingTest, JoinQueryWithIncompleteTableExecutes) {
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 206);
   ASSERT_TRUE(incomplete.ok());
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = (*db)->CreateSession();
+
+  // Parse/plan once, execute with two different bindings.
+  auto prepared = session.Prepare(
+      "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
+      "accommodates >= ? GROUP BY landlord_since;");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto result = prepared->Execute({Value::Int64(3)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->groups.empty());
+
+  // Count must be >= the incomplete count overall (tuples were added).
   const std::string sql =
       "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
       "accommodates >= 3 GROUP BY landlord_since;";
-  auto result = engine.ExecuteCompletedSql(sql);
-  ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_FALSE(result->groups.empty());
-  // Count must be >= the incomplete count overall (tuples were added).
   auto on_incomplete = ExecuteSql(*incomplete, sql);
   ASSERT_TRUE(on_incomplete.ok());
   double completed_total = 0.0;
@@ -116,34 +127,44 @@ TEST(EngineHousingTest, JoinQueryWithIncompleteTableExecutes) {
     incomplete_total += v[0];
   }
   EXPECT_GE(completed_total, incomplete_total);
+
+  // A laxer binding must qualify at least as many rows.
+  auto lax = prepared->Execute({Value::Int64(1)});
+  ASSERT_TRUE(lax.ok()) << lax.status();
+  double lax_total = 0.0;
+  for (const auto& [k, v] : lax->groups) {
+    (void)k;
+    lax_total += v[0];
+  }
+  EXPECT_GE(lax_total, completed_total);
 }
 
-TEST(EngineHousingTest, CacheReusesCompletedJoin) {
+TEST(DbHousingTest, CacheReusesCompletedJoin) {
   auto complete = BuildCompleteDatabase("housing", 207, 0.25);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
   ASSERT_TRUE(setup.ok());
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 208);
   ASSERT_TRUE(incomplete.ok());
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = (*db)->CreateSession();
   ASSERT_TRUE(
-      engine
-          .ExecuteCompletedSql(
-              "SELECT AVG(price) FROM apartment WHERE accommodates >= 2;")
+      session
+          .Execute("SELECT AVG(price) FROM apartment WHERE accommodates >= 2;")
           .ok());
-  const size_t misses_after_first = engine.cache().misses();
-  ASSERT_TRUE(engine
-                  .ExecuteCompletedSql(
+  const size_t misses_after_first = (*db)->cache().misses();
+  ASSERT_TRUE(session
+                  .Execute(
                       "SELECT COUNT(*) FROM apartment WHERE "
                       "room_type='entire_home';")
                   .ok());
-  EXPECT_GT(engine.cache().hits(), 0u);
-  EXPECT_EQ(engine.cache().misses(), misses_after_first);
+  EXPECT_GT((*db)->cache().hits(), 0u);
+  EXPECT_EQ((*db)->cache().misses(), misses_after_first);
 }
 
-TEST(EngineMoviesTest, MultiIncompleteJoinQueryExecutes) {
+TEST(DbMoviesTest, MultiIncompleteJoinQueryExecutes) {
   auto complete = BuildCompleteDatabase("movies", 209, 0.15);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("M1");
@@ -151,15 +172,16 @@ TEST(EngineMoviesTest, MultiIncompleteJoinQueryExecutes) {
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 210);
   ASSERT_TRUE(incomplete.ok());
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = (*db)->CreateSession();
   const std::string sql =
       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
       "director WHERE gender='m';";
   auto truth = ExecuteSql(*complete, sql);
   auto on_incomplete = ExecuteSql(*incomplete, sql);
-  auto on_completed = engine.ExecuteCompletedSql(sql);
+  auto on_completed = session.Execute(sql);
   ASSERT_TRUE(truth.ok());
   ASSERT_TRUE(on_incomplete.ok());
   ASSERT_TRUE(on_completed.ok()) << on_completed.status();
@@ -172,40 +194,70 @@ TEST(EngineMoviesTest, MultiIncompleteJoinQueryExecutes) {
       << "truth=" << t << " incomplete=" << i << " completed=" << c;
 }
 
-TEST(EngineTest, SelectedPathStartsCompleteAndEndsAtTarget) {
+TEST(DbTest, SelectedPathStartsCompleteAndEndsAtTarget) {
   auto complete = BuildCompleteDatabase("housing", 211, 0.25);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H4");
   ASSERT_TRUE(setup.ok());
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 212);
   ASSERT_TRUE(incomplete.ok());
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
-  auto path = engine.SelectedPathFor("landlord");
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto path = (*db)->SelectedPathFor("landlord");
   ASSERT_TRUE(path.ok()) << path.status();
   ASSERT_GE(path->size(), 2u);
   EXPECT_EQ(path->back(), "landlord");
-  EXPECT_TRUE(engine.annotation().IsComplete(path->front()));
+  EXPECT_TRUE((*db)->annotation().IsComplete(path->front()));
 }
 
-TEST(EngineTest, CompleteQueriesOnCompleteTablesBypassModels) {
+TEST(DbTest, CompleteQueriesOnCompleteTablesBypassModels) {
   auto complete = BuildCompleteDatabase("housing", 213, 0.25);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
   ASSERT_TRUE(setup.ok());
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 214);
   ASSERT_TRUE(incomplete.ok());
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
-  // neighborhood is complete: the completed result equals direct execution.
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session session = (*db)->CreateSession();
+  // neighborhood is complete: the completed result equals direct execution,
+  // and no model had to be trained for it.
   const std::string sql = "SELECT COUNT(*) FROM neighborhood;";
   auto direct = ExecuteSql(*incomplete, sql);
-  auto completed = engine.ExecuteCompletedSql(sql);
+  auto completed = session.Execute(sql);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(completed.ok()) << completed.status();
   EXPECT_DOUBLE_EQ(direct->groups.at({})[0], completed->groups.at({})[0]);
+  EXPECT_EQ((*db)->models_trained(), 0u);
+}
+
+TEST(LegacyEngineShimTest, MatchesDbFacadeAnswers) {
+  auto complete = BuildCompleteDatabase("housing", 215, 0.25);
+  ASSERT_TRUE(complete.ok());
+  auto setup = SetupByName("H1");
+  ASSERT_TRUE(setup.ok());
+  auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 216);
+  ASSERT_TRUE(incomplete.ok());
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM apartment WHERE accommodates >= 2;";
+
+  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
+                          FastEngineConfig());
+  ASSERT_TRUE(engine.TrainModels().ok());
+  auto via_engine = engine.ExecuteCompletedSql(sql);
+  ASSERT_TRUE(via_engine.ok()) << via_engine.status();
+
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {FastEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto via_db = (*db)->ExecuteCompletedSql(sql);
+  ASSERT_TRUE(via_db.ok()) << via_db.status();
+
+  // The shim delegates to an identically-configured Db: bit-identical.
+  EXPECT_EQ(via_engine->groups, via_db->groups);
 }
 
 }  // namespace

@@ -1,0 +1,277 @@
+// Model-persistence tests: a Db saved with SaveModels and reopened from
+// model_dir in a fresh Db must answer queries bit-identically with ZERO
+// training, and corrupted/truncated model files must be rejected at open.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
+#include "restore/db.h"
+
+namespace restore {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.model.epochs = 4;
+  config.model.min_train_steps = 120;
+  config.model.hidden_dim = 24;
+  config.model.embed_dim = 4;
+  config.model.max_bins = 12;
+  config.max_candidates = 2;
+  return config;
+}
+
+Database MakeIncompleteSynthetic(uint64_t seed) {
+  SyntheticConfig data_config;
+  data_config.num_parents = 250;
+  data_config.predictability = 0.85;
+  data_config.seed = seed;
+  auto complete = GenerateSynthetic(data_config);
+  EXPECT_TRUE(complete.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.5;
+  removal.seed = seed + 1;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  EXPECT_TRUE(incomplete.ok());
+  EXPECT_TRUE(ThinTupleFactors(&*incomplete, 0.3, seed + 2).ok());
+  return std::move(incomplete).value();
+}
+
+SchemaAnnotation Annotation() {
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  return annotation;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/restore_" + name;
+  std::remove((dir + "/restore_models.manifest").c_str());
+  return dir;
+}
+
+void ExpectSameResults(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (const auto& [key, values] : a.groups) {
+    auto it = b.groups.find(key);
+    ASSERT_NE(it, b.groups.end());
+    ASSERT_EQ(values.size(), it->second.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(values[i], it->second[i]);
+    }
+  }
+}
+
+TEST(PersistenceTest, ReopenedDbAnswersBitIdenticallyWithoutTraining) {
+  Database incomplete = MakeIncompleteSynthetic(301);
+  const std::string sql1 =
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+  const std::string sql2 = "SELECT COUNT(*) FROM table_b GROUP BY b;";
+
+  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto r1 = (*db)->ExecuteCompletedSql(sql1);
+  auto r2 = (*db)->ExecuteCompletedSql(sql2);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_GT((*db)->models_trained(), 0u);
+  EXPECT_GT((*db)->total_train_seconds(), 0.0);
+
+  const std::string dir = FreshDir("roundtrip");
+  ASSERT_TRUE((*db)->SaveModels(dir).ok());
+
+  // Reopen from disk (standing in for a fresh process: nothing but the
+  // original incomplete database and the model directory is reused).
+  DbOptions options;
+  options.engine = FastConfig();
+  options.model_dir = dir;
+  auto reopened = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GT((*reopened)->models_loaded(), 0u);
+
+  auto q1 = (*reopened)->ExecuteCompletedSql(sql1);
+  auto q2 = (*reopened)->ExecuteCompletedSql(sql2);
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  ASSERT_TRUE(q2.ok()) << q2.status();
+
+  // Zero training on the reopened Db: every needed model came from disk.
+  EXPECT_EQ((*reopened)->models_trained(), 0u);
+  EXPECT_EQ((*reopened)->total_train_seconds(), 0.0);
+
+  ExpectSameResults(*r1, *q1);
+  ExpectSameResults(*r2, *q2);
+
+  // The completed table itself must round-trip cell-for-cell.
+  auto t1 = (*db)->CompleteTable("table_b");
+  auto t2 = (*reopened)->CompleteTable("table_b");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_EQ(t1->NumRows(), t2->NumRows());
+  ASSERT_EQ(t1->NumColumns(), t2->NumColumns());
+  for (size_t c = 0; c < t1->NumColumns(); ++c) {
+    const Column& a = t1->column(c);
+    const Column& b = t2->column(c);
+    ASSERT_EQ(a.name(), b.name());
+    for (size_t r = 0; r < t1->NumRows(); ++r) {
+      if (a.IsNull(r)) {
+        EXPECT_TRUE(b.IsNull(r));
+      } else if (a.type() == ColumnType::kDouble) {
+        EXPECT_EQ(a.GetDouble(r), b.GetDouble(r)) << a.name() << " row " << r;
+      } else {
+        EXPECT_EQ(a.GetInt64(r), b.GetInt64(r)) << a.name() << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(PersistenceTest, SsarModelWithConfidenceRecordingRoundTrips) {
+  Database incomplete = MakeIncompleteSynthetic(303);
+  EngineConfig config = FastConfig();
+  config.model.use_ssar = true;
+
+  auto db = Db::Open(&incomplete, Annotation(), {config, ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  const std::vector<std::string> path{"table_a", "table_b"};
+  auto model = (*db)->ModelForPath(path);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE((*model)->is_ssar());
+
+  CompletionOptions record;
+  record.record_table = "table_b";
+  record.record_column = "b";
+  auto completion = (*db)->CompleteViaPath(path, record);
+  ASSERT_TRUE(completion.ok()) << completion.status();
+
+  const std::string dir = FreshDir("ssar");
+  ASSERT_TRUE((*db)->SaveModels(dir).ok());
+
+  DbOptions options;
+  options.engine = config;
+  options.model_dir = dir;
+  auto reopened = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto reloaded = (*reopened)->ModelForPath(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_TRUE((*reloaded)->is_ssar());
+  EXPECT_EQ((*reopened)->models_trained(), 0u);
+
+  auto completion2 = (*reopened)->CompleteViaPath(path, record);
+  ASSERT_TRUE(completion2.ok()) << completion2.status();
+
+  // Confidence machinery inputs must be bit-identical: the recorded
+  // predictive distributions of every synthesized tuple...
+  ASSERT_EQ(completion->recorded_probs.size(),
+            completion2->recorded_probs.size());
+  for (size_t i = 0; i < completion->recorded_probs.size(); ++i) {
+    ASSERT_EQ(completion->recorded_probs[i], completion2->recorded_probs[i])
+        << "recorded distribution " << i;
+  }
+  // ...and the training marginal (the P_incomplete of Section 6).
+  const int attr = (*model)->FindAttr("table_b", "b");
+  ASSERT_GE(attr, 0);
+  EXPECT_EQ((*model)->TrainMarginal(static_cast<size_t>(attr)),
+            (*reloaded)->TrainMarginal(static_cast<size_t>(attr)));
+  EXPECT_EQ((*model)->test_loss(), (*reloaded)->test_loss());
+  EXPECT_EQ((*model)->target_test_loss(), (*reloaded)->target_test_loss());
+  EXPECT_EQ((*model)->num_parameters(), (*reloaded)->num_parameters());
+}
+
+TEST(PersistenceTest, CorruptedModelFileIsRejected) {
+  Database incomplete = MakeIncompleteSynthetic(305);
+  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteCompletedSql(
+                      "SELECT COUNT(*) FROM table_b GROUP BY b;")
+                  .ok());
+  const std::string dir = FreshDir("corrupt");
+  ASSERT_TRUE((*db)->SaveModels(dir).ok());
+
+  // Flip one byte in the middle of every model file's payload.
+  auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
+                                      0x4d545352, 1);
+  ASSERT_TRUE(manifest.ok());
+  BinaryReader r(std::move(manifest).value());
+  const uint64_t num_models = r.U64();
+  ASSERT_GT(num_models, 0u);
+  const std::string key = r.Str();
+  const std::string filename = r.Str();
+  (void)key;
+  const std::string model_path = dir + "/" + filename;
+  std::string contents;
+  {
+    std::ifstream in(model_path, std::ios::binary);
+    contents.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(contents.size(), 64u);
+  contents[contents.size() / 2] ^= 0x5a;
+  {
+    std::ofstream out(model_path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  DbOptions options;
+  options.engine = FastConfig();
+  options.model_dir = dir;
+  auto reopened = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().message().find("checksum"), std::string::npos)
+      << reopened.status();
+}
+
+TEST(PersistenceTest, TruncatedModelFileIsRejected) {
+  Database incomplete = MakeIncompleteSynthetic(307);
+  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ModelForPath({"table_a", "table_b"}).ok());
+  const std::string dir = FreshDir("truncate");
+  ASSERT_TRUE((*db)->SaveModels(dir).ok());
+
+  auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
+                                      0x4d545352, 1);
+  ASSERT_TRUE(manifest.ok());
+  BinaryReader r(std::move(manifest).value());
+  ASSERT_GT(r.U64(), 0u);
+  r.Str();  // path key
+  const std::string model_path = dir + "/" + r.Str();
+  std::string contents;
+  {
+    std::ifstream in(model_path, std::ios::binary);
+    contents.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(model_path, std::ios::binary | std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+
+  DbOptions options;
+  options.engine = FastConfig();
+  options.model_dir = dir;
+  auto reopened = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().message().find("truncated"), std::string::npos)
+      << reopened.status();
+}
+
+TEST(PersistenceTest, MissingManifestIsRejected) {
+  Database incomplete = MakeIncompleteSynthetic(309);
+  DbOptions options;
+  options.engine = FastConfig();
+  options.model_dir = testing::TempDir() + "/restore_no_such_dir";
+  auto db = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsNotFound()) << db.status();
+}
+
+}  // namespace
+}  // namespace restore

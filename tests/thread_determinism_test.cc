@@ -6,15 +6,20 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
 #include "nn/adam.h"
 #include "nn/made.h"
 #include "nn/matrix.h"
+#include "restore/db.h"
 
 namespace restore {
 namespace {
@@ -104,6 +109,159 @@ TEST(ThreadDeterminismTest, TrainingAndSamplingIdenticalAt1And4Threads) {
   ASSERT_EQ(single.probs.size(), quad.probs.size());
   for (size_t i = 0; i < single.probs.size(); ++i) {
     ASSERT_EQ(single.probs[i], quad.probs[i]) << "recorded prob " << i;
+  }
+}
+
+// ---- Db-level concurrency ---------------------------------------------------
+
+EngineConfig FastDbConfig() {
+  EngineConfig config;
+  config.model.epochs = 4;
+  config.model.min_train_steps = 120;
+  config.model.hidden_dim = 24;
+  config.model.embed_dim = 4;
+  config.model.max_bins = 12;
+  config.max_candidates = 2;
+  return config;
+}
+
+Database MakeIncompleteSynthetic(uint64_t seed) {
+  SyntheticConfig data_config;
+  data_config.num_parents = 220;
+  data_config.predictability = 0.85;
+  data_config.seed = seed;
+  auto complete = GenerateSynthetic(data_config);
+  EXPECT_TRUE(complete.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.5;
+  removal.seed = seed + 1;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  EXPECT_TRUE(incomplete.ok());
+  EXPECT_TRUE(ThinTupleFactors(&*incomplete, 0.3, seed + 2).ok());
+  return std::move(incomplete).value();
+}
+
+/// The fixed mixed workload every client runs: two ad-hoc SQL queries and
+/// two prepared parameterized queries over the same table sets.
+struct Workload {
+  std::vector<std::string> adhoc;
+  std::vector<std::pair<std::string, Value>> prepared;  // sql, bound param
+};
+
+Workload MakeWorkload(const Database& db) {
+  const std::string b0 =
+      db.GetTable("table_b").value()->GetColumn("b").value()->dictionary()
+          ->ValueOf(0);
+  Workload w;
+  w.adhoc = {
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;",
+      "SELECT COUNT(*) FROM table_b GROUP BY b;",
+  };
+  w.prepared = {
+      {"SELECT COUNT(*) FROM table_b WHERE b != ?;", Value::Categorical(b0)},
+      {"SELECT COUNT(*) FROM table_a NATURAL JOIN table_b WHERE b = ?;",
+       Value::Categorical(b0)},
+  };
+  return w;
+}
+
+/// Runs the whole workload on one session, alternating sync and async styles
+/// by `flavor`, and returns the results in workload order.
+std::vector<QueryResult> RunWorkload(const Session& session,
+                                     const Workload& workload, int flavor) {
+  std::vector<QueryResult> out;
+  for (size_t i = 0; i < workload.adhoc.size(); ++i) {
+    if ((flavor + static_cast<int>(i)) % 2 == 0) {
+      QueryFuture f = session.ExecuteAsync(workload.adhoc[i]);
+      Result<QueryResult>& r = f.Get();
+      EXPECT_TRUE(r.ok()) << r.status();
+      out.push_back(*r);
+    } else {
+      auto r = session.Execute(workload.adhoc[i]);
+      EXPECT_TRUE(r.ok()) << r.status();
+      out.push_back(*r);
+    }
+  }
+  for (size_t i = 0; i < workload.prepared.size(); ++i) {
+    auto prepared = session.Prepare(workload.prepared[i].first);
+    EXPECT_TRUE(prepared.ok()) << prepared.status();
+    const std::vector<Value> params{workload.prepared[i].second};
+    if ((flavor + static_cast<int>(i)) % 2 == 0) {
+      QueryFuture f = prepared->ExecuteAsync(params);
+      Result<QueryResult>& r = f.Get();
+      EXPECT_TRUE(r.ok()) << r.status();
+      out.push_back(*r);
+    } else {
+      auto r = prepared->Execute(params);
+      EXPECT_TRUE(r.ok()) << r.status();
+      out.push_back(*r);
+    }
+  }
+  return out;
+}
+
+TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
+  Database incomplete = MakeIncompleteSynthetic(/*seed=*/77);
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  const Workload workload = MakeWorkload(incomplete);
+
+  // Sequential baseline on a fresh Db.
+  ThreadPool::SetGlobalWidth(1);
+  auto seq_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
+  ASSERT_TRUE(seq_db.ok()) << seq_db.status();
+  const std::vector<QueryResult> baseline =
+      RunWorkload((*seq_db)->CreateSession(), workload, /*flavor=*/1);
+  const size_t baseline_trained = (*seq_db)->models_trained();
+  EXPECT_GT(baseline_trained, 0u);
+
+  // 4 client threads hammering ONE fresh Db with the same mixed workload,
+  // on a 4-wide pool (async queries and training share it).
+  ThreadPool::SetGlobalWidth(4);
+  auto conc_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
+  ASSERT_TRUE(conc_db.ok()) << conc_db.status();
+  constexpr int kClients = 4;
+  std::vector<std::vector<QueryResult>> per_client(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        per_client[c] =
+            RunWorkload((*conc_db)->CreateSession(), workload, /*flavor=*/c);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  ThreadPool::SetGlobalWidth(0);  // restore the environment default
+
+  // Every client saw exactly the sequential answers.
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(per_client[c].size(), baseline.size()) << "client " << c;
+    for (size_t q = 0; q < baseline.size(); ++q) {
+      EXPECT_EQ(per_client[c][q].groups, baseline[q].groups)
+          << "client " << c << " query " << q;
+    }
+  }
+
+  // Despite 4 clients racing on the same lazily-trained models, every
+  // candidate path was trained exactly once (the once-latch contract), and
+  // exactly the same paths as in the sequential run.
+  EXPECT_EQ((*conc_db)->models_trained(), baseline_trained);
+
+  // And the trained models are the ones sequential training produced.
+  auto seq_cands = (*seq_db)->CandidatesFor("table_b");
+  auto conc_cands = (*conc_db)->CandidatesFor("table_b");
+  ASSERT_TRUE(seq_cands.ok());
+  ASSERT_TRUE(conc_cands.ok());
+  ASSERT_EQ(seq_cands->size(), conc_cands->size());
+  for (size_t i = 0; i < seq_cands->size(); ++i) {
+    EXPECT_EQ((*seq_cands)[i].path, (*conc_cands)[i].path);
+    EXPECT_EQ((*seq_cands)[i].model->test_loss(),
+              (*conc_cands)[i].model->test_loss())
+        << "candidate " << i;
   }
 }
 
