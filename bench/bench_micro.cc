@@ -8,9 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "exec/join.h"
+#include "nn/inference_scratch.h"
 #include "nn/made.h"
 #include "nn/matrix.h"
 #include "restore/discretizer.h"
@@ -100,6 +103,66 @@ void BM_MadeSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MadeSample)->Arg(64)->Arg(512);
+
+// ---- Concurrent inference over ONE shared model -----------------------------
+//
+// N client threads sample through one MadeModel, each with its own scratch
+// arena from the shared pool (the PathModel serving path). The contrast
+// bench below serializes the same passes behind one mutex — the PR-2-era
+// per-model inference lock — so the JSON records the aggregate-throughput
+// win of scratch-arena reentrancy on any multi-core runner. Run with
+// RESTORE_NUM_THREADS=1 (as the CI gate does) so the inner ParallelFor
+// stays serial and all scaling comes from true cross-thread reentrancy.
+
+MadeModel& SharedInferenceModel() {
+  static MadeModel* model = [] {
+    Rng rng(11);
+    MadeConfig config;
+    config.vocab_sizes = {16, 16, 32, 8, 24};
+    config.embed_dim = 8;
+    config.hidden_dim = 64;
+    config.num_layers = 2;
+    auto* m = new MadeModel(config, rng);
+    m->FinalizeForInference();  // freeze for reentrant (const) inference
+    return m;
+  }();
+  return *model;
+}
+
+InferenceScratchPool& SharedScratchPool() {
+  static auto* pool = new InferenceScratchPool();
+  return *pool;
+}
+
+void ConcurrentInferenceLoop(benchmark::State& state, std::mutex* serialize) {
+  const MadeModel& made = SharedInferenceModel();
+  const size_t batch = 64;
+  // Per-thread client state: sampling RNG and evidence codes.
+  Rng rng(100 + static_cast<uint64_t>(state.thread_index()));
+  IntMatrix codes(batch, made.num_attrs(), 0);
+  const Matrix empty_context;
+  for (auto _ : state) {
+    InferenceScratchPool::Lease scratch = SharedScratchPool().Acquire();
+    std::unique_lock<std::mutex> lock;
+    if (serialize != nullptr) lock = std::unique_lock<std::mutex>(*serialize);
+    made.SampleRange(&codes, empty_context, 1, made.num_attrs(), rng,
+                     /*record_attr=*/-1, /*recorded=*/nullptr,
+                     &scratch->made);
+    benchmark::DoNotOptimize(codes.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+
+void BM_ConcurrentInference(benchmark::State& state) {
+  ConcurrentInferenceLoop(state, nullptr);
+}
+BENCHMARK(BM_ConcurrentInference)->Threads(1)->Threads(4)->UseRealTime();
+
+void BM_ConcurrentInferenceMutex(benchmark::State& state) {
+  static std::mutex mu;  // stand-in for the removed per-model inference mutex
+  ConcurrentInferenceLoop(state, &mu);
+}
+BENCHMARK(BM_ConcurrentInferenceMutex)->Threads(4)->UseRealTime();
 
 void BM_HashJoin(benchmark::State& state) {
   Rng rng(3);

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json files against committed
+baselines and fail on significant regressions of the named hot metrics.
+
+Usage (from the build directory, after running the benches):
+
+    python3 ../bench/check_bench_json.py \
+        --fresh BENCH_micro.json --baseline ../bench/baselines/BENCH_micro.json
+    python3 ../bench/check_bench_json.py \
+        --fresh BENCH_fig10.json --baseline ../bench/baselines/BENCH_fig10.json \
+        --metrics total_seconds --threshold 0.5
+
+A metric "regresses" when its fresh real_ns (or the named counter, for
+figure JSONs) exceeds the baseline by more than --threshold (default 0.25 =
+25%). Improvements never fail the gate.
+
+Concurrency acceptance: with --check-concurrency (and >= --min-cpus CPUs),
+the script additionally requires the scratch-arena concurrent-inference
+bench to beat the mutex-serialized contrast bench by --speedup x aggregate
+throughput (items_per_second).
+
+Re-baselining: benchmark numbers are machine-specific, so after an
+intentional perf change (or a runner generation change) regenerate the
+baselines on the CI runner class and commit them. RESTORE_NUM_THREADS=1 is
+MANDATORY for bench_micro — it is what the CI gate step runs under (see
+.github/workflows/ci.yml); a pool-parallel baseline would make every
+subsequent width-1 gate run look like a regression:
+
+    cd build && RESTORE_NUM_THREADS=1 ./bench_micro
+    ./bench_fig10_selection > /dev/null
+    cp BENCH_micro.json BENCH_fig10.json ../bench/baselines/
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Hot metrics gated by default for BENCH_micro.json. Matched as exact names
+# after normalization (see find_record); threading/real_time suffixes in
+# google-benchmark names are tolerated via prefix match.
+DEFAULT_METRICS = [
+    "BM_MadeForward/256",
+    "BM_MadeSample/512",
+    "BM_ConcurrentInference",
+]
+
+CONCURRENT_BENCH = "BM_ConcurrentInference"
+CONCURRENT_MUTEX_BENCH = "BM_ConcurrentInferenceMutex"
+CONCURRENT_THREADS = 4
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = doc.get("benchmarks", [])
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: 'benchmarks' is not a list")
+    return records
+
+
+def find_record(records, metric):
+    """Exact name match first; else component-prefix match (tolerates
+    google-benchmark suffixes like /real_time or /threads:4 — but
+    'BM_Foo' must not match 'BM_FooBar/...')."""
+    exact = [r for r in records if r.get("name") == metric]
+    if exact:
+        return exact[0]
+    prefixed = [r for r in records
+                if str(r.get("name", "")).startswith(metric + "/")]
+    if len(prefixed) == 1:
+        return prefixed[0]
+    if len(prefixed) > 1:
+        # Prefer the highest thread count (the concurrency acceptance shape).
+        def threads(r):
+            name = r["name"]
+            if "/threads:" in name:
+                return int(name.rsplit("/threads:", 1)[1].split("/")[0])
+            return 1
+
+        return max(prefixed, key=threads)
+    return None
+
+
+def metric_value(record, counter):
+    # WriteBenchJson flattens counters (e.g. items_per_second) into the
+    # record object itself, next to real_ns/cpu_ns.
+    key = counter if counter else "real_ns"
+    if key in record:
+        return float(record[key])
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--metrics", nargs="*", default=DEFAULT_METRICS,
+        help="benchmark names to gate (default: the hot NN metrics)")
+    parser.add_argument(
+        "--all-metrics", action="store_true",
+        help="gate every record present in the baseline (figure JSONs)")
+    parser.add_argument(
+        "--counter", default="",
+        help="gate this counter instead of real_ns (for figure JSONs)")
+    parser.add_argument(
+        "--higher-is-better", action="store_true",
+        help="the gated value is a quality metric: a DECREASE regresses")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (0.25 = 25%%)")
+    parser.add_argument(
+        "--min-baseline", type=float, default=0.0,
+        help="skip records whose |baseline| value is below this (relative "
+             "regression is meaningless near zero)")
+    parser.add_argument("--check-concurrency", action="store_true",
+                        help="also require the scratch-arena >2x win over "
+                             "the mutex-serialized concurrency bench")
+    parser.add_argument("--speedup", type=float, default=2.0)
+    parser.add_argument("--min-cpus", type=int, default=4,
+                        help="skip the concurrency check below this core "
+                             "count (the win needs real parallelism)")
+    args = parser.parse_args()
+
+    fresh = load_records(args.fresh)
+    base = load_records(args.baseline)
+    failures = []
+
+    metrics = args.metrics
+    if args.all_metrics:
+        metrics = [r["name"] for r in base]
+
+    for metric in metrics:
+        f_rec = find_record(fresh, metric)
+        b_rec = find_record(base, metric)
+        if f_rec is None:
+            failures.append(f"{metric}: missing from {args.fresh}")
+            continue
+        if b_rec is None:
+            print(f"  NEW    {metric}: no baseline yet "
+                  f"(commit one to start gating it)")
+            continue
+        f_val = metric_value(f_rec, args.counter)
+        b_val = metric_value(b_rec, args.counter)
+        if f_val is None or b_val is None or b_val == 0:
+            failures.append(f"{metric}: no comparable value")
+            continue
+        if abs(b_val) < args.min_baseline:
+            print(f"  SKIP   {metric}: baseline {b_val:.3f} below "
+                  f"--min-baseline {args.min_baseline}")
+            continue
+        if args.higher_is_better:
+            rel = (b_val - f_val) / abs(b_val)
+        else:
+            rel = (f_val - b_val) / abs(b_val)
+        verdict = "OK" if rel <= args.threshold else "REGRESSED"
+        print(f"  {verdict:9s}{f_rec['name']}: baseline {b_val:.3f}, "
+              f"fresh {f_val:.3f} ({rel:+.1%}, limit +{args.threshold:.0%})")
+        if rel > args.threshold:
+            failures.append(
+                f"{metric}: {rel:+.1%} vs baseline (limit +{args.threshold:.0%})")
+
+    if args.check_concurrency:
+        cpus = os.cpu_count() or 1
+        if cpus < args.min_cpus:
+            print(f"  SKIP   concurrency speedup check: {cpus} CPUs "
+                  f"< {args.min_cpus}")
+        else:
+            arena = find_record(
+                fresh, f"{CONCURRENT_BENCH}/real_time/threads:"
+                       f"{CONCURRENT_THREADS}") or find_record(
+                fresh, CONCURRENT_BENCH)
+            mutex = find_record(fresh, CONCURRENT_MUTEX_BENCH)
+            if arena is None or mutex is None:
+                failures.append("concurrency benches missing from fresh JSON")
+            else:
+                a = metric_value(arena, "items_per_second")
+                m = metric_value(mutex, "items_per_second")
+                if not a or not m:
+                    failures.append("concurrency benches lack items_per_second")
+                else:
+                    ratio = a / m
+                    verdict = "OK" if ratio > args.speedup else "TOO SLOW"
+                    print(f"  {verdict:9s}scratch-arena vs mutex-serialized "
+                          f"aggregate throughput: {ratio:.2f}x "
+                          f"(required > {args.speedup:.1f}x)")
+                    if ratio <= args.speedup:
+                        failures.append(
+                            f"concurrent inference speedup {ratio:.2f}x <= "
+                            f"{args.speedup:.1f}x")
+
+    if failures:
+        print("\nBench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("(intentional change? re-baseline per the header of "
+              "bench/check_bench_json.py)")
+        return 1
+    print("Bench gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,8 @@ class BinaryWriter {
 
  private:
   void Raw(const void* data, size_t size) {
+    // Empty vectors hand over data() == nullptr; append(nullptr, 0) is UB.
+    if (size == 0) return;
     buffer_.append(static_cast<const char*>(data), size);
   }
   std::string buffer_;
@@ -176,6 +178,9 @@ class BinaryReader {
   }
 
   void Raw(void* out, size_t size) {
+    // size == 0 reads come from empty vectors whose data() is nullptr;
+    // memcpy/memset with a null destination is UB even at size 0.
+    if (size == 0) return;
     if (!CheckRemaining(size)) {
       std::memset(out, 0, size);
       return;

@@ -59,6 +59,42 @@ void DeepSetsEncoder::Forward(const std::vector<ChildBatch>& children,
   *context = rho_out_;
 }
 
+void DeepSetsEncoder::Forward(const std::vector<ChildBatch>& children,
+                              Matrix* context,
+                              DeepSetsScratch* scratch) const {
+  assert(children.size() == num_tables());
+  const size_t batch = children.empty() ? 0 : children[0].offsets.size() - 1;
+  scratch->pooled.Resize(batch, num_tables() * phi_dim_);
+  scratch->pooled.Fill(0.0f);  // sum-pooled into below
+
+  // Unlike the training Forward, each table is pooled immediately after its
+  // phi MLP, so one set of per-table buffers serves every table. The float
+  // ops and their order match the training path exactly (bit-identical
+  // context), only the buffer lifetimes differ.
+  for (size_t t = 0; t < num_tables(); ++t) {
+    const ChildBatch& cb = children[t];
+    assert(cb.offsets.size() == batch + 1);
+    if (cb.codes.rows() > 0) {
+      embeds_[t].ForwardInference(cb.codes, &scratch->embedded);
+      phi1_[t].ForwardInference(scratch->embedded, &scratch->z1);
+      ReluInPlace(&scratch->z1);
+      phi2_[t].ForwardInference(scratch->z1, &scratch->z2);
+      ReluInPlace(&scratch->z2);
+    }
+    // Sum-pool children per evidence row (rows with no children stay zero —
+    // the permutation-invariant encoding of the empty set).
+    for (size_t r = 0; r < batch; ++r) {
+      float* dst = scratch->pooled.row(r) + t * phi_dim_;
+      for (size_t c = cb.offsets[r]; c < cb.offsets[r + 1]; ++c) {
+        const float* src = scratch->z2.row(c);
+        for (size_t k = 0; k < phi_dim_; ++k) dst[k] += src[k];
+      }
+    }
+  }
+  rho_.ForwardInference(scratch->pooled, context);
+  ReluInPlace(context);
+}
+
 void DeepSetsEncoder::Backward(const Matrix& dcontext) {
   Matrix dz = dcontext;
   ReluBackward(rho_out_, &dz);

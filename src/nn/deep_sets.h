@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "nn/embedding.h"
+#include "nn/inference_scratch.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
 
@@ -40,8 +41,16 @@ class DeepSetsEncoder {
   size_t context_dim() const { return context_dim_; }
 
   /// Encodes one ChildBatch per child table (order must match construction)
-  /// into a [batch x context_dim] context matrix.
+  /// into a [batch x context_dim] context matrix. TRAINING entry point:
+  /// caches what Backward needs in member state (single-threaded per model).
   void Forward(const std::vector<ChildBatch>& children, Matrix* context);
+
+  /// Reentrant inference encode: all per-call buffers live in `scratch`,
+  /// the encoder is read-only, so concurrent threads can encode through one
+  /// trained encoder — each with its own scratch. Bit-identical to the
+  /// training Forward.
+  void Forward(const std::vector<ChildBatch>& children, Matrix* context,
+               DeepSetsScratch* scratch) const;
 
   /// Backpropagates the context gradient into all encoder parameters.
   void Backward(const Matrix& dcontext);

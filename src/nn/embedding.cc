@@ -23,8 +23,13 @@ EmbeddingSet::EmbeddingSet(const std::vector<int>& vocab_sizes,
 
 void EmbeddingSet::Forward(const IntMatrix& codes, Matrix* out,
                            bool cache_codes) {
-  assert(codes.cols() == tables_.size());
   if (cache_codes) codes_cache_ = codes;
+  ForwardInference(codes, out);
+}
+
+void EmbeddingSet::ForwardInference(const IntMatrix& codes,
+                                    Matrix* out) const {
+  assert(codes.cols() == tables_.size());
   out->Resize(codes.rows(), output_dim());
   const size_t row_bytes = embed_dim_ * sizeof(float);
   // Gather rows are independent: shard them across the pool (fixed grain).

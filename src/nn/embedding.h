@@ -31,6 +31,10 @@ class EmbeddingSet {
   /// `cache_codes` = false skips the snapshot Backward needs (inference).
   void Forward(const IntMatrix& codes, Matrix* out, bool cache_codes = true);
 
+  /// Reentrant inference gather: touches no member state, so any number of
+  /// threads may embed batches through one table set concurrently.
+  void ForwardInference(const IntMatrix& codes, Matrix* out) const;
+
   /// Scatter-adds `dout` into the embedding-table gradients (uses the codes
   /// from the last Forward call).
   void Backward(const Matrix& dout);

@@ -1,0 +1,110 @@
+#ifndef RESTORE_NN_INFERENCE_SCRATCH_H_
+#define RESTORE_NN_INFERENCE_SCRATCH_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace restore {
+
+/// Per-call activation/workspace buffers of one MadeModel inference pass.
+/// The model itself is immutable during inference (see src/nn/README.md
+/// "Consumers"); every mutable byte a forward pass touches lives here, so
+/// any number of threads can run passes over ONE model concurrently as long
+/// as each brings its own scratch. Buffers use the shape-preserving
+/// Matrix::Resize, so a scratch reused against the same model allocates
+/// nothing at steady state.
+struct MadeScratch {
+  Matrix x0;                 // embedded input
+  std::vector<Matrix> relu;  // relu(z_l) per layer
+  std::vector<Matrix> h;     // post-residual activation per layer (l >= 1)
+  Matrix ctx;                // per-layer context projection
+  Matrix ctx_out;            // output-layer context projection
+  Matrix logits;             // SampleRange/PredictDistribution logits buffer
+  std::vector<double> u;     // SampleRange pre-drawn uniforms
+};
+
+/// Per-call workspace of one DeepSetsEncoder inference pass. Child tables
+/// are processed one at a time and pooled immediately, so a single set of
+/// per-table buffers is reused across tables.
+struct DeepSetsScratch {
+  Matrix embedded;  // child-tuple embeddings of the current table
+  Matrix z1;        // relu(phi1(embedded))
+  Matrix z2;        // relu(phi2(z1))
+  Matrix pooled;    // [batch x num_tables*phi_dim] sum-pooled
+};
+
+/// The full arena a PathModel inference entry point needs: MADE + deep-sets
+/// workspaces plus the intermediate tensors that flow between them.
+struct InferenceScratch {
+  MadeScratch made;
+  DeepSetsScratch deep_sets;
+  Matrix context;  // deep-sets output fed to the MADE as conditioning input
+  Matrix probs;    // predictive-distribution buffer
+};
+
+/// A mutex-guarded freelist of InferenceScratch arenas. Acquire() pops a
+/// free arena (or creates one on first use); the returned Lease gives it
+/// back on destruction. The lock is held only for the pop/push — never
+/// across a forward pass — so N concurrent inference calls proceed on N
+/// arenas with no serialization. At steady state the pool holds as many
+/// arenas as the peak concurrency ever seen, each already shaped for its
+/// model (PathModel owns one pool per model, keyed by identity).
+class InferenceScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(InferenceScratchPool* pool, std::unique_ptr<InferenceScratch> s)
+        : pool_(pool), scratch_(std::move(s)) {}
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->Release(std::move(scratch_));
+    }
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    InferenceScratch* operator->() { return scratch_.get(); }
+    InferenceScratch& operator*() { return *scratch_; }
+    InferenceScratch* get() { return scratch_.get(); }
+
+   private:
+    InferenceScratchPool* pool_;
+    std::unique_ptr<InferenceScratch> scratch_;
+  };
+
+  Lease Acquire() {
+    std::unique_ptr<InferenceScratch> s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        s = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (s == nullptr) s = std::make_unique<InferenceScratch>();
+    return Lease(this, std::move(s));
+  }
+
+  /// Number of idle arenas currently pooled (for tests/introspection).
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  void Release(std::unique_ptr<InferenceScratch> s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<InferenceScratch>> free_;
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_NN_INFERENCE_SCRATCH_H_

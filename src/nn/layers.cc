@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include <cassert>
 #include <cmath>
 
 namespace restore {
@@ -24,6 +25,11 @@ void Dense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
   AddBiasRows(b_.value, y);
 }
 
+void Dense::ForwardInference(const Matrix& x, Matrix* y) const {
+  MatMul(x, w_.value, y);
+  AddBiasRows(b_.value, y);
+}
+
 void Dense::Backward(const Matrix& dy, Matrix* dx) {
   MatMulTransAAccum(x_cache_, dy, &w_.grad);
   AccumBiasGrad(dy, &b_.grad);
@@ -41,7 +47,7 @@ MaskedDense::MaskedDense(Matrix mask, Rng& rng) : mask_(std::move(mask)) {
   KaimingInit(&w_.value, mask_.rows(), rng);
 }
 
-void MaskedDense::ApplyMask() {
+void MaskedDense::RefreshMaskedWeights() {
   masked_w_.Resize(w_.value.rows(), w_.value.cols());
   const float* __restrict__ w = w_.value.data();
   const float* __restrict__ m = mask_.data();
@@ -51,7 +57,13 @@ void MaskedDense::ApplyMask() {
 
 void MaskedDense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
   if (cache_input) x_cache_ = x;
-  ApplyMask();
+  RefreshMaskedWeights();
+  MatMul(x, masked_w_, y);
+  AddBiasRows(b_.value, y);
+}
+
+void MaskedDense::ForwardInference(const Matrix& x, Matrix* y) const {
+  assert(masked_w_.rows() == mask_.rows() && masked_w_.cols() == mask_.cols());
   MatMul(x, masked_w_, y);
   AddBiasRows(b_.value, y);
 }

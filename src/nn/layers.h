@@ -39,6 +39,9 @@ class Dense {
   /// inference-only passes (sampling, evaluation); Backward then requires a
   /// preceding caching Forward.
   void Forward(const Matrix& x, Matrix* y, bool cache_input = true);
+  /// Reentrant inference forward: touches no member state, so any number of
+  /// threads may call it concurrently on one layer.
+  void ForwardInference(const Matrix& x, Matrix* y) const;
   /// Accumulates dW, db; writes dx (same shape as the cached x).
   void Backward(const Matrix& dy, Matrix* dx);
   /// Backward variant that skips computing dx (for the first layer).
@@ -71,8 +74,19 @@ class MaskedDense {
   MaskedDense(Matrix mask, Rng& rng);
 
   void Forward(const Matrix& x, Matrix* y, bool cache_input = true);
+  /// Reentrant inference forward over the cached effective weight (W * M).
+  /// Requires RefreshMaskedWeights() after the last parameter update (the
+  /// training Forward refreshes it as a side effect); touches no member
+  /// state itself, so concurrent calls on one layer are safe.
+  void ForwardInference(const Matrix& x, Matrix* y) const;
   void Backward(const Matrix& dy, Matrix* dx);
   void BackwardNoInputGrad(const Matrix& dy);
+
+  /// Recomputes the cached effective weight (W * M). Must be called after
+  /// the optimizer's final step (or after loading parameters) and before
+  /// ForwardInference — the optimizer mutates W through CollectParams
+  /// pointers, which this layer cannot observe.
+  void RefreshMaskedWeights();
 
   void CollectParams(std::vector<Param*>* params) {
     params->push_back(&w_);
@@ -84,13 +98,11 @@ class MaskedDense {
   size_t out_dim() const { return mask_.cols(); }
 
  private:
-  /// Recomputes the cached effective weight (W * M).
-  void ApplyMask();
 
   Param w_;
   Param b_;
   Matrix mask_;
-  Matrix masked_w_;   // W * M, refreshed on every Forward
+  Matrix masked_w_;   // W * M, refreshed on every training Forward
   Matrix dw_scratch_;  // unmasked x^T dy, reused across Backward calls
   Matrix x_cache_;
 };

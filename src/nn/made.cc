@@ -160,6 +160,50 @@ void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
   }
 }
 
+// Mirrors the training Forward op for op (same kernels over the same masked
+// weights, so logits are bit-identical), but every buffer it writes lives in
+// `scratch` and every layer call is the const inference path.
+void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
+                        Matrix* logits, MadeScratch* scratch) const {
+  assert(codes.cols() == num_attrs());
+  assert(!has_context_ || (context.rows() == codes.rows() &&
+                           context.cols() == config_.context_dim));
+  embed_.ForwardInference(codes, &scratch->x0);
+  if (scratch->relu.size() != config_.num_layers) {
+    scratch->relu.assign(config_.num_layers, Matrix());
+    scratch->h.assign(config_.num_layers, Matrix());
+  }
+
+  const Matrix* prev = &scratch->x0;
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    Matrix& z = scratch->relu[l];
+    hidden_[l].ForwardInference(*prev, &z);
+    if (has_context_) {
+      ctx_hidden_[l].ForwardInference(context, &scratch->ctx);
+      AddInPlace(scratch->ctx, &z);
+    }
+    ReluInPlace(&z);
+    if (l == 0) {
+      prev = &scratch->relu[0];
+    } else {
+      scratch->h[l] = scratch->relu[l];
+      AddInPlace(l == 1 ? scratch->relu[0] : scratch->h[l - 1],
+                 &scratch->h[l]);
+      prev = &scratch->h[l];
+    }
+  }
+  out_.ForwardInference(*prev, logits);
+  if (has_context_) {
+    ctx_out_.ForwardInference(context, &scratch->ctx_out);
+    AddInPlace(scratch->ctx_out, logits);
+  }
+}
+
+void MadeModel::FinalizeForInference() {
+  for (auto& layer : hidden_) layer.RefreshMaskedWeights();
+  out_.RefreshMaskedWeights();
+}
+
 float MadeModel::NllLoss(const Matrix& logits, const IntMatrix& targets,
                          size_t first_attr, Matrix* dlogits) const {
   assert(logits.cols() == total_vocab());
@@ -293,10 +337,22 @@ void MadeModel::SampleConditional(IntMatrix* codes, const Matrix& context,
 void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
                             size_t first_attr, size_t end_attr, Rng& rng,
                             int record_attr, Matrix* recorded) {
+  // Convenience entry for training-time/single-owner callers: freeze the
+  // current weights, then run the reentrant path on the member scratch.
+  FinalizeForInference();
+  SampleRange(codes, context, first_attr, end_attr, rng, record_attr,
+              recorded, &infer_scratch_);
+}
+
+void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
+                            size_t first_attr, size_t end_attr, Rng& rng,
+                            int record_attr, Matrix* recorded,
+                            MadeScratch* scratch) const {
   const size_t batch = codes->rows();
-  Matrix& logits = sample_logits_;
+  Matrix& logits = scratch->logits;
+  std::vector<double>& sample_u = scratch->u;
   for (size_t a = first_attr; a < end_attr; ++a) {
-    Forward(*codes, context, &logits, /*for_backward=*/false);
+    Forward(*codes, context, &logits, scratch);
     const size_t begin = offsets_[a];
     const size_t vocab = static_cast<size_t>(vocab_size(a));
     const bool record = record_attr >= 0 &&
@@ -306,8 +362,8 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
     // Uniform draws are taken from the shared stream SEQUENTIALLY before the
     // parallel section, so the sampled codes are independent of the thread
     // count (and the rng consumption order matches the sequential version).
-    sample_u_.resize(batch);
-    for (size_t r = 0; r < batch; ++r) sample_u_[r] = rng.NextDouble();
+    sample_u.resize(batch);
+    for (size_t r = 0; r < batch; ++r) sample_u[r] = rng.NextDouble();
     // Row blocks: softmax the attribute's logit slice and inverse-CDF pick,
     // each row independent.
     ParallelFor(0, batch, LossRowGrain(vocab), [&](size_t lo, size_t hi) {
@@ -326,7 +382,7 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
           float* dst = recorded->row(r);
           for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
         }
-        const double u = sample_u_[r];
+        const double u = sample_u[r];
         double acc = 0.0;
         int32_t pick = static_cast<int32_t>(vocab) - 1;
         for (size_t c = 0; c < vocab; ++c) {
@@ -345,8 +401,16 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
 void MadeModel::PredictDistribution(const IntMatrix& codes,
                                     const Matrix& context, size_t attr,
                                     Matrix* probs) {
-  Matrix& logits = sample_logits_;
-  Forward(codes, context, &logits, /*for_backward=*/false);
+  FinalizeForInference();
+  PredictDistribution(codes, context, attr, probs, &infer_scratch_);
+}
+
+void MadeModel::PredictDistribution(const IntMatrix& codes,
+                                    const Matrix& context, size_t attr,
+                                    Matrix* probs,
+                                    MadeScratch* scratch) const {
+  Matrix& logits = scratch->logits;
+  Forward(codes, context, &logits, scratch);
   SoftmaxSlice(&logits, offsets_[attr], offsets_[attr + 1]);
   const size_t vocab = static_cast<size_t>(vocab_size(attr));
   probs->Resize(codes.rows(), vocab);

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "nn/adam.h"
 #include "nn/embedding.h"
+#include "nn/inference_scratch.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
 
@@ -54,8 +55,20 @@ class MadeModel {
   /// pass an empty Matrix). Caches activations for Backward unless
   /// `for_backward` is false (inference-only passes skip the input
   /// snapshots). Activation buffers are reused across calls.
+  ///
+  /// This is the TRAINING entry point: it uses the model's persistent member
+  /// scratch, so it is single-threaded per model (the Db facade guarantees
+  /// one trainer per model). Inference uses the const overloads below.
   void Forward(const IntMatrix& codes, const Matrix& context, Matrix* logits,
                bool for_backward = true);
+
+  /// Reentrant inference forward: all per-call buffers live in `scratch`,
+  /// the model is read-only, so any number of threads can run concurrent
+  /// passes over one model — each with its own scratch. Requires
+  /// FinalizeForInference() after the last parameter update. Produces
+  /// bit-identical logits to the training Forward.
+  void Forward(const IntMatrix& codes, const Matrix& context, Matrix* logits,
+               MadeScratch* scratch) const;
 
   /// Mean (over batch) of the summed per-attribute cross-entropies for
   /// attributes in [first_attr, num_attrs). Writes the matching logits
@@ -97,10 +110,28 @@ class MadeModel {
                    size_t end_attr, Rng& rng, int record_attr = -1,
                    Matrix* recorded = nullptr);
 
+  /// Reentrant variant (see the scratch Forward); bit-identical to the
+  /// member-scratch SampleRange for the same rng state.
+  void SampleRange(IntMatrix* codes, const Matrix& context, size_t first_attr,
+                   size_t end_attr, Rng& rng, int record_attr,
+                   Matrix* recorded, MadeScratch* scratch) const;
+
   /// Predictive distribution of a single attribute given its predecessors:
   /// fills `probs` [batch x vocab(attr)].
   void PredictDistribution(const IntMatrix& codes, const Matrix& context,
                            size_t attr, Matrix* probs);
+
+  /// Reentrant variant (see the scratch Forward).
+  void PredictDistribution(const IntMatrix& codes, const Matrix& context,
+                           size_t attr, Matrix* probs,
+                           MadeScratch* scratch) const;
+
+  /// Freezes the current parameters for reentrant inference: refreshes the
+  /// cached masked weights (W * M) of every masked layer. Call once after
+  /// training (or after loading parameters); the const inference overloads
+  /// read those caches without refreshing them. The training Forward keeps
+  /// refreshing per call, so training never needs this.
+  void FinalizeForInference();
 
   void CollectParams(std::vector<Param*>* params);
 
@@ -135,8 +166,10 @@ class MadeModel {
   Matrix dz_scratch_;          // Backward: gradient through the ReLU branch
   Matrix dprev_scratch_;       // Backward: gradient wrt the layer input
   Matrix dctx_scratch_;        // Backward: per-layer context gradient
-  Matrix sample_logits_;       // SampleRange: logits buffer
-  std::vector<double> sample_u_;  // SampleRange: pre-drawn uniforms
+  // Member arena backing the non-scratch SampleRange/PredictDistribution
+  // convenience overloads (training-time and single-owner callers only;
+  // concurrent inference brings caller-owned scratch instead).
+  MadeScratch infer_scratch_;
   bool has_context_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "restore/cache.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/serialize.h"
 
@@ -37,6 +39,23 @@ size_t CompletionCache::ApproxTableBytes(const Table& table) {
   return bytes;
 }
 
+void CompletionCache::IndexAdd(const std::set<std::string>& tables,
+                               const std::string& key) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& t : tables) keys_by_table_[t].insert(key);
+}
+
+void CompletionCache::IndexRemove(const std::set<std::string>& tables,
+                                  const std::string& key) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& t : tables) {
+    auto it = keys_by_table_.find(t);
+    if (it == keys_by_table_.end()) continue;
+    it->second.erase(key);
+    if (it->second.empty()) keys_by_table_.erase(it);
+  }
+}
+
 void CompletionCache::EvictLocked(Shard* shard, const std::string& keep) {
   if (shard_budget_ == 0) return;
   while (shard->bytes > shard_budget_ && shard->entries.size() > 1) {
@@ -50,6 +69,7 @@ void CompletionCache::EvictLocked(Shard* shard, const std::string& keep) {
       }
     }
     if (victim == shard->entries.end()) break;
+    IndexRemove(victim->second.tables, victim->first);
     shard->bytes -= victim->second.bytes;
     shard->entries.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -74,7 +94,9 @@ void CompletionCache::Put(const std::set<std::string>& tables,
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     shard.bytes -= it->second.bytes;
-    shard.entries.erase(it);
+    shard.entries.erase(it);  // same key = same table set; index entry stays
+  } else {
+    IndexAdd(tables, key);
   }
   shard.bytes += entry.bytes;
   shard.entries.emplace(key, std::move(entry));
@@ -98,41 +120,72 @@ std::shared_ptr<const Table> CompletionCache::GetExact(
 
 std::shared_ptr<const Table> CompletionCache::GetCovering(
     const std::set<std::string>& tables) const {
-  std::shared_ptr<const Table> best;
-  std::string best_key;
-  Shard* best_shard = nullptr;
-  size_t best_size = std::numeric_limits<size_t>::max();
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto& [key, entry] : shard.entries) {
-      bool covers = true;
+  // Candidate keys come from the per-table index: every covering entry must
+  // contain each query table, so the query table with the fewest cached
+  // entries bounds the scan. The snapshot is taken under index_mu_ alone
+  // (never nested inside a shard mutex — see the lock-order note in the
+  // header), then candidates are verified and fetched shard by shard.
+  std::vector<std::string> candidates;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (tables.empty()) {
+      // Degenerate query: everything covers it; consider all keys.
+      for (const auto& [t, keys] : keys_by_table_) {
+        (void)t;
+        candidates.insert(candidates.end(), keys.begin(), keys.end());
+      }
+    } else {
+      const std::set<std::string>* anchor = nullptr;
       for (const auto& t : tables) {
-        if (entry.tables.count(t) == 0) {
-          covers = false;
-          break;
+        auto it = keys_by_table_.find(t);
+        if (it == keys_by_table_.end()) {
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          return nullptr;  // some query table is in no cached entry
+        }
+        if (anchor == nullptr || it->second.size() < anchor->size()) {
+          anchor = &it->second;
         }
       }
-      if (covers && entry.tables.size() < best_size) {
-        best_size = entry.tables.size();
-        best = entry.joined;
-        best_key = key;
-        best_shard = &shard;
-      }
+      candidates.assign(anchor->begin(), anchor->end());
     }
   }
-  if (best == nullptr) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return best;
+
+  // A key IS its sorted table list ("t1|t2|...|"): coverage and entry size
+  // are checked on the key alone, without touching any shard.
+  std::vector<std::pair<size_t, std::string>> covering;  // (num_tables, key)
+  for (auto& key : candidates) {
+    size_t num_tables = 0;
+    bool covers = true;
+    auto query_it = tables.begin();
+    size_t start = 0;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i] != '|') continue;
+      ++num_tables;
+      if (query_it != tables.end() &&
+          key.compare(start, i - start, *query_it) == 0) {
+        ++query_it;  // both sides are sorted: one linear merge pass
+      }
+      start = i + 1;
+    }
+    covers = query_it == tables.end();
+    if (covers) covering.emplace_back(num_tables, std::move(key));
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  // Bump recency only for the entry actually served — bumping intermediate
-  // "best so far" candidates would let never-used entries outlive hot ones.
-  std::lock_guard<std::mutex> lock(best_shard->mu);
-  auto it = best_shard->entries.find(best_key);
-  if (it != best_shard->entries.end()) {
+  std::sort(covering.begin(), covering.end());
+
+  // Smallest covering entry first; an entry evicted since the snapshot is
+  // simply skipped in favour of the next candidate.
+  for (const auto& [num_tables, key] : covering) {
+    (void)num_tables;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) continue;
     it->second.last_used = clock_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.joined;
   }
-  return best;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
 }
 
 size_t CompletionCache::size() const {
@@ -154,8 +207,15 @@ size_t CompletionCache::bytes() const {
 }
 
 void CompletionCache::Clear() {
+  // Unindex each shard's entries under that shard's mutex (the same
+  // shard -> index nesting Put/evict use). A global keys_by_table_.clear()
+  // after the shard loop would race with a concurrent Put into an
+  // already-cleared shard, stranding its entry outside the index forever.
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      IndexRemove(entry.tables, key);
+    }
     shard.entries.clear();
     shard.bytes = 0;
   }

@@ -47,7 +47,9 @@ class CompletionCache {
       const std::set<std::string>& tables) const;
 
   /// Superset hit: the smallest cached join whose table set is a superset of
-  /// `tables` (its projection serves the query), or nullptr.
+  /// `tables` (its projection serves the query), or nullptr. Served from a
+  /// per-table index of entry keys: only entries containing the rarest query
+  /// table are examined — O(candidates in that table), not O(all entries).
   std::shared_ptr<const Table> GetCovering(
       const std::set<std::string>& tables) const;
 
@@ -81,8 +83,17 @@ class CompletionCache {
   static std::string Key(const std::set<std::string>& tables);
   Shard& ShardFor(const std::string& key) const;
   /// Evicts LRU entries of `shard` until it fits its budget slice.
-  /// `keep` is never evicted. Caller holds the shard mutex.
+  /// `keep` is never evicted. Caller holds the shard mutex; evicted entries
+  /// are also removed from the per-table index.
   void EvictLocked(Shard* shard, const std::string& keep);
+
+  /// Per-table index maintenance. Lock order: a shard mutex may be held
+  /// while taking index_mu_ (Put/evict); index_mu_ is NEVER held while
+  /// taking a shard mutex (GetCovering snapshots candidates, releases, then
+  /// probes shards), so the two can't deadlock.
+  void IndexAdd(const std::set<std::string>& tables, const std::string& key);
+  void IndexRemove(const std::set<std::string>& tables,
+                   const std::string& key);
 
   const size_t budget_bytes_;
   const size_t shard_budget_;
@@ -91,6 +102,10 @@ class CompletionCache {
   mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> misses_{0};
   mutable std::atomic<size_t> evictions_{0};
+
+  // table name -> keys of the entries whose table set contains it.
+  mutable std::mutex index_mu_;
+  std::map<std::string, std::set<std::string>> keys_by_table_;
 };
 
 }  // namespace restore

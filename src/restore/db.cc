@@ -17,11 +17,13 @@ namespace restore {
 
 namespace {
 
-// Model-persistence framing (see common/serialize.h). Bump kFormatVersion on
-// any layout change; readers reject newer versions.
+// Model-persistence framing (see common/serialize.h). Bump the version of
+// whichever payload layout changes; readers reject other versions.
+// Manifest v2 prepends the engine-config fingerprint (v1 had none).
 constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
 constexpr uint32_t kModelMagic = 0x4f545352;     // "RSTO"
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kModelVersion = 1;
 constexpr const char kManifestName[] = "restore_models.manifest";
 
 std::string ModelFileName(const std::string& path_key) {
@@ -38,6 +40,36 @@ Status MakeDirectory(const std::string& dir) {
 }
 
 }  // namespace
+
+uint64_t EngineConfigFingerprint(const EngineConfig& config) {
+  // Serialize every model hyperparameter in a fixed order and hash the
+  // bytes. The per-path training seeds are derived from config.seed, so the
+  // engine seed participates, and the selection strategy does too (the
+  // manifest persists per-target path selections, which are that strategy's
+  // output). Cache settings do not change what is persisted and stay out.
+  BinaryWriter w;
+  const PathModelConfig& m = config.model;
+  w.I32(m.max_bins);
+  w.I32(m.tf_cap);
+  w.U64(m.embed_dim);
+  w.U64(m.hidden_dim);
+  w.U64(m.num_layers);
+  w.Bool(m.use_ssar);
+  w.U64(m.phi_dim);
+  w.U64(m.context_dim);
+  w.U64(m.max_children);
+  w.U64(m.epochs);
+  w.U64(m.batch_size);
+  w.F32(m.learning_rate);
+  w.U64(m.min_train_steps);
+  w.F64(m.test_fraction);
+  w.U64(m.max_train_rows);
+  w.U64(config.max_path_len);
+  w.U64(config.max_candidates);
+  w.U64(static_cast<uint64_t>(config.selection));
+  w.U64(config.seed);
+  return Fnv1a64(w.buffer());
+}
 
 Db::Db(const Database* database, SchemaAnnotation annotation,
        EngineConfig config)
@@ -406,13 +438,14 @@ Status Db::SaveModels(const std::string& dir) const {
   }
 
   BinaryWriter manifest;
+  manifest.U64(EngineConfigFingerprint(config_));
   manifest.U64(snapshot.size());
   for (const auto& [key, model] : snapshot) {
     BinaryWriter w;
     model->Save(&w);
     const std::string filename = ModelFileName(key);
     RESTORE_RETURN_IF_ERROR(WriteChecksummedFile(
-        dir + "/" + filename, kModelMagic, kFormatVersion, w.buffer()));
+        dir + "/" + filename, kModelMagic, kModelVersion, w.buffer()));
     manifest.Str(key);
     manifest.Str(filename);
   }
@@ -429,15 +462,34 @@ Status Db::SaveModels(const std::string& dir) const {
     manifest.VecStr(path);
   }
   return WriteChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
-                              kFormatVersion, manifest.buffer());
+                              kManifestVersion, manifest.buffer());
 }
 
 Status Db::LoadModels(const std::string& dir) {
+  uint32_t version = 0;
   RESTORE_ASSIGN_OR_RETURN(
       std::string payload,
       ReadChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
-                          kFormatVersion));
+                          kManifestVersion, &version));
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "model manifest format v%u is no longer supported (expected v%u): "
+        "open without model_dir, let the models retrain, and SaveModels "
+        "again (or re-save from a process that still holds them)",
+        version, kManifestVersion));
+  }
   BinaryReader manifest(std::move(payload));
+  const uint64_t fingerprint = manifest.U64();
+  const uint64_t expected = EngineConfigFingerprint(config_);
+  RESTORE_RETURN_IF_ERROR(manifest.status());
+  if (fingerprint != expected) {
+    return Status::FailedPrecondition(StrFormat(
+        "model directory '%s' was saved under a different engine "
+        "configuration (fingerprint %016llx, this Db %016llx) — model "
+        "hyperparameters must match the ones the models were trained with",
+        dir.c_str(), static_cast<unsigned long long>(fingerprint),
+        static_cast<unsigned long long>(expected)));
+  }
   const uint64_t num_models = manifest.U64();
   RESTORE_RETURN_IF_ERROR(manifest.status());
   for (uint64_t i = 0; i < num_models; ++i) {
@@ -447,7 +499,7 @@ Status Db::LoadModels(const std::string& dir) {
     RESTORE_ASSIGN_OR_RETURN(
         std::string model_payload,
         ReadChecksummedFile(dir + "/" + filename, kModelMagic,
-                            kFormatVersion));
+                            kModelVersion));
     BinaryReader r(std::move(model_payload));
     RESTORE_ASSIGN_OR_RETURN(std::unique_ptr<PathModel> model,
                              PathModel::Load(*database_, annotation_, &r));

@@ -24,6 +24,9 @@
 namespace restore {
 
 /// Engine-level configuration.
+/// If you add a field that changes what models are trained or how, include
+/// it in EngineConfigFingerprint — the fingerprint guards persisted models
+/// against being loaded under a different configuration.
 struct EngineConfig {
   PathModelConfig model;
   SelectionStrategy selection = SelectionStrategy::kBestTestLoss;
@@ -49,6 +52,14 @@ struct DbOptions {
 };
 
 class Session;
+
+/// Stable hash of every model hyperparameter of `config` (architecture,
+/// discretization, training schedule, engine seed). Persisted in the model
+/// manifest by Db::SaveModels and validated at Db::Open: loading models into
+/// a Db configured differently fails with a clear Status instead of a
+/// parameter-shape surprise (or, worse, silently different models for paths
+/// trained after the reopen).
+uint64_t EngineConfigFingerprint(const EngineConfig& config);
 
 /// A future holding the asynchronous result of a completed-query execution.
 using QueryFuture = Future<Result<QueryResult>>;

@@ -50,6 +50,19 @@ int64_t ClampTf(int64_t v, int tf_cap) {
   return std::max<int64_t>(0, std::min<int64_t>(v, tf_cap));
 }
 
+/// Thread-safe log-gamma: std::lgamma writes the process-global `signgam`
+/// (POSIX), which is a data race when concurrent sessions predict tuple
+/// factors through one model. All inputs here are >= 1, so the sign output
+/// of the reentrant variant is irrelevant.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PathModel>> PathModel::Train(
@@ -559,6 +572,10 @@ Status PathModel::RunTraining() {
                                                first_target, test_weights_,
                                                nullptr);
   }
+  // Parameters are final: freeze the masked-weight caches so the reentrant
+  // (const, scratch-arena) inference entry points can run without ever
+  // touching model state again.
+  made_->FinalizeForInference();
   train_seconds_ = timer.ElapsedSeconds();
   return Status::OK();
 }
@@ -634,9 +651,13 @@ Result<IntMatrix> PathModel::EncodeEvidencePrefix(
   return codes;
 }
 
-Result<Matrix> PathModel::ComputeContext(
-    const Table& joined, const std::vector<size_t>& rows) const {
-  if (!ssar_enabled_) return Matrix();
+Status PathModel::ComputeContext(const Table& joined,
+                                 const std::vector<size_t>& rows,
+                                 InferenceScratch* scratch) const {
+  if (!ssar_enabled_) {
+    scratch->context.Resize(0, 0);
+    return Status::OK();
+  }
   RESTORE_ASSIGN_OR_RETURN(
       size_t ki, ResolveColumn(joined, ssar_root_table_ + "." + ssar_root_key_));
   const Column& key_col = joined.column(ki);
@@ -646,9 +667,9 @@ Result<Matrix> PathModel::ComputeContext(
   }
   RESTORE_ASSIGN_OR_RETURN(std::vector<ChildBatch> children,
                            BuildChildBatches(keys, nullptr));
-  Matrix context;
-  deep_sets_->Forward(children, &context);
-  return context;
+  const DeepSetsEncoder* encoder = deep_sets_.get();
+  encoder->Forward(children, &scratch->context, &scratch->deep_sets);
+  return Status::OK();
 }
 
 Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
@@ -659,7 +680,6 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
   if (tf_attr < 0) {
     return Status::InvalidArgument("hop is not a fan-out hop");
   }
-  std::lock_guard<std::mutex> lock(infer_mu_);
   const PathAttr& attr = attrs_[static_cast<size_t>(tf_attr)];
   // Observed TFs take precedence; only unobserved rows are predicted.
   std::vector<int64_t> out(rows.size(), kNullInt64);
@@ -676,13 +696,15 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
     }
   }
   if (!unobserved.empty()) {
-    RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
+    InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+    RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
     // Predict the CONDITIONAL EXPECTATION of the tuple factor rather than a
     // sample: counts derived from independent samples would systematically
     // overshoot E[max(0, TF - available)] (Jensen), inflating synthesis.
-    Matrix probs;
-    made_->PredictDistribution(*codes, context, static_cast<size_t>(tf_attr),
-                               &probs);
+    Matrix& probs = scratch->probs;
+    made_->PredictDistribution(*codes, scratch->context,
+                               static_cast<size_t>(tf_attr), &probs,
+                               &scratch->made);
     const double rho = tf_keep_ratio_[hop];
     for (size_t i : unobserved) {
       double expected = 0.0;
@@ -695,9 +717,8 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
         for (size_t k = 0; k < probs.cols(); ++k) {
           const double t = attr.disc.CodeMean(static_cast<int32_t>(k));
           if (t < h) continue;
-          const double log_binom = std::lgamma(t + 1.0) -
-                                   std::lgamma(h + 1.0) -
-                                   std::lgamma(t - h + 1.0);
+          const double log_binom =
+              LogGamma(t + 1.0) - LogGamma(h + 1.0) - LogGamma(t - h + 1.0);
           const double log_lik =
               log_binom + h * std::log(rho) + (t - h) * std::log1p(-rho);
           const double w =
@@ -735,9 +756,10 @@ Result<std::vector<Column>> PathModel::SynthesizeHop(
   const size_t target_idx = hop + 1;
   const size_t first = table_attr_begin_[target_idx];
   const size_t end = table_attr_end_[target_idx];
-  std::lock_guard<std::mutex> lock(infer_mu_);
-  RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
-  made_->SampleRange(codes, context, first, end, rng, record_attr, recorded);
+  InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+  RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
+  made_->SampleRange(codes, scratch->context, first, end, rng, record_attr,
+                     recorded, &scratch->made);
 
   RESTORE_ASSIGN_OR_RETURN(const Table* target,
                            db.GetTable(path_[target_idx]));
@@ -759,10 +781,11 @@ Result<Matrix> PathModel::PredictAttrDistribution(
     const Database& db, const Table& joined, const IntMatrix& codes,
     const std::vector<size_t>& rows, size_t attr) const {
   (void)db;
-  std::lock_guard<std::mutex> lock(infer_mu_);
-  RESTORE_ASSIGN_OR_RETURN(Matrix context, ComputeContext(joined, rows));
+  InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+  RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
   Matrix probs;
-  made_->PredictDistribution(codes, context, attr, &probs);
+  made_->PredictDistribution(codes, scratch->context, attr, &probs,
+                             &scratch->made);
   return probs;
 }
 
@@ -1047,6 +1070,9 @@ Result<std::unique_ptr<PathModel>> PathModel::Load(
     return Status::InvalidArgument(
         "model file parameter count does not match the reconstructed model");
   }
+  // The loaded parameters are final; freeze the masked-weight caches for
+  // reentrant inference (mirrors the end of RunTraining).
+  model->made_->FinalizeForInference();
   return model;
 }
 

@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "nn/deep_sets.h"
+#include "nn/inference_scratch.h"
 #include "nn/made.h"
 #include "restore/annotation.h"
 #include "restore/discretizer.h"
@@ -201,24 +201,25 @@ class PathModel {
       const std::vector<int64_t>& evidence_keys,
       const std::vector<int64_t>* exclude_child_pk) const;
 
-  /// Computes the SSAR context for completion-time evidence rows (or an
-  /// empty matrix for plain AR models).
-  Result<Matrix> ComputeContext(const Table& joined,
-                                const std::vector<size_t>& rows) const;
+  /// Computes the SSAR context for completion-time evidence rows into
+  /// `scratch->context` (resized to empty for plain AR models). All
+  /// workspace comes from `scratch`, keeping the path reentrant.
+  Status ComputeContext(const Table& joined, const std::vector<size_t>& rows,
+                        InferenceScratch* scratch) const;
 
   std::vector<std::string> path_;
   PathModelConfig config_;
   SchemaAnnotation annotation_;
   mutable Rng rng_;
 
-  // The MADE / deep-sets networks reuse persistent activation scratch across
-  // forward passes (a deliberate allocation-killer, see src/nn/README.md),
-  // so inference is NOT reentrant. Concurrent sessions share trained models;
-  // this mutex serializes the network-touching entry points
-  // (SampleTupleFactors, SynthesizeHop, PredictAttrDistribution). Distinct
-  // models still run fully in parallel, and repeated queries over the same
-  // tables are absorbed by the CompletionCache before reaching the model.
-  mutable std::mutex infer_mu_;
+  // Inference is reentrant: the networks are immutable after training (the
+  // masked-weight caches are frozen by FinalizeForInference), and every
+  // per-call buffer lives in an InferenceScratch arena leased from this
+  // pool. N concurrent sessions hitting this ONE model run N truly parallel
+  // forward passes — the pool mutex is held only for the arena pop/push.
+  // Arenas are shaped on first use and reused, so steady-state inference
+  // stays allocation-free (see src/nn/README.md "Consumers").
+  mutable InferenceScratchPool scratch_pool_;
 
   // Attribute layout.
   std::vector<PathAttr> attrs_;

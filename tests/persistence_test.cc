@@ -185,6 +185,67 @@ TEST(PersistenceTest, SsarModelWithConfidenceRecordingRoundTrips) {
   EXPECT_EQ((*model)->num_parameters(), (*reloaded)->num_parameters());
 }
 
+TEST(PersistenceTest, MismatchedEngineConfigIsRejectedAtOpen) {
+  Database incomplete = MakeIncompleteSynthetic(311);
+  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE((*db)
+                  ->ExecuteCompletedSql(
+                      "SELECT COUNT(*) FROM table_b GROUP BY b;")
+                  .ok());
+  const std::string dir = FreshDir("fingerprint");
+  ASSERT_TRUE((*db)->SaveModels(dir).ok());
+
+  // Opening under a DIFFERENT model architecture must fail with the
+  // config-fingerprint error — a clear Status at open, not a shape-check
+  // surprise on the first query.
+  DbOptions options;
+  options.engine = FastConfig();
+  options.engine.model.hidden_dim += 8;
+  options.model_dir = dir;
+  auto mismatched = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_NE(mismatched.status().message().find("engine configuration"),
+            std::string::npos)
+      << mismatched.status();
+
+  // Training-schedule changes alter the trained parameters just as much as
+  // architecture changes; they are fingerprinted too.
+  options.engine = FastConfig();
+  options.engine.model.epochs += 1;
+  auto schedule_mismatch = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_FALSE(schedule_mismatch.ok());
+  EXPECT_NE(schedule_mismatch.status().message().find("engine configuration"),
+            std::string::npos);
+
+  // Fields that do not change what a trained model is (cache budget,
+  // selection-independent knobs) must NOT invalidate saved models.
+  options.engine = FastConfig();
+  options.engine.cache_budget_bytes = 9999999;
+  auto compatible = Db::Open(&incomplete, Annotation(), options);
+  ASSERT_TRUE(compatible.ok()) << compatible.status();
+  EXPECT_GT((*compatible)->models_loaded(), 0u);
+
+  // The fingerprint itself: stable under copies, sensitive to every model
+  // hyperparameter.
+  EngineConfig base = FastConfig();
+  EXPECT_EQ(EngineConfigFingerprint(base), EngineConfigFingerprint(base));
+  EngineConfig other = base;
+  other.model.embed_dim += 1;
+  EXPECT_NE(EngineConfigFingerprint(base), EngineConfigFingerprint(other));
+  other = base;
+  other.seed += 1;
+  EXPECT_NE(EngineConfigFingerprint(base), EngineConfigFingerprint(other));
+  // The manifest persists per-target path selections — the selection
+  // strategy's output — so the strategy is part of the fingerprint too.
+  other = base;
+  other.selection = SelectionStrategy::kFirst;
+  EXPECT_NE(EngineConfigFingerprint(base), EngineConfigFingerprint(other));
+  other = base;
+  other.cache_budget_bytes += 1;
+  EXPECT_EQ(EngineConfigFingerprint(base), EngineConfigFingerprint(other));
+}
+
 TEST(PersistenceTest, CorruptedModelFileIsRejected) {
   Database incomplete = MakeIncompleteSynthetic(305);
   auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
@@ -197,9 +258,10 @@ TEST(PersistenceTest, CorruptedModelFileIsRejected) {
 
   // Flip one byte in the middle of every model file's payload.
   auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
-                                      0x4d545352, 1);
+                                      0x4d545352, 2);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
+  r.U64();  // engine-config fingerprint (manifest v2)
   const uint64_t num_models = r.U64();
   ASSERT_GT(num_models, 0u);
   const std::string key = r.Str();
@@ -237,9 +299,10 @@ TEST(PersistenceTest, TruncatedModelFileIsRejected) {
   ASSERT_TRUE((*db)->SaveModels(dir).ok());
 
   auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
-                                      0x4d545352, 1);
+                                      0x4d545352, 2);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
+  r.U64();  // engine-config fingerprint (manifest v2)
   ASSERT_GT(r.U64(), 0u);
   r.Str();  // path key
   const std::string model_path = dir + "/" + r.Str();

@@ -265,5 +265,89 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
   }
 }
 
+TEST(InferenceScratchPoolTest, LeasesRecycleArenas) {
+  InferenceScratchPool pool;
+  EXPECT_EQ(pool.idle(), 0u);
+  InferenceScratch* arena_a = nullptr;
+  InferenceScratch* arena_b = nullptr;
+  {
+    InferenceScratchPool::Lease a = pool.Acquire();
+    InferenceScratchPool::Lease b = pool.Acquire();
+    arena_a = a.get();
+    arena_b = b.get();
+    ASSERT_NE(arena_a, nullptr);
+    ASSERT_NE(arena_b, nullptr);
+    EXPECT_NE(arena_a, arena_b) << "concurrent leases must not share arenas";
+    EXPECT_EQ(pool.idle(), 0u) << "leased arenas are not idle";
+  }
+  // Both arenas returned to the freelist, and a new lease reuses one of
+  // them instead of allocating a third.
+  EXPECT_EQ(pool.idle(), 2u);
+  InferenceScratchPool::Lease reused = pool.Acquire();
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_TRUE(reused.get() == arena_a || reused.get() == arena_b);
+}
+
+// With the per-model inference mutex gone (scratch-arena reentrancy, see
+// src/nn/inference_scratch.h), concurrent forward passes over ONE hot model
+// must still be bit-identical to sequential execution. This hammer removes
+// every other source of concurrency from the picture: models are fully
+// trained BEFORE the clients start (no training races possible) and the
+// completion cache is disabled, so all 4 clients drive truly simultaneous
+// SampleRange/PredictDistribution passes through the same PathModel.
+TEST(DbConcurrencyTest, SingleHotPathHammerBitIdenticalWithoutMutex) {
+  Database incomplete = MakeIncompleteSynthetic(/*seed=*/91);
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  EngineConfig config = FastDbConfig();
+  config.enable_cache = false;  // every execution re-runs model inference
+
+  // The hot query joins through the completion path, so each execution runs
+  // tuple-factor prediction + attribute synthesis on the shared model.
+  const std::string sql =
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+
+  ThreadPool::SetGlobalWidth(4);
+  auto db = Db::Open(&incomplete, annotation, {config, ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  Session warmup = (*db)->CreateSession();
+
+  // Train everything up front on the main thread; the hammer phase must not
+  // train anything.
+  auto baseline = warmup.Execute(sql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const size_t trained_before = (*db)->models_trained();
+  EXPECT_GT(trained_before, 0u);
+
+  constexpr int kClients = 4;
+  constexpr int kItersPerClient = 6;
+  std::vector<std::vector<QueryResult>> per_client(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Session session = (*db)->CreateSession();
+        for (int i = 0; i < kItersPerClient; ++i) {
+          auto r = session.Execute(sql);
+          ASSERT_TRUE(r.ok()) << "client " << c << ": " << r.status();
+          per_client[c].push_back(*r);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  ThreadPool::SetGlobalWidth(0);
+
+  EXPECT_EQ((*db)->models_trained(), trained_before)
+      << "the hammer phase must not train";
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(per_client[c].size(), static_cast<size_t>(kItersPerClient));
+    for (int i = 0; i < kItersPerClient; ++i) {
+      EXPECT_EQ(per_client[c][i].groups, baseline->groups)
+          << "client " << c << " iteration " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace restore
