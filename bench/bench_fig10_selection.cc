@@ -44,16 +44,15 @@ int Run() {
         bias.categorical_value = setup.categorical_value;
         run->annotation.AddSuspectedBias(bias);
 
-        CompletionEngine engine(&run->incomplete, run->annotation,
-                                BenchEngineConfig());
-        if (!engine.TrainModels().ok()) continue;
-        auto cands = engine.CandidatesFor(setup.removed_table);
+        auto db = OpenBenchDb(*run, BenchEngineConfig());
+        if (!db.ok()) continue;
+        auto cands = (*db)->CandidatesFor(setup.removed_table);
         if (!cands.ok()) continue;
 
         // Evaluate every candidate.
         std::vector<double> reductions;
         for (const auto& cand : *cands) {
-          auto eval = EvaluatePath(*run, engine, cand.path);
+          auto eval = EvaluatePath(*run, **db, cand.path);
           reductions.push_back(eval.ok() ? eval->bias_reduction : -1.0);
         }
         // Basic selection (test loss).

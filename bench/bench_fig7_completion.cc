@@ -33,12 +33,11 @@ int Run() {
                        run.status().ToString().c_str());
           continue;
         }
-        CompletionEngine engine(&run->incomplete, run->annotation,
-                                BenchEngineConfig());
-        if (!engine.TrainModels().ok()) continue;
-        auto path = engine.SelectedPathFor(setup.removed_table);
+        auto db = OpenBenchDb(*run, BenchEngineConfig());
+        if (!db.ok()) continue;
+        auto path = (*db)->SelectedPathFor(setup.removed_table);
         if (!path.ok()) continue;
-        auto eval = EvaluatePath(*run, engine, *path);
+        auto eval = EvaluatePath(*run, **db, *path);
         if (!eval.ok()) {
           std::fprintf(stderr, "%s: %s\n", setup.name.c_str(),
                        eval.status().ToString().c_str());

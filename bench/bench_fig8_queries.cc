@@ -26,12 +26,12 @@ int RunWorkload(const std::vector<WorkloadQuery>& workload, double scale,
       for (double corr : corrs) {
         auto run = MakeSetupRun(wq.setup, keep, corr, scale, 1100);
         if (!run.ok()) continue;
-        CompletionEngine engine(&run->incomplete, run->annotation,
-                                BenchEngineConfig());
-        if (!engine.TrainModels().ok()) continue;
+        auto db = OpenBenchDb(*run, BenchEngineConfig());
+        if (!db.ok()) continue;
+        Session session = (*db)->CreateSession();
         auto truth = ExecuteSql(run->complete, wq.sql);
         auto on_incomplete = ExecuteSql(run->incomplete, wq.sql);
-        auto on_completed = engine.ExecuteCompletedSql(wq.sql);
+        auto on_completed = session.Execute(wq.sql);
         if (!truth.ok() || !on_incomplete.ok() || !on_completed.ok()) {
           std::fprintf(stderr, "%s %s: %s\n", dataset, wq.name.c_str(),
                        (!on_completed.ok() ? on_completed.status()

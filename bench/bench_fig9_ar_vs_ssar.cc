@@ -61,12 +61,11 @@ int Run() {
         for (double corr : corrs) {
           auto run = MakeSetupRun(setup.name, keep, corr, scale, 1200);
           if (!run.ok()) continue;
-          CompletionEngine engine(&run->incomplete, run->annotation,
-                                  BenchEngineConfig(ssar));
-          if (!engine.TrainModels().ok()) continue;
-          auto path = engine.SelectedPathFor(setup.removed_table);
+          auto db = OpenBenchDb(*run, BenchEngineConfig(ssar));
+          if (!db.ok()) continue;
+          auto path = (*db)->SelectedPathFor(setup.removed_table);
           if (!path.ok()) continue;
-          auto eval = EvaluatePath(*run, engine, *path);
+          auto eval = EvaluatePath(*run, **db, *path);
           if (!eval.ok()) continue;
           reductions.push_back(eval->bias_reduction);
         }

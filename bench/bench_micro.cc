@@ -8,14 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <mutex>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
 #include "exec/join.h"
 #include "nn/inference_scratch.h"
 #include "nn/made.h"
 #include "nn/matrix.h"
+#include "restore/db.h"
 #include "restore/discretizer.h"
 #include "restore/kd_tree.h"
 #include "storage/table.h"
@@ -163,6 +167,96 @@ void BM_ConcurrentInferenceMutex(benchmark::State& state) {
   ConcurrentInferenceLoop(state, &mu);
 }
 BENCHMARK(BM_ConcurrentInferenceMutex)->Threads(4)->UseRealTime();
+
+// ---- Db-level end-to-end QPS ------------------------------------------------
+//
+// Concurrent sessions execute a completed join query through the full
+// service stack — parse, plan, completion-path inference on pre-trained
+// models, aggregation, ResultSet assembly — with the completion cache
+// DISABLED, so every query re-runs model inference. This catches
+// regressions in the plumbing around the models that BM_ConcurrentInference
+// (which drives a MadeModel directly) cannot see. A representative query's
+// ExecStats ride along as JSON counters so the CI gate can validate the
+// observability surface mechanically.
+
+struct DbQpsFixture {
+  Database incomplete;
+  std::shared_ptr<Db> db;
+  std::string sql;
+};
+
+DbQpsFixture& SharedDbQps() {
+  static DbQpsFixture* fixture = [] {
+    auto* f = new DbQpsFixture();
+    SyntheticConfig data_config;
+    data_config.num_parents = 300;
+    data_config.predictability = 0.85;
+    data_config.seed = 21;
+    auto complete = GenerateSynthetic(data_config);
+    if (!complete.ok()) std::abort();
+    BiasedRemovalConfig removal;
+    removal.table = "table_b";
+    removal.column = "b";
+    removal.keep_rate = 0.5;
+    removal.removal_correlation = 0.5;
+    removal.seed = 22;
+    auto incomplete = ApplyBiasedRemoval(*complete, removal);
+    if (!incomplete.ok()) std::abort();
+    if (!ThinTupleFactors(&*incomplete, 0.3, 23).ok()) std::abort();
+    f->incomplete = std::move(incomplete).value();
+
+    SchemaAnnotation annotation;
+    annotation.MarkIncomplete("table_b");
+    EngineConfig engine;
+    engine.model.epochs = 4;
+    engine.model.min_train_steps = 120;
+    engine.model.hidden_dim = 24;
+    engine.model.embed_dim = 4;
+    engine.model.max_bins = 12;
+    engine.max_candidates = 2;
+    engine.enable_cache = false;  // every query re-runs the completion
+    auto db = Db::Open(&f->incomplete, annotation, {engine, ""});
+    if (!db.ok()) std::abort();
+    f->db = std::move(*db);
+    f->sql = "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+    // Train every model up front; the timed loop measures serving only.
+    auto warm = f->db->CreateSession().Execute(f->sql);
+    if (!warm.ok()) std::abort();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_DbQps(benchmark::State& state) {
+  DbQpsFixture& fixture = SharedDbQps();
+  Session session = fixture.db->CreateSession();
+  ExecStats last_stats;
+  for (auto _ : state) {
+    auto r = session.Execute(fixture.sql);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    last_stats = r->stats();
+    benchmark::DoNotOptimize(r->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations());
+  // One representative query's ExecStats, flattened into the bench JSON
+  // (validated by the CI ExecStats-emission check).
+  state.counters["stats_tuples_completed"] =
+      static_cast<double>(last_stats.tuples_completed);
+  state.counters["stats_models_consulted"] =
+      static_cast<double>(last_stats.models_consulted);
+  state.counters["stats_cache_hits"] =
+      static_cast<double>(last_stats.cache_hits);
+  state.counters["stats_cache_misses"] =
+      static_cast<double>(last_stats.cache_misses);
+  state.counters["stats_arenas_leased"] =
+      static_cast<double>(last_stats.arenas_leased);
+  state.counters["stats_sample_seconds"] = last_stats.sample_seconds;
+  state.counters["stats_aggregate_seconds"] = last_stats.aggregate_seconds;
+}
+BENCHMARK(BM_DbQps)->Threads(1)->Threads(4)->UseRealTime();
 
 void BM_HashJoin(benchmark::State& state) {
   Rng rng(3);

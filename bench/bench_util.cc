@@ -135,11 +135,18 @@ Result<double> CompletedStat(const SetupRun& run,
   return BiasedStat(run, merged);
 }
 
-Result<PathEval> EvaluatePath(const SetupRun& run, CompletionEngine& engine,
+Result<std::shared_ptr<Db>> OpenBenchDb(const SetupRun& run,
+                                        EngineConfig config) {
+  DbOptions options;
+  options.engine = std::move(config);
+  return Db::Open(&run.incomplete, run.annotation, std::move(options));
+}
+
+Result<PathEval> EvaluatePath(const SetupRun& run, Db& db,
                               const std::vector<std::string>& path) {
   Timer timer;
   RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
-                           engine.CompleteViaPath(path));
+                           db.CompleteViaPath(path));
   PathEval eval;
   eval.completion_seconds = timer.ElapsedSeconds();
 

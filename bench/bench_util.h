@@ -18,7 +18,7 @@
 #include "datagen/incompleteness.h"
 #include "datagen/setups.h"
 #include "datagen/synthetic.h"
-#include "restore/engine.h"
+#include "restore/db.h"
 #include "storage/database.h"
 
 namespace restore {
@@ -110,13 +110,18 @@ Result<double> BiasedStat(const SetupRun& run, const Table& table);
 Result<double> CompletedStat(const SetupRun& run,
                              const CompletionResult& completion);
 
-/// Bias reduction achieved by completing via `path` with `engine`.
+/// Opens the service facade over a setup's incomplete database with the
+/// bench engine configuration (models train lazily on first use).
+Result<std::shared_ptr<Db>> OpenBenchDb(const SetupRun& run,
+                                        EngineConfig config);
+
+/// Bias reduction achieved by completing via `path` with `db`.
 struct PathEval {
   double bias_reduction = 0.0;
   double cardinality_correction = 0.0;
   double completion_seconds = 0.0;
 };
-Result<PathEval> EvaluatePath(const SetupRun& run, CompletionEngine& engine,
+Result<PathEval> EvaluatePath(const SetupRun& run, Db& db,
                               const std::vector<std::string>& path);
 
 }  // namespace bench

@@ -38,11 +38,15 @@ import sys
 
 # Hot metrics gated by default for BENCH_micro.json. Matched as exact names
 # after normalization (see find_record); threading/real_time suffixes in
-# google-benchmark names are tolerated via prefix match.
+# google-benchmark names are tolerated via prefix match. BM_DbQps is the
+# Db-level end-to-end serving bench (concurrent sessions, cache disabled,
+# pre-trained models): it guards the completion plumbing AROUND the models,
+# which the model-only benches cannot see.
 DEFAULT_METRICS = [
     "BM_MadeForward/256",
     "BM_MadeSample/512",
     "BM_ConcurrentInference",
+    "BM_DbQps",
 ]
 
 CONCURRENT_BENCH = "BM_ConcurrentInference"
@@ -116,6 +120,12 @@ def main():
     parser.add_argument("--check-concurrency", action="store_true",
                         help="also require the scratch-arena >2x win over "
                              "the mutex-serialized concurrency bench")
+    parser.add_argument(
+        "--require-counters", action="append", default=[],
+        metavar="BENCH:c1,c2,...",
+        help="fail unless the named fresh record carries every listed "
+             "counter (validates e.g. that BM_DbQps emits its ExecStats "
+             "fields into the JSON); repeatable")
     parser.add_argument("--speedup", type=float, default=2.0)
     parser.add_argument("--min-cpus", type=int, default=4,
                         help="skip the concurrency check below this core "
@@ -159,6 +169,23 @@ def main():
         if rel > args.threshold:
             failures.append(
                 f"{metric}: {rel:+.1%} vs baseline (limit +{args.threshold:.0%})")
+
+    for spec in args.require_counters:
+        bench_name, _, counter_list = spec.partition(":")
+        counters = [c for c in counter_list.split(",") if c]
+        record = find_record(fresh, bench_name)
+        if record is None:
+            failures.append(
+                f"{bench_name}: missing from {args.fresh} "
+                f"(--require-counters)")
+            continue
+        missing = [c for c in counters if c not in record]
+        if missing:
+            failures.append(
+                f"{record['name']}: missing counters {missing}")
+        else:
+            print(f"  OK       {record['name']}: emits "
+                  f"{len(counters)} required counters")
 
     if args.check_concurrency:
         cpus = os.cpu_count() or 1

@@ -122,6 +122,6 @@ int main() {
   std::printf("\nreopened from %s: %zu models loaded, %.2fs training, "
               "AVG(price) = %.2f\n",
               model_dir.c_str(), (*reopened)->models_loaded(),
-              (*reopened)->total_train_seconds(), warm->groups.at({})[0]);
+              (*reopened)->total_train_seconds(), warm->value(0, 0));
   return 0;
 }

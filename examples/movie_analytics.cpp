@@ -61,7 +61,7 @@ int main() {
   const std::string sql =
       "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director NATURAL JOIN "
       "director WHERE gender='m';";
-  QueryFuture future = session.ExecuteAsync(sql);
+  ResultSetFuture future = session.ExecuteAsync(sql);
 
   // Production-year histogram: completion restores the missing (old) years.
   const std::string hist =
@@ -79,7 +79,7 @@ int main() {
 
   auto truth = ExecuteSql(*complete, sql);
   auto naive = ExecuteSql(*incomplete, sql);
-  Result<QueryResult>& completed = future.Get();
+  Result<ResultSet>& completed = future.Get();
   if (!truth.ok() || !naive.ok() || !completed.ok()) {
     std::fprintf(stderr, "join query failed: truth=%s naive=%s completed=%s\n",
                  truth.status().ToString().c_str(),
@@ -89,8 +89,9 @@ int main() {
   }
   std::printf("query: %s\n", sql.c_str());
   std::printf("  truth %.0f | incomplete %.0f | completed %.0f\n",
-              truth->groups.at({})[0], naive->groups.at({})[0],
-              completed->groups.at({})[0]);
+              truth->value(0, 0), naive->value(0, 0), completed->value(0, 0));
+  std::printf("  async query stats: %s\n",
+              completed->stats().ToString().c_str());
 
   std::printf("\nproduction-year histogram rel. error: incomplete %.3f | "
               "completed %.3f\n",

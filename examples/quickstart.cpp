@@ -4,7 +4,9 @@
 //
 //   $ ./build/quickstart
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
@@ -86,17 +88,23 @@ int main() {
   std::printf("query: %s\n\n", sql.c_str());
   std::printf("%-8s %10s %12s %10s\n", "group", "truth", "incomplete",
               "completed");
-  for (const auto& [key, values] : truth->groups) {
-    const auto n = naive->groups.count(key) ? naive->groups.at(key)[0] : 0.0;
-    const auto c =
-        completed->groups.count(key) ? completed->groups.at(key)[0] : 0.0;
-    std::printf("%-8s %10.0f %12.0f %10.0f\n", key[0].c_str(), values[0], n,
-                c);
+  // Stream the truth ResultSet batch by batch and line up the other two by
+  // group key.
+  ResultBatch batch;
+  while (truth->NextBatch(&batch)) {
+    for (size_t r = 0; r < batch.rows; ++r) {
+      const std::vector<std::string> key{batch.key(r, 0)};
+      std::printf("%-8s %10.0f %12.0f %10.0f\n", key[0].c_str(),
+                  batch.value(r, 0), naive->ValueOr(key, 0, 0.0),
+                  completed->ValueOr(key, 0, 0.0));
+    }
   }
   std::printf("\navg relative error incomplete: %.3f\n",
               AverageRelativeError(*truth, *naive));
   std::printf("avg relative error completed:  %.3f\n",
               AverageRelativeError(*truth, *completed));
+  std::printf("completed-query stats: %s\n",
+              completed->stats().ToString().c_str());
 
   // 6. Prepared queries: parse once, bind and execute many times.
   auto prepared =
@@ -111,15 +119,25 @@ int main() {
                              .value()
                              ->dictionary()
                              ->ValueOf(0);
-  auto bound = prepared->Execute({Value::Categorical(b0)});
+  // Run with execution control: a cancellable token and a 30s deadline.
+  QueryOptions options;
+  options.cancel = CancellationToken::Cancellable();
+  options.WithTimeout(std::chrono::seconds(30));
+  auto bound = prepared->Run({Value::Categorical(b0)}, options);
   if (!bound.ok()) {
     std::fprintf(stderr, "prepared execution failed: %s\n",
                  bound.status().ToString().c_str());
     return 1;
   }
   std::printf("\ncompleted COUNT(*) with b != '%s': %.0f\n", b0.c_str(),
-              bound->groups.at({})[0]);
+              bound->value(0, 0));
   std::printf("models trained: %zu (%.2fs)\n", (*db)->models_trained(),
               (*db)->total_train_seconds());
+  const Db::Stats stats = (*db)->stats();
+  std::printf("db totals: %llu ok / %llu cancelled / %llu expired — %s\n",
+              static_cast<unsigned long long>(stats.queries_ok),
+              static_cast<unsigned long long>(stats.queries_cancelled),
+              static_cast<unsigned long long>(stats.queries_deadline_exceeded),
+              stats.totals.ToString().c_str());
   return 0;
 }

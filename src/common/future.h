@@ -2,6 +2,7 @@
 #define RESTORE_COMMON_FUTURE_H_
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -77,6 +78,18 @@ class Future {
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [this] { return state_->done; });
     return *state_->value;
+  }
+
+  /// Waits up to `timeout` for the result WITHOUT claiming the task: unlike
+  /// Get(), the caller never runs the work inline, so this returns false on
+  /// timeout even if nobody has started the task yet (e.g. a zero-worker
+  /// pool). Returns true once the result is available.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) {
+    assert(state_ != nullptr && "WaitFor() on an invalid Future");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(lock, timeout,
+                               [this] { return state_->done; });
   }
 
   /// Wraps an already-computed value (e.g. an early validation error).

@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -67,6 +70,15 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +89,13 @@ class Status {
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -75,13 +75,17 @@ void ThreadPool::Run(std::function<void()> fn) {
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
-                             const std::function<void(size_t, size_t)>& fn) {
+                             const std::function<void(size_t, size_t)>& fn,
+                             const std::atomic<bool>* cancel) {
   if (end <= begin) return;
   if (grain == 0) grain = 1;
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_acquire);
+  };
   const size_t n = end - begin;
   const size_t shards = (n + grain - 1) / grain;
   if (shards <= 1) {
-    fn(begin, end);
+    if (!cancelled()) fn(begin, end);
     return;
   }
   if (threads_.empty()) {
@@ -90,6 +94,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     // shard here would change float reduction order vs. width >= 2 and
     // break the bit-identical-at-any-width contract.
     for (size_t lo = begin; lo < end; lo += grain) {
+      if (cancelled()) return;
       fn(lo, lo + grain < end ? lo + grain : end);
     }
     return;
@@ -105,13 +110,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   auto state = std::make_shared<State>();
   state->shards = shards;
 
-  auto work = [state, &fn, begin, end, grain] {
+  auto work = [state, &fn, begin, end, grain, &cancelled] {
     for (;;) {
       const size_t s = state->next.fetch_add(1, std::memory_order_relaxed);
       if (s >= state->shards) return;
       const size_t lo = begin + s * grain;
       const size_t hi = lo + grain < end ? lo + grain : end;
-      fn(lo, hi);
+      // Claimed shards are still counted when skipped so the caller's wait
+      // below terminates; the caller aborts on cancellation anyway.
+      if (!cancelled()) fn(lo, hi);
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           state->shards) {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -140,8 +147,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 }
 
 void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn) {
-  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+                 const std::function<void(size_t, size_t)>& fn,
+                 const std::atomic<bool>* cancel) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn, cancel);
 }
 
 }  // namespace restore

@@ -1,6 +1,7 @@
 #ifndef RESTORE_COMMON_THREAD_POOL_H_
 #define RESTORE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,8 +56,16 @@ class ThreadPool {
   /// Runs fn(shard_begin, shard_end) over consecutive shards of [begin, end)
   /// of size `grain` (the last shard may be short). Blocks until every shard
   /// completed. Shard boundaries are independent of the thread count.
+  ///
+  /// Cooperative cancellation: when `cancel` is non-null, each shard tests
+  /// it before running and is SKIPPED once the flag is set (the call still
+  /// returns only after all shards are accounted for). Outputs of skipped
+  /// shards are unspecified — callers abort the whole computation on
+  /// cancellation. An unset flag changes nothing, preserving the
+  /// bit-identical-at-any-width determinism contract.
   void ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t)>& fn,
+                   const std::atomic<bool>* cancel = nullptr);
 
  private:
   void WorkerLoop();
@@ -70,7 +79,8 @@ class ThreadPool {
 
 /// Convenience wrapper over ThreadPool::Global().ParallelFor.
 void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn);
+                 const std::function<void(size_t, size_t)>& fn,
+                 const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace restore
 

@@ -10,9 +10,12 @@ namespace restore {
 
 namespace {
 
+/// Rows between cooperative cancellation checks in filter/aggregate scans.
+constexpr size_t kAggCheckStride = 4096;
+
 /// Evaluates one predicate for every row, ANDing into `keep`.
 Status ApplyPredicate(const Table& table, const Predicate& pred,
-                      std::vector<char>* keep) {
+                      std::vector<char>* keep, const ExecContext* ctx) {
   RESTORE_ASSIGN_OR_RETURN(size_t ci, ResolveColumn(table, pred.column));
   const Column& col = table.column(ci);
   const size_t n = table.NumRows();
@@ -32,6 +35,9 @@ Status ApplyPredicate(const Table& table, const Predicate& pred,
     // !=); that is a valid query, not an error.
     const int64_t code = code_result.ok() ? code_result.value() : kNullInt64 + 1;
     for (size_t r = 0; r < n; ++r) {
+      if (r % kAggCheckStride == 0) {
+        RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+      }
       if (!(*keep)[r]) continue;
       if (col.IsNull(r)) {
         (*keep)[r] = 0;
@@ -50,6 +56,9 @@ Status ApplyPredicate(const Table& table, const Predicate& pred,
   }
   const double lit = pred.literal.AsDouble();
   for (size_t r = 0; r < n; ++r) {
+    if (r % kAggCheckStride == 0) {
+      RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+    }
     if (!(*keep)[r]) continue;
     if (col.IsNull(r)) {
       (*keep)[r] = 0;
@@ -104,11 +113,13 @@ struct AggState {
 }  // namespace
 
 Result<std::vector<size_t>> FilterRows(
-    const Table& table, const std::vector<Predicate>& predicates) {
+    const Table& table, const std::vector<Predicate>& predicates,
+    const ExecContext* ctx) {
   const size_t n = table.NumRows();
   std::vector<char> keep(n, 1);
   for (const auto& pred : predicates) {
-    RESTORE_RETURN_IF_ERROR(ApplyPredicate(table, pred, &keep));
+    RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+    RESTORE_RETURN_IF_ERROR(ApplyPredicate(table, pred, &keep, ctx));
   }
   std::vector<size_t> rows;
   for (size_t r = 0; r < n; ++r) {
@@ -119,7 +130,7 @@ Result<std::vector<size_t>> FilterRows(
 
 Result<QueryResult> Aggregate(const Table& table,
                               const std::vector<size_t>& rows,
-                              const Query& query) {
+                              const Query& query, const ExecContext* ctx) {
   // Resolve group-by and aggregate columns once.
   std::vector<const Column*> group_cols;
   for (const auto& g : query.group_by) {
@@ -148,7 +159,11 @@ Result<QueryResult> Aggregate(const Table& table,
     // row, even over an empty input (COUNT = 0, SUM = 0).
     states.try_emplace(std::vector<std::string>{}, query.aggregates.size());
   }
-  for (size_t r : rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i % kAggCheckStride == 0) {
+      RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+    }
+    const size_t r = rows[i];
     std::vector<std::string> key;
     key.reserve(group_cols.size());
     for (const Column* gc : group_cols) key.push_back(RenderCell(*gc, r));
@@ -190,10 +205,11 @@ Result<QueryResult> Aggregate(const Table& table,
 }
 
 Result<QueryResult> FilterAndAggregate(const Table& table,
-                                       const Query& query) {
+                                       const Query& query,
+                                       const ExecContext* ctx) {
   RESTORE_ASSIGN_OR_RETURN(std::vector<size_t> rows,
-                           FilterRows(table, query.predicates));
-  return Aggregate(table, rows, query);
+                           FilterRows(table, query.predicates, ctx));
+  return Aggregate(table, rows, query, ctx);
 }
 
 std::string QueryResult::ToString() const {

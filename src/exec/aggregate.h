@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_control.h"
 #include "exec/query.h"
 #include "storage/table.h"
 
@@ -13,11 +14,15 @@ namespace restore {
 
 /// Evaluates the conjunction of `predicates` over `table` and returns the
 /// indices of qualifying rows. Column references may be unqualified.
+/// `ctx` is checked at row-block boundaries (cooperative cancellation).
 Result<std::vector<size_t>> FilterRows(
-    const Table& table, const std::vector<Predicate>& predicates);
+    const Table& table, const std::vector<Predicate>& predicates,
+    const ExecContext* ctx = nullptr);
 
-/// The result of an aggregate query: one entry per group. For queries without
-/// GROUP BY there is a single entry with an empty key.
+/// The grouped output of the aggregation operator: one entry per group, no
+/// GROUP BY yielding a single entry with an empty key. This is the
+/// exec-INTERNAL container; the public Db/Session/executor surface wraps it
+/// into a streaming, schema-carrying ResultSet (exec/result_set.h).
 struct QueryResult {
   /// group key (rendered values, in group-by order) -> aggregate values in
   /// SELECT-list order.
@@ -30,11 +35,13 @@ struct QueryResult {
 /// filtered) rows `rows` of `table`.
 Result<QueryResult> Aggregate(const Table& table,
                               const std::vector<size_t>& rows,
-                              const Query& query);
+                              const Query& query,
+                              const ExecContext* ctx = nullptr);
 
 /// Convenience: filter + aggregate over a joined table.
 Result<QueryResult> FilterAndAggregate(const Table& table,
-                                       const Query& query);
+                                       const Query& query,
+                                       const ExecContext* ctx = nullptr);
 
 }  // namespace restore
 

@@ -1,12 +1,19 @@
 #include "exec/executor.h"
 
+#include "common/timer.h"
 #include "exec/join.h"
 #include "exec/prepared.h"
 #include "exec/sql_parser.h"
 
 namespace restore {
 
-Result<QueryResult> ExecuteQuery(const Database& db, const Query& query) {
+namespace {
+
+Result<ResultSet> ExecuteWithStats(const Database& db, const Query& query,
+                                   const QueryOptions& options,
+                                   ExecStats stats) {
+  ExecContext ctx(&options, &stats);
+  RESTORE_RETURN_IF_ERROR(ctx.Check());
   if (query.tables.empty()) {
     return Status::InvalidArgument("query has no tables");
   }
@@ -14,14 +21,36 @@ Result<QueryResult> ExecuteQuery(const Database& db, const Query& query) {
     return Status::InvalidArgument("query has no aggregates");
   }
   RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
+  Timer join_timer;
   RESTORE_ASSIGN_OR_RETURN(Table joined,
-                           NaturalJoinTables(db, query.tables));
-  return FilterAndAggregate(joined, query);
+                           NaturalJoinTables(db, query.tables, &ctx));
+  stats.sample_seconds += join_timer.ElapsedSeconds();
+  Timer agg_timer;
+  RESTORE_ASSIGN_OR_RETURN(QueryResult grouped,
+                           FilterAndAggregate(joined, query, &ctx));
+  stats.aggregate_seconds += agg_timer.ElapsedSeconds();
+  return ResultSet::Build(query, std::move(grouped), std::move(stats),
+                          ctx.batch_rows());
 }
 
-Result<QueryResult> ExecuteSql(const Database& db, const std::string& sql) {
+}  // namespace
+
+Result<ResultSet> ExecuteQuery(const Database& db, const Query& query,
+                               const QueryOptions& options) {
+  return ExecuteWithStats(db, query, options, ExecStats());
+}
+
+Result<ResultSet> ExecuteSql(const Database& db, const std::string& sql,
+                             const QueryOptions& options) {
+  ExecStats stats;
+  {
+    ExecContext ctx(&options, &stats);
+    RESTORE_RETURN_IF_ERROR(ctx.Check());  // cancel BEFORE parsing
+  }
+  Timer parse_timer;
   RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
-  return ExecuteQuery(db, query);
+  stats.parse_seconds = parse_timer.ElapsedSeconds();
+  return ExecuteWithStats(db, query, options, std::move(stats));
 }
 
 }  // namespace restore

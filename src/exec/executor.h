@@ -4,8 +4,9 @@
 #include <string>
 
 #include "common/result.h"
-#include "exec/aggregate.h"
+#include "exec/exec_control.h"
 #include "exec/query.h"
+#include "exec/result_set.h"
 #include "storage/database.h"
 
 namespace restore {
@@ -13,11 +14,17 @@ namespace restore {
 /// Executes an SPJA query directly against the base tables of `db`
 /// (joins along foreign keys, then filters, then grouped aggregation).
 /// This is the "classical database" baseline: it does NOT complete missing
-/// data. Use restore::CompletionEngine for completed execution.
-Result<QueryResult> ExecuteQuery(const Database& db, const Query& query);
+/// data. Use restore::Db / Session (restore/db.h) for completed execution.
+///
+/// `options` carries the execution-control surface shared with the
+/// completed path: cooperative cancellation, a deadline, and the ResultSet
+/// batch size. The returned ResultSet exposes per-query ExecStats.
+Result<ResultSet> ExecuteQuery(const Database& db, const Query& query,
+                               const QueryOptions& options = QueryOptions());
 
 /// Parses `sql` and executes it against `db`.
-Result<QueryResult> ExecuteSql(const Database& db, const std::string& sql);
+Result<ResultSet> ExecuteSql(const Database& db, const std::string& sql,
+                             const QueryOptions& options = QueryOptions());
 
 }  // namespace restore
 

@@ -33,9 +33,19 @@ Result<size_t> ResolveColumn(const Table& table, const std::string& name) {
                                     name.c_str(), table.name().c_str()));
 }
 
+namespace {
+
+/// Rows between cooperative cancellation checks in join scans. Large enough
+/// that the clock read disappears in the noise, small enough that a
+/// runaway join aborts promptly.
+constexpr size_t kJoinCheckStride = 4096;
+
+}  // namespace
+
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_col,
-                       const std::string& right_col) {
+                       const std::string& right_col,
+                       const ExecContext* ctx) {
   RESTORE_ASSIGN_OR_RETURN(size_t li, ResolveColumn(left, left_col));
   RESTORE_ASSIGN_OR_RETURN(size_t ri, ResolveColumn(right, right_col));
   const Column& lkey = left.column(li);
@@ -50,6 +60,9 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   std::unordered_map<int64_t, std::vector<size_t>> build;
   build.reserve(right.NumRows());
   for (size_t r = 0; r < right.NumRows(); ++r) {
+    if (r % kJoinCheckStride == 0) {
+      RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+    }
     const int64_t key = rkey.GetInt64(r);
     if (key == kNullInt64) continue;
     build[key].push_back(r);
@@ -58,6 +71,9 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   std::vector<size_t> left_rows;
   std::vector<size_t> right_rows;
   for (size_t l = 0; l < left.NumRows(); ++l) {
+    if (l % kJoinCheckStride == 0) {
+      RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+    }
     const int64_t key = lkey.GetInt64(l);
     if (key == kNullInt64) continue;
     auto it = build.find(key);
@@ -83,7 +99,8 @@ Result<Table> HashJoin(const Table& left, const Table& right,
 }
 
 Result<Table> NaturalJoinTables(const Database& db,
-                                const std::vector<std::string>& tables) {
+                                const std::vector<std::string>& tables,
+                                const ExecContext* ctx) {
   RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> ordered,
                            db.OrderJoinTables(tables));
   RESTORE_ASSIGN_OR_RETURN(const Table* first, db.GetTable(ordered[0]));
@@ -91,6 +108,7 @@ Result<Table> NaturalJoinTables(const Database& db,
   joined.QualifyColumnNames(ordered[0]);
   std::vector<std::string> placed{ordered[0]};
   for (size_t i = 1; i < ordered.size(); ++i) {
+    RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
     const std::string& next = ordered[i];
     // Find which placed table `next` connects to.
     ForeignKey fk;
@@ -118,8 +136,8 @@ Result<Table> NaturalJoinTables(const Database& db,
     const std::string right_key = next_is_child
                                       ? next + "." + fk.child_column
                                       : next + "." + fk.parent_column;
-    RESTORE_ASSIGN_OR_RETURN(joined,
-                             HashJoin(joined, right, left_key, right_key));
+    RESTORE_ASSIGN_OR_RETURN(
+        joined, HashJoin(joined, right, left_key, right_key, ctx));
     placed.push_back(next);
   }
   joined.set_name(Join(ordered, "_"));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_control.h"
 #include "storage/database.h"
 #include "storage/table.h"
 
@@ -21,16 +22,22 @@ Result<size_t> ResolveColumn(const Table& table, const std::string& name);
 /// right[right_col]. The build side is `right`. NULL keys never match.
 /// Output columns are left columns followed by right columns; the join key
 /// appears once per side (as in the inputs).
+///
+/// `ctx` (optional) is checked at row-block boundaries of the build and
+/// probe loops: a cancelled/expired query aborts mid-join with the
+/// corresponding status instead of finishing the scan.
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_col,
-                       const std::string& right_col);
+                       const std::string& right_col,
+                       const ExecContext* ctx = nullptr);
 
 /// Joins base tables of `db` along foreign keys: `tables` must be orderable
 /// such that each table shares an FK with a previously joined one (the
 /// function performs that ordering). All output columns are qualified as
-/// "table.column".
+/// "table.column". `ctx` is checked per hop and inside each hash join.
 Result<Table> NaturalJoinTables(const Database& db,
-                                const std::vector<std::string>& tables);
+                                const std::vector<std::string>& tables,
+                                const ExecContext* ctx = nullptr);
 
 }  // namespace restore
 

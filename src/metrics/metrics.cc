@@ -47,6 +47,39 @@ double RelativeErrorImprovement(const QueryResult& truth,
          AverageRelativeError(truth, completed);
 }
 
+double AverageRelativeError(const ResultSet& truth,
+                            const ResultSet& estimate) {
+  if (truth.num_rows() == 0) return 0.0;
+  double total = 0.0;
+  std::vector<std::string> key(truth.num_key_columns());
+  std::vector<double> truth_vals(truth.num_value_columns());
+  std::vector<double> est_vals(estimate.num_value_columns());
+  // Truth rows are in key order (the order the map overload iterates in).
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    for (size_t c = 0; c < key.size(); ++c) key[c] = truth.key(r, c);
+    const int64_t er = estimate.FindRow(key);
+    if (er < 0) {
+      total += 1.0;  // missing group: 100% relative error
+      continue;
+    }
+    for (size_t c = 0; c < truth_vals.size(); ++c) {
+      truth_vals[c] = truth.value(r, c);
+    }
+    for (size_t c = 0; c < est_vals.size(); ++c) {
+      est_vals[c] = estimate.value(static_cast<size_t>(er), c);
+    }
+    total += GroupError(truth_vals, est_vals);
+  }
+  return total / static_cast<double>(truth.num_rows());
+}
+
+double RelativeErrorImprovement(const ResultSet& truth,
+                                const ResultSet& incomplete,
+                                const ResultSet& completed) {
+  return AverageRelativeError(truth, incomplete) -
+         AverageRelativeError(truth, completed);
+}
+
 Result<double> ColumnMean(const Table& table, const std::string& column) {
   RESTORE_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column));
   double sum = 0.0;

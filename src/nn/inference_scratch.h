@@ -50,11 +50,24 @@ struct InferenceScratch {
 /// free arena (or creates one on first use); the returned Lease gives it
 /// back on destruction. The lock is held only for the pop/push — never
 /// across a forward pass — so N concurrent inference calls proceed on N
-/// arenas with no serialization. At steady state the pool holds as many
-/// arenas as the peak concurrency ever seen, each already shaped for its
-/// model (PathModel owns one pool per model, keyed by identity).
+/// arenas with no serialization. At steady state the pool holds up to
+/// max_idle() arenas, each already shaped for its model (PathModel owns one
+/// pool per model, keyed by identity).
+///
+/// Bounded retention: arenas are ~batch x hidden floats each, so a server
+/// hosting thousands of models must not let every pool keep its historic
+/// peak concurrency forever. Release() retains at most `max_idle` arenas;
+/// leases beyond that cap still succeed (allocate-and-free), they just
+/// don't pool. 0 means unbounded.
 class InferenceScratchPool {
  public:
+  /// Default retention cap. Generous for typical per-model concurrency
+  /// (a handful of sessions) while bounding thousand-model deployments.
+  static constexpr size_t kDefaultMaxIdle = 8;
+
+  explicit InferenceScratchPool(size_t max_idle = kDefaultMaxIdle)
+      : max_idle_(max_idle) {}
+
   class Lease {
    public:
     Lease(InferenceScratchPool* pool, std::unique_ptr<InferenceScratch> s)
@@ -80,6 +93,7 @@ class InferenceScratchPool {
     std::unique_ptr<InferenceScratch> s;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      ++total_leases_;
       if (!free_.empty()) {
         s = std::move(free_.back());
         free_.pop_back();
@@ -95,14 +109,44 @@ class InferenceScratchPool {
     return free_.size();
   }
 
+  /// Maximum idle arenas retained (0 = unbounded).
+  size_t max_idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_idle_;
+  }
+  /// Reconfigures the retention cap; surplus idle arenas are freed here.
+  void set_max_idle(size_t max_idle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_idle_ = max_idle;
+    if (max_idle_ > 0 && free_.size() > max_idle_) free_.resize(max_idle_);
+  }
+
+  /// Total Acquire() calls over the pool's lifetime.
+  size_t total_leases() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_leases_;
+  }
+  /// Arenas released but not retained because the pool was at max_idle.
+  size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
  private:
   void Release(std::unique_ptr<InferenceScratch> s) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (max_idle_ > 0 && free_.size() >= max_idle_) {
+      ++dropped_;
+      return;  // allocate-and-free beyond the cap; ~s frees it
+    }
     free_.push_back(std::move(s));
   }
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<InferenceScratch>> free_;
+  size_t max_idle_ = kDefaultMaxIdle;
+  size_t total_leases_ = 0;
+  size_t dropped_ = 0;
 };
 
 }  // namespace restore

@@ -347,11 +347,13 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
 void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
                             size_t first_attr, size_t end_attr, Rng& rng,
                             int record_attr, Matrix* recorded,
-                            MadeScratch* scratch) const {
+                            MadeScratch* scratch,
+                            const std::function<bool()>& should_stop) const {
   const size_t batch = codes->rows();
   Matrix& logits = scratch->logits;
   std::vector<double>& sample_u = scratch->u;
   for (size_t a = first_attr; a < end_attr; ++a) {
+    if (should_stop && should_stop()) return;
     Forward(*codes, context, &logits, scratch);
     const size_t begin = offsets_[a];
     const size_t vocab = static_cast<size_t>(vocab_size(a));

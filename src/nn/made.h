@@ -1,6 +1,7 @@
 #ifndef RESTORE_NN_MADE_H_
 #define RESTORE_NN_MADE_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -112,9 +113,18 @@ class MadeModel {
 
   /// Reentrant variant (see the scratch Forward); bit-identical to the
   /// member-scratch SampleRange for the same rng state.
+  ///
+  /// `should_stop` is the cooperative cancellation hook: it is evaluated
+  /// once per attribute (one attribute's pass over the batch is one
+  /// "sampling batch"), on the calling thread, BEFORE the attribute's
+  /// forward pass and rng draws. When it returns true, sampling stops and
+  /// the remaining attribute codes are left unspecified — the caller aborts
+  /// the whole completion. When it never fires, the sampled codes and the
+  /// rng consumption are bit-identical to a call without the hook.
   void SampleRange(IntMatrix* codes, const Matrix& context, size_t first_attr,
                    size_t end_attr, Rng& rng, int record_attr,
-                   Matrix* recorded, MadeScratch* scratch) const;
+                   Matrix* recorded, MadeScratch* scratch,
+                   const std::function<bool()>& should_stop = {}) const;
 
   /// Predictive distribution of a single attribute given its predecessors:
   /// fills `probs` [batch x vocab(attr)].

@@ -9,6 +9,7 @@
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "exec/executor.h"
 #include "exec/join.h"
 #include "exec/sql_parser.h"
@@ -144,7 +145,14 @@ Db::ModelEntry* Db::EntryFor(const std::string& key) {
 }
 
 Result<const PathModel*> Db::ModelForPath(
-    const std::vector<std::string>& path) {
+    const std::vector<std::string>& path, const ExecContext* ctx) {
+  // Cancellation is honored BEFORE the latch, never inside it: the latch
+  // caches a failure permanently, so letting one caller's cancel fail the
+  // training run would poison the model for every other session.
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    ++ctx->stats()->models_consulted;
+  }
   const std::string key = PathKey(path);
   ModelEntry* entry = EntryFor(key);
   Status s = entry->latch.RunOnce([&]() -> Status {
@@ -169,7 +177,8 @@ double Db::total_train_seconds() const {
 }
 
 Result<std::vector<Db::Candidate>> Db::CandidatesFor(
-    const std::string& target) {
+    const std::string& target, const ExecContext* ctx) {
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   auto it = candidates_.find(target);
   if (it == candidates_.end()) {
     return Status::NotFound(StrFormat(
@@ -179,29 +188,38 @@ Result<std::vector<Db::Candidate>> Db::CandidatesFor(
   const std::vector<std::vector<std::string>>& paths = it->second;
   // Candidate models are independent: train the missing ones concurrently on
   // the shared pool. Each path's once-latch guarantees a single training run
-  // even if another session races us on the same candidate.
+  // even if another session races us on the same candidate. The ctx is NOT
+  // threaded into the shards (its stats/progress are single-threaded by
+  // contract); instead the query's cancel flag skips still-unclaimed
+  // training shards, and the check below turns that into Cancelled.
   std::vector<Status> errors(paths.size(), Status::OK());
-  ThreadPool::Global().ParallelFor(0, paths.size(), 1,
-                                   [&](size_t lo, size_t hi) {
-                                     for (size_t i = lo; i < hi; ++i) {
-                                       errors[i] =
-                                           ModelForPath(paths[i]).status();
-                                     }
-                                   });
+  ThreadPool::Global().ParallelFor(
+      0, paths.size(), 1,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          errors[i] = ModelForPath(paths[i]).status();
+        }
+      },
+      ctx != nullptr ? ctx->cancel_flag() : nullptr);
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   for (const Status& s : errors) {
     if (!s.ok()) return s;
   }
   std::vector<Candidate> out;
   out.reserve(paths.size());
   for (const auto& path : paths) {
-    RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
+    RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path, ctx));
     out.push_back({path, model});
   }
   return out;
 }
 
 Result<std::vector<std::string>> Db::SelectedPathFor(
-    const std::string& target) {
+    const std::string& target, const ExecContext* ctx) {
+  // Selection (like training) runs under a shared once-latch, so it is
+  // checked before but never aborted inside — a cancelled caller must not
+  // cache a Cancelled selection for everyone else.
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   auto it = selected_.find(target);
   if (it == selected_.end()) {
     return Status::NotFound(StrFormat(
@@ -237,20 +255,23 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
 }
 
 Result<CompletionResult> Db::CompleteViaPath(
-    const std::vector<std::string>& path, const CompletionOptions& options) {
-  RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path));
+    const std::vector<std::string>& path, const CompletionOptions& options,
+    const ExecContext* ctx) {
+  RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path, ctx));
   // The synthesis RNG is derived from the path so a completion is a pure
   // function of (db, models, path) — concurrent sessions and restarted
   // processes produce bit-identical synthesized data.
   Rng rng(CompletionSeed(PathKey(path)));
   IncompletenessJoinExecutor exec(database_, &annotation_);
-  return exec.CompletePathJoin(*model, rng, options);
+  return exec.CompletePathJoin(*model, rng, options, ctx);
 }
 
-Result<Table> Db::CompleteTable(const std::string& target) {
+Result<Table> Db::CompleteTable(const std::string& target,
+                                const ExecContext* ctx) {
   RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> path,
-                           SelectedPathFor(target));
-  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion, CompleteViaPath(path));
+                           SelectedPathFor(target, ctx));
+  RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
+                           CompleteViaPath(path, CompletionOptions(), ctx));
   RESTORE_ASSIGN_OR_RETURN(const Table* base, database_->GetTable(target));
 
   // Completed table = existing tuples + synthesized tuples (attr columns;
@@ -284,7 +305,26 @@ Result<Table> Db::CompleteTable(const std::string& target) {
 }
 
 Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
-    const std::vector<std::string>& tables) {
+    const std::vector<std::string>& tables, const ExecContext* ctx) {
+  // Per-query cache policy: kBypass neither reads nor writes, kReadOnly
+  // reads without inserting; both are further gated by the engine-level
+  // enable_cache switch.
+  const CachePolicy policy =
+      ctx != nullptr ? ctx->cache_policy() : CachePolicy::kDefault;
+  const bool cache_read =
+      config_.enable_cache && policy != CachePolicy::kBypass;
+  const bool cache_write =
+      config_.enable_cache && policy == CachePolicy::kDefault;
+  ExecStats* stats = ctx != nullptr ? ctx->stats() : nullptr;
+  const auto note_lookup = [stats](bool hit) {
+    if (stats == nullptr) return;
+    if (hit) {
+      ++stats->cache_hits;
+    } else {
+      ++stats->cache_misses;
+    }
+  };
+
   // Single incomplete table: answer from the completed TABLE rather than a
   // completed path join — the path necessarily enters through a fan-out
   // (e.g. a link table), which would count each target tuple once per link.
@@ -292,19 +332,21 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
     // Exact-match caching only: projecting a cached superset join would
     // change tuple multiplicities.
     const std::set<std::string> key{tables[0]};
-    if (config_.enable_cache) {
+    if (cache_read) {
       std::shared_ptr<const Table> cached = cache_.GetExact(key);
+      note_lookup(cached != nullptr);
       if (cached != nullptr) return cached;
     }
-    RESTORE_ASSIGN_OR_RETURN(Table completed, CompleteTable(tables[0]));
+    RESTORE_ASSIGN_OR_RETURN(Table completed, CompleteTable(tables[0], ctx));
     completed.QualifyColumnNames(tables[0]);
     auto result = std::make_shared<const Table>(std::move(completed));
-    if (config_.enable_cache) cache_.Put(key, result);
+    if (cache_write) cache_.Put(key, result);
     return result;
   }
   std::set<std::string> table_set(tables.begin(), tables.end());
-  if (config_.enable_cache) {
+  if (cache_read) {
     std::shared_ptr<const Table> cached = cache_.GetCovering(table_set);
+    note_lookup(cached != nullptr);
     if (cached != nullptr) return cached;
   }
 
@@ -315,7 +357,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   }
   if (incomplete.empty()) {
     RESTORE_ASSIGN_OR_RETURN(Table joined,
-                             NaturalJoinTables(*database_, tables));
+                             NaturalJoinTables(*database_, tables, ctx));
     return std::make_shared<const Table>(std::move(joined));
   }
 
@@ -328,9 +370,9 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   // reweighting), so candidates are ranked first by how few off-query
   // fan-out hops they introduce, then by the configured selection strategy.
   RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> selected,
-                           SelectedPathFor(incomplete[0]));
+                           SelectedPathFor(incomplete[0], ctx));
   RESTORE_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
-                           CandidatesFor(incomplete[0]));
+                           CandidatesFor(incomplete[0], ctx));
   auto fanout_penalty = [&](const std::vector<std::string>& p) {
     size_t penalty = 0;
     for (size_t k = 0; k + 1 < p.size(); ++k) {
@@ -390,33 +432,103 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   }
 
   RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
-                           CompleteViaPath(extended));
+                           CompleteViaPath(extended, CompletionOptions(),
+                                           ctx));
   auto result = std::make_shared<const Table>(std::move(completion.joined));
-  if (config_.enable_cache) {
+  if (cache_write) {
     std::set<std::string> covered(extended.begin(), extended.end());
     cache_.Put(covered, result);
   }
   return result;
 }
 
-Result<QueryResult> Db::ExecuteCompleted(const Query& query) {
-  if (query.tables.empty() || query.aggregates.empty()) {
-    return Status::InvalidArgument("malformed query");
-  }
-  RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
-  // Rewrite column references to be table-qualified w.r.t. the query tables
-  // so that evidence tables pulled in by the completion path cannot make
-  // them ambiguous. Idempotent for pre-qualified prepared queries.
-  Query rewritten = query;
-  RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*database_, &rewritten));
-  RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const Table> joined,
-                           CompletedJoinFor(query.tables));
-  return FilterAndAggregate(*joined, rewritten);
+Result<ResultSet> Db::ExecuteCompletedImpl(const Query& query,
+                                           const QueryOptions& options,
+                                           ExecStats stats) {
+  ExecContext ctx(&options, &stats);
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    RESTORE_RETURN_IF_ERROR(ctx.Check());
+    if (query.tables.empty() || query.aggregates.empty()) {
+      return Status::InvalidArgument("malformed query");
+    }
+    RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
+    // Rewrite column references to be table-qualified w.r.t. the query
+    // tables so that evidence tables pulled in by the completion path cannot
+    // make them ambiguous. Idempotent for pre-qualified prepared queries.
+    Timer plan_timer;
+    Query rewritten = query;
+    RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*database_, &rewritten));
+    stats.plan_seconds += plan_timer.ElapsedSeconds();
+    Timer sample_timer;
+    RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const Table> joined,
+                             CompletedJoinFor(query.tables, &ctx));
+    stats.sample_seconds += sample_timer.ElapsedSeconds();
+    Timer agg_timer;
+    RESTORE_ASSIGN_OR_RETURN(QueryResult grouped,
+                             FilterAndAggregate(*joined, rewritten, &ctx));
+    stats.aggregate_seconds += agg_timer.ElapsedSeconds();
+    // Schema names come from the ORIGINAL query, so prepared and ad-hoc
+    // runs of the same SQL carry identical column names.
+    return ResultSet::Build(query, std::move(grouped), stats,
+                            ctx.batch_rows());
+  }();
+  RecordQuery(stats, result.status());
+  return result;
 }
 
-Result<QueryResult> Db::ExecuteCompletedSql(const std::string& sql) {
-  RESTORE_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
-  return ExecuteCompleted(query);
+Result<ResultSet> Db::ExecuteCompleted(const Query& query,
+                                       const QueryOptions& options) {
+  return ExecuteCompletedImpl(query, options, ExecStats());
+}
+
+Result<ResultSet> Db::ExecuteCompletedSql(const std::string& sql,
+                                          const QueryOptions& options) {
+  ExecStats stats;
+  {
+    // Cancel-before-parse: a dead query never pays for parsing.
+    ExecContext ctx(&options, &stats);
+    Status s = ctx.Check();
+    if (!s.ok()) {
+      RecordQuery(stats, s);
+      return s;
+    }
+  }
+  Timer parse_timer;
+  Result<Query> query = ParseSql(sql);
+  stats.parse_seconds = parse_timer.ElapsedSeconds();
+  if (!query.ok()) {
+    RecordQuery(stats, query.status());
+    return query.status();
+  }
+  return ExecuteCompletedImpl(*query, options, std::move(stats));
+}
+
+void Db::RecordQuery(const ExecStats& stats, const Status& status) {
+  std::lock_guard<std::mutex> lock(query_stats_mu_);
+  if (status.ok()) {
+    ++query_stats_.queries_ok;
+  } else if (status.IsCancelled()) {
+    ++query_stats_.queries_cancelled;
+  } else if (status.IsDeadlineExceeded()) {
+    ++query_stats_.queries_deadline_exceeded;
+  } else {
+    ++query_stats_.queries_failed;
+  }
+  ExecStats& t = query_stats_.totals;
+  t.parse_seconds += stats.parse_seconds;
+  t.plan_seconds += stats.plan_seconds;
+  t.sample_seconds += stats.sample_seconds;
+  t.aggregate_seconds += stats.aggregate_seconds;
+  t.tuples_completed += stats.tuples_completed;
+  t.models_consulted += stats.models_consulted;
+  t.cache_hits += stats.cache_hits;
+  t.cache_misses += stats.cache_misses;
+  t.arenas_leased += stats.arenas_leased;
+}
+
+Db::Stats Db::stats() const {
+  std::lock_guard<std::mutex> lock(query_stats_mu_);
+  return query_stats_;
 }
 
 // ---- Persistence -----------------------------------------------------------
@@ -514,6 +626,9 @@ Status Db::LoadModels(const std::string& dir) {
                     filename.c_str(), PathKey(model->path()).c_str(),
                     key.c_str()));
     }
+    // The arena-retention cap is a serving knob, not part of the persisted
+    // payload: apply this Db's configuration to the restored model.
+    model->set_scratch_pool_max_idle(config_.model.max_pooled_scratch_arenas);
     auto entry = std::make_unique<ModelEntry>();
     entry->model = std::move(model);
     entry->latch.SetDone(Status::OK());
@@ -545,42 +660,55 @@ Result<PreparedQuery> Session::Prepare(const std::string& sql) const {
   return PreparedQuery(db_, std::move(stmt));
 }
 
-Result<QueryResult> Session::Execute(const std::string& sql) const {
-  return db_->ExecuteCompletedSql(sql);
+Result<ResultSet> Session::Execute(const std::string& sql,
+                                   const QueryOptions& options) const {
+  return db_->ExecuteCompletedSql(sql, options);
 }
 
-Result<QueryResult> Session::Execute(const Query& query) const {
-  return db_->ExecuteCompleted(query);
+Result<ResultSet> Session::Execute(const Query& query,
+                                   const QueryOptions& options) const {
+  return db_->ExecuteCompleted(query, options);
 }
 
-QueryFuture Session::ExecuteAsync(const std::string& sql) const {
+ResultSetFuture Session::ExecuteAsync(const std::string& sql,
+                                      const QueryOptions& options) const {
   std::shared_ptr<Db> db = db_;
-  return QueryFuture::Async(ThreadPool::Global(), [db, sql]() {
-    return db->ExecuteCompletedSql(sql);
+  return ResultSetFuture::Async(ThreadPool::Global(), [db, sql, options]() {
+    return db->ExecuteCompletedSql(sql, options);
   });
 }
 
-Result<QueryResult> PreparedQuery::Execute(
-    const std::vector<Value>& params) const {
+Result<ResultSet> PreparedQuery::Run(const std::vector<Value>& params,
+                                     const QueryOptions& options) const {
   if (db_ == nullptr) {
     return Status::FailedPrecondition("PreparedQuery is not bound to a Db");
   }
-  RESTORE_ASSIGN_OR_RETURN(Query bound, stmt_.Bind(params));
-  return db_->ExecuteCompleted(bound);
+  Result<Query> bound = stmt_.Bind(params);
+  if (!bound.ok()) {
+    // Bind failures count as finished (failed) queries too, so the per-Db
+    // outcome counters always sum to the number of queries issued.
+    db_->RecordQuery(ExecStats(), bound.status());
+    return bound.status();
+  }
+  return db_->ExecuteCompleted(*bound, options);
 }
 
-QueryFuture PreparedQuery::ExecuteAsync(
-    const std::vector<Value>& params) const {
+ResultSetFuture PreparedQuery::RunAsync(const std::vector<Value>& params,
+                                        const QueryOptions& options) const {
   if (db_ == nullptr) {
-    return QueryFuture::MakeReady(
+    return ResultSetFuture::MakeReady(
         Status::FailedPrecondition("PreparedQuery is not bound to a Db"));
   }
   std::shared_ptr<Db> db = db_;
   PreparedStatement stmt = stmt_;
-  return QueryFuture::Async(
-      ThreadPool::Global(), [db, stmt, params]() -> Result<QueryResult> {
-        RESTORE_ASSIGN_OR_RETURN(Query bound, stmt.Bind(params));
-        return db->ExecuteCompleted(bound);
+  return ResultSetFuture::Async(
+      ThreadPool::Global(), [db, stmt, params, options]() -> Result<ResultSet> {
+        Result<Query> bound = stmt.Bind(params);
+        if (!bound.ok()) {
+          db->RecordQuery(ExecStats(), bound.status());
+          return bound.status();
+        }
+        return db->ExecuteCompleted(*bound, options);
       });
 }
 

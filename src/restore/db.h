@@ -12,8 +12,10 @@
 #include "common/once_latch.h"
 #include "common/result.h"
 #include "exec/aggregate.h"
+#include "exec/exec_control.h"
 #include "exec/prepared.h"
 #include "exec/query.h"
+#include "exec/result_set.h"
 #include "restore/annotation.h"
 #include "restore/cache.h"
 #include "restore/incompleteness_join.h"
@@ -62,7 +64,9 @@ class Session;
 uint64_t EngineConfigFingerprint(const EngineConfig& config);
 
 /// A future holding the asynchronous result of a completed-query execution.
-using QueryFuture = Future<Result<QueryResult>>;
+/// Cancellation of the underlying query goes through the QueryOptions token
+/// it was started with; the future itself only observes the outcome.
+using ResultSetFuture = Future<Result<ResultSet>>;
 
 /// The service-grade facade of ReStore: owns the trained completion models,
 /// the completion cache, and the candidate/selection registries for one
@@ -76,13 +80,24 @@ using QueryFuture = Future<Result<QueryResult>>;
 /// of the path (never of request order), so concurrent execution returns
 /// bit-identical results to sequential execution.
 ///
+/// Execution control: every execution entry point accepts a QueryOptions —
+/// a cooperative CancellationToken, an absolute deadline, a synthesized-
+/// tuple budget (max_completed_rows), the per-query cache policy, and the
+/// ResultSet batch size. Results stream as a schema-carrying columnar
+/// ResultSet whose ExecStats record parse/plan/sample/aggregate timings,
+/// tuples completed, models consulted, cache hits/misses, and scratch
+/// arenas leased; Db::stats() aggregates them across queries for scraping.
+///
 /// Typical usage:
 ///   RESTORE_ASSIGN_OR_RETURN(auto db, Db::Open(&database, annotation, {}));
 ///   Session session = db->CreateSession();
 ///   RESTORE_ASSIGN_OR_RETURN(auto avg_rent, session.Prepare(
 ///       "SELECT AVG(rent) FROM apartment WHERE accommodates >= ?;"));
-///   auto r2 = avg_rent.Execute({Value::Int64(2)});
-///   auto r4 = avg_rent.ExecuteAsync({Value::Int64(4)});
+///   QueryOptions options;
+///   options.cancel = CancellationToken::Cancellable();
+///   options.WithTimeout(std::chrono::seconds(5));
+///   auto r2 = avg_rent.Run({Value::Int64(2)}, options);
+///   auto r4 = avg_rent.RunAsync({Value::Int64(4)});
 ///   ...
 ///   RESTORE_RETURN_IF_ERROR(db->SaveModels("/var/lib/restore/models"));
 class Db : public std::enable_shared_from_this<Db> {
@@ -99,21 +114,28 @@ class Db : public std::enable_shared_from_this<Db> {
   Session CreateSession();
 
   /// Executes `query` over the completed database (incompleteness joins for
-  /// incomplete tables, normal execution otherwise).
-  Result<QueryResult> ExecuteCompleted(const Query& query);
-  Result<QueryResult> ExecuteCompletedSql(const std::string& sql);
+  /// incomplete tables, normal execution otherwise), honoring the
+  /// cancellation/deadline/budget knobs of `options`.
+  Result<ResultSet> ExecuteCompleted(const Query& query,
+                                     const QueryOptions& options = {});
+  Result<ResultSet> ExecuteCompletedSql(const std::string& sql,
+                                        const QueryOptions& options = {});
 
   /// Returns the completed version of one incomplete table: its existing
   /// tuples plus the synthesized attribute columns (keys are not
-  /// synthesized). Used by the bias-reduction experiments.
-  Result<Table> CompleteTable(const std::string& target);
+  /// synthesized). Used by the bias-reduction experiments. `ctx` (optional,
+  /// also on the methods below) threads an owning query's cancellation and
+  /// accounting through the completion.
+  Result<Table> CompleteTable(const std::string& target,
+                              const ExecContext* ctx = nullptr);
 
   /// Completes via a specific (already trained or new) path — used by the
   /// evaluation harness to score individual models. Deterministic: the
   /// synthesis RNG is derived from the path, not from call order.
   Result<CompletionResult> CompleteViaPath(
       const std::vector<std::string>& path,
-      const CompletionOptions& options = CompletionOptions());
+      const CompletionOptions& options = CompletionOptions(),
+      const ExecContext* ctx = nullptr);
 
   /// Candidates for `target` (path -> model). Paths are enumerated at Open;
   /// missing models are trained (in parallel, each exactly once) here.
@@ -121,15 +143,22 @@ class Db : public std::enable_shared_from_this<Db> {
     std::vector<std::string> path;
     const PathModel* model = nullptr;
   };
-  Result<std::vector<Candidate>> CandidatesFor(const std::string& target);
+  Result<std::vector<Candidate>> CandidatesFor(const std::string& target,
+                                               const ExecContext* ctx =
+                                                   nullptr);
 
   /// The path selected for `target` by the configured strategy (computed
   /// once per target, under a latch).
-  Result<std::vector<std::string>> SelectedPathFor(const std::string& target);
+  Result<std::vector<std::string>> SelectedPathFor(
+      const std::string& target, const ExecContext* ctx = nullptr);
 
   /// Access to a trained model by its path (trains lazily if absent;
   /// concurrent callers block until the single training run finishes).
-  Result<const PathModel*> ModelForPath(const std::vector<std::string>& path);
+  /// Cancellation is honored BEFORE training starts, never mid-training:
+  /// models are shared across queries, so one caller's cancel must not
+  /// poison the latch for everyone else.
+  Result<const PathModel*> ModelForPath(const std::vector<std::string>& path,
+                                        const ExecContext* ctx = nullptr);
 
   /// Persists every trained model plus the per-target path selections to
   /// `dir` (created if missing) in a versioned, checksummed binary format.
@@ -154,7 +183,24 @@ class Db : public std::enable_shared_from_this<Db> {
   /// Number of models restored from `model_dir` at Open.
   size_t models_loaded() const { return models_loaded_; }
 
+  /// Aggregated per-query accounting of this Db, for scraping/monitoring.
+  /// Totals are updated once per finished query (success or failure), so a
+  /// scrape is cheap and never blocks query execution.
+  struct Stats {
+    uint64_t queries_ok = 0;
+    uint64_t queries_cancelled = 0;
+    uint64_t queries_deadline_exceeded = 0;
+    uint64_t queries_failed = 0;  // any other non-OK outcome
+    /// Field-wise sums of every finished query's ExecStats (partial stats
+    /// of cancelled/failed queries included).
+    ExecStats totals;
+  };
+  Stats stats() const;
+
  private:
+  // Run/RunAsync record bind failures into the per-Db stats themselves
+  // (binding happens before ExecuteCompleted is ever reached).
+  friend class PreparedQuery;
   struct ModelEntry {
     OnceLatch latch;
     std::unique_ptr<PathModel> model;
@@ -181,9 +227,20 @@ class Db : public std::enable_shared_from_this<Db> {
   ModelEntry* EntryFor(const std::string& key);
 
   /// Builds the completed join used to answer a query over `tables`,
-  /// applying the cache.
+  /// applying the cache per the context's cache policy and recording
+  /// hit/miss accounting into its stats.
   Result<std::shared_ptr<const Table>> CompletedJoinFor(
-      const std::vector<std::string>& tables);
+      const std::vector<std::string>& tables, const ExecContext* ctx);
+
+  /// Shared body of the two Execute entry points: runs plan -> completion
+  /// -> aggregation under one ExecContext bound to `stats` (which already
+  /// carries the parse timing for the SQL path) and folds the outcome into
+  /// the per-Db totals.
+  Result<ResultSet> ExecuteCompletedImpl(const Query& query,
+                                         const QueryOptions& options,
+                                         ExecStats stats);
+  /// Folds one finished query's stats + outcome into the per-Db totals.
+  void RecordQuery(const ExecStats& stats, const Status& status);
 
   Status LoadModels(const std::string& dir);
 
@@ -207,9 +264,14 @@ class Db : public std::enable_shared_from_this<Db> {
   mutable std::mutex stats_mu_;
   double total_train_seconds_ = 0.0;
   std::atomic<size_t> models_trained_{0};
+
+  // Aggregated query accounting (guarded by query_stats_mu_; queries touch
+  // it exactly once, at completion).
+  mutable std::mutex query_stats_mu_;
+  Stats query_stats_;
 };
 
-/// A prepared completed-query: parsed and column-qualified once, executable
+/// A prepared completed-query: parsed and column-qualified once, runnable
 /// many times with different positional parameters. Cheap to copy; keeps the
 /// Db alive.
 class PreparedQuery {
@@ -219,12 +281,16 @@ class PreparedQuery {
   const Query& query() const { return stmt_.query(); }
   size_t num_params() const { return stmt_.num_params(); }
 
-  /// Binds `params` to the `?` placeholders and executes over the completed
-  /// database.
-  Result<QueryResult> Execute(const std::vector<Value>& params = {}) const;
+  /// Binds `params` to the `?` placeholders and runs over the completed
+  /// database under `options` (cancellation, deadline, budgets).
+  Result<ResultSet> Run(const std::vector<Value>& params = {},
+                        const QueryOptions& options = {}) const;
 
-  /// Asynchronous variant running on the shared ThreadPool.
-  QueryFuture ExecuteAsync(const std::vector<Value>& params = {}) const;
+  /// Asynchronous variant running on the shared ThreadPool. Cancel via the
+  /// options token; a task cancelled while still queued returns
+  /// Status::Cancelled as soon as a worker picks it up.
+  ResultSetFuture RunAsync(const std::vector<Value>& params = {},
+                           const QueryOptions& options = {}) const;
 
  private:
   friend class Session;
@@ -242,16 +308,20 @@ class Session {
  public:
   explicit Session(std::shared_ptr<Db> db) : db_(std::move(db)) {}
 
-  /// Parses and qualifies `sql` once, returning a bind-and-execute-many
-  /// handle.
+  /// Parses and qualifies `sql` once, returning a bind-and-run-many handle.
   Result<PreparedQuery> Prepare(const std::string& sql) const;
 
-  /// One-shot execution over the completed database.
-  Result<QueryResult> Execute(const std::string& sql) const;
-  Result<QueryResult> Execute(const Query& query) const;
+  /// One-shot execution over the completed database. A pre-cancelled token
+  /// (or an already-expired deadline) fails BEFORE the SQL is even parsed.
+  Result<ResultSet> Execute(const std::string& sql,
+                            const QueryOptions& options = {}) const;
+  Result<ResultSet> Execute(const Query& query,
+                            const QueryOptions& options = {}) const;
 
   /// Schedules the query on the shared ThreadPool and returns immediately.
-  QueryFuture ExecuteAsync(const std::string& sql) const;
+  /// The options (token included) travel with the task.
+  ResultSetFuture ExecuteAsync(const std::string& sql,
+                               const QueryOptions& options = {}) const;
 
   const std::shared_ptr<Db>& db() const { return db_; }
 

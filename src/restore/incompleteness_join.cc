@@ -22,7 +22,9 @@ std::string Unqualify(const std::string& name) {
 }  // namespace
 
 Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
-    const PathModel& model, Rng& rng, const CompletionOptions& options) {
+    const PathModel& model, Rng& rng, const CompletionOptions& options,
+    const ExecContext* ctx) {
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   const std::vector<std::string>& path = model.path();
   if (annotation_->IsIncomplete(path[0])) {
     return Status::FailedPrecondition(
@@ -36,6 +38,7 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
   joined.QualifyColumnNames(path[0]);
 
   for (size_t hop = 0; hop + 1 < path.size(); ++hop) {
+    RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
     const std::string& target = path[hop + 1];
     RESTORE_ASSIGN_OR_RETURN(ForeignKey fk,
                              db_->FindForeignKey(path[hop], target));
@@ -52,8 +55,8 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
                                       : target + "." + fk.parent_column;
 
     // 1. Join the existing tuples (rows with NULL keys drop out here).
-    RESTORE_ASSIGN_OR_RETURN(Table j_existing,
-                             HashJoin(joined, right, left_key, right_key));
+    RESTORE_ASSIGN_OR_RETURN(
+        Table j_existing, HashJoin(joined, right, left_key, right_key, ctx));
 
     // 2. Determine what to synthesize.
     RESTORE_ASSIGN_OR_RETURN(size_t lk_idx, ResolveColumn(joined, left_key));
@@ -89,7 +92,7 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
       RESTORE_ASSIGN_OR_RETURN(
           std::vector<int64_t> tfs,
           model.SampleTupleFactors(*db_, joined, &codes, all_rows, hop, rng,
-                                   &have_counts));
+                                   &have_counts, ctx));
       // Children are synthesized once per DISTINCT parent key and attached
       // to every J row carrying that key — J may contain a parent several
       // times when earlier hops fanned out, and synthesizing independently
@@ -210,6 +213,11 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
     }
 
     // 3. Synthesize the target attributes for the unique missing tuples.
+    // The budget is charged BEFORE the expensive sampling: a query whose cap
+    // is already blown fails without paying for the synthesis.
+    if (ctx != nullptr) {
+      RESTORE_RETURN_IF_ERROR(ctx->AddCompletedTuples(unique_synth));
+    }
     std::vector<Column> synth_attrs;
     if (unique_synth > 0) {
       RESTORE_ASSIGN_OR_RETURN(
@@ -236,7 +244,7 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
         RESTORE_ASSIGN_OR_RETURN(
             std::vector<int64_t> tf_again,
             model.SampleTupleFactors(*db_, joined, &codes, rep_rows, hop, rng,
-                                     &have));
+                                     &have, ctx));
         (void)tf_again;  // codes now carry the TF prefix for sampling
       }
       int record_attr = -1;
@@ -247,7 +255,7 @@ Result<CompletionResult> IncompletenessJoinExecutor::CompletePathJoin(
       RESTORE_ASSIGN_OR_RETURN(
           synth_attrs,
           model.SynthesizeHop(*db_, joined, &codes, rep_rows, hop, rng,
-                              record_attr, &recorded));
+                              record_attr, &recorded, ctx));
       if (record_attr >= 0) {
         for (size_t i = 0; i < recorded.rows(); ++i) {
           result.recorded_probs.emplace_back(

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "exec/exec_control.h"
 #include "restore/annotation.h"
 #include "restore/path_model.h"
 #include "storage/database.h"
@@ -54,9 +55,16 @@ class IncompletenessJoinExecutor {
       : db_(db), annotation_(annotation) {}
 
   /// Walks the full path of `model`, producing the completed join.
+  ///
+  /// `ctx` (optional) is the owning query's execution context: it is
+  /// checked at every hop and inside the model sampling loops, newly
+  /// synthesized tuples are charged against its max_completed_rows budget
+  /// (Status::ResourceExhausted on overflow), and its ExecStats record the
+  /// tuples completed and arenas leased.
   Result<CompletionResult> CompletePathJoin(
       const PathModel& model, Rng& rng,
-      const CompletionOptions& options = CompletionOptions());
+      const CompletionOptions& options = CompletionOptions(),
+      const ExecContext* ctx = nullptr);
 
  private:
   /// Synthesizes the non-attribute columns of the target-table part of a

@@ -76,6 +76,7 @@ Result<std::unique_ptr<PathModel>> PathModel::Train(
   model->config_ = config;
   model->annotation_ = annotation;
   model->rng_.Seed(config.seed);
+  model->scratch_pool_.set_max_idle(config.max_pooled_scratch_arenas);
   RESTORE_RETURN_IF_ERROR(model->BuildLayout(db, annotation));
   if (config.use_ssar) {
     RESTORE_RETURN_IF_ERROR(model->SetupSsar(db));
@@ -675,7 +676,9 @@ Status PathModel::ComputeContext(const Table& joined,
 Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
     const Database& db, const Table& joined, IntMatrix* codes,
     const std::vector<size_t>& rows, size_t hop, Rng& rng,
-    const std::vector<int64_t>* available_counts) const {
+    const std::vector<int64_t>* available_counts,
+    const ExecContext* ctx) const {
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   const int tf_attr = tf_attr_of_hop_[hop];
   if (tf_attr < 0) {
     return Status::InvalidArgument("hop is not a fan-out hop");
@@ -697,7 +700,11 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
   }
   if (!unobserved.empty()) {
     InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+    if (ctx != nullptr && ctx->stats() != nullptr) {
+      ++ctx->stats()->arenas_leased;
+    }
     RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
+    RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
     // Predict the CONDITIONAL EXPECTATION of the tuple factor rather than a
     // sample: counts derived from independent samples would systematically
     // overshoot E[max(0, TF - available)] (Jensen), inflating synthesis.
@@ -752,14 +759,25 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
 Result<std::vector<Column>> PathModel::SynthesizeHop(
     const Database& db, const Table& joined, IntMatrix* codes,
     const std::vector<size_t>& rows, size_t hop, Rng& rng, int record_attr,
-    Matrix* recorded) const {
+    Matrix* recorded, const ExecContext* ctx) const {
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   const size_t target_idx = hop + 1;
   const size_t first = table_attr_begin_[target_idx];
   const size_t end = table_attr_end_[target_idx];
   InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    ++ctx->stats()->arenas_leased;
+  }
   RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
+  // The cooperative hook fires between per-attribute sampling batches; it
+  // never touches the rng, so an uncancelled run stays bit-identical.
+  std::function<bool()> should_stop;
+  if (ctx != nullptr) {
+    should_stop = [ctx] { return !ctx->Check().ok(); };
+  }
   made_->SampleRange(codes, scratch->context, first, end, rng, record_attr,
-                     recorded, &scratch->made);
+                     recorded, &scratch->made, should_stop);
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
 
   RESTORE_ASSIGN_OR_RETURN(const Table* target,
                            db.GetTable(path_[target_idx]));
@@ -779,9 +797,14 @@ Result<std::vector<Column>> PathModel::SynthesizeHop(
 
 Result<Matrix> PathModel::PredictAttrDistribution(
     const Database& db, const Table& joined, const IntMatrix& codes,
-    const std::vector<size_t>& rows, size_t attr) const {
+    const std::vector<size_t>& rows, size_t attr,
+    const ExecContext* ctx) const {
   (void)db;
+  RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
   InferenceScratchPool::Lease scratch = scratch_pool_.Acquire();
+  if (ctx != nullptr && ctx->stats() != nullptr) {
+    ++ctx->stats()->arenas_leased;
+  }
   RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
   Matrix probs;
   made_->PredictDistribution(codes, scratch->context, attr, &probs,

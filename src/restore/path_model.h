@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/serialize.h"
+#include "exec/exec_control.h"
 #include "nn/deep_sets.h"
 #include "nn/inference_scratch.h"
 #include "nn/made.h"
@@ -47,6 +48,12 @@ struct PathModelConfig {
   double test_fraction = 0.1;
   size_t max_train_rows = 60000;
   uint64_t seed = 17;
+
+  // Serving. Max idle inference scratch arenas pooled per model (excess
+  // leases allocate-and-free); 0 = unbounded. Does not affect training or
+  // results, so it participates in neither the engine fingerprint nor the
+  // persisted model payload.
+  size_t max_pooled_scratch_arenas = 8;
 };
 
 /// One attribute of the autoregressive ordering.
@@ -153,10 +160,15 @@ class PathModel {
   /// where rho is the child keep ratio estimated from parents whose true
   /// tuple factor is observed. This couples the prediction to the observed
   /// count and avoids systematic over-synthesis.
+  ///
+  /// `ctx` (optional, like every inference entry point below) is the
+  /// query's execution context: it is checked cooperatively before each
+  /// model batch, and leased scratch arenas are counted into its ExecStats.
   Result<std::vector<int64_t>> SampleTupleFactors(
       const Database& db, const Table& joined, IntMatrix* codes,
       const std::vector<size_t>& rows, size_t hop, Rng& rng,
-      const std::vector<int64_t>* available_counts = nullptr) const;
+      const std::vector<int64_t>* available_counts = nullptr,
+      const ExecContext* ctx = nullptr) const;
 
   /// Estimated child keep ratio of hop `hop` (1.0 when unknown).
   double TfKeepRatio(size_t hop) const { return tf_keep_ratio_[hop]; }
@@ -170,7 +182,8 @@ class PathModel {
   Result<std::vector<Column>> SynthesizeHop(
       const Database& db, const Table& joined, IntMatrix* codes,
       const std::vector<size_t>& rows, size_t hop, Rng& rng,
-      int record_attr = -1, Matrix* recorded = nullptr) const;
+      int record_attr = -1, Matrix* recorded = nullptr,
+      const ExecContext* ctx = nullptr) const;
 
   /// Predictive distribution of a single attribute given the encoded prefix
   /// (used by the confidence machinery and tests).
@@ -178,7 +191,18 @@ class PathModel {
                                          const Table& joined,
                                          const IntMatrix& codes,
                                          const std::vector<size_t>& rows,
-                                         size_t attr) const;
+                                         size_t attr,
+                                         const ExecContext* ctx = nullptr)
+      const;
+
+  /// Reconfigures the inference scratch pool's idle-arena retention cap
+  /// (EngineConfig::model.max_pooled_scratch_arenas; applied by the Db at
+  /// train/load time). Excess leases still succeed, they just don't pool.
+  void set_scratch_pool_max_idle(size_t max_idle) const {
+    scratch_pool_.set_max_idle(max_idle);
+  }
+  /// The model's scratch pool (introspection: idle/total_leases/dropped).
+  const InferenceScratchPool& scratch_pool() const { return scratch_pool_; }
 
   /// Marginal distribution of attribute `attr` in the training data
   /// (the P_incomplete of Section 6).

@@ -78,7 +78,7 @@ TEST(PreparedStatementTest, ParsesAndCountsParams) {
       "AND room_type = 'entire_home';");
   ASSERT_TRUE(via_bound.ok());
   ASSERT_TRUE(via_sql.ok());
-  EXPECT_EQ(via_bound->groups, via_sql->groups);
+  EXPECT_EQ(*via_bound, *via_sql);
 }
 
 TEST(DbSessionTest, PreparedQueryMatchesAdHocExecution) {
@@ -90,13 +90,13 @@ TEST(DbSessionTest, PreparedQueryMatchesAdHocExecution) {
   ASSERT_EQ(prepared->num_params(), 1u);
 
   for (int64_t threshold : {1, 2, 3}) {
-    auto via_prepared = prepared->Execute({Value::Int64(threshold)});
+    auto via_prepared = prepared->Run({Value::Int64(threshold)});
     ASSERT_TRUE(via_prepared.ok()) << via_prepared.status();
     auto via_sql = session.Execute(
         "SELECT COUNT(*) FROM apartment WHERE accommodates >= " +
         std::to_string(threshold) + ";");
     ASSERT_TRUE(via_sql.ok()) << via_sql.status();
-    EXPECT_EQ(via_prepared->groups, via_sql->groups)
+    EXPECT_EQ(*via_prepared, *via_sql)
         << "threshold " << threshold;
   }
 }
@@ -107,28 +107,28 @@ TEST(DbSessionTest, AsyncExecutionMatchesSynchronous) {
   const std::string sql =
       "SELECT AVG(price) FROM apartment GROUP BY room_type;";
 
-  QueryFuture future = session.ExecuteAsync(sql);
+  ResultSetFuture future = session.ExecuteAsync(sql);
   auto prepared = session.Prepare(
       "SELECT AVG(price) FROM apartment GROUP BY room_type;");
   ASSERT_TRUE(prepared.ok());
-  QueryFuture prepared_future = prepared->ExecuteAsync();
+  ResultSetFuture prepared_future = prepared->RunAsync();
 
   auto sync = session.Execute(sql);
   ASSERT_TRUE(sync.ok()) << sync.status();
 
-  Result<QueryResult>& async1 = future.Get();
-  Result<QueryResult>& async2 = prepared_future.Get();
+  Result<ResultSet>& async1 = future.Get();
+  Result<ResultSet>& async2 = prepared_future.Get();
   ASSERT_TRUE(async1.ok()) << async1.status();
   ASSERT_TRUE(async2.ok()) << async2.status();
-  EXPECT_EQ(async1->groups, sync->groups);
-  EXPECT_EQ(async2->groups, sync->groups);
+  EXPECT_EQ(*async1, *sync);
+  EXPECT_EQ(*async2, *sync);
 }
 
 TEST(DbSessionTest, AsyncParseErrorSurfacesThroughFuture) {
   auto db = OpenHousing(407);
   Session session = db->CreateSession();
-  QueryFuture future = session.ExecuteAsync("SELECT nonsense;");
-  Result<QueryResult>& result = future.Get();
+  ResultSetFuture future = session.ExecuteAsync("SELECT nonsense;");
+  Result<ResultSet>& result = future.Get();
   EXPECT_FALSE(result.ok());
 }
 

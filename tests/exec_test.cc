@@ -128,14 +128,20 @@ TEST(AggregateTest, GroupByWithCountSumAvg) {
       db, "SELECT COUNT(*), SUM(v), AVG(v) FROM parent NATURAL JOIN child "
           "GROUP BY grp;");
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->groups.size(), 2u);
-  const auto& g1 = result->groups.at({"g1"});
-  EXPECT_DOUBLE_EQ(g1[0], 2.0);
-  EXPECT_DOUBLE_EQ(g1[1], 3.0);
-  EXPECT_DOUBLE_EQ(g1[2], 1.5);
-  const auto& g2 = result->groups.at({"g2"});
-  EXPECT_DOUBLE_EQ(g2[0], 1.0);
-  EXPECT_DOUBLE_EQ(g2[1], 4.0);
+  ASSERT_EQ(result->num_rows(), 2u);
+  // Schema carries group-by and rendered aggregate names.
+  ASSERT_EQ(result->key_columns(), std::vector<std::string>{"grp"});
+  const std::vector<std::string> want_values{"COUNT(*)", "SUM(v)", "AVG(v)"};
+  ASSERT_EQ(result->value_columns(), want_values);
+  const int64_t g1 = result->FindRow({"g1"});
+  ASSERT_GE(g1, 0);
+  EXPECT_DOUBLE_EQ(result->value(g1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(result->value(g1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(result->value(g1, 2), 1.5);
+  const int64_t g2 = result->FindRow({"g2"});
+  ASSERT_GE(g2, 0);
+  EXPECT_DOUBLE_EQ(result->value(g2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(result->value(g2, 1), 4.0);
 }
 
 TEST(AggregateTest, FiltersApplyConjunctively) {
@@ -144,7 +150,7 @@ TEST(AggregateTest, FiltersApplyConjunctively) {
       db, "SELECT COUNT(*) FROM parent NATURAL JOIN child "
           "WHERE grp='g1' AND v >= 2;");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_DOUBLE_EQ(result->groups.at({})[0], 1.0);
+  EXPECT_DOUBLE_EQ(result->value(0, 0), 1.0);
 }
 
 TEST(AggregateTest, FilterOnAbsentCategoricalValueMatchesNothing) {
@@ -152,14 +158,14 @@ TEST(AggregateTest, FilterOnAbsentCategoricalValueMatchesNothing) {
   auto result =
       ExecuteSql(db, "SELECT COUNT(*) FROM parent WHERE grp='nope';");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_DOUBLE_EQ(result->groups.at({})[0], 0.0);
+  EXPECT_DOUBLE_EQ(result->value(0, 0), 0.0);
 }
 
 TEST(AggregateTest, SingleTableQueryNeedsNoJoin) {
   Database db = MakeJoinDb();
   auto result = ExecuteSql(db, "SELECT AVG(v) FROM child;");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_DOUBLE_EQ(result->groups.at({})[0], (1.0 + 2.0 + 4.0 + 8.0) / 4.0);
+  EXPECT_DOUBLE_EQ(result->value(0, 0), (1.0 + 2.0 + 4.0 + 8.0) / 4.0);
 }
 
 TEST(AggregateTest, CategoricalOrderingComparisonRejected) {

@@ -1,6 +1,6 @@
 // End-to-end integration tests: the restore::Db session API over the housing
-// and movies datasets, including completed query execution, plus one legacy
-// check that the deprecated CompletionEngine shim still answers identically.
+// and movies datasets, including completed query execution and the
+// streaming ResultSet cursor.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +9,6 @@
 #include "exec/executor.h"
 #include "metrics/metrics.h"
 #include "restore/db.h"
-#include "restore/engine.h"
 
 namespace restore {
 namespace {
@@ -106,9 +105,9 @@ TEST(DbHousingTest, PreparedJoinQueryWithIncompleteTableExecutes) {
       "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment WHERE "
       "accommodates >= ? GROUP BY landlord_since;");
   ASSERT_TRUE(prepared.ok()) << prepared.status();
-  auto result = prepared->Execute({Value::Int64(3)});
+  auto result = prepared->Run({Value::Int64(3)});
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_FALSE(result->groups.empty());
+  EXPECT_GT(result->num_rows(), 0u);
 
   // Count must be >= the incomplete count overall (tuples were added).
   const std::string sql =
@@ -116,26 +115,23 @@ TEST(DbHousingTest, PreparedJoinQueryWithIncompleteTableExecutes) {
       "accommodates >= 3 GROUP BY landlord_since;";
   auto on_incomplete = ExecuteSql(*incomplete, sql);
   ASSERT_TRUE(on_incomplete.ok());
+  // Consume the completed result through the streaming cursor.
   double completed_total = 0.0;
   double incomplete_total = 0.0;
-  for (const auto& [k, v] : result->groups) {
-    (void)k;
-    completed_total += v[0];
+  ResultBatch batch;
+  while (result->NextBatch(&batch)) {
+    for (size_t r = 0; r < batch.rows; ++r) completed_total += batch.value(r, 0);
   }
-  for (const auto& [k, v] : on_incomplete->groups) {
-    (void)k;
-    incomplete_total += v[0];
+  for (size_t r = 0; r < on_incomplete->num_rows(); ++r) {
+    incomplete_total += on_incomplete->value(r, 0);
   }
   EXPECT_GE(completed_total, incomplete_total);
 
   // A laxer binding must qualify at least as many rows.
-  auto lax = prepared->Execute({Value::Int64(1)});
+  auto lax = prepared->Run({Value::Int64(1)});
   ASSERT_TRUE(lax.ok()) << lax.status();
   double lax_total = 0.0;
-  for (const auto& [k, v] : lax->groups) {
-    (void)k;
-    lax_total += v[0];
-  }
+  for (size_t r = 0; r < lax->num_rows(); ++r) lax_total += lax->value(r, 0);
   EXPECT_GE(lax_total, completed_total);
 }
 
@@ -186,9 +182,9 @@ TEST(DbMoviesTest, MultiIncompleteJoinQueryExecutes) {
   ASSERT_TRUE(on_incomplete.ok());
   ASSERT_TRUE(on_completed.ok()) << on_completed.status();
   // Completion must recover a meaningful share of the missing join rows.
-  const double t = truth->groups.at({})[0];
-  const double i = on_incomplete->groups.at({})[0];
-  const double c = on_completed->groups.at({})[0];
+  const double t = truth->value(0, 0);
+  const double i = on_incomplete->value(0, 0);
+  const double c = on_completed->value(0, 0);
   EXPECT_GT(c, i) << "completed count should exceed the incomplete count";
   EXPECT_LT(std::abs(c - t) / t, std::abs(i - t) / t)
       << "truth=" << t << " incomplete=" << i << " completed=" << c;
@@ -229,11 +225,11 @@ TEST(DbTest, CompleteQueriesOnCompleteTablesBypassModels) {
   auto completed = session.Execute(sql);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(completed.ok()) << completed.status();
-  EXPECT_DOUBLE_EQ(direct->groups.at({})[0], completed->groups.at({})[0]);
+  EXPECT_DOUBLE_EQ(direct->value(0, 0), completed->value(0, 0));
   EXPECT_EQ((*db)->models_trained(), 0u);
 }
 
-TEST(LegacyEngineShimTest, MatchesDbFacadeAnswers) {
+TEST(ResultSetTest, BatchCursorStreamsEveryRowExactlyOnce) {
   auto complete = BuildCompleteDatabase("housing", 215, 0.25);
   ASSERT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
@@ -241,23 +237,54 @@ TEST(LegacyEngineShimTest, MatchesDbFacadeAnswers) {
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 216);
   ASSERT_TRUE(incomplete.ok());
 
-  const std::string sql =
-      "SELECT COUNT(*) FROM apartment WHERE accommodates >= 2;";
-
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          FastEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
-  auto via_engine = engine.ExecuteCompletedSql(sql);
-  ASSERT_TRUE(via_engine.ok()) << via_engine.status();
-
   auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
                      {FastEngineConfig(), ""});
   ASSERT_TRUE(db.ok()) << db.status();
-  auto via_db = (*db)->ExecuteCompletedSql(sql);
-  ASSERT_TRUE(via_db.ok()) << via_db.status();
+  Session session = (*db)->CreateSession();
 
-  // The shim delegates to an identically-configured Db: bit-identical.
-  EXPECT_EQ(via_engine->groups, via_db->groups);
+  // A grouped result, streamed in 2-row batches.
+  QueryOptions options;
+  options.batch_rows = 2;
+  auto rs = session.Execute(
+      "SELECT COUNT(*), AVG(price) FROM apartment GROUP BY room_type;",
+      options);
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_GT(rs->num_rows(), 0u);
+  EXPECT_EQ(rs->batch_rows(), 2u);
+
+  size_t streamed = 0;
+  double streamed_count_sum = 0.0;
+  ResultBatch batch;
+  while (rs->NextBatch(&batch)) {
+    ASSERT_LE(batch.rows, 2u);
+    for (size_t r = 0; r < batch.rows; ++r) {
+      streamed_count_sum += batch.value(r, 0);
+      ++streamed;
+    }
+  }
+  EXPECT_EQ(streamed, rs->num_rows());
+  EXPECT_FALSE(rs->NextBatch(&batch)) << "cursor is exhausted";
+  rs->Rewind();
+  EXPECT_TRUE(rs->NextBatch(&batch)) << "Rewind restarts the stream";
+
+  double direct_count_sum = 0.0;
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    direct_count_sum += rs->value(r, 0);
+  }
+  EXPECT_DOUBLE_EQ(streamed_count_sum, direct_count_sum);
+
+  // Per-query ExecStats ride on the ResultSet; the completion consulted at
+  // least one model and synthesized tuples for the incomplete table.
+  const ExecStats& stats = rs->stats();
+  EXPECT_GT(stats.models_consulted, 0u);
+  EXPECT_GT(stats.tuples_completed, 0u);
+  EXPECT_GT(stats.sample_seconds, 0.0);
+  EXPECT_GT(stats.parse_seconds, 0.0);
+
+  // And the Db aggregates them for scraping.
+  const Db::Stats db_stats = (*db)->stats();
+  EXPECT_GE(db_stats.queries_ok, 1u);
+  EXPECT_GE(db_stats.totals.tuples_completed, stats.tuples_completed);
 }
 
 }  // namespace

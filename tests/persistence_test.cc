@@ -58,15 +58,16 @@ std::string FreshDir(const std::string& name) {
   return dir;
 }
 
-void ExpectSameResults(const QueryResult& a, const QueryResult& b) {
-  ASSERT_EQ(a.groups.size(), b.groups.size());
-  for (const auto& [key, values] : a.groups) {
-    auto it = b.groups.find(key);
-    ASSERT_NE(it, b.groups.end());
-    ASSERT_EQ(values.size(), it->second.size());
-    for (size_t i = 0; i < values.size(); ++i) {
+void ExpectSameResults(const ResultSet& a, const ResultSet& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_value_columns(), b.num_value_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_key_columns(); ++c) {
+      EXPECT_EQ(a.key(r, c), b.key(r, c));
+    }
+    for (size_t c = 0; c < a.num_value_columns(); ++c) {
       // Bit-identical, not approximately equal.
-      EXPECT_EQ(values[i], it->second[i]);
+      EXPECT_EQ(a.value(r, c), b.value(r, c));
     }
   }
 }

@@ -8,7 +8,7 @@
 
 #include "datagen/setups.h"
 #include "metrics/metrics.h"
-#include "restore/engine.h"
+#include "restore/db.h"
 #include "restore/path_selection.h"
 
 namespace restore {
@@ -37,12 +37,12 @@ TEST_P(SetupSweep, TrainsCompletesAndCorrectsCardinality) {
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 301);
   ASSERT_TRUE(incomplete.ok()) << incomplete.status();
 
-  CompletionEngine engine(&*incomplete, AnnotationFor(*setup),
-                          SweepEngineConfig());
-  ASSERT_TRUE(engine.TrainModels().ok());
-  auto path = engine.SelectedPathFor(setup->removed_table);
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup),
+                     {SweepEngineConfig(), ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto path = (*db)->SelectedPathFor(setup->removed_table);
   ASSERT_TRUE(path.ok()) << path.status();
-  auto completion = engine.CompleteViaPath(*path);
+  auto completion = (*db)->CompleteViaPath(*path);
   ASSERT_TRUE(completion.ok()) << completion.status();
 
   // Synthesis happened and moves the cardinality toward the truth.

@@ -4,6 +4,8 @@
 // documented in src/nn/README.md — shard boundaries and accumulation orders
 // depend only on problem shapes, never on the thread count.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -170,13 +172,13 @@ Workload MakeWorkload(const Database& db) {
 
 /// Runs the whole workload on one session, alternating sync and async styles
 /// by `flavor`, and returns the results in workload order.
-std::vector<QueryResult> RunWorkload(const Session& session,
-                                     const Workload& workload, int flavor) {
-  std::vector<QueryResult> out;
+std::vector<ResultSet> RunWorkload(const Session& session,
+                                   const Workload& workload, int flavor) {
+  std::vector<ResultSet> out;
   for (size_t i = 0; i < workload.adhoc.size(); ++i) {
     if ((flavor + static_cast<int>(i)) % 2 == 0) {
-      QueryFuture f = session.ExecuteAsync(workload.adhoc[i]);
-      Result<QueryResult>& r = f.Get();
+      ResultSetFuture f = session.ExecuteAsync(workload.adhoc[i]);
+      Result<ResultSet>& r = f.Get();
       EXPECT_TRUE(r.ok()) << r.status();
       out.push_back(*r);
     } else {
@@ -190,12 +192,12 @@ std::vector<QueryResult> RunWorkload(const Session& session,
     EXPECT_TRUE(prepared.ok()) << prepared.status();
     const std::vector<Value> params{workload.prepared[i].second};
     if ((flavor + static_cast<int>(i)) % 2 == 0) {
-      QueryFuture f = prepared->ExecuteAsync(params);
-      Result<QueryResult>& r = f.Get();
+      ResultSetFuture f = prepared->RunAsync(params);
+      Result<ResultSet>& r = f.Get();
       EXPECT_TRUE(r.ok()) << r.status();
       out.push_back(*r);
     } else {
-      auto r = prepared->Execute(params);
+      auto r = prepared->Run(params);
       EXPECT_TRUE(r.ok()) << r.status();
       out.push_back(*r);
     }
@@ -213,7 +215,7 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
   ThreadPool::SetGlobalWidth(1);
   auto seq_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
   ASSERT_TRUE(seq_db.ok()) << seq_db.status();
-  const std::vector<QueryResult> baseline =
+  const std::vector<ResultSet> baseline =
       RunWorkload((*seq_db)->CreateSession(), workload, /*flavor=*/1);
   const size_t baseline_trained = (*seq_db)->models_trained();
   EXPECT_GT(baseline_trained, 0u);
@@ -224,7 +226,7 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
   auto conc_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
   ASSERT_TRUE(conc_db.ok()) << conc_db.status();
   constexpr int kClients = 4;
-  std::vector<std::vector<QueryResult>> per_client(kClients);
+  std::vector<std::vector<ResultSet>> per_client(kClients);
   {
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
@@ -241,7 +243,7 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
   for (int c = 0; c < kClients; ++c) {
     ASSERT_EQ(per_client[c].size(), baseline.size()) << "client " << c;
     for (size_t q = 0; q < baseline.size(); ++q) {
-      EXPECT_EQ(per_client[c][q].groups, baseline[q].groups)
+      EXPECT_EQ(per_client[c][q], baseline[q])
           << "client " << c << " query " << q;
     }
   }
@@ -321,7 +323,7 @@ TEST(DbConcurrencyTest, SingleHotPathHammerBitIdenticalWithoutMutex) {
 
   constexpr int kClients = 4;
   constexpr int kItersPerClient = 6;
-  std::vector<std::vector<QueryResult>> per_client(kClients);
+  std::vector<std::vector<ResultSet>> per_client(kClients);
   {
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
@@ -343,10 +345,114 @@ TEST(DbConcurrencyTest, SingleHotPathHammerBitIdenticalWithoutMutex) {
   for (int c = 0; c < kClients; ++c) {
     ASSERT_EQ(per_client[c].size(), static_cast<size_t>(kItersPerClient));
     for (int i = 0; i < kItersPerClient; ++i) {
-      EXPECT_EQ(per_client[c][i].groups, baseline->groups)
+      EXPECT_EQ(per_client[c][i], *baseline)
           << "client " << c << " iteration " << i;
     }
   }
+}
+
+// An UNCANCELLED run under full QueryOptions (cancellable token, far
+// deadline, generous budget) must be bit-identical to a run with no options
+// at all: the cooperative checks may not touch the sampling RNG.
+TEST(DbConcurrencyTest, UncancelledOptionsRunBitIdenticalToPlainRun) {
+  Database incomplete = MakeIncompleteSynthetic(/*seed=*/95);
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  EngineConfig config = FastDbConfig();
+  config.enable_cache = false;  // force model inference on every execution
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+
+  auto plain_db = Db::Open(&incomplete, annotation, {config, ""});
+  ASSERT_TRUE(plain_db.ok()) << plain_db.status();
+  auto plain = (*plain_db)->CreateSession().Execute(sql);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  auto opt_db = Db::Open(&incomplete, annotation, {config, ""});
+  ASSERT_TRUE(opt_db.ok()) << opt_db.status();
+  QueryOptions options;
+  options.cancel = CancellationToken::Cancellable();
+  options.WithTimeout(std::chrono::hours(1));
+  options.max_completed_rows = 1u << 30;
+  options.batch_rows = 3;
+  size_t checkpoints = 0;
+  options.progress = [&checkpoints](const ExecStats&) { ++checkpoints; };
+  auto with_options = (*opt_db)->CreateSession().Execute(sql, options);
+  ASSERT_TRUE(with_options.ok()) << with_options.status();
+
+  EXPECT_EQ(*with_options, *plain);
+  EXPECT_GT(checkpoints, 0u) << "the cooperative checks did run";
+}
+
+// The cancel hammer (run repeatedly under TSan by CI): 4 client threads
+// fire queries through ONE pre-trained Db while racing RequestCancel()
+// against the execution from a separate canceller thread per query. Every
+// outcome must be either the bit-identical answer or a clean
+// Status::Cancelled — and nothing may leak or race (ASan/TSan jobs).
+TEST(DbConcurrencyTest, CancelHammerYieldsAnswerOrCleanCancellation) {
+  Database incomplete = MakeIncompleteSynthetic(/*seed=*/93);
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  EngineConfig config = FastDbConfig();
+  config.enable_cache = false;  // every execution re-runs model inference
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+
+  ThreadPool::SetGlobalWidth(4);
+  auto db = Db::Open(&incomplete, annotation, {config, ""});
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // Pre-train on the main thread so the hammer only exercises inference.
+  auto baseline = (*db)->CreateSession().Execute(sql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  constexpr int kClients = 4;
+  constexpr int kItersPerClient = 8;
+  std::atomic<size_t> answered{0};
+  std::atomic<size_t> cancelled{0};
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Session session = (*db)->CreateSession();
+        for (int i = 0; i < kItersPerClient; ++i) {
+          QueryOptions options;
+          options.cancel = CancellationToken::Cancellable();
+          // Race a cancel against the execution; stagger the delay so some
+          // queries die early, some mid-flight, some not at all.
+          std::thread canceller([token = options.cancel, c, i] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50 * ((c + i) % 5)));
+            token.RequestCancel();
+          });
+          auto r = session.Execute(sql, options);
+          canceller.join();
+          if (r.ok()) {
+            EXPECT_EQ(*r, *baseline) << "client " << c << " iteration " << i;
+            answered.fetch_add(1);
+          } else {
+            EXPECT_TRUE(r.status().IsCancelled())
+                << "client " << c << " iteration " << i << ": "
+                << r.status();
+            cancelled.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  ThreadPool::SetGlobalWidth(0);
+
+  EXPECT_EQ(answered.load() + cancelled.load(),
+            static_cast<size_t>(kClients * kItersPerClient));
+  // The Db counted every hammer query exactly once, one way or the other.
+  const Db::Stats stats = (*db)->stats();
+  EXPECT_EQ(stats.queries_ok + stats.queries_cancelled,
+            static_cast<uint64_t>(kClients * kItersPerClient) + 1 /*baseline*/);
+  EXPECT_EQ(stats.queries_deadline_exceeded, 0u);
+  EXPECT_EQ(stats.queries_failed, 0u);
 }
 
 }  // namespace
