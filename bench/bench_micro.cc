@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 #include "bench/bench_util.h"
@@ -107,6 +108,89 @@ void BM_MadeSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MadeSample)->Arg(64)->Arg(512);
+
+// Sampling on a WIDE-output model (total_vocab = 1024 vs the active block's
+// 64-512): the column-sliced output layer pays for one attribute's logit
+// block per pass instead of the whole vocabulary, so this shape shows the
+// slicing win at its intended scale (≈ total_vocab / vocab(a) of the
+// out-layer work). Gated by check_bench_json.py.
+void BM_MadeSampleSliced(benchmark::State& state) {
+  Rng rng(6);
+  MadeConfig config;
+  config.vocab_sizes = {64, 256, 512, 128, 64};
+  config.embed_dim = 8;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+  IntMatrix codes(static_cast<size_t>(state.range(0)), 5, 0);
+  for (auto _ : state) {
+    made.SampleRange(&codes, Matrix(), 1, 5, rng);
+    benchmark::DoNotOptimize(codes.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MadeSampleSliced)->Arg(64)->Arg(512);
+
+// One attribute's sampling pass (trunk forward + sliced logits + softmax +
+// inverse-CDF pick) — the unit cost of the autoregressive completion loop,
+// per attribute index of the BM_MadeSample model.
+void BM_MadeSampleAttr(benchmark::State& state) {
+  Rng rng(8);
+  MadeConfig config;
+  config.vocab_sizes = {16, 16, 32, 8, 24};
+  config.embed_dim = 8;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+  const size_t attr = static_cast<size_t>(state.range(0));
+  IntMatrix codes(256, 5, 0);
+  for (auto _ : state) {
+    made.SampleRange(&codes, Matrix(), attr, attr + 1, rng);
+    benchmark::DoNotOptimize(codes.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MadeSampleAttr)->Arg(1)->Arg(4)->ArgName("attr");
+
+// One fused Adam step over a realistic parameter set (the BM_MadeForward/64
+// model, ~13.8k scalars): weight decay and both bias corrections fold into
+// per-step scalars, leaving one sqrt + one divide per element. Gradients
+// are refilled from a snapshot every iteration (~2% of the step): Step()
+// zeroes them, and pure-weight-decay iterations drive value/m/v into
+// DENORMAL floats whose ~100x-slower arithmetic would swamp the
+// measurement — real training always steps on fresh gradients.
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(9);
+  MadeConfig config;
+  config.vocab_sizes = {16, 16, 32, 8, 24};
+  config.embed_dim = 8;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  MadeModel made(config, rng);
+  std::vector<Param*> params;
+  made.CollectParams(&params);
+  size_t total = 0;
+  std::vector<std::vector<float>> grad_snapshot;
+  for (Param* p : params) {
+    std::vector<float> g(p->grad.size());
+    for (auto& x : g) x = static_cast<float>(rng.NextGaussian(0.0, 0.01));
+    grad_snapshot.push_back(std::move(g));
+    total += p->value.size();
+  }
+  AdamOptions options;
+  options.weight_decay = 0.01f;  // keep the decay term live
+  AdamOptimizer adam(params, options);
+  for (auto _ : state) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::memcpy(params[i]->grad.data(), grad_snapshot[i].data(),
+                  grad_snapshot[i].size() * sizeof(float));
+    }
+    adam.Step();
+    benchmark::DoNotOptimize(params[0]->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(total));
+}
+BENCHMARK(BM_AdamStep);
 
 // ---- Concurrent inference over ONE shared model -----------------------------
 //
@@ -253,6 +337,7 @@ void BM_DbQps(benchmark::State& state) {
       static_cast<double>(last_stats.cache_misses);
   state.counters["stats_arenas_leased"] =
       static_cast<double>(last_stats.arenas_leased);
+  state.counters["stats_selection_seconds"] = last_stats.selection_seconds;
   state.counters["stats_sample_seconds"] = last_stats.sample_seconds;
   state.counters["stats_aggregate_seconds"] = last_stats.aggregate_seconds;
 }

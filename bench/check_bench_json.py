@@ -45,6 +45,7 @@ import sys
 DEFAULT_METRICS = [
     "BM_MadeForward/256",
     "BM_MadeSample/512",
+    "BM_MadeSampleSliced/512",
     "BM_ConcurrentInference",
     "BM_DbQps",
 ]

@@ -63,9 +63,16 @@ enum class CachePolicy {
 struct ExecStats {
   double parse_seconds = 0.0;  // SQL -> Query (0 for prepared queries)
   double plan_seconds = 0.0;   // validation + column qualification
+  /// Completion-path selection: ranking candidate paths for the query's
+  /// incomplete tables, including the first-touch probe training behind the
+  /// shared selection latch (near-zero once the selection is cached).
+  /// Reported on its own so a selection-dominated query is visible instead
+  /// of inflating sample_seconds.
+  double selection_seconds = 0.0;
   /// Data production: completion-model sampling + completed-join build for
-  /// Db execution; for the classical (no-completion) executor this is the
-  /// plain base-table join time.
+  /// Db execution (EXCLUDING path selection, see selection_seconds); for
+  /// the classical (no-completion) executor this is the plain base-table
+  /// join time.
   double sample_seconds = 0.0;
   double aggregate_seconds = 0.0;  // filter + grouped aggregation
   uint64_t tuples_completed = 0;   // synthesized tuples this query caused

@@ -35,6 +35,17 @@ void AdamOptimizer::Step() {
   const float lr = options_.learning_rate;
   const float wd = options_.weight_decay;
   const float eps = options_.epsilon;
+  // Fused update: both bias corrections fold into per-step scalars —
+  //   value -= (lr/bias1) * m / (sqrt(v) * rsqrt(bias2) + eps)
+  // is algebraically m_hat/( sqrt(v_hat) + eps ) with the two per-element
+  // divisions (m/bias1, v/bias2) hoisted out of the loop, leaving one mul,
+  // one sqrt, and one divide per element next to the moment updates. The
+  // weight-decay fold (g = grad + wd*value) stays in the same pass, so one
+  // sweep over the slice reads and writes every tensor exactly once.
+  const float step_size = lr / bias1;
+  const float inv_sqrt_bias2 = 1.0f / std::sqrt(bias2);
+  const float c1 = 1.0f - b1;
+  const float c2 = 1.0f - b2;
   ParallelFor(0, slices_.size(), 1, [&](size_t s_lo, size_t s_hi) {
     for (size_t s = s_lo; s < s_hi; ++s) {
       const Slice& slice = slices_[s];
@@ -45,11 +56,9 @@ void AdamOptimizer::Step() {
       float* __restrict__ v = v_[slice.param].data();
       for (size_t k = slice.begin; k < slice.end; ++k) {
         const float g = grad[k] + wd * value[k];
-        m[k] = b1 * m[k] + (1.0f - b1) * g;
-        v[k] = b2 * v[k] + (1.0f - b2) * g * g;
-        const float m_hat = m[k] / bias1;
-        const float v_hat = v[k] / bias2;
-        value[k] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+        m[k] = b1 * m[k] + c1 * g;
+        v[k] = b2 * v[k] + c2 * g * g;
+        value[k] -= step_size * m[k] / (std::sqrt(v[k]) * inv_sqrt_bias2 + eps);
         grad[k] = 0.0f;
       }
     }

@@ -25,6 +25,9 @@ class EmbeddingSet {
   int vocab_size(size_t attr) const {
     return static_cast<int>(tables_[attr].value.rows());
   }
+  /// Read-only view of one attribute's [V_i x embed_dim] table; used by the
+  /// incremental-sampling delta path to diff two codes' embeddings.
+  const Matrix& table_value(size_t attr) const { return tables_[attr].value; }
 
   /// Embeds `codes` ([batch x n_attrs]) into `out`
   /// ([batch x n_attrs*embed_dim]). Codes must be in range per attribute.
@@ -34,6 +37,15 @@ class EmbeddingSet {
   /// Reentrant inference gather: touches no member state, so any number of
   /// threads may embed batches through one table set concurrently.
   void ForwardInference(const IntMatrix& codes, Matrix* out) const;
+
+  /// Re-gathers ONLY attribute `attr`'s embedding block into an already
+  /// embedded batch. `out` must hold the embedding of `codes` with at most
+  /// column `attr` changed since it was produced — then the result is
+  /// byte-identical to a full ForwardInference (pure copy, no arithmetic).
+  /// The sampling loop uses this between consecutive attributes, where
+  /// exactly one column changes.
+  void ForwardInferenceColumn(const IntMatrix& codes, size_t attr,
+                              Matrix* out) const;
 
   /// Scatter-adds `dout` into the embedding-table gradients (uses the codes
   /// from the last Forward call).

@@ -26,14 +26,19 @@ void Dense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
 }
 
 void Dense::ForwardInference(const Matrix& x, Matrix* y) const {
-  MatMul(x, w_.value, y);
-  AddBiasRows(b_.value, y);
+  MatMulFused(x, w_.value, &b_.value, /*relu=*/false, /*residual=*/nullptr,
+              y);
+}
+
+void Dense::ForwardInferenceSlice(const Matrix& x, size_t col_begin,
+                                  size_t col_end, Matrix* y) const {
+  MatMulColsSliceBias(x, w_.value, b_.value, col_begin, col_end, y);
 }
 
 void Dense::Backward(const Matrix& dy, Matrix* dx) {
   MatMulTransAAccum(x_cache_, dy, &w_.grad);
   AccumBiasGrad(dy, &b_.grad);
-  MatMulTransB(dy, w_.value, dx);
+  MatMulTransB(dy, w_.value, dx, &pack_scratch_);
 }
 
 void Dense::BackwardNoInputGrad(const Matrix& dy) {
@@ -64,13 +69,26 @@ void MaskedDense::Forward(const Matrix& x, Matrix* y, bool cache_input) {
 
 void MaskedDense::ForwardInference(const Matrix& x, Matrix* y) const {
   assert(masked_w_.rows() == mask_.rows() && masked_w_.cols() == mask_.cols());
-  MatMul(x, masked_w_, y);
-  AddBiasRows(b_.value, y);
+  MatMulFused(x, masked_w_, &b_.value, /*relu=*/false, /*residual=*/nullptr,
+              y);
+}
+
+void MaskedDense::ForwardInferenceFused(const Matrix& x, bool relu,
+                                        const Matrix* residual,
+                                        Matrix* y) const {
+  assert(masked_w_.rows() == mask_.rows() && masked_w_.cols() == mask_.cols());
+  MatMulFused(x, masked_w_, &b_.value, relu, residual, y);
+}
+
+void MaskedDense::ForwardInferenceSlice(const Matrix& x, size_t col_begin,
+                                        size_t col_end, Matrix* y) const {
+  assert(masked_w_.rows() == mask_.rows() && masked_w_.cols() == mask_.cols());
+  MatMulColsSliceBias(x, masked_w_, b_.value, col_begin, col_end, y);
 }
 
 void MaskedDense::Backward(const Matrix& dy, Matrix* dx) {
   BackwardNoInputGrad(dy);
-  MatMulTransB(dy, masked_w_, dx);
+  MatMulTransB(dy, masked_w_, dx, &pack_scratch_);
 }
 
 void MaskedDense::BackwardNoInputGrad(const Matrix& dy) {

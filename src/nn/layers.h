@@ -42,6 +42,13 @@ class Dense {
   /// Reentrant inference forward: touches no member state, so any number of
   /// threads may call it concurrently on one layer.
   void ForwardInference(const Matrix& x, Matrix* y) const;
+  /// Column-sliced reentrant inference forward: resizes y to
+  /// [batch x out_dim] but computes ONLY columns [col_begin, col_end) — each
+  /// bit-identical to the full ForwardInference (see MatMulColsSlice). The
+  /// sampling output layer uses this to pay for one attribute's logit block
+  /// instead of the whole vocabulary.
+  void ForwardInferenceSlice(const Matrix& x, size_t col_begin,
+                             size_t col_end, Matrix* y) const;
   /// Accumulates dW, db; writes dx (same shape as the cached x).
   void Backward(const Matrix& dy, Matrix* dx);
   /// Backward variant that skips computing dx (for the first layer).
@@ -62,6 +69,7 @@ class Dense {
   Param w_;  // [in x out]
   Param b_;  // [1 x out]
   Matrix x_cache_;
+  Matrix pack_scratch_;  // packed W^T tile for the backward dx GEMM
 };
 
 /// Fully-connected layer with a fixed binary connectivity mask on the weight
@@ -79,6 +87,17 @@ class MaskedDense {
   /// training Forward refreshes it as a side effect); touches no member
   /// state itself, so concurrent calls on one layer are safe.
   void ForwardInference(const Matrix& x, Matrix* y) const;
+  /// Column-sliced reentrant inference forward (see Dense); operates on the
+  /// frozen effective weight, so the same RefreshMaskedWeights contract
+  /// applies.
+  void ForwardInferenceSlice(const Matrix& x, size_t col_begin,
+                             size_t col_end, Matrix* y) const;
+  /// Fused reentrant inference forward: y = relu(x (W*M) + b) [+ residual],
+  /// the whole epilogue applied in the kernel store phase. Bit-identical to
+  /// ForwardInference + ReluInPlace + AddInPlace (see MatMulFused); the MADE
+  /// hidden trunk uses it to skip three activation sweeps per layer.
+  void ForwardInferenceFused(const Matrix& x, bool relu,
+                             const Matrix* residual, Matrix* y) const;
   void Backward(const Matrix& dy, Matrix* dx);
   void BackwardNoInputGrad(const Matrix& dy);
 
@@ -97,6 +116,12 @@ class MaskedDense {
   size_t in_dim() const { return mask_.rows(); }
   size_t out_dim() const { return mask_.cols(); }
 
+  /// The frozen effective weight (W * M) read by the inference paths. Valid
+  /// after RefreshMaskedWeights(); exposed for the incremental-sampling
+  /// delta update, which multiplies an embedding delta against a row block
+  /// of these weights.
+  const Matrix& masked_weights() const { return masked_w_; }
+
  private:
 
   Param w_;
@@ -105,6 +130,7 @@ class MaskedDense {
   Matrix masked_w_;   // W * M, refreshed on every training Forward
   Matrix dw_scratch_;  // unmasked x^T dy, reused across Backward calls
   Matrix x_cache_;
+  Matrix pack_scratch_;  // packed (W*M)^T tile for the backward dx GEMM
 };
 
 }  // namespace restore

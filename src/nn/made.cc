@@ -160,28 +160,35 @@ void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
   }
 }
 
-// Mirrors the training Forward op for op (same kernels over the same masked
-// weights, so logits are bit-identical), but every buffer it writes lives in
-// `scratch` and every layer call is the const inference path.
-void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
-                        Matrix* logits, MadeScratch* scratch) const {
-  assert(codes.cols() == num_attrs());
-  assert(!has_context_ || (context.rows() == codes.rows() &&
-                           context.cols() == config_.context_dim));
-  embed_.ForwardInference(codes, &scratch->x0);
-  if (scratch->relu.size() != config_.num_layers) {
-    scratch->relu.assign(config_.num_layers, Matrix());
-    scratch->h.assign(config_.num_layers, Matrix());
-  }
-
-  const Matrix* prev = &scratch->x0;
-  for (size_t l = 0; l < config_.num_layers; ++l) {
+const Matrix* MadeModel::ForwardHiddenFrom(const Matrix* prev,
+                                           size_t start_layer,
+                                           const Matrix& context,
+                                           MadeScratch* scratch) const {
+  for (size_t l = start_layer; l < config_.num_layers; ++l) {
+    if (!has_context_) {
+      // Fused epilogue: relu(gemm + bias) [+ residual] applied in the
+      // kernel's store phase — bit-identical to the separate passes below
+      // (see MatMulFused), minus three activation sweeps per layer. The
+      // residual of layer l is its own input, so `prev` doubles as both.
+      if (l == 0) {
+        hidden_[0].ForwardInferenceFused(*prev, /*relu=*/true,
+                                         /*residual=*/nullptr,
+                                         &scratch->relu[0]);
+        prev = &scratch->relu[0];
+      } else {
+        hidden_[l].ForwardInferenceFused(*prev, /*relu=*/true,
+                                         /*residual=*/prev, &scratch->h[l]);
+        prev = &scratch->h[l];
+      }
+      continue;
+    }
+    // Conditional models interleave the context projection between the GEMM
+    // and the relu, so the epilogue cannot fuse past the bias; keep the
+    // original op sequence.
     Matrix& z = scratch->relu[l];
     hidden_[l].ForwardInference(*prev, &z);
-    if (has_context_) {
-      ctx_hidden_[l].ForwardInference(context, &scratch->ctx);
-      AddInPlace(scratch->ctx, &z);
-    }
+    ctx_hidden_[l].ForwardInference(context, &scratch->ctx);
+    AddInPlace(scratch->ctx, &z);
     ReluInPlace(&z);
     if (l == 0) {
       prev = &scratch->relu[0];
@@ -192,11 +199,120 @@ void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
       prev = &scratch->h[l];
     }
   }
+  return prev;
+}
+
+const Matrix* MadeModel::ForwardTrunk(const IntMatrix& codes,
+                                      const Matrix& context,
+                                      MadeScratch* scratch,
+                                      int changed_attr) const {
+  assert(codes.cols() == num_attrs());
+  assert(!has_context_ || (context.rows() == codes.rows() &&
+                           context.cols() == config_.context_dim));
+  if (changed_attr >= 0 && scratch->x0.rows() == codes.rows() &&
+      scratch->x0.cols() == embed_.output_dim()) {
+    // Within one SampleRange loop only the just-sampled attribute's column
+    // changed, so only its embedding block needs re-gathering — a pure copy,
+    // byte-identical to the full gather.
+    embed_.ForwardInferenceColumn(codes, static_cast<size_t>(changed_attr),
+                                  &scratch->x0);
+  } else {
+    embed_.ForwardInference(codes, &scratch->x0);
+  }
+  if (scratch->relu.size() != config_.num_layers) {
+    scratch->relu.assign(config_.num_layers, Matrix());
+    scratch->h.assign(config_.num_layers, Matrix());
+  }
+  return ForwardHiddenFrom(&scratch->x0, 0, context, scratch);
+}
+
+// Mirrors the training Forward op for op (same kernels over the same masked
+// weights, so logits are bit-identical), but every buffer it writes lives in
+// `scratch` and every layer call is the const inference path.
+void MadeModel::Forward(const IntMatrix& codes, const Matrix& context,
+                        Matrix* logits, MadeScratch* scratch) const {
+  const Matrix* prev = ForwardTrunk(codes, context, scratch);
   out_.ForwardInference(*prev, logits);
   if (has_context_) {
     ctx_out_.ForwardInference(context, &scratch->ctx_out);
     AddInPlace(scratch->ctx_out, logits);
   }
+}
+
+// Shared output stage of the sliced paths: attribute `attr`'s logit block
+// from the final hidden activation, plus the context projection's slice.
+void MadeModel::EmitLogitsSlice(const Matrix& hidden, const Matrix& context,
+                                size_t attr, Matrix* logits,
+                                MadeScratch* scratch) const {
+  const size_t begin = offsets_[attr];
+  const size_t end = offsets_[attr + 1];
+  out_.ForwardInferenceSlice(hidden, begin, end, logits);
+  if (has_context_) {
+    ctx_out_.ForwardInferenceSlice(context, begin, end, &scratch->ctx_out);
+    AddInPlaceCols(scratch->ctx_out, begin, end, logits);
+  }
+}
+
+// The sampling fast path: the hidden trunk runs in full (its activations
+// feed every later attribute), but the output layer computes only the
+// active attribute's logit block — column-sliced kernels over the same
+// frozen weights produce bit-identical values (see MatMulColsSlice), so
+// this IS the default and the determinism suites keep pinning it.
+void MadeModel::ForwardLogitsSlice(const IntMatrix& codes,
+                                   const Matrix& context, size_t attr,
+                                   int changed_attr, Matrix* logits,
+                                   MadeScratch* scratch) const {
+  const Matrix* prev = ForwardTrunk(codes, context, scratch, changed_attr);
+  EmitLogitsSlice(*prev, context, attr, logits, scratch);
+}
+
+void MadeModel::ForwardLogitsSliceIncremental(const IntMatrix& codes,
+                                              const Matrix& context,
+                                              size_t attr, int changed_attr,
+                                              Matrix* logits,
+                                              MadeScratch* scratch) const {
+  assert(codes.cols() == num_attrs());
+  if (scratch->relu.size() != config_.num_layers) {
+    scratch->relu.assign(config_.num_layers, Matrix());
+    scratch->h.assign(config_.num_layers, Matrix());
+  }
+  if (changed_attr < 0) {
+    // Cold start: full embed + first layer, capturing the pre-activation.
+    embed_.ForwardInference(codes, &scratch->x0);
+    hidden_[0].ForwardInferenceFused(scratch->x0, /*relu=*/false,
+                                     /*residual=*/nullptr, &scratch->z1_lin);
+    if (has_context_) {
+      ctx_hidden_[0].ForwardInference(context, &scratch->ctx);
+      AddInPlace(scratch->ctx, &scratch->z1_lin);
+    }
+  } else {
+    // Only `changed_attr`'s embedding block of x0 differs from the codes
+    // z1_lin was computed for: diff the embeddings, patch x0 in place, and
+    // push the delta through that block's rows of the masked weights.
+    const size_t batch = codes.rows();
+    const size_t embed_dim = config_.embed_dim;
+    const Matrix& table = embed_.table_value(static_cast<size_t>(changed_attr));
+    const size_t block = static_cast<size_t>(changed_attr) * embed_dim;
+    Matrix& delta = scratch->delta_embed;
+    delta.Resize(batch, embed_dim);
+    for (size_t r = 0; r < batch; ++r) {
+      const float* e_new =
+          table.row(static_cast<size_t>(codes.at(r, changed_attr)));
+      float* x0_block = scratch->x0.row(r) + block;
+      float* drow = delta.row(r);
+      for (size_t e = 0; e < embed_dim; ++e) {
+        drow[e] = e_new[e] - x0_block[e];
+        x0_block[e] = e_new[e];
+      }
+    }
+    MatMulRowsAccum(delta, hidden_[0].masked_weights(), block,
+                    &scratch->z1_lin);
+  }
+  // relu(z1_lin) into the layer-0 slot, keeping z1_lin for the next delta.
+  ReluInto(scratch->z1_lin, &scratch->relu[0]);
+  const Matrix* prev =
+      ForwardHiddenFrom(&scratch->relu[0], 1, context, scratch);
+  EmitLogitsSlice(*prev, context, attr, logits, scratch);
 }
 
 void MadeModel::FinalizeForInference() {
@@ -352,9 +468,22 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
   const size_t batch = codes->rows();
   Matrix& logits = scratch->logits;
   std::vector<double>& sample_u = scratch->u;
+  // Default path: column-sliced output layer, bit-identical to the full
+  // Forward (only the active block of `logits` is written each attribute;
+  // the softmax below never reads outside it). The opt-in incremental path
+  // additionally carries the first hidden layer across attributes via
+  // embedding deltas — tolerance-equivalent, never default.
+  const bool incremental = config_.incremental_sampling;
+  int changed_attr = -1;
   for (size_t a = first_attr; a < end_attr; ++a) {
     if (should_stop && should_stop()) return;
-    Forward(*codes, context, &logits, scratch);
+    if (incremental) {
+      ForwardLogitsSliceIncremental(*codes, context, a, changed_attr,
+                                    &logits, scratch);
+    } else {
+      ForwardLogitsSlice(*codes, context, a, changed_attr, &logits, scratch);
+    }
+    changed_attr = static_cast<int>(a);
     const size_t begin = offsets_[a];
     const size_t vocab = static_cast<size_t>(vocab_size(a));
     const bool record = record_attr >= 0 &&
@@ -371,27 +500,38 @@ void MadeModel::SampleRange(IntMatrix* codes, const Matrix& context,
     ParallelFor(0, batch, LossRowGrain(vocab), [&](size_t lo, size_t hi) {
       for (size_t r = lo; r < hi; ++r) {
         float* probs = logits.row(r) + begin;
-        float max_v = probs[0];
-        for (size_t c = 0; c < vocab; ++c) max_v = std::max(max_v, probs[c]);
+        const float max_v = RowMax(probs, vocab);
         float sum = 0.0f;
         for (size_t c = 0; c < vocab; ++c) {
           probs[c] = std::exp(probs[c] - max_v);
           sum += probs[c];
         }
         const float inv = 1.0f / sum;
-        for (size_t c = 0; c < vocab; ++c) probs[c] *= inv;
-        if (record) {
-          float* dst = recorded->row(r);
-          for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
-        }
         const double u = sample_u[r];
         double acc = 0.0;
         int32_t pick = static_cast<int32_t>(vocab) - 1;
-        for (size_t c = 0; c < vocab; ++c) {
-          acc += probs[c];
-          if (u < acc) {
-            pick = static_cast<int32_t>(c);
-            break;
+        if (record) {
+          for (size_t c = 0; c < vocab; ++c) probs[c] *= inv;
+          float* dst = recorded->row(r);
+          for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
+          for (size_t c = 0; c < vocab; ++c) {
+            acc += probs[c];
+            if (u < acc) {
+              pick = static_cast<int32_t>(c);
+              break;
+            }
+          }
+        } else {
+          // Early-exit CDF over the unstored normalized terms: probs[c]*inv
+          // is float-rounded before the double add, exactly like reading a
+          // stored normalized value back — the pick is bit-identical, but
+          // the normalize+store pass only runs when a recording needs it.
+          for (size_t c = 0; c < vocab; ++c) {
+            acc += static_cast<double>(probs[c] * inv);
+            if (u < acc) {
+              pick = static_cast<int32_t>(c);
+              break;
+            }
           }
         }
         codes->at(r, a) = pick;
@@ -412,7 +552,10 @@ void MadeModel::PredictDistribution(const IntMatrix& codes,
                                     Matrix* probs,
                                     MadeScratch* scratch) const {
   Matrix& logits = scratch->logits;
-  Forward(codes, context, &logits, scratch);
+  // Only this attribute's logit block is consumed, so only it is computed
+  // (bit-identical to slicing a full Forward).
+  ForwardLogitsSlice(codes, context, attr, /*changed_attr=*/-1, &logits,
+                     scratch);
   SoftmaxSlice(&logits, offsets_[attr], offsets_[attr + 1]);
   const size_t vocab = static_cast<size_t>(vocab_size(attr));
   probs->Resize(codes.rows(), vocab);

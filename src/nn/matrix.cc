@@ -23,7 +23,9 @@ namespace {
 
 namespace generic {
 #define RESTORE_GEMM_TARGET
+#define RESTORE_GEMM_HAVE_FMA 0
 #include "nn/gemm_kernels.inc"
+#undef RESTORE_GEMM_HAVE_FMA
 #undef RESTORE_GEMM_TARGET
 }  // namespace generic
 
@@ -31,30 +33,57 @@ namespace generic {
 #define RESTORE_HAVE_AVX2_VARIANT 1
 namespace avx2 {
 #define RESTORE_GEMM_TARGET __attribute__((target("avx2,fma")))
+#define RESTORE_GEMM_HAVE_FMA 1
 #include "nn/gemm_kernels.inc"
+#undef RESTORE_GEMM_HAVE_FMA
 #undef RESTORE_GEMM_TARGET
 }  // namespace avx2
 #endif
 
 using MatMulRowsFn = void (*)(const float*, const float*, float*, size_t,
                               size_t, size_t, size_t);
+using MatMulRowsEpiFn = void (*)(const float*, const float*, float*, size_t,
+                                 size_t, size_t, size_t, const float*,
+                                 const float*, int);
+using TransBRowsFn = void (*)(const float*, const float*, float*, size_t,
+                              size_t, size_t, size_t);
+using ColsSliceRowsFn = void (*)(const float*, const float*, float*, size_t,
+                                 size_t, size_t, size_t, size_t, size_t);
+using ColsSliceEpiFn = void (*)(const float*, const float*, float*, size_t,
+                                size_t, size_t, size_t, size_t, size_t,
+                                const float*, const float*, int);
 using TransAAccumRowsFn = void (*)(const float*, const float*, float*, size_t,
                                    size_t, size_t, size_t, size_t);
+using RowsAccumFn = void (*)(const float*, const float*, float*, size_t,
+                             size_t, size_t, size_t, size_t);
+using RowMaxFn = float (*)(const float*, size_t);
 
 struct KernelTable {
   MatMulRowsFn matmul_rows;
-  MatMulRowsFn matmul_transb_rows;
+  MatMulRowsEpiFn matmul_rows_epi;
+  TransBRowsFn matmul_transb_rows;
+  ColsSliceRowsFn matmul_cols_slice_rows;
+  ColsSliceEpiFn matmul_cols_slice_epi;
   TransAAccumRowsFn matmul_transa_accum_rows;
+  RowsAccumFn matmul_rows_accum;
+  RowMaxFn row_max;
 };
 
 const KernelTable& Kernels() {
   static const KernelTable table = [] {
-    KernelTable t{generic::MatMulRowsKernel, generic::MatMulTransBRowsKernel,
-                  generic::MatMulTransAAccumRowsKernel};
+    KernelTable t{generic::MatMulRowsKernel, generic::MatMulRowsEpiKernel,
+                  generic::MatMulTransBRowsKernel,
+                  generic::MatMulColsSliceRowsKernel,
+                  generic::MatMulColsSliceEpiKernel,
+                  generic::MatMulTransAAccumRowsKernel,
+                  generic::MatMulRowsAccumKernel, generic::RowMaxKernel};
 #ifdef RESTORE_HAVE_AVX2_VARIANT
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      t = {avx2::MatMulRowsKernel, avx2::MatMulTransBRowsKernel,
-           avx2::MatMulTransAAccumRowsKernel};
+      t = {avx2::MatMulRowsKernel, avx2::MatMulRowsEpiKernel,
+           avx2::MatMulTransBRowsKernel, avx2::MatMulColsSliceRowsKernel,
+           avx2::MatMulColsSliceEpiKernel,
+           avx2::MatMulTransAAccumRowsKernel, avx2::MatMulRowsAccumKernel,
+           avx2::RowMaxKernel};
     }
 #endif
     return t;
@@ -79,7 +108,11 @@ size_t RowGrain(size_t rows, size_t flops_per_row) {
 
 }  // namespace
 
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+namespace {
+
+// Shared driver of MatMul and its fused-epilogue variant.
+void MatMulImpl(const Matrix& a, const Matrix& b, const float* bias,
+                bool relu, const float* residual, Matrix* out) {
   assert(a.cols() == b.rows());
   out->Resize(a.rows(), b.cols());
   const size_t m = a.rows();
@@ -87,20 +120,158 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t n = b.cols();
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    out->Fill(0.0f);
+    // Degenerate GEMM (empty inner dim): the product is all zeros, but the
+    // epilogue still applies — relu(0 + bias) + residual per element, same
+    // as the separate-pass sequence the fused contract promises.
+    for (size_t r = 0; r < m; ++r) {
+      float* row = out->row(r);
+      for (size_t c = 0; c < n; ++c) {
+        float v = bias == nullptr ? 0.0f : 0.0f + bias[c];
+        if (relu) v = (0.0f < v) ? v : 0.0f;
+        if (residual != nullptr) v += residual[r * n + c];
+        row[c] = v;
+      }
+    }
     return;
   }
-  const auto fn = Kernels().matmul_rows;
+  if (bias == nullptr && residual == nullptr && !relu) {
+    // Pure GEMM: the dedicated plain kernel keeps the epilogue pointers out
+    // of the register allocation entirely.
+    const auto fn = Kernels().matmul_rows;
+    if (m * n * k < kMinParallelFlops) {
+      fn(a.data(), b.data(), out->data(), 0, m, k, n);
+      return;
+    }
+    ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
+      fn(a.data(), b.data(), out->data(), lo, hi, k, n);
+    });
+    return;
+  }
+  const auto fn = Kernels().matmul_rows_epi;
+  const int relu_flag = relu ? 1 : 0;
   if (m * n * k < kMinParallelFlops) {
-    fn(a.data(), b.data(), out->data(), 0, m, k, n);
+    fn(a.data(), b.data(), out->data(), 0, m, k, n, bias, residual,
+       relu_flag);
     return;
   }
   ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
-    fn(a.data(), b.data(), out->data(), lo, hi, k, n);
+    fn(a.data(), b.data(), out->data(), lo, hi, k, n, bias, residual,
+       relu_flag);
   });
 }
 
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  MatMulImpl(a, b, nullptr, false, nullptr, out);
+}
+
+void MatMulFused(const Matrix& a, const Matrix& b, const Matrix* bias,
+                 bool relu, const Matrix* residual, Matrix* out) {
+  assert(bias == nullptr ||
+         (bias->rows() == 1 && bias->cols() == b.cols()));
+  assert(residual == nullptr ||
+         (residual->rows() == a.rows() && residual->cols() == b.cols()));
+  assert(residual != out);
+  MatMulImpl(a, b, bias == nullptr ? nullptr : bias->data(), relu,
+             residual == nullptr ? nullptr : residual->data(), out);
+}
+
+namespace {
+
+void MatMulColsSliceImpl(const Matrix& a, const Matrix& b, const float* bias,
+                         size_t col_begin, size_t col_end, Matrix* out) {
+  assert(a.cols() == b.rows());
+  assert(col_begin <= col_end && col_end <= b.cols());
+  out->Resize(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  const size_t w = col_end - col_begin;
+  if (m == 0 || w == 0) return;
+  if (k == 0) {
+    for (size_t r = 0; r < m; ++r) {
+      float* row = out->row(r);
+      for (size_t c = col_begin; c < col_end; ++c) {
+        row[c] = bias == nullptr ? 0.0f : 0.0f + bias[c];
+      }
+    }
+    return;
+  }
+  if (bias == nullptr) {
+    const auto fn = Kernels().matmul_cols_slice_rows;
+    if (m * w * k < kMinParallelFlops) {
+      fn(a.data(), b.data(), out->data(), 0, m, k, n, col_begin, col_end);
+      return;
+    }
+    ParallelFor(0, m, RowGrain(m, w * k), [&](size_t lo, size_t hi) {
+      fn(a.data(), b.data(), out->data(), lo, hi, k, n, col_begin, col_end);
+    });
+    return;
+  }
+  const auto fn = Kernels().matmul_cols_slice_epi;
+  if (m * w * k < kMinParallelFlops) {
+    fn(a.data(), b.data(), out->data(), 0, m, k, n, col_begin, col_end, bias,
+       nullptr, 0);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m, w * k), [&](size_t lo, size_t hi) {
+    fn(a.data(), b.data(), out->data(), lo, hi, k, n, col_begin, col_end,
+       bias, nullptr, 0);
+  });
+}
+
+}  // namespace
+
+void MatMulColsSlice(const Matrix& a, const Matrix& b, size_t col_begin,
+                     size_t col_end, Matrix* out) {
+  MatMulColsSliceImpl(a, b, nullptr, col_begin, col_end, out);
+}
+
+void MatMulColsSliceBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                         size_t col_begin, size_t col_end, Matrix* out) {
+  assert(bias.rows() == 1 && bias.cols() == b.cols());
+  MatMulColsSliceImpl(a, b, bias.data(), col_begin, col_end, out);
+}
+
+namespace {
+
+// Pack b [n x k] into bt [k x n] (the MatMul-friendly layout). A pure
+// permutation — no FP arithmetic — so any sharding is trivially
+// deterministic. Row/column tiles keep one of the two sides cache-resident.
+void TransposeInto(const Matrix& b, Matrix* bt) {
+  const size_t rows = b.rows();
+  const size_t cols = b.cols();
+  bt->Resize(cols, rows);
+  constexpr size_t kTile = 64;
+  const size_t grain = std::max<size_t>(kTile, 4096 / (rows ? rows : 1));
+  ParallelFor(0, cols, grain, [&](size_t lo, size_t hi) {
+    for (size_t i0 = 0; i0 < rows; i0 += kTile) {
+      const size_t i1 = std::min(rows, i0 + kTile);
+      for (size_t j = lo; j < hi; ++j) {
+        float* RESTORE_RESTRICT dst = bt->row(j);
+        for (size_t i = i0; i < i1; ++i) dst[i] = b.at(i, j);
+      }
+    }
+  });
+}
+
+// Packing costs O(n*k) strided moves and pays back ~half the GEMM time, so
+// it needs enough output rows reusing the packed tile to amortize. Shape-
+// only decision: a given problem shape always takes the same path.
+bool ShouldPackTransB(size_t m, size_t k, size_t n) {
+  return m >= 16 && k >= 8 && n >= 4;
+}
+
+}  // namespace
+
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  thread_local Matrix pack_scratch;
+  MatMulTransB(a, b, out, &pack_scratch);
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                  Matrix* pack_scratch) {
   assert(a.cols() == b.cols());
   out->Resize(a.rows(), b.rows());
   const size_t m = a.rows();
@@ -111,6 +282,18 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
     out->Fill(0.0f);
     return;
   }
+  if (pack_scratch != nullptr && ShouldPackTransB(m, k, n)) {
+    TransposeInto(b, pack_scratch);
+    const auto fn = Kernels().matmul_rows;
+    if (m * n * k < kMinParallelFlops) {
+      fn(a.data(), pack_scratch->data(), out->data(), 0, m, k, n);
+      return;
+    }
+    ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
+      fn(a.data(), pack_scratch->data(), out->data(), lo, hi, k, n);
+    });
+    return;
+  }
   const auto fn = Kernels().matmul_transb_rows;
   if (m * n * k < kMinParallelFlops) {
     fn(a.data(), b.data(), out->data(), 0, m, k, n);
@@ -118,6 +301,26 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   }
   ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
     fn(a.data(), b.data(), out->data(), lo, hi, k, n);
+  });
+}
+
+void MatMulRowsAccum(const Matrix& a, const Matrix& b, size_t b_row_begin,
+                     Matrix* out) {
+  assert(b_row_begin + a.cols() <= b.rows());
+  assert(out->rows() == a.rows() && out->cols() == b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return;
+  // Rank-1 updates per output row; rows are independent, so output-row
+  // sharding is deterministic.
+  const auto fn = Kernels().matmul_rows_accum;
+  if (m * n * k < kMinParallelFlops) {
+    fn(a.data(), b.data(), out->data(), 0, m, k, n, b_row_begin);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m, n * k), [&](size_t lo, size_t hi) {
+    fn(a.data(), b.data(), out->data(), lo, hi, k, n, b_row_begin);
   });
 }
 
@@ -165,6 +368,29 @@ void AddInPlace(const Matrix& x, Matrix* y) {
   float* RESTORE_RESTRICT yd = y->data();
   const float* RESTORE_RESTRICT xd = x.data();
   for (size_t i = 0; i < x.size(); ++i) yd[i] += xd[i];
+}
+
+void AddInPlaceCols(const Matrix& x, size_t col_begin, size_t col_end,
+                    Matrix* y) {
+  assert(x.rows() == y->rows() && x.cols() == y->cols());
+  assert(col_begin <= col_end && col_end <= x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* RESTORE_RESTRICT xrow = x.row(r);
+    float* RESTORE_RESTRICT yrow = y->row(r);
+    for (size_t c = col_begin; c < col_end; ++c) yrow[c] += xrow[c];
+  }
+}
+
+float RowMax(const float* p, size_t n) {
+  assert(n > 0);
+  return Kernels().row_max(p, n);
+}
+
+void ReluInto(const Matrix& x, Matrix* y) {
+  y->Resize(x.rows(), x.cols());
+  const float* RESTORE_RESTRICT xd = x.data();
+  float* RESTORE_RESTRICT yd = y->data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] = std::max(0.0f, xd[i]);
 }
 
 void ReluInPlace(Matrix* x) {

@@ -118,8 +118,51 @@ class IntMatrix {
 /// out = a * b            [m x k] * [k x n] -> [m x n]
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 
+/// Fused inference forward: out = relu(a * b + bias) + residual, with each
+/// epilogue stage optional (pass nullptr / false to skip). The stages run in
+/// exactly that order per output element inside the kernel's store phase, so
+/// the values are BIT-identical to MatMul; AddBiasRows; ReluInPlace;
+/// AddInPlace — only the three full read+write sweeps over the activation
+/// disappear. `residual` must not alias `out` (aliasing `a` is fine; the
+/// hidden-layer residual does exactly that).
+void MatMulFused(const Matrix& a, const Matrix& b, const Matrix* bias,
+                 bool relu, const Matrix* residual, Matrix* out);
+
+/// Column-sliced MatMul: resizes out to [a.rows() x b.cols()] and computes
+/// ONLY columns [col_begin, col_end) of `out = a * b`; all other columns are
+/// left untouched. Each computed element is BIT-identical to what the full
+/// MatMul would produce (same single accumulation chain over ascending k),
+/// so callers that consume one column block — the sampling output layer —
+/// can slice without perturbing results. Cost scales with the slice width.
+void MatMulColsSlice(const Matrix& a, const Matrix& b, size_t col_begin,
+                     size_t col_end, Matrix* out);
+
+/// MatMulColsSlice with the bias add fused into the store phase (per-element
+/// identical to MatMulColsSlice followed by AddBiasRowsSlice).
+void MatMulColsSliceBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                         size_t col_begin, size_t col_end, Matrix* out);
+
 /// out = a * b^T          [m x k] * [n x k] -> [m x n]
+///
+/// Large products pack b^T into a [k x n] scratch tile and run the
+/// rank-1-update MatMul kernel over it (~1.5x the dot-form kernel's
+/// throughput); small products keep the dot-form path. The packed and dot paths
+/// accumulate in different orders, so which one runs is a pure function of
+/// the problem shape — results stay deterministic, but changing the
+/// threshold is a numerics change for training (re-baseline the benches).
+/// The 3-arg overload uses a thread-local pack buffer; hot callers (layer
+/// backward passes) pass their own persistent `pack_scratch` instead.
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                  Matrix* pack_scratch);
+
+/// out += a * b[b_row_begin : b_row_begin + a.cols(), :] — accumulating GEMM
+/// against a contiguous row block of b. This is the incremental-sampling
+/// delta update (h1 += (e_new - e_old) · W1[block]); accumulation into the
+/// existing out values makes its numerics differ from a fresh full GEMM, so
+/// the caller (MadeModel) gates it behind an opt-in config flag.
+void MatMulRowsAccum(const Matrix& a, const Matrix& b, size_t b_row_begin,
+                     Matrix* out);
 
 /// out += a^T * b         [m x k]^T * [m x n] -> [k x n] (accumulating)
 void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out);
@@ -133,8 +176,25 @@ void AccumBiasGrad(const Matrix& dy, Matrix* bias_grad);
 /// y += x (shapes must match).
 void AddInPlace(const Matrix& x, Matrix* y);
 
+/// Column-sliced add: y[r, c] += x[r, c] for c in [col_begin, col_end) only
+/// (shapes must match). Companion of MatMulColsSlice for the context
+/// projection added into a logits slice.
+void AddInPlaceCols(const Matrix& x, size_t col_begin, size_t col_end,
+                    Matrix* y);
+
 /// In-place ReLU; returns mask-applied matrix via dy in BackwardRelu.
 void ReluInPlace(Matrix* x);
+
+/// y = relu(x) in one pass (identical values to copying x into y and calling
+/// ReluInPlace; used by the incremental sampling path, which must keep the
+/// pre-activation around).
+void ReluInto(const Matrix& x, Matrix* y);
+
+/// Vectorized max over p[0..n) (n > 0). Numerically identical to the scalar
+/// std::max left-fold for non-NaN inputs — max is order-independent — with
+/// at most the sign of a zero maximum differing, which the softmax consumers
+/// are insensitive to (exp(x - ±0.0) == exp(x)).
+float RowMax(const float* p, size_t n);
 
 /// dx = dy masked by (y > 0), where y is the post-ReLU activation.
 void ReluBackward(const Matrix& y, Matrix* dy);

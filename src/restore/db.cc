@@ -216,6 +216,22 @@ Result<std::vector<Db::Candidate>> Db::CandidatesFor(
 
 Result<std::vector<std::string>> Db::SelectedPathFor(
     const std::string& target, const ExecContext* ctx) {
+  // Path-selection cost is accounted separately from sampling: the caller's
+  // sample timer (ExecuteCompletedImpl) subtracts what accrues here, so
+  // ExecStats.selection_seconds vs sample_seconds cleanly split the
+  // completion pipeline. First touch pays candidate training + the probe
+  // sweep behind the shared latch; later queries only the map lookup.
+  Timer selection_timer;
+  ExecStats* stats = ctx != nullptr ? ctx->stats() : nullptr;
+  struct SelectionTimerGuard {
+    Timer& timer;
+    ExecStats* stats;
+    ~SelectionTimerGuard() {
+      if (stats != nullptr) {
+        stats->selection_seconds += timer.ElapsedSeconds();
+      }
+    }
+  } guard{selection_timer, stats};
   // Selection (like training) runs under a shared once-latch, so it is
   // checked before but never aborted inside — a cancelled caller must not
   // cache a Cancelled selection for everyone else.
@@ -371,6 +387,9 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   // fan-out hops they introduce, then by the configured selection strategy.
   RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> selected,
                            SelectedPathFor(incomplete[0], ctx));
+  // The query-aware re-ranking below is selection work too (it can override
+  // the cached per-table choice), so it lands in selection_seconds.
+  Timer ranking_timer;
   RESTORE_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
                            CandidatesFor(incomplete[0], ctx));
   auto fanout_penalty = [&](const std::vector<std::string>& p) {
@@ -391,6 +410,9 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
       best_penalty = penalty;
       path = cand.path;
     }
+  }
+  if (stats != nullptr) {
+    stats->selection_seconds += ranking_timer.ElapsedSeconds();
   }
   std::vector<std::string> extended = path;
   std::set<std::string> placed(path.begin(), path.end());
@@ -459,10 +481,17 @@ Result<ResultSet> Db::ExecuteCompletedImpl(const Query& query,
     Query rewritten = query;
     RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*database_, &rewritten));
     stats.plan_seconds += plan_timer.ElapsedSeconds();
+    // The sample timer brackets the whole completed-join build; whatever
+    // path-selection time accrued inside (SelectedPathFor + the query-aware
+    // re-ranking) is subtracted so selection_seconds and sample_seconds
+    // partition the pipeline instead of double-counting.
+    const double selection_before = stats.selection_seconds;
     Timer sample_timer;
     RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const Table> joined,
                              CompletedJoinFor(query.tables, &ctx));
-    stats.sample_seconds += sample_timer.ElapsedSeconds();
+    const double sampled = sample_timer.ElapsedSeconds() -
+                           (stats.selection_seconds - selection_before);
+    stats.sample_seconds += sampled > 0.0 ? sampled : 0.0;
     Timer agg_timer;
     RESTORE_ASSIGN_OR_RETURN(QueryResult grouped,
                              FilterAndAggregate(*joined, rewritten, &ctx));
@@ -517,6 +546,7 @@ void Db::RecordQuery(const ExecStats& stats, const Status& status) {
   ExecStats& t = query_stats_.totals;
   t.parse_seconds += stats.parse_seconds;
   t.plan_seconds += stats.plan_seconds;
+  t.selection_seconds += stats.selection_seconds;
   t.sample_seconds += stats.sample_seconds;
   t.aggregate_seconds += stats.aggregate_seconds;
   t.tuples_completed += stats.tuples_completed;

@@ -256,12 +256,17 @@ TEST(ExecControlTest, ExecStatsBreakDownThePipeline) {
   ASSERT_TRUE(rs.ok()) << rs.status();
   const ExecStats& stats = rs->stats();
   EXPECT_GT(stats.parse_seconds, 0.0);
+  // First touch of the incomplete table pays path selection (candidate
+  // training + the probe sweep behind the shared latch) — reported on its
+  // own, NOT inside sample_seconds.
+  EXPECT_GT(stats.selection_seconds, 0.0);
   EXPECT_GT(stats.sample_seconds, 0.0);
   EXPECT_GT(stats.aggregate_seconds, 0.0);
   EXPECT_GT(stats.tuples_completed, 0u);
   EXPECT_GT(stats.models_consulted, 0u);
   EXPECT_GT(stats.arenas_leased, 0u);
   EXPECT_FALSE(stats.ToString().empty());
+  EXPECT_NE(stats.ToString().find("selection="), std::string::npos);
 
   // Prepared queries skip parsing; their parse time is zero by contract.
   auto prepared = session.Prepare(kJoinSql);

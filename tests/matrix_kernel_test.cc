@@ -129,6 +129,180 @@ TEST(MatrixKernelConformance, MatMulTransAAccumMatchesNaiveAndAccumulates) {
   }
 }
 
+void NaiveMatMulColsSlice(const Matrix& a, const Matrix& b, size_t c0,
+                          size_t c1, Matrix* out) {
+  // Slice semantics: out already sized [m x n]; only [c0, c1) written.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = c0; j < c1; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a.at(i, p) * b.at(p, j);
+      out->at(i, j) = acc;
+    }
+  }
+}
+
+// The sliced kernel must (1) match naive within tolerance, (2) leave
+// columns outside the window untouched, and (3) be BIT-identical to the
+// full MatMul on every computed column — the contract MadeModel's sliced
+// sampling path builds on.
+TEST(MatrixKernelConformance, MatMulColsSliceMatchesFullKernelBitExact) {
+  Rng rng(505);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        if (m * k * n > 30000 && (m + k + n) % 3 != 0) continue;
+        Matrix a = RandomMatrix(m, k, rng);
+        Matrix b = RandomMatrix(k, n, rng);
+        Matrix full;
+        MatMul(a, b, &full);
+        // Windows: empty, full width, a prefix, and an inner unaligned one.
+        const size_t windows[][2] = {
+            {0, 0}, {0, n}, {0, n / 2}, {n / 3, n / 3 + (n - n / 3) / 2}};
+        for (const auto& w : windows) {
+          const size_t c0 = w[0], c1 = w[1];
+          if (c0 > c1 || c1 > n) continue;
+          const float sentinel = -12345.0f;
+          Matrix got(m, n, sentinel);
+          MatMulColsSlice(a, b, c0, c1, &got);
+          Matrix want(m, n, sentinel);
+          NaiveMatMulColsSlice(a, b, c0, c1, &want);
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              if (j >= c0 && j < c1) {
+                ASSERT_NEAR(got.at(i, j), want.at(i, j), kTol)
+                    << "slice [" << c0 << "," << c1 << ") m=" << m
+                    << " k=" << k << " n=" << n;
+                // Bit-exact vs the full kernel, not just close.
+                ASSERT_EQ(got.at(i, j), full.at(i, j))
+                    << "slice [" << c0 << "," << c1 << ") m=" << m
+                    << " k=" << k << " n=" << n;
+              } else {
+                ASSERT_EQ(got.at(i, j), sentinel)
+                    << "outside-slice column clobbered at (" << i << "," << j
+                    << ")";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The fused epilogue (bias -> relu -> residual in the store phase) must be
+// bit-identical to running the separate passes — including the degenerate
+// k == 0 product, where the epilogue applies to an all-zero GEMM result.
+TEST(MatrixKernelConformance, MatMulFusedMatchesSeparatePassesBitExact) {
+  Rng rng(606);
+  const struct { size_t m, k, n; } shapes[] = {
+      {1, 1, 1}, {3, 0, 7}, {3, 5, 7}, {4, 8, 24}, {17, 9, 33}, {64, 40, 64},
+      {129, 65, 77}};
+  for (const auto& sh : shapes) {
+    Matrix a = RandomMatrix(sh.m, sh.k, rng);
+    Matrix b = RandomMatrix(sh.k, sh.n, rng);
+    Matrix bias = RandomMatrix(1, sh.n, rng);
+    Matrix residual = RandomMatrix(sh.m, sh.n, rng);
+    Matrix want;
+    MatMul(a, b, &want);
+    AddBiasRows(bias, &want);
+    ReluInPlace(&want);
+    AddInPlace(residual, &want);
+    Matrix got;
+    MatMulFused(a, b, &bias, /*relu=*/true, &residual, &got);
+    ASSERT_EQ(got.rows(), want.rows());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got.data()[i], want.data()[i])
+          << "fused mismatch at " << i << " for m=" << sh.m << " k=" << sh.k
+          << " n=" << sh.n;
+    }
+    // Bias-only flavor (the inference Dense/MaskedDense forward).
+    Matrix want2;
+    MatMul(a, b, &want2);
+    AddBiasRows(bias, &want2);
+    Matrix got2;
+    MatMulFused(a, b, &bias, /*relu=*/false, /*residual=*/nullptr, &got2);
+    for (size_t i = 0; i < got2.size(); ++i) {
+      ASSERT_EQ(got2.data()[i], want2.data()[i]) << "bias-only mismatch";
+    }
+    // Sliced bias flavor.
+    Matrix got3(sh.m, sh.n, 0.0f);
+    const size_t c0 = sh.n / 3, c1 = sh.n;
+    MatMulColsSliceBias(a, b, bias, c0, c1, &got3);
+    for (size_t i = 0; i < sh.m; ++i) {
+      for (size_t j = c0; j < c1; ++j) {
+        ASSERT_EQ(got3.at(i, j), want2.at(i, j)) << "sliced-bias mismatch";
+      }
+    }
+  }
+}
+
+// Packed-B MatMulTransB: the 3-arg overload (thread-local pack buffer) and
+// the caller-scratch overload must agree bitwise, and shapes on both sides
+// of the pack threshold must match naive within tolerance (covered above);
+// here we pin pack-vs-scratch equivalence and the accumulate-into-row-block
+// kernel used by incremental sampling.
+TEST(MatrixKernelConformance, PackedTransBScratchOverloadMatches) {
+  Rng rng(707);
+  const struct { size_t m, k, n; } shapes[] = {
+      {2, 4, 3},    // below the pack threshold: dot-form path
+      {16, 8, 4},   // exactly at the threshold
+      {64, 40, 64}, // the training backward shape
+      {129, 65, 77}};
+  for (const auto& sh : shapes) {
+    Matrix a = RandomMatrix(sh.m, sh.k, rng);
+    Matrix b = RandomMatrix(sh.n, sh.k, rng);
+    Matrix got_tl, got_scratch, pack;
+    MatMulTransB(a, b, &got_tl);
+    MatMulTransB(a, b, &got_scratch, &pack);
+    ASSERT_EQ(got_tl.rows(), got_scratch.rows());
+    for (size_t i = 0; i < got_tl.size(); ++i) {
+      ASSERT_EQ(got_tl.data()[i], got_scratch.data()[i])
+          << "pack-scratch mismatch at " << i;
+    }
+    Matrix want;
+    NaiveMatMulTransB(a, b, &want);
+    ExpectNear(got_scratch, want, "MatMulTransB(packed)", sh.m, sh.k, sh.n);
+  }
+}
+
+TEST(MatrixKernelConformance, MatMulRowsAccumMatchesNaive) {
+  Rng rng(808);
+  const struct { size_t m, k, n, row0, brows; } shapes[] = {
+      {0, 4, 8, 0, 8},   // empty batch
+      {5, 1, 3, 2, 6},   // 1-wide delta
+      {64, 8, 64, 16, 40},  // the incremental-sampling shape
+      {33, 7, 65, 5, 20}};
+  for (const auto& sh : shapes) {
+    Matrix a = RandomMatrix(sh.m, sh.k, rng);
+    Matrix b = RandomMatrix(sh.brows, sh.n, rng);
+    Matrix got = RandomMatrix(sh.m, sh.n, rng);  // accumulate semantics
+    Matrix want = got;
+    MatMulRowsAccum(a, b, sh.row0, &got);
+    for (size_t i = 0; i < sh.m; ++i) {
+      for (size_t j = 0; j < sh.n; ++j) {
+        float acc = want.at(i, j);
+        for (size_t p = 0; p < sh.k; ++p) {
+          acc += a.at(i, p) * b.at(sh.row0 + p, j);
+        }
+        want.at(i, j) = acc;
+      }
+    }
+    ExpectNear(got, want, "MatMulRowsAccum", sh.m, sh.k, sh.n);
+  }
+}
+
+TEST(MatrixKernelConformance, RowMaxMatchesScalarFold) {
+  Rng rng(909);
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{16}, size_t{24}, size_t{31}, size_t{300}}) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+    float want = v[0];
+    for (float x : v) want = std::max(want, x);
+    EXPECT_EQ(RowMax(v.data(), n), want) << "n=" << n;
+  }
+}
+
 TEST(MatrixKernelConformance, LargeShapesCrossParallelThreshold) {
   // Shapes big enough to take the ParallelFor path with several shards.
   Rng rng(404);

@@ -388,6 +388,191 @@ TEST(MadeTest, SampleRangeRespectsConditioning) {
   EXPECT_GT(correct, 170u);
 }
 
+// The pre-PR sampling algorithm, reimplemented verbatim as a reference: a
+// FULL forward pass per attribute, then the softmax / inverse-CDF pick over
+// that attribute's logit slice (normalize-then-accumulate, stored values).
+// The production SampleRange now computes only the active logit block via
+// the column-sliced output layer — it must stay BIT-identical to this.
+void ReferenceFullGemmSampleRange(const MadeModel& made, IntMatrix* codes,
+                                  const Matrix& context, size_t first_attr,
+                                  size_t end_attr, Rng& rng, int record_attr,
+                                  Matrix* recorded) {
+  const size_t batch = codes->rows();
+  MadeScratch scratch;
+  Matrix logits;
+  std::vector<double> u(batch);
+  for (size_t a = first_attr; a < end_attr; ++a) {
+    made.Forward(*codes, context, &logits, &scratch);  // full total_vocab
+    const size_t begin = made.attr_offset(a);
+    const size_t vocab = static_cast<size_t>(made.vocab_size(a));
+    const bool record = record_attr >= 0 &&
+                        static_cast<size_t>(record_attr) == a &&
+                        recorded != nullptr;
+    if (record) recorded->Resize(batch, vocab);
+    for (size_t r = 0; r < batch; ++r) u[r] = rng.NextDouble();
+    for (size_t r = 0; r < batch; ++r) {
+      float* probs = logits.row(r) + begin;
+      float max_v = probs[0];
+      for (size_t c = 0; c < vocab; ++c) max_v = std::max(max_v, probs[c]);
+      float sum = 0.0f;
+      for (size_t c = 0; c < vocab; ++c) {
+        probs[c] = std::exp(probs[c] - max_v);
+        sum += probs[c];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t c = 0; c < vocab; ++c) probs[c] *= inv;
+      if (record) {
+        float* dst = recorded->row(r);
+        for (size_t c = 0; c < vocab; ++c) dst[c] = probs[c];
+      }
+      const double uu = u[r];
+      double acc = 0.0;
+      int32_t pick = static_cast<int32_t>(vocab) - 1;
+      for (size_t c = 0; c < vocab; ++c) {
+        acc += probs[c];
+        if (uu < acc) {
+          pick = static_cast<int32_t>(c);
+          break;
+        }
+      }
+      codes->at(r, a) = pick;
+    }
+  }
+}
+
+MadeConfig SlicedTestConfig(bool with_context) {
+  MadeConfig config;
+  // Mixed widths incl. non-multiples of the 8-float vector so the slice
+  // kernel's remainder paths run, plus a wide block for shard coverage.
+  config.vocab_sizes = {7, 33, 150, 5, 20};
+  config.embed_dim = 6;
+  config.hidden_dim = 48;
+  config.num_layers = 2;
+  config.context_dim = with_context ? 9 : 0;
+  return config;
+}
+
+// The acceptance pin of the sliced sampling fast path: on frozen weights the
+// DEFAULT SampleRange (column-sliced output layer, fused trunk, partial
+// embedding re-gather) must reproduce the pre-PR full-GEMM sampling
+// bit-for-bit — sampled codes AND recorded distribution.
+TEST(MadeTest, SlicedSampleRangeBitIdenticalToFullGemmPath) {
+  for (const bool with_context : {false, true}) {
+    Rng rng(321);
+    MadeConfig config = SlicedTestConfig(with_context);
+    MadeModel made(config, rng);
+    made.FinalizeForInference();
+    const size_t batch = 96;
+    Matrix context(with_context ? batch : 0, config.context_dim);
+    for (size_t i = 0; i < context.size(); ++i) {
+      context.data()[i] = static_cast<float>(rng.NextGaussian());
+    }
+
+    IntMatrix sliced_codes(batch, config.vocab_sizes.size(), 0);
+    IntMatrix full_codes(batch, config.vocab_sizes.size(), 0);
+    Matrix sliced_rec, full_rec;
+    Rng rng_sliced(99), rng_full(99);
+    MadeScratch scratch;
+    made.SampleRange(&sliced_codes, context, 0, config.vocab_sizes.size(),
+                     rng_sliced, /*record_attr=*/2, &sliced_rec, &scratch);
+    ReferenceFullGemmSampleRange(made, &full_codes, context, 0,
+                                 config.vocab_sizes.size(), rng_full,
+                                 /*record_attr=*/2, &full_rec);
+
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t a = 0; a < config.vocab_sizes.size(); ++a) {
+        ASSERT_EQ(sliced_codes.at(r, a), full_codes.at(r, a))
+            << "code (" << r << "," << a << ") context=" << with_context;
+      }
+    }
+    ASSERT_EQ(sliced_rec.size(), full_rec.size());
+    for (size_t i = 0; i < sliced_rec.size(); ++i) {
+      ASSERT_EQ(sliced_rec.data()[i], full_rec.data()[i])
+          << "recorded prob " << i << " context=" << with_context;
+    }
+  }
+}
+
+// Sliced PredictDistribution must equal softmaxing the full logits.
+TEST(MadeTest, SlicedPredictDistributionBitIdenticalToFullGemmPath) {
+  Rng rng(654);
+  MadeConfig config = SlicedTestConfig(/*with_context=*/false);
+  MadeModel made(config, rng);
+  made.FinalizeForInference();
+  const size_t batch = 40;
+  IntMatrix codes(batch, config.vocab_sizes.size(), 0);
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t a = 0; a < config.vocab_sizes.size(); ++a) {
+      codes.at(r, a) = static_cast<int32_t>(
+          rng.NextUint64(static_cast<uint64_t>(config.vocab_sizes[a])));
+    }
+  }
+  for (size_t attr : {size_t{0}, size_t{2}, size_t{4}}) {
+    MadeScratch scratch;
+    Matrix probs;
+    made.PredictDistribution(codes, Matrix(), attr, &probs, &scratch);
+
+    MadeScratch ref_scratch;
+    Matrix logits;
+    made.Forward(codes, Matrix(), &logits, &ref_scratch);
+    SoftmaxSlice(&logits, made.attr_offset(attr), made.attr_offset(attr + 1));
+    for (size_t r = 0; r < batch; ++r) {
+      const float* want = logits.row(r) + made.attr_offset(attr);
+      const float* got = probs.row(r);
+      for (size_t c = 0; c < probs.cols(); ++c) {
+        ASSERT_EQ(got[c], want[c]) << "attr " << attr << " (" << r << ","
+                                   << c << ")";
+      }
+    }
+  }
+}
+
+// The OPT-IN incremental delta path accumulates the first hidden layer in a
+// different order, so it is tolerance-equivalent, never bit-identical: the
+// recorded distribution must agree closely and nearly every sampled code
+// must match the default path's.
+TEST(MadeTest, IncrementalSamplingMatchesDefaultWithinTolerance) {
+  MadeConfig config = SlicedTestConfig(/*with_context=*/false);
+  Rng rng_a(77);
+  MadeModel default_model(config, rng_a);
+  config.incremental_sampling = true;
+  Rng rng_b(77);  // identical weights, different sampling path
+  MadeModel incremental_model(config, rng_b);
+  default_model.FinalizeForInference();
+  incremental_model.FinalizeForInference();
+
+  const size_t batch = 128;
+  const size_t n_attrs = config.vocab_sizes.size();
+  IntMatrix codes_a(batch, n_attrs, 0);
+  IntMatrix codes_b(batch, n_attrs, 0);
+  Matrix rec_a, rec_b;
+  Rng sample_a(5), sample_b(5);
+  MadeScratch scratch_a, scratch_b;
+  // Record the LAST attribute: maximal accumulated delta drift.
+  default_model.SampleRange(&codes_a, Matrix(), 0, n_attrs, sample_a,
+                            static_cast<int>(n_attrs) - 1, &rec_a,
+                            &scratch_a);
+  incremental_model.SampleRange(&codes_b, Matrix(), 0, n_attrs, sample_b,
+                                static_cast<int>(n_attrs) - 1, &rec_b,
+                                &scratch_b);
+
+  ASSERT_EQ(rec_a.size(), rec_b.size());
+  for (size_t i = 0; i < rec_a.size(); ++i) {
+    ASSERT_NEAR(rec_a.data()[i], rec_b.data()[i], 1e-3f)
+        << "recorded prob " << i;
+  }
+  size_t matching = 0;
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t a = 0; a < n_attrs; ++a) {
+      if (codes_a.at(r, a) == codes_b.at(r, a)) ++matching;
+    }
+  }
+  // A draw landing exactly on a drifted CDF boundary can flip a code, but
+  // only with probability ~ drift * vocab; require near-total agreement.
+  EXPECT_GE(matching, batch * n_attrs * 98 / 100)
+      << matching << "/" << batch * n_attrs;
+}
+
 TEST(DeepSetsTest, PermutationInvariantAndEmptySetIsZeroInput) {
   Rng rng(11);
   DeepSetsEncoder enc({DeepSetsEncoder::TableSpec{{3, 4}}}, 4, 8, 6, rng);

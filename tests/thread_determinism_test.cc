@@ -114,6 +114,66 @@ TEST(ThreadDeterminismTest, TrainingAndSamplingIdenticalAt1And4Threads) {
   }
 }
 
+// The sliced sampling fast path (now the DEFAULT SampleRange) and the
+// opt-in incremental delta path must both be bit-identical across thread
+// counts: the sliced output-layer GEMM, the fused hidden trunk, the partial
+// embedding re-gather, and the delta update all shard with shape-only
+// grains. (CI's TSan job runs this binary repeatedly, so the sliced path is
+// also raced for data coherence.)
+struct SampleOnlyResult {
+  std::vector<int32_t> samples;
+  std::vector<float> probs;
+};
+
+SampleOnlyResult SampleSliced(uint64_t seed, bool incremental) {
+  Rng rng(seed);
+  MadeConfig config;
+  // A wide attribute forces multi-shard row blocks (see TrainAndSample).
+  config.vocab_sizes = {9, 300, 17, 40, 5};
+  config.embed_dim = 6;
+  config.hidden_dim = 40;
+  config.num_layers = 2;
+  config.incremental_sampling = incremental;
+  MadeModel made(config, rng);
+  made.FinalizeForInference();
+
+  const size_t batch = 160;
+  IntMatrix codes(batch, config.vocab_sizes.size(), 0);
+  Matrix recorded;
+  MadeScratch scratch;
+  made.SampleRange(&codes, Matrix(), 0, config.vocab_sizes.size(), rng,
+                   /*record_attr=*/3, &recorded, &scratch);
+  SampleOnlyResult result;
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t a = 0; a < config.vocab_sizes.size(); ++a) {
+      result.samples.push_back(codes.at(r, a));
+    }
+  }
+  result.probs.assign(recorded.data(), recorded.data() + recorded.size());
+  return result;
+}
+
+TEST(ThreadDeterminismTest, SlicedSamplingIdenticalAt1And4Threads) {
+  for (const bool incremental : {false, true}) {
+    ThreadPool::SetGlobalWidth(1);
+    const SampleOnlyResult single = SampleSliced(7, incremental);
+    ThreadPool::SetGlobalWidth(4);
+    const SampleOnlyResult quad = SampleSliced(7, incremental);
+    ThreadPool::SetGlobalWidth(0);
+
+    ASSERT_EQ(single.samples.size(), quad.samples.size());
+    for (size_t i = 0; i < single.samples.size(); ++i) {
+      ASSERT_EQ(single.samples[i], quad.samples[i])
+          << "sample " << i << " incremental=" << incremental;
+    }
+    ASSERT_EQ(single.probs.size(), quad.probs.size());
+    for (size_t i = 0; i < single.probs.size(); ++i) {
+      ASSERT_EQ(single.probs[i], quad.probs[i])
+          << "recorded prob " << i << " incremental=" << incremental;
+    }
+  }
+}
+
 // ---- Db-level concurrency ---------------------------------------------------
 
 EngineConfig FastDbConfig() {
