@@ -19,6 +19,12 @@ the script additionally requires the scratch-arena concurrent-inference
 bench to beat the mutex-serialized contrast bench by --speedup x aggregate
 throughput (items_per_second).
 
+Batching acceptance: with --check-batching (and >= --min-cpus CPUs),
+coalesced sampling (BM_CoalescedSample/1) must reach --batching-speedup x
+the solo path (BM_CoalescedSample/0) on aggregate items_per_second. Below
+the CPU floor the check self-skips: batching converts cross-session
+concurrency into GEMM width, which a single core cannot exploit.
+
 Re-baselining: benchmark numbers are machine-specific, so after an
 intentional perf change (or a runner generation change) regenerate the
 baselines on the CI runner class and commit them. RESTORE_NUM_THREADS=1 is
@@ -48,11 +54,15 @@ DEFAULT_METRICS = [
     "BM_MadeSampleSliced/512",
     "BM_ConcurrentInference",
     "BM_DbQps",
+    "BM_CoalescedSample/1",
 ]
 
 CONCURRENT_BENCH = "BM_ConcurrentInference"
 CONCURRENT_MUTEX_BENCH = "BM_ConcurrentInferenceMutex"
 CONCURRENT_THREADS = 4
+
+BATCHING_ON_BENCH = "BM_CoalescedSample/1"
+BATCHING_OFF_BENCH = "BM_CoalescedSample/0"
 
 
 def load_records(path):
@@ -128,6 +138,11 @@ def main():
              "counter (validates e.g. that BM_DbQps emits its ExecStats "
              "fields into the JSON); repeatable")
     parser.add_argument("--speedup", type=float, default=2.0)
+    parser.add_argument("--check-batching", action="store_true",
+                        help="also require coalesced sampling (batching on) "
+                             "to at least match batching off on aggregate "
+                             "throughput; skipped below --min-cpus")
+    parser.add_argument("--batching-speedup", type=float, default=1.0)
     parser.add_argument("--min-cpus", type=int, default=4,
                         help="skip the concurrency check below this core "
                              "count (the win needs real parallelism)")
@@ -216,6 +231,34 @@ def main():
                         failures.append(
                             f"concurrent inference speedup {ratio:.2f}x <= "
                             f"{args.speedup:.1f}x")
+
+    if args.check_batching:
+        cpus = os.cpu_count() or 1
+        if cpus < args.min_cpus:
+            print(f"  SKIP   batching speedup check: {cpus} CPUs "
+                  f"< {args.min_cpus} (coalescing converts concurrency "
+                  f"into GEMM width, which needs real cores)")
+        else:
+            on = find_record(fresh, BATCHING_ON_BENCH)
+            off = find_record(fresh, BATCHING_OFF_BENCH)
+            if on is None or off is None:
+                failures.append("batching benches missing from fresh JSON")
+            else:
+                a = metric_value(on, "items_per_second")
+                b = metric_value(off, "items_per_second")
+                if not a or not b:
+                    failures.append("batching benches lack items_per_second")
+                else:
+                    ratio = a / b
+                    verdict = ("OK" if ratio >= args.batching_speedup
+                               else "TOO SLOW")
+                    print(f"  {verdict:9s}coalesced vs solo sampling "
+                          f"aggregate throughput: {ratio:.2f}x "
+                          f"(required >= {args.batching_speedup:.1f}x)")
+                    if ratio < args.batching_speedup:
+                        failures.append(
+                            f"coalesced sampling speedup {ratio:.2f}x < "
+                            f"{args.batching_speedup:.1f}x")
 
     if failures:
         print("\nBench gate FAILED:")

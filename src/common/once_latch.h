@@ -1,6 +1,7 @@
 #ifndef RESTORE_COMMON_ONCE_LATCH_H_
 #define RESTORE_COMMON_ONCE_LATCH_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -29,10 +30,31 @@ class OnceLatch {
   /// Runs `fn` if no caller has before, else waits for the first run to
   /// finish. Returns the Status of the one-and-only execution.
   Status RunOnce(const std::function<Status()>& fn) {
+    return RunOnceWithDeadline(
+        fn, std::chrono::steady_clock::time_point::max());
+  }
+
+  /// Like RunOnce, but a WAITER abandons the wait with kDeadlineExceeded
+  /// once `deadline` passes. Only the wait is bounded: the caller that wins
+  /// the race RUNS `fn` to completion regardless of its deadline (aborting
+  /// mid-run would poison the shared result for every later caller), and
+  /// the latch itself stays shareable — the run keeps going and callers
+  /// with more patience still observe its Status.
+  Status RunOnceWithDeadline(
+      const std::function<Status()>& fn,
+      std::chrono::steady_clock::time_point deadline) {
     std::unique_lock<std::mutex> lock(mu_);
     if (state_ == State::kDone) return status_;
     if (state_ == State::kRunning) {
-      cv_.wait(lock, [this] { return state_ == State::kDone; });
+      if (deadline == std::chrono::steady_clock::time_point::max()) {
+        cv_.wait(lock, [this] { return state_ == State::kDone; });
+        return status_;
+      }
+      if (!cv_.wait_until(lock, deadline,
+                          [this] { return state_ == State::kDone; })) {
+        return Status::DeadlineExceeded(
+            "deadline expired while waiting for shared first-touch work");
+      }
       return status_;
     }
     state_ = State::kRunning;
@@ -52,6 +74,12 @@ class OnceLatch {
     status_ = std::move(status);
     state_ = State::kDone;
     cv_.notify_all();
+  }
+
+  /// True while some caller is executing the latched work. Does not block.
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == State::kRunning;
   }
 
   /// True once the latched work completed successfully. Does not block.

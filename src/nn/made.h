@@ -38,6 +38,45 @@ struct MadeConfig {
   bool incremental_sampling = false;
 };
 
+/// One request of a coalesced multi-request sampling pass
+/// (MadeModel::SampleRangeBatched). Rows of all requests are stacked into
+/// one minibatch; each request keeps its own attribute window, recording
+/// target, and pre-drawn uniforms, so its sampled codes are bit-identical
+/// to a solo SampleRange call with the same rng state.
+struct MadeSampleSpec {
+  /// The request's codes, [rows x num_attrs]; sampled columns are written
+  /// back on completion (left untouched once `dead` is set).
+  IntMatrix* codes = nullptr;
+  /// Conditioning rows, [rows x context_dim]; ignored (may be empty) for
+  /// unconditional models.
+  const Matrix* context = nullptr;
+  size_t first_attr = 0;
+  size_t end_attr = 0;
+  /// As in SampleRange: when in [first_attr, end_attr), that attribute's
+  /// predictive distribution is stored into `recorded`.
+  int record_attr = -1;
+  Matrix* recorded = nullptr;
+  /// Pre-drawn uniforms, attr-major then row-major —
+  /// uniforms[(a - first_attr) * rows + r] — exactly the order SampleRange
+  /// consumes them from its rng, so pre-drawing leaves the caller's stream
+  /// in the identical state.
+  const double* uniforms = nullptr;
+  /// Cooperative abort: the poll hook may set this between attributes; the
+  /// request's remaining attributes are skipped and nothing is scattered
+  /// back. Other requests are unaffected (every row is computed from its
+  /// own codes only).
+  bool dead = false;
+};
+
+/// One request of a coalesced predictive-distribution pass
+/// (MadeModel::PredictDistributionBatched).
+struct MadePredictSpec {
+  const IntMatrix* codes = nullptr;   // [rows x num_attrs]
+  const Matrix* context = nullptr;    // [rows x context_dim] or empty
+  size_t attr = 0;
+  Matrix* probs = nullptr;            // out: [rows x vocab(attr)]
+};
+
 /// MADE with per-attribute embeddings (the architecture of [14]/naru [40]
 /// that the paper builds its completion models on): the network maps a batch
 /// of discretized attribute rows to, for each attribute i, the logits of the
@@ -133,6 +172,30 @@ class MadeModel {
                    size_t end_attr, Rng& rng, int record_attr,
                    Matrix* recorded, MadeScratch* scratch,
                    const std::function<bool()>& should_stop = {}) const;
+
+  /// Coalesced multi-request sampling: stacks every spec's rows into one
+  /// minibatch in `scratch` and runs ONE sliced forward pass per attribute
+  /// of the union window, so N concurrent requests pay N-fold GEMM width
+  /// instead of N passes. Per-request outputs are bit-identical to solo
+  /// SampleRange calls: each stacked row's logits depend only on that row's
+  /// own codes (MADE masking; rows outside their request's window are
+  /// computed and discarded), the softmax/pick is row-local, and the
+  /// uniforms come pre-drawn per request (see MadeSampleSpec::uniforms).
+  /// `poll`, when set, is invoked once per attribute before the forward
+  /// pass and may mark specs dead (cooperative cancellation; a dead
+  /// request's codes/recorded are left unspecified, batch-mates keep their
+  /// exact values). Requires incremental_sampling == false (that path
+  /// carries cross-attribute scratch state and is only
+  /// tolerance-equivalent); callers gate on it.
+  void SampleRangeBatched(std::vector<MadeSampleSpec>* specs,
+                          MadeScratch* scratch,
+                          const std::function<void()>& poll = {}) const;
+
+  /// Coalesced predictive distributions: one stacked trunk pass, then one
+  /// sliced output emission per DISTINCT attribute among the specs. Each
+  /// spec's probs are bit-identical to a solo PredictDistribution call.
+  void PredictDistributionBatched(std::vector<MadePredictSpec>* specs,
+                                  MadeScratch* scratch) const;
 
   /// Predictive distribution of a single attribute given its predecessors:
   /// fills `probs` [batch x vocab(attr)].

@@ -155,7 +155,13 @@ Result<const PathModel*> Db::ModelForPath(
   }
   const std::string key = PathKey(path);
   ModelEntry* entry = EntryFor(key);
-  Status s = entry->latch.RunOnce([&]() -> Status {
+  // A deadline-carrying WAITER may abandon the wait with DeadlineExceeded;
+  // the first-touch training itself always runs to completion and stays
+  // shareable (one caller's deadline must never poison the model).
+  const auto deadline = ctx != nullptr
+                            ? ctx->deadline()
+                            : std::chrono::steady_clock::time_point::max();
+  Status s = entry->latch.RunOnceWithDeadline([&]() -> Status {
     PathModelConfig cfg = config_.model;
     cfg.seed = SeedForPath(key);
     Result<std::unique_ptr<PathModel>> trained =
@@ -166,7 +172,7 @@ Result<const PathModel*> Db::ModelForPath(
     std::lock_guard<std::mutex> lock(stats_mu_);
     total_train_seconds_ += entry->model->train_seconds();
     return Status::OK();
-  });
+  }, deadline);
   if (!s.ok()) return s;
   return entry->model.get();
 }
@@ -243,7 +249,12 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
         target.c_str()));
   }
   SelectionEntry* entry = it->second.get();
-  Status s = entry->latch.RunOnce([&]() -> Status {
+  // As with model training: only the WAIT is deadline-bounded; the shared
+  // selection run itself completes and stays cached for everyone.
+  const auto deadline = ctx != nullptr
+                            ? ctx->deadline()
+                            : std::chrono::steady_clock::time_point::max();
+  Status s = entry->latch.RunOnceWithDeadline([&]() -> Status {
     Result<std::vector<Candidate>> cands = CandidatesFor(target);
     if (!cands.ok()) return cands.status();
     if (cands->empty()) {
@@ -265,7 +276,7 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
     if (!best.ok()) return best.status();
     entry->path = paths[best.value()];
     return Status::OK();
-  });
+  }, deadline);
   if (!s.ok()) return s;
   return entry->path;
 }
@@ -554,6 +565,9 @@ void Db::RecordQuery(const ExecStats& stats, const Status& status) {
   t.cache_hits += stats.cache_hits;
   t.cache_misses += stats.cache_misses;
   t.arenas_leased += stats.arenas_leased;
+  t.batches_joined += stats.batches_joined;
+  t.batch_wait_seconds += stats.batch_wait_seconds;
+  t.coalesced_rows += stats.coalesced_rows;
 }
 
 Db::Stats Db::stats() const {
@@ -656,9 +670,13 @@ Status Db::LoadModels(const std::string& dir) {
                     filename.c_str(), PathKey(model->path()).c_str(),
                     key.c_str()));
     }
-    // The arena-retention cap is a serving knob, not part of the persisted
-    // payload: apply this Db's configuration to the restored model.
+    // The arena-retention cap and the batching knobs are serving knobs, not
+    // part of the persisted payload: apply this Db's configuration to the
+    // restored model.
     model->set_scratch_pool_max_idle(config_.model.max_pooled_scratch_arenas);
+    model->set_batching_config(config_.model.batching_enabled,
+                               config_.model.batch_wait_us,
+                               config_.model.batch_max_rows);
     auto entry = std::make_unique<ModelEntry>();
     entry->model = std::move(model);
     entry->latch.SetDone(Status::OK());

@@ -156,7 +156,9 @@ class Db : public std::enable_shared_from_this<Db> {
   /// concurrent callers block until the single training run finishes).
   /// Cancellation is honored BEFORE training starts, never mid-training:
   /// models are shared across queries, so one caller's cancel must not
-  /// poison the latch for everyone else.
+  /// poison the latch for everyone else. A caller with a deadline stops
+  /// WAITING once it expires (DeadlineExceeded) while the shared training
+  /// run itself continues and stays available to later callers.
   Result<const PathModel*> ModelForPath(const std::vector<std::string>& path,
                                         const ExecContext* ctx = nullptr);
 

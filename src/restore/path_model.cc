@@ -83,7 +83,21 @@ Result<std::unique_ptr<PathModel>> PathModel::Train(
   }
   RESTORE_RETURN_IF_ERROR(model->BuildTrainingData(db));
   RESTORE_RETURN_IF_ERROR(model->RunTraining());
+  model->batcher_ =
+      std::make_unique<SampleBatcher>(model->made_.get(),
+                                      &model->scratch_pool_);
+  model->set_batching_config(config.batching_enabled, config.batch_wait_us,
+                             config.batch_max_rows);
   return model;
+}
+
+void PathModel::set_batching_config(bool enabled, uint32_t wait_us,
+                                    size_t max_rows) const {
+  SampleBatcher::Config cfg;
+  cfg.enabled = enabled;
+  cfg.wait_us = wait_us;
+  cfg.max_rows = max_rows;
+  batcher_->Configure(cfg);
 }
 
 Status PathModel::BuildLayout(const Database& db,
@@ -709,9 +723,15 @@ Result<std::vector<int64_t>> PathModel::SampleTupleFactors(
     // sample: counts derived from independent samples would systematically
     // overshoot E[max(0, TF - available)] (Jensen), inflating synthesis.
     Matrix& probs = scratch->probs;
-    made_->PredictDistribution(*codes, scratch->context,
-                               static_cast<size_t>(tf_attr), &probs,
-                               &scratch->made);
+    if (batcher_ != nullptr && batcher_->enabled()) {
+      RESTORE_RETURN_IF_ERROR(batcher_->PredictDistribution(
+          *codes, scratch->context, static_cast<size_t>(tf_attr), &probs,
+          ctx));
+    } else {
+      made_->PredictDistribution(*codes, scratch->context,
+                                 static_cast<size_t>(tf_attr), &probs,
+                                 &scratch->made);
+    }
     const double rho = tf_keep_ratio_[hop];
     for (size_t i : unobserved) {
       double expected = 0.0;
@@ -769,14 +789,22 @@ Result<std::vector<Column>> PathModel::SynthesizeHop(
     ++ctx->stats()->arenas_leased;
   }
   RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
-  // The cooperative hook fires between per-attribute sampling batches; it
-  // never touches the rng, so an uncancelled run stays bit-identical.
-  std::function<bool()> should_stop;
-  if (ctx != nullptr) {
-    should_stop = [ctx] { return !ctx->Check().ok(); };
+  if (batcher_ != nullptr && batcher_->enabled()) {
+    // Coalescable path: the call may ride a shared multi-request batch;
+    // results and the rng stream are bit-identical to the solo path below.
+    RESTORE_RETURN_IF_ERROR(batcher_->SampleRange(
+        codes, scratch->context, first, end, rng, record_attr, recorded,
+        ctx));
+  } else {
+    // The cooperative hook fires between per-attribute sampling batches; it
+    // never touches the rng, so an uncancelled run stays bit-identical.
+    std::function<bool()> should_stop;
+    if (ctx != nullptr) {
+      should_stop = [ctx] { return !ctx->Check().ok(); };
+    }
+    made_->SampleRange(codes, scratch->context, first, end, rng, record_attr,
+                       recorded, &scratch->made, should_stop);
   }
-  made_->SampleRange(codes, scratch->context, first, end, rng, record_attr,
-                     recorded, &scratch->made, should_stop);
   RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
 
   RESTORE_ASSIGN_OR_RETURN(const Table* target,
@@ -807,8 +835,14 @@ Result<Matrix> PathModel::PredictAttrDistribution(
   }
   RESTORE_RETURN_IF_ERROR(ComputeContext(joined, rows, scratch.get()));
   Matrix probs;
-  made_->PredictDistribution(codes, scratch->context, attr, &probs,
-                             &scratch->made);
+  if (batcher_ != nullptr && batcher_->enabled()) {
+    RESTORE_RETURN_IF_ERROR(
+        batcher_->PredictDistribution(codes, scratch->context, attr, &probs,
+                                      ctx));
+  } else {
+    made_->PredictDistribution(codes, scratch->context, attr, &probs,
+                               &scratch->made);
+  }
   return probs;
 }
 
@@ -1096,6 +1130,10 @@ Result<std::unique_ptr<PathModel>> PathModel::Load(
   // The loaded parameters are final; freeze the masked-weight caches for
   // reentrant inference (mirrors the end of RunTraining).
   model->made_->FinalizeForInference();
+  // Batching knobs are not persisted (serving-only); the Db re-applies its
+  // engine configuration right after Load, mirroring the scratch-pool cap.
+  model->batcher_ = std::make_unique<SampleBatcher>(model->made_.get(),
+                                                    &model->scratch_pool_);
   return model;
 }
 

@@ -1,0 +1,254 @@
+#include "restore/sample_batcher.h"
+
+#include <utility>
+
+namespace restore {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+double SecondsSince(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+SampleBatcher::~SampleBatcher() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && !leader_active_; });
+}
+
+void SampleBatcher::Configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  enabled_.store(
+      config.enabled && !model_->config().incremental_sampling,
+      std::memory_order_release);
+}
+
+SampleBatcher::Config SampleBatcher::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+void SampleBatcher::set_test_min_requests(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  test_min_requests_ = n;
+  cv_.notify_all();
+}
+
+void SampleBatcher::FillControl(Request* req, const ExecContext* ctx) const {
+  if (ctx == nullptr) return;
+  req->cancel_flag = ctx->cancel_flag();
+  req->deadline = ctx->deadline();
+  req->stats = ctx->stats();
+}
+
+Status SampleBatcher::SampleRange(IntMatrix* codes, const Matrix& context,
+                                  size_t first_attr, size_t end_attr,
+                                  Rng& rng, int record_attr, Matrix* recorded,
+                                  const ExecContext* ctx) {
+  if (!enabled()) {
+    // Solo fast path: live rng, cooperative checkpoints through the
+    // caller's own context — exactly the pre-batching execution.
+    auto lease = pool_->Acquire();
+    if (ctx != nullptr && ctx->stats() != nullptr) {
+      ++ctx->stats()->arenas_leased;
+    }
+    std::function<bool()> should_stop;
+    if (ctx != nullptr) {
+      should_stop = [ctx] { return !ctx->Check().ok(); };
+    }
+    model_->SampleRange(codes, context, first_attr, end_attr, rng,
+                        record_attr, recorded, &lease->made, should_stop);
+    return ExecContext::Check(ctx);
+  }
+  Request req;
+  req.kind = Kind::kSample;
+  req.codes = codes;
+  req.context = &context;
+  req.first_attr = first_attr;
+  req.end_attr = end_attr;
+  req.record_attr = record_attr;
+  req.recorded = recorded;
+  req.rows = codes->rows();
+  FillControl(&req, ctx);
+  // Pre-draw the whole window attr-major-then-row — the exact order the
+  // unbatched loop consumes the stream — so the caller's rng ends in the
+  // identical state and each (attr, row) sees the identical uniform.
+  req.uniforms.resize((end_attr - first_attr) * req.rows);
+  for (double& u : req.uniforms) u = rng.NextDouble();
+  return Submit(&req);
+}
+
+Status SampleBatcher::PredictDistribution(const IntMatrix& codes,
+                                          const Matrix& context, size_t attr,
+                                          Matrix* probs,
+                                          const ExecContext* ctx) {
+  if (!enabled()) {
+    auto lease = pool_->Acquire();
+    if (ctx != nullptr && ctx->stats() != nullptr) {
+      ++ctx->stats()->arenas_leased;
+    }
+    model_->PredictDistribution(codes, context, attr, probs, &lease->made);
+    return ExecContext::Check(ctx);
+  }
+  Request req;
+  req.kind = Kind::kPredict;
+  req.pcodes = &codes;
+  req.context = &context;
+  req.attr = attr;
+  req.probs = probs;
+  req.rows = codes.rows();
+  FillControl(&req, ctx);
+  return Submit(&req);
+}
+
+Status SampleBatcher::Submit(Request* req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Config cfg = config_;
+  req->enqueued = std::chrono::steady_clock::now();
+  if (!cfg.enabled) {
+    // Disabled between the entry check and here: run as a batch of one
+    // (bit-identical — the uniforms are already drawn).
+    lock.unlock();
+    ExecuteBatch({req});
+    return req->status;
+  }
+  queue_.push_back(req);
+  queued_rows_ += req->rows;
+  cv_.notify_all();
+  // Follower: wait until a leader scatters our result — or until there is
+  // no leader, in which case we take over (the re-check under the lock
+  // serializes contenders).
+  while (!req->done && leader_active_) cv_.wait(lock);
+  if (req->done) return req->status;
+  leader_active_ = true;
+  // Collect batch-mates for a bounded wait from OUR enqueue (a promoted
+  // leader has typically already waited it out and executes immediately).
+  const auto wait_deadline =
+      req->enqueued + std::chrono::microseconds(cfg.wait_us);
+  for (;;) {
+    if (queued_rows_ >= cfg.max_rows) break;
+    if (test_min_requests_ > 0) {
+      if (queue_.size() >= test_min_requests_) break;
+      cv_.wait(lock);
+      continue;
+    }
+    if (cv_.wait_until(lock, wait_deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  std::vector<Request*> batch;
+  batch.swap(queue_);
+  queued_rows_ = 0;
+  lock.unlock();
+  ExecuteBatch(batch);
+  lock.lock();
+  for (Request* r : batch) r->done = true;
+  leader_active_ = false;
+  cv_.notify_all();
+  return req->status;
+}
+
+void SampleBatcher::ExecuteBatch(const std::vector<Request*>& batch) {
+  const auto start = std::chrono::steady_clock::now();
+  // Weed requests that died while queued; they are dropped here without
+  // touching their outputs, and their batch-mates proceed unaffected.
+  std::vector<Request*> live;
+  size_t sample_count = 0;
+  size_t predict_count = 0;
+  size_t sample_rows = 0;
+  size_t predict_rows = 0;
+  for (Request* r : batch) {
+    r->status = Status::OK();
+    if (r->cancel_flag != nullptr &&
+        r->cancel_flag->load(std::memory_order_acquire)) {
+      r->status = Status::Cancelled("query cancelled by caller");
+    } else if (r->deadline != kNoDeadline && start >= r->deadline) {
+      r->status = Status::DeadlineExceeded("query deadline exceeded");
+    }
+    if (r->stats != nullptr) {
+      r->stats->batch_wait_seconds += SecondsSince(r->enqueued, start);
+    }
+    if (!r->status.ok()) continue;
+    live.push_back(r);
+    if (r->kind == Kind::kSample) {
+      ++sample_count;
+      sample_rows += r->rows;
+    } else {
+      ++predict_count;
+      predict_rows += r->rows;
+    }
+  }
+  if (live.empty()) return;
+  // One arena serves the whole batch (src/nn/README.md rule 5). It is
+  // charged to every live rider so a query's arenas_leased is independent
+  // of how its requests happened to coalesce.
+  auto lease = pool_->Acquire();
+  for (Request* r : live) {
+    if (r->stats == nullptr) continue;
+    ++r->stats->arenas_leased;
+    const bool sample = r->kind == Kind::kSample;
+    r->stats->coalesced_rows += sample ? sample_rows : predict_rows;
+    if ((sample ? sample_count : predict_count) >= 2) {
+      ++r->stats->batches_joined;
+    }
+  }
+  if (sample_count > 0) {
+    std::vector<Request*> reqs;
+    std::vector<MadeSampleSpec> specs;
+    reqs.reserve(sample_count);
+    specs.reserve(sample_count);
+    for (Request* r : live) {
+      if (r->kind != Kind::kSample) continue;
+      reqs.push_back(r);
+      MadeSampleSpec spec;
+      spec.codes = r->codes;
+      spec.context = r->context;
+      spec.first_attr = r->first_attr;
+      spec.end_attr = r->end_attr;
+      spec.record_attr = r->record_attr;
+      spec.recorded = r->recorded;
+      spec.uniforms = r->uniforms.data();
+      specs.push_back(spec);
+    }
+    // Per-attribute cooperative checkpoint: flags/deadlines only — a
+    // request's progress callback must stay on its own thread, so the
+    // leader never calls a batch-mate's Check().
+    auto poll = [&reqs, &specs] {
+      const auto now = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < reqs.size(); ++i) {
+        if (specs[i].dead) continue;
+        Request* r = reqs[i];
+        if (r->cancel_flag != nullptr &&
+            r->cancel_flag->load(std::memory_order_acquire)) {
+          specs[i].dead = true;
+          r->status = Status::Cancelled("query cancelled by caller");
+        } else if (r->deadline != kNoDeadline && now >= r->deadline) {
+          specs[i].dead = true;
+          r->status = Status::DeadlineExceeded("query deadline exceeded");
+        }
+      }
+    };
+    model_->SampleRangeBatched(&specs, &lease->made, poll);
+  }
+  if (predict_count > 0) {
+    std::vector<MadePredictSpec> specs;
+    specs.reserve(predict_count);
+    for (Request* r : live) {
+      if (r->kind != Kind::kPredict) continue;
+      MadePredictSpec spec;
+      spec.codes = r->pcodes;
+      spec.context = r->context;
+      spec.attr = r->attr;
+      spec.probs = r->probs;
+      specs.push_back(spec);
+    }
+    model_->PredictDistributionBatched(&specs, &lease->made);
+  }
+}
+
+}  // namespace restore

@@ -1,0 +1,144 @@
+#ifndef RESTORE_RESTORE_SAMPLE_BATCHER_H_
+#define RESTORE_RESTORE_SAMPLE_BATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "exec/exec_control.h"
+#include "nn/inference_scratch.h"
+#include "nn/made.h"
+
+namespace restore {
+
+/// Per-model request coalescing: concurrent sessions' SampleRange /
+/// PredictDistribution calls queue here, and after a bounded wait (or a
+/// row-count threshold) one caller — the LEADER — stacks every pending
+/// request into a single minibatch and runs one sliced forward pass per
+/// attribute over it (MadeModel::SampleRangeBatched), converting session
+/// concurrency into GEMM width. There is no dedicated batching thread: the
+/// first queued caller leads, batch-mates block until their results are
+/// scattered back, and when the leader finishes it hands leadership to the
+/// next queued caller.
+///
+/// Determinism contract: results are bit-identical to solo, unbatched
+/// execution regardless of how requests happen to coalesce. Each request
+/// pre-draws its window's uniforms from ITS OWN rng at submit time in
+/// exactly the order the unbatched loop would consume them (attr-major,
+/// then row), so the caller's stream state afterwards is identical, and
+/// the stacked pass is row-local end to end (see SampleRangeBatched).
+///
+/// Cancellation: the leader never runs another request's progress callback
+/// (that must stay on the owning query's thread); it only reads the atomic
+/// cancel flag and the deadline captured at submit. A request that died in
+/// the queue is dropped at scatter time with kCancelled /
+/// kDeadlineExceeded and its batch-mates complete with their exact values.
+///
+/// When disabled (the default, see PathModelConfig::batching_enabled) both
+/// entry points degrade to the plain single-request path on a pooled arena.
+class SampleBatcher {
+ public:
+  /// Serving knobs, applied via Configure. Like the scratch-pool cap these
+  /// affect scheduling only — never results — so they participate in
+  /// neither the engine fingerprint nor the persisted model payload.
+  struct Config {
+    /// Master switch; off = every call executes solo, undelayed.
+    bool enabled = false;
+    /// How long a leader waits for batch-mates before executing, measured
+    /// from its own enqueue. Also the worst-case added latency of an
+    /// uncontended request.
+    uint32_t wait_us = 200;
+    /// The leader stops collecting once the queued rows reach this many.
+    size_t max_rows = 4096;
+  };
+
+  /// The model must outlive the batcher and be finalized for inference.
+  SampleBatcher(const MadeModel* model, InferenceScratchPool* pool)
+      : model_(model), pool_(pool) {}
+  /// Blocks until every queued request has drained. Owners destroy the
+  /// batcher before the model/pool it serves.
+  ~SampleBatcher();
+
+  SampleBatcher(const SampleBatcher&) = delete;
+  SampleBatcher& operator=(const SampleBatcher&) = delete;
+
+  void Configure(const Config& config);
+  Config config() const;
+  /// False when disabled OR the model opted into incremental sampling
+  /// (that path is only tolerance-equivalent, so it is never coalesced).
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Test hook: a leader keeps collecting until at least `n` requests are
+  /// queued (no timeout), forcing exact coalescing patterns. 0 disables.
+  void set_test_min_requests(size_t n);
+
+  /// Coalescable counterpart of MadeModel::SampleRange. Draws the window's
+  /// uniforms from `rng` up front, queues, and blocks until the request's
+  /// batch executed; `codes`/`recorded` are untouched on a non-OK return.
+  Status SampleRange(IntMatrix* codes, const Matrix& context,
+                     size_t first_attr, size_t end_attr, Rng& rng,
+                     int record_attr, Matrix* recorded,
+                     const ExecContext* ctx);
+
+  /// Coalescable counterpart of MadeModel::PredictDistribution.
+  Status PredictDistribution(const IntMatrix& codes, const Matrix& context,
+                             size_t attr, Matrix* probs,
+                             const ExecContext* ctx);
+
+ private:
+  enum class Kind { kSample, kPredict };
+
+  struct Request {
+    Kind kind = Kind::kSample;
+    // Sample fields.
+    IntMatrix* codes = nullptr;
+    const Matrix* context = nullptr;
+    size_t first_attr = 0;
+    size_t end_attr = 0;
+    int record_attr = -1;
+    Matrix* recorded = nullptr;
+    std::vector<double> uniforms;
+    // Predict fields.
+    const IntMatrix* pcodes = nullptr;
+    size_t attr = 0;
+    Matrix* probs = nullptr;
+    // Control, captured at submit (the leader must never touch the
+    // request's ExecContext beyond these).
+    size_t rows = 0;
+    const std::atomic<bool>* cancel_flag = nullptr;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    ExecStats* stats = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+    Status status;
+    bool done = false;  // guarded by mu_
+  };
+
+  /// Queue + leader-follower handshake; returns the request's outcome.
+  Status Submit(Request* req);
+  /// Runs one claimed batch: weeds dead requests, stacks the live ones on
+  /// a single pooled arena, and writes per-request statuses/stats.
+  void ExecuteBatch(const std::vector<Request*>& batch);
+  void FillControl(Request* req, const ExecContext* ctx) const;
+
+  const MadeModel* model_;
+  InferenceScratchPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Config config_;                   // guarded by mu_
+  std::atomic<bool> enabled_{false};
+  std::vector<Request*> queue_;     // guarded by mu_
+  size_t queued_rows_ = 0;          // guarded by mu_
+  bool leader_active_ = false;      // guarded by mu_
+  size_t test_min_requests_ = 0;    // guarded by mu_
+};
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_SAMPLE_BATCHER_H_

@@ -1,7 +1,11 @@
 // Tests of the session-facing Db API: prepared queries with positional
 // parameters, async execution, and the byte-budgeted completion cache.
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -166,6 +170,48 @@ TEST(OnceLatchTest, RunsExactlyOnceAndCachesFailure) {
   }
   EXPECT_EQ(fail_runs, 1);
   EXPECT_FALSE(fail_latch.done_ok());
+}
+
+TEST(OnceLatchTest, DeadlineWaiterTimesOutWhileWorkCompletes) {
+  OnceLatch latch;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  // Runner holds the latch in kRunning until the test releases it.
+  std::thread runner([&] {
+    Status s = latch.RunOnce([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok());
+  });
+
+  // Wait until the runner actually owns the latch.
+  while (!latch.running()) std::this_thread::yield();
+
+  // An impatient waiter with an already-expired deadline gives up without
+  // disturbing the in-flight run.
+  Status timed_out = latch.RunOnceWithDeadline(
+      [] { return Status::Internal("must not run"); },
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(timed_out.IsDeadlineExceeded());
+  EXPECT_FALSE(latch.done_ok());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  runner.join();
+
+  // The shared work still completed and stays available to later callers.
+  EXPECT_TRUE(latch.done_ok());
+  Status later = latch.RunOnceWithDeadline(
+      [] { return Status::Internal("must not run"); },
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(later.ok());
 }
 
 TEST(CompletionCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
