@@ -1,0 +1,342 @@
+// Closed-loop load harness for the HTTP serving layer: starts an in-process
+// epoll server over a housing Db, opens hundreds of keep-alive connections,
+// and drives them from closed-loop client threads (every connection stays
+// open for the whole run; each thread cycles through its share of the
+// sockets, one request in flight per thread).
+//
+// Two phases are measured and written to BENCH_server.json:
+//   ServerHealthz/conns:N  pure HTTP+event-loop overhead (GET /healthz)
+//   ServerQuery/conns:N    end-to-end SQL round trips (POST /v1/query with a
+//                          classical-path query, chunked JSON response)
+// Each record carries qps, p50_ms/p95_ms/p99_ms, requests, connections, and
+// errors counters; real_ns is the mean per-request latency.
+//
+//   $ ./build/bench_server            # 200 connections, 8 client threads
+//   $ BENCH_SERVER_CONNS=400 ./build/bench_server
+//
+// The bench fails (exit 1) if any request errors or the connection target
+// cannot be sustained — it doubles as the ">= 200 concurrent keep-alive
+// connections" acceptance check.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/server.h"
+
+namespace restore {
+namespace bench {
+namespace {
+
+/// Classical-path query (neighborhood is complete under H1): no model
+/// training or sampling, so the bench stresses the serving layer, not the
+/// completion engine.
+const char kQuerySql[] = "SELECT COUNT(*) FROM neighborhood GROUP BY state;";
+
+struct ClientConn {
+  int fd = -1;
+  std::string carry;  // surplus bytes between responses
+};
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one response (Content-Length or chunked framing); returns the HTTP
+/// status or 0 on error. Surplus pipelined bytes stay in conn->carry.
+int ReadResponse(ClientConn* conn) {
+  std::string buf = std::move(conn->carry);
+  conn->carry.clear();
+  char tmp[8192];
+  auto need_more = [&]() -> bool {
+    const ssize_t n = ::recv(conn->fd, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf.append(tmp, static_cast<size_t>(n));
+    return true;
+  };
+
+  size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (!need_more()) return 0;
+  }
+  if (buf.compare(0, 9, "HTTP/1.1 ") != 0) return 0;
+  const int status = std::atoi(buf.c_str() + 9);
+  const std::string head = buf.substr(0, head_end + 4);
+  size_t pos = head_end + 4;
+
+  if (head.find("Transfer-Encoding: chunked") != std::string::npos) {
+    while (true) {
+      size_t line_end;
+      while ((line_end = buf.find("\r\n", pos)) == std::string::npos) {
+        if (!need_more()) return 0;
+      }
+      const size_t size =
+          std::strtoul(buf.substr(pos, line_end - pos).c_str(), nullptr, 16);
+      pos = line_end + 2;
+      while (buf.size() < pos + size + 2) {
+        if (!need_more()) return 0;
+      }
+      pos += size + 2;
+      if (size == 0) {
+        conn->carry = buf.substr(pos);
+        return status;
+      }
+    }
+  }
+
+  size_t content_length = 0;
+  const size_t cl = head.find("Content-Length: ");
+  if (cl != std::string::npos) {
+    content_length = std::strtoul(head.c_str() + cl + 16, nullptr, 10);
+  }
+  while (buf.size() < pos + content_length) {
+    if (!need_more()) return 0;
+  }
+  conn->carry = buf.substr(pos + content_length);
+  return status;
+}
+
+struct PhaseResult {
+  std::vector<double> latencies_ns;
+  uint64_t errors = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Drives `total_requests` requests across `conns` from `num_threads`
+/// closed-loop client threads. Every connection stays open for the whole
+/// phase; each thread cycles through its share of the sockets.
+PhaseResult RunPhase(std::vector<ClientConn>* conns, size_t num_threads,
+                     size_t total_requests, const std::string& request,
+                     int expect_status) {
+  PhaseResult result;
+  std::vector<std::vector<double>> per_thread_lat(num_threads);
+  std::vector<uint64_t> per_thread_err(num_threads, 0);
+  // Signed so concurrent decrements past zero stay negative (no wraparound).
+  std::atomic<int64_t> budget{static_cast<int64_t>(total_requests)};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& latencies = per_thread_lat[t];
+      size_t i = t;  // connection cursor, strided so shares don't overlap
+      while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        ClientConn& conn = (*conns)[i % conns->size()];
+        i += num_threads;
+        const auto t0 = std::chrono::steady_clock::now();
+        int status = 0;
+        if (SendAll(conn.fd, request)) status = ReadResponse(&conn);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (status != expect_status) {
+          ++per_thread_err[t];
+          continue;
+        }
+        latencies.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (size_t t = 0; t < num_threads; ++t) {
+    result.errors += per_thread_err[t];
+    result.latencies_ns.insert(result.latencies_ns.end(),
+                               per_thread_lat[t].begin(),
+                               per_thread_lat[t].end());
+  }
+  return result;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size() - 1)));
+  return (*sorted)[index];
+}
+
+BenchRecord MakeRecord(const std::string& phase, size_t connections,
+                       const PhaseResult& result) {
+  BenchRecord record;
+  record.name = phase + "/conns:" + std::to_string(connections);
+  std::vector<double> sorted = result.latencies_ns;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  const double count = sorted.empty() ? 1.0 : sorted.size();
+  record.real_ns = sum / count;
+  record.cpu_ns = record.real_ns;
+  record.iterations = static_cast<int64_t>(sorted.size());
+  record.counters["qps"] =
+      result.wall_seconds > 0 ? sorted.size() / result.wall_seconds : 0.0;
+  record.counters["p50_ms"] = Percentile(&sorted, 0.50) / 1e6;
+  record.counters["p95_ms"] = Percentile(&sorted, 0.95) / 1e6;
+  record.counters["p99_ms"] = Percentile(&sorted, 0.99) / 1e6;
+  record.counters["requests"] = static_cast<double>(sorted.size());
+  record.counters["connections"] = static_cast<double>(connections);
+  record.counters["errors"] = static_cast<double>(result.errors);
+  return record;
+}
+
+void PrintRecord(const BenchRecord& record) {
+  std::printf("%-28s qps=%8.0f  p50=%7.3fms  p95=%7.3fms  p99=%7.3fms  "
+              "requests=%.0f errors=%.0f\n",
+              record.name.c_str(), record.counters.at("qps"),
+              record.counters.at("p50_ms"), record.counters.at("p95_ms"),
+              record.counters.at("p99_ms"), record.counters.at("requests"),
+              record.counters.at("errors"));
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return static_cast<size_t>(std::strtoul(v, nullptr, 10));
+}
+
+int Run() {
+  const size_t connections = EnvSize("BENCH_SERVER_CONNS", 200);
+  const size_t client_threads = EnvSize("BENCH_SERVER_THREADS", 8);
+
+  // One housing tenant behind the server, engine sized like the unit tests.
+  auto run = MakeSetupRun("H1", 0.5, 0.5, 0.25, 4242);
+  if (!run.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  auto db = OpenBenchDb(*run, BenchEngineConfig());
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  server::TenantRegistry tenants;
+  if (auto s = tenants.Add("housing", *db); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  server::ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.event_threads = 2;
+  config.query_threads = 4;
+  config.max_inflight_queries = 64;
+  server::HttpServer http(&tenants, config);
+  if (auto s = http.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ClientConn> conns(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    conns[i].fd = ConnectTo(http.port());
+    if (conns[i].fd < 0) {
+      std::fprintf(stderr, "connection %zu of %zu failed\n", i, connections);
+      return 1;
+    }
+  }
+
+  const std::string healthz_req =
+      "GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n";
+  const std::string query_req =
+      "POST /v1/query HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+      std::to_string(sizeof(kQuerySql) - 1) + "\r\n\r\n" + kQuerySql;
+
+  // Warm up (first query populates the completion cache / result paths).
+  RunPhase(&conns, client_threads, 2 * client_threads, query_req, 200);
+
+  const size_t healthz_requests = EnvSize("BENCH_SERVER_HEALTHZ_REQS", 20000);
+  const size_t query_requests = EnvSize("BENCH_SERVER_QUERY_REQS", 2000);
+  const PhaseResult healthz =
+      RunPhase(&conns, client_threads, healthz_requests, healthz_req, 200);
+  const PhaseResult query =
+      RunPhase(&conns, client_threads, query_requests, query_req, 200);
+
+  const server::HttpServerStats stats = http.stats();
+  std::printf("server: %llu connections accepted, %llu active, "
+              "%llu requests, %llu queries admitted, %llu shed\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_active),
+              static_cast<unsigned long long>(stats.requests_total),
+              static_cast<unsigned long long>(stats.queries_admitted),
+              static_cast<unsigned long long>(stats.queries_shed_global +
+                                              stats.queries_shed_tenant));
+
+  std::vector<BenchRecord> records;
+  records.push_back(MakeRecord("ServerHealthz", connections, healthz));
+  records.push_back(MakeRecord("ServerQuery", connections, query));
+  for (const BenchRecord& record : records) PrintRecord(record);
+
+  int exit_code = 0;
+  if (healthz.errors + query.errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu request errors\n",
+                 static_cast<unsigned long long>(healthz.errors +
+                                                 query.errors));
+    exit_code = 1;
+  }
+  if (stats.connections_active < connections) {
+    std::fprintf(stderr,
+                 "FAIL: only %llu of %zu connections still alive\n",
+                 static_cast<unsigned long long>(stats.connections_active),
+                 connections);
+    exit_code = 1;
+  }
+
+  for (ClientConn& conn : conns) ::close(conn.fd);
+  http.Stop();
+
+  if (auto s = WriteBenchJson("BENCH_server.json", records); !s.ok()) {
+    std::fprintf(stderr, "writing BENCH_server.json failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote BENCH_server.json\n");
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace restore
+
+int main() { return restore::bench::Run(); }

@@ -34,7 +34,8 @@ subsequent width-1 gate run look like a regression:
 
     cd build && RESTORE_NUM_THREADS=1 ./bench_micro
     ./bench_fig10_selection > /dev/null
-    cp BENCH_micro.json BENCH_fig10.json ../bench/baselines/
+    ./bench_server
+    cp BENCH_micro.json BENCH_fig10.json BENCH_server.json ../bench/baselines/
 """
 
 import argparse
@@ -42,20 +43,38 @@ import json
 import os
 import sys
 
-# Hot metrics gated by default for BENCH_micro.json. Matched as exact names
-# after normalization (see find_record); threading/real_time suffixes in
-# google-benchmark names are tolerated via prefix match. BM_DbQps is the
-# Db-level end-to-end serving bench (concurrent sessions, cache disabled,
-# pre-trained models): it guards the completion plumbing AROUND the models,
-# which the model-only benches cannot see.
-DEFAULT_METRICS = [
-    "BM_MadeForward/256",
-    "BM_MadeSample/512",
-    "BM_MadeSampleSliced/512",
-    "BM_ConcurrentInference",
-    "BM_DbQps",
-    "BM_CoalescedSample/1",
-]
+# Hot metrics gated by default, keyed by the basename of the fresh JSON
+# (--metrics overrides). Matched as exact names after normalization (see
+# find_record); threading/real_time suffixes in google-benchmark names are
+# tolerated via prefix match.
+#
+# BENCH_micro.json: BM_DbQps is the Db-level end-to-end serving bench
+# (concurrent sessions, cache disabled, pre-trained models): it guards the
+# completion plumbing AROUND the models, which the model-only benches cannot
+# see.
+#
+# BENCH_server.json (bench_server, the HTTP load harness): real_ns is the
+# mean per-request latency of each phase. Its committed baseline was
+# bootstrapped on a 1-CORE box — like the BENCH_micro baseline — and network
+# latency percentiles are noisier than in-process timings, so the CI gate
+# runs it with --threshold 1.0 until a few runner generations of data
+# justify tightening.
+DEFAULT_METRICS_BY_FILE = {
+    "BENCH_micro.json": [
+        "BM_MadeForward/256",
+        "BM_MadeSample/512",
+        "BM_MadeSampleSliced/512",
+        "BM_ConcurrentInference",
+        "BM_DbQps",
+        "BM_CoalescedSample/1",
+    ],
+    "BENCH_server.json": [
+        "ServerHealthz",
+        "ServerQuery",
+    ],
+}
+# Unknown basenames fall back to the micro list (the historical behavior).
+DEFAULT_METRICS = DEFAULT_METRICS_BY_FILE["BENCH_micro.json"]
 
 CONCURRENT_BENCH = "BM_ConcurrentInference"
 CONCURRENT_MUTEX_BENCH = "BM_ConcurrentInferenceMutex"
@@ -111,8 +130,9 @@ def main():
     parser.add_argument("--fresh", required=True)
     parser.add_argument("--baseline", required=True)
     parser.add_argument(
-        "--metrics", nargs="*", default=DEFAULT_METRICS,
-        help="benchmark names to gate (default: the hot NN metrics)")
+        "--metrics", nargs="*", default=None,
+        help="benchmark names to gate (default: the per-file hot metrics "
+             "from DEFAULT_METRICS_BY_FILE, chosen by the --fresh basename)")
     parser.add_argument(
         "--all-metrics", action="store_true",
         help="gate every record present in the baseline (figure JSONs)")
@@ -153,6 +173,9 @@ def main():
     failures = []
 
     metrics = args.metrics
+    if metrics is None:
+        metrics = DEFAULT_METRICS_BY_FILE.get(
+            os.path.basename(args.fresh), DEFAULT_METRICS)
     if args.all_metrics:
         metrics = [r["name"] for r in base]
 

@@ -18,9 +18,24 @@ size_t DefaultWidth() {
   return hw > 0 ? static_cast<size_t>(hw) : 1;
 }
 
-std::unique_ptr<ThreadPool>& GlobalSlot() {
-  static std::unique_ptr<ThreadPool> pool(new ThreadPool(DefaultWidth() - 1));
-  return pool;
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  // Pools replaced by SetGlobalWidth, workers already stopped and joined.
+  // The objects stay alive for the process lifetime so a thread that read
+  // Global() just before a swap runs its work inline on a valid (worker-
+  // less) pool instead of a dangling reference. Bounded by the number of
+  // SetGlobalWidth calls, which only tests and bench Setup/Teardown make.
+  std::vector<std::unique_ptr<ThreadPool>> retired;
+};
+
+GlobalPoolState& GlobalState() {
+  static GlobalPoolState* state = [] {
+    auto* s = new GlobalPoolState();
+    s->pool.reset(new ThreadPool(DefaultWidth() - 1));
+    return s;
+  }();
+  return *state;
 }
 
 }  // namespace
@@ -32,20 +47,44 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::StopWorkers() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (threads_.empty()) return;
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.clear();
+  stop_ = false;
 }
 
-ThreadPool& ThreadPool::Global() { return *GlobalSlot(); }
+ThreadPool& ThreadPool::Global() {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return *state.pool;
+}
+
+size_t ThreadPool::GlobalWidth() { return Global().Width(); }
 
 void ThreadPool::SetGlobalWidth(size_t width) {
   if (width == 0) width = DefaultWidth();
-  GlobalSlot().reset(new ThreadPool(width - 1));
+  GlobalPoolState& state = GlobalState();
+  std::unique_ptr<ThreadPool> fresh(new ThreadPool(width - 1));
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    old = std::move(state.pool);
+    state.pool = std::move(fresh);
+  }
+  // Outside the slot lock: joining the old workers can require running
+  // queued tasks, which may themselves call Global().
+  old->StopWorkers();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.retired.push_back(std::move(old));
 }
 
 void ThreadPool::WorkerLoop() {

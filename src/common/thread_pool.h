@@ -39,15 +39,29 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Total compute width of this pool: its worker threads plus the calling
+  /// thread that always participates in ParallelFor.
+  size_t Width() const { return threads_.size() + 1; }
+
   /// The process-wide pool. Sized to hardware_concurrency() - 1 workers by
   /// default; the RESTORE_NUM_THREADS environment variable (total compute
   /// width, >= 1) overrides it.
   static ThreadPool& Global();
 
+  /// Width() of the current global pool.
+  static size_t GlobalWidth();
+
   /// Rebuilds the global pool with `width - 1` workers (width >= 1 is the
   /// total compute width including the caller); width == 0 resets to the
-  /// environment default. Intended for tests that pin the thread count; not
-  /// thread-safe against concurrent Global() users.
+  /// environment default.
+  ///
+  /// Safe to call while other threads still hold a reference from Global()
+  /// (e.g. a running server's query workers, bench_server Setup/Teardown):
+  /// the old pool's workers are stopped and joined after its queue drained,
+  /// and the pool OBJECT is retired — kept alive for the process lifetime —
+  /// so a straggler that raced the swap executes its ParallelFor inline on
+  /// the retired (now worker-less) pool instead of touching freed memory.
+  /// Work submitted after the swap via Global() lands on the new pool.
   static void SetGlobalWidth(size_t width);
 
   /// Enqueues an independent task.
@@ -69,6 +83,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Stops and joins the worker threads after the queue drained. The pool
+  /// stays usable afterwards: with zero workers every Run/ParallelFor
+  /// executes inline on the calling thread.
+  void StopWorkers();
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,157 @@
+#include "restore/stats_prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace restore {
+
+namespace {
+
+/// Renders a sample value: integral values without a fraction (the common
+/// case for counters), everything else with enough digits to round-trip.
+std::string RenderValue(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value >= -1e15 && value <= 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusLabel(const std::string& name,
+                            const std::string& value) {
+  std::string out = name;
+  out += "=\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JoinPrometheusLabels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+void PrometheusRenderer::Add(const std::string& name, const std::string& help,
+                             const std::string& type,
+                             const std::string& labels, double value) {
+  for (Family& family : families_) {
+    if (family.name == name) {
+      family.samples.push_back({labels, value});
+      return;
+    }
+  }
+  families_.push_back({name, help, type, {{labels, value}}});
+}
+
+void PrometheusRenderer::Counter(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels, double value) {
+  Add(name, help, "counter", labels, value);
+}
+
+void PrometheusRenderer::Gauge(const std::string& name,
+                               const std::string& help,
+                               const std::string& labels, double value) {
+  Add(name, help, "gauge", labels, value);
+}
+
+void PrometheusRenderer::AddDbStats(const std::string& labels,
+                                    const Db::Stats& stats) {
+  const struct {
+    const char* outcome;
+    uint64_t count;
+  } outcomes[] = {
+      {"ok", stats.queries_ok},
+      {"cancelled", stats.queries_cancelled},
+      {"deadline_exceeded", stats.queries_deadline_exceeded},
+      {"failed", stats.queries_failed},
+  };
+  for (const auto& o : outcomes) {
+    Counter("restore_queries_total", "Finished queries by outcome.",
+            JoinPrometheusLabels(labels, PrometheusLabel("outcome", o.outcome)),
+            static_cast<double>(o.count));
+  }
+
+  const ExecStats& t = stats.totals;
+  const struct {
+    const char* stage;
+    double seconds;
+  } stages[] = {
+      {"parse", t.parse_seconds},         {"plan", t.plan_seconds},
+      {"selection", t.selection_seconds}, {"sample", t.sample_seconds},
+      {"aggregate", t.aggregate_seconds}, {"batch_wait", t.batch_wait_seconds},
+  };
+  for (const auto& s : stages) {
+    Counter("restore_query_stage_seconds_total",
+            "Wall-clock seconds spent per query pipeline stage, summed over "
+            "finished queries.",
+            JoinPrometheusLabels(labels, PrometheusLabel("stage", s.stage)),
+            s.seconds);
+  }
+
+  Counter("restore_tuples_completed_total",
+          "Tuples synthesized by completion models.", labels,
+          static_cast<double>(t.tuples_completed));
+  Counter("restore_models_consulted_total",
+          "PathModel lookups performed by queries.", labels,
+          static_cast<double>(t.models_consulted));
+  Counter("restore_cache_hits_total", "Completion-cache hits.", labels,
+          static_cast<double>(t.cache_hits));
+  Counter("restore_cache_misses_total", "Completion-cache misses.", labels,
+          static_cast<double>(t.cache_misses));
+  Counter("restore_arenas_leased_total",
+          "Inference scratch arenas leased by queries.", labels,
+          static_cast<double>(t.arenas_leased));
+  Counter("restore_batches_joined_total",
+          "Coalesced forward passes shared with at least one other request.",
+          labels, static_cast<double>(t.batches_joined));
+  Counter("restore_coalesced_rows_total",
+          "Stacked rows of coalesced sampling batches queries participated "
+          "in.",
+          labels, static_cast<double>(t.coalesced_rows));
+}
+
+std::string PrometheusRenderer::Render() const {
+  std::string out;
+  for (const Family& family : families_) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + family.type + "\n";
+    for (const Sample& sample : family.samples) {
+      out += family.name;
+      if (!sample.labels.empty()) out += "{" + sample.labels + "}";
+      out += " " + RenderValue(sample.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string StatsToPrometheus(const Db::Stats& stats,
+                              const std::string& labels) {
+  PrometheusRenderer out;
+  out.AddDbStats(labels, stats);
+  return out.Render();
+}
+
+}  // namespace restore

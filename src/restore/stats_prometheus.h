@@ -1,0 +1,75 @@
+#ifndef RESTORE_RESTORE_STATS_PROMETHEUS_H_
+#define RESTORE_RESTORE_STATS_PROMETHEUS_H_
+
+// Prometheus text exposition (version 0.0.4) rendering of the Db's
+// aggregated query accounting, so a /metrics endpoint is a thin wrapper:
+//
+//   PrometheusRenderer out;
+//   out.AddDbStats(PrometheusLabel("tenant", "housing"), db.stats());
+//   Respond(out.Render());
+//
+// The renderer groups samples by metric family so the mandatory single
+// `# HELP` / `# TYPE` header per family holds even when several label sets
+// (e.g. one per tenant) contribute to the same family.
+
+#include <string>
+#include <vector>
+
+#include "restore/db.h"
+
+namespace restore {
+
+/// Renders one label as `name="value"` with the required escaping of
+/// backslash, double quote, and newline in the value.
+std::string PrometheusLabel(const std::string& name, const std::string& value);
+
+/// Joins two pre-rendered label lists with a comma (either may be empty).
+std::string JoinPrometheusLabels(const std::string& a, const std::string& b);
+
+/// Accumulates metric families and renders them as Prometheus text format.
+class PrometheusRenderer {
+ public:
+  /// Appends one sample to the counter family `name`, creating the family
+  /// (with its HELP/TYPE header) on first use. `labels` is a pre-rendered
+  /// comma-separated label list WITHOUT braces (empty = no labels).
+  void Counter(const std::string& name, const std::string& help,
+               const std::string& labels, double value);
+
+  /// Same for a gauge family (values that can go down, e.g. in-flight).
+  void Gauge(const std::string& name, const std::string& help,
+             const std::string& labels, double value);
+
+  /// Adds every counter of one Db's aggregated stats under `labels`
+  /// (typically a tenant label; empty for a single-Db deployment).
+  void AddDbStats(const std::string& labels, const Db::Stats& stats);
+
+  /// The full exposition: families in first-use order, HELP/TYPE once per
+  /// family, one `name{labels} value` line per sample, trailing newline.
+  std::string Render() const;
+
+ private:
+  struct Sample {
+    std::string labels;
+    double value;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    std::string type;  // "counter" | "gauge"
+    std::vector<Sample> samples;
+  };
+
+  void Add(const std::string& name, const std::string& help,
+           const std::string& type, const std::string& labels, double value);
+
+  std::vector<Family> families_;
+};
+
+/// Convenience one-Db wrapper: a renderer with just AddDbStats(labels,
+/// stats), rendered.
+std::string StatsToPrometheus(const Db::Stats& stats,
+                              const std::string& labels = "");
+
+}  // namespace restore
+
+#endif  // RESTORE_RESTORE_STATS_PROMETHEUS_H_

@@ -1,0 +1,108 @@
+#ifndef RESTORE_SERVER_ADMISSION_H_
+#define RESTORE_SERVER_ADMISSION_H_
+
+// Admission control for the serving layer: a lock-free bounded in-flight
+// counter. The server sheds load with HTTP 503 the moment a bound is hit
+// instead of queueing unboundedly — a shed request costs one atomic CAS and
+// never touches a Session, so overload degrades throughput gracefully
+// rather than latency catastrophically.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace restore {
+namespace server {
+
+/// Bounds concurrently admitted work. TryAcquire/Release pairs guard one
+/// unit (a query in flight, a connection); counters expose totals for
+/// /metrics. Thread-safe; all operations are wait-free.
+class AdmissionController {
+ public:
+  /// `max_inflight` == 0 means unbounded (TryAcquire always succeeds).
+  explicit AdmissionController(size_t max_inflight)
+      : max_inflight_(max_inflight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits one unit unless the bound is reached. On refusal the shed
+  /// counter is bumped and nothing needs releasing.
+  bool TryAcquire() {
+    if (max_inflight_ == 0) {
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    size_t current = inflight_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= max_inflight_) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (inflight_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Releases one previously admitted unit.
+  void Release() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  size_t max_inflight() const { return max_inflight_; }
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted_total() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t max_inflight_;
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+/// RAII holder of one admission unit.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  explicit AdmissionSlot(AdmissionController* controller)
+      : controller_(controller) {}
+  AdmissionSlot(AdmissionSlot&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { Release(); }
+
+  bool held() const { return controller_ != nullptr; }
+  void Release() {
+    if (controller_ != nullptr) {
+      controller_->Release();
+      controller_ = nullptr;
+    }
+  }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace restore
+
+#endif  // RESTORE_SERVER_ADMISSION_H_

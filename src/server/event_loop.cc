@@ -1,0 +1,156 @@
+#include "server/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
+
+namespace restore {
+namespace server {
+
+#ifdef __linux__
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wakeup fd
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(wake): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  thread_.join();
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // The eventfd counter saturating (EAGAIN) still leaves the loop awake.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Handler* handler) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(add): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events, Handler* handler) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(mod): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Del(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; loop exits, server stops
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      static_cast<Handler*>(events[i].data.ptr)->OnEvent(events[i].events);
+    }
+    DrainPosted();
+  }
+  // Final drain so tasks posted just before Stop() (e.g. connection
+  // teardown) still run on the loop thread.
+  DrainPosted();
+}
+
+#else  // !__linux__
+
+EventLoop::~EventLoop() {}
+Status EventLoop::Init() {
+  return Status::Unimplemented("the epoll server requires Linux");
+}
+void EventLoop::Start() {}
+void EventLoop::Stop() {}
+void EventLoop::Post(std::function<void()>) {}
+Status EventLoop::Add(int, uint32_t, Handler*) {
+  return Status::Unimplemented("the epoll server requires Linux");
+}
+Status EventLoop::Mod(int, uint32_t, Handler*) {
+  return Status::Unimplemented("the epoll server requires Linux");
+}
+void EventLoop::Del(int) {}
+void EventLoop::Wake() {}
+void EventLoop::DrainPosted() {}
+void EventLoop::Run() {}
+
+#endif  // __linux__
+
+}  // namespace server
+}  // namespace restore

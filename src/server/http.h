@@ -1,0 +1,116 @@
+#ifndef RESTORE_SERVER_HTTP_H_
+#define RESTORE_SERVER_HTTP_H_
+
+// Minimal HTTP/1.1 for the serving layer: an incremental request parser fed
+// raw socket bytes (keep-alive and pipelining safe — leftover bytes after
+// one message start the next), and response/chunk encoders. Only what the
+// server needs: request line + headers + Content-Length bodies in, status
+// line + headers + identity or chunked bodies out.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace restore {
+namespace server {
+
+/// One parsed request. Header names are matched case-insensitively via
+/// FindHeader; values are returned with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form target, e.g. "/v1/query/housing?x=1"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+
+  /// Target path without the query string ("/v1/query/housing").
+  std::string Path() const;
+
+  /// Connection persistence per RFC 7230: HTTP/1.1 defaults to keep-alive
+  /// unless "Connection: close"; HTTP/1.0 requires an explicit keep-alive.
+  bool KeepAlive() const;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed it raw bytes as they arrive;
+/// it consumes exactly one message per Feed()==kComplete and leaves any
+/// pipelined surplus buffered for the next cycle (call Reset() between
+/// messages, which keeps the surplus).
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,   // message incomplete, feed more bytes
+    kComplete,   // request() is fully parsed
+    kError,      // malformed or over limit; error_status()/error_reason()
+  };
+
+  explicit HttpRequestParser(size_t max_head_bytes = 16 * 1024,
+                             size_t max_body_bytes = 1 << 20)
+      : max_head_bytes_(max_head_bytes), max_body_bytes_(max_body_bytes) {}
+
+  /// Appends `n` bytes and advances the parse. Idempotent at terminal
+  /// states (kComplete/kError stay put until Reset).
+  State Feed(const char* data, size_t n);
+
+  /// Re-arms the parser for the next message on the same connection,
+  /// preserving already-buffered pipelined bytes (which are parsed
+  /// immediately; check the return state).
+  State Reset();
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// HTTP status code to answer a kError parse with (400, 431, 413, 501).
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+ private:
+  State Fail(int status, std::string reason);
+  State Advance();
+  State ParseHead(size_t head_end);
+
+  size_t max_head_bytes_;
+  size_t max_body_bytes_;
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kNeedMore;
+  bool head_done_ = false;
+  size_t body_remaining_ = 0;
+  int error_status_ = 400;
+  std::string error_reason_;
+};
+
+/// Serializes a full response with Content-Length framing. `headers` are
+/// extra headers beyond Content-Length/Connection; `keep_alive` renders the
+/// Connection header.
+std::string BuildResponse(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+/// The head of a chunked response (Transfer-Encoding: chunked); follow with
+/// EncodeChunk() per payload and FinalChunk() to terminate.
+std::string BuildChunkedResponseHead(
+    int status, const std::string& content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& headers = {});
+std::string EncodeChunk(const std::string& payload);
+std::string FinalChunk();
+
+/// Reason phrase of the status codes the server emits ("OK", "Bad Request",
+/// ...; "Unknown" otherwise).
+const char* StatusReason(int status);
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double as a JSON value (null for NaN/infinities, which JSON
+/// cannot represent).
+std::string JsonNumber(double value);
+
+}  // namespace server
+}  // namespace restore
+
+#endif  // RESTORE_SERVER_HTTP_H_

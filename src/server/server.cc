@@ -1,0 +1,804 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "restore/stats_prometheus.h"
+#include "server/http.h"
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace restore {
+namespace server {
+
+struct HttpServer::LoopConnections {
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> map;
+};
+
+#ifdef __linux__
+
+namespace {
+
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+std::string ErrorBody(const std::string& code, const std::string& message) {
+  return "{\"error\":{\"code\":\"" + JsonEscape(code) + "\",\"message\":\"" +
+         JsonEscape(message) + "\"}}";
+}
+
+std::string ErrorResponse(const Status& status, bool keep_alive) {
+  return BuildResponse(HttpStatusFor(status), "application/json",
+                       ErrorBody(StatusCodeName(status.code()),
+                                 status.message()),
+                       keep_alive);
+}
+
+void AppendJsonStringArray(std::string* out,
+                           const std::vector<std::string>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += '"' + JsonEscape(values[i]) + '"';
+  }
+  *out += ']';
+}
+
+/// The streamed 200 response of a query: chunk 1 carries the schema and
+/// opens the row array, every ResultSet batch becomes one chunk of row
+/// tuples, and the final chunk closes the array and appends the per-query
+/// ExecStats — so a client renders rows as chunks arrive and still gets the
+/// accounting that only exists once the query finished.
+std::string QueryResponse(const std::string& tenant, ResultSet& rs,
+                          bool keep_alive) {
+  std::string out = BuildChunkedResponseHead(200, "application/json",
+                                             keep_alive);
+  std::string head = "{\"tenant\":\"" + JsonEscape(tenant) +
+                     "\",\"key_columns\":";
+  AppendJsonStringArray(&head, rs.key_columns());
+  head += ",\"value_columns\":";
+  AppendJsonStringArray(&head, rs.value_columns());
+  head += ",\"rows\":[";
+  out += EncodeChunk(head);
+
+  rs.Rewind();
+  ResultBatch batch;
+  bool first_row = true;
+  while (rs.NextBatch(&batch)) {
+    std::string chunk;
+    for (size_t r = 0; r < batch.rows; ++r) {
+      if (!first_row) chunk += ',';
+      first_row = false;
+      chunk += '[';
+      for (size_t c = 0; c < rs.num_key_columns(); ++c) {
+        if (c > 0) chunk += ',';
+        chunk += '"' + JsonEscape(batch.key(r, c)) + '"';
+      }
+      for (size_t c = 0; c < rs.num_value_columns(); ++c) {
+        if (c > 0 || rs.num_key_columns() > 0) chunk += ',';
+        chunk += JsonNumber(batch.value(r, c));
+      }
+      chunk += ']';
+    }
+    out += EncodeChunk(chunk);
+  }
+
+  const ExecStats& s = rs.stats();
+  std::string tail = "],\"row_count\":" + std::to_string(rs.num_rows());
+  tail += ",\"stats\":{";
+  tail += "\"parse_seconds\":" + JsonNumber(s.parse_seconds);
+  tail += ",\"plan_seconds\":" + JsonNumber(s.plan_seconds);
+  tail += ",\"selection_seconds\":" + JsonNumber(s.selection_seconds);
+  tail += ",\"sample_seconds\":" + JsonNumber(s.sample_seconds);
+  tail += ",\"aggregate_seconds\":" + JsonNumber(s.aggregate_seconds);
+  tail += ",\"tuples_completed\":" + std::to_string(s.tuples_completed);
+  tail += ",\"models_consulted\":" + std::to_string(s.models_consulted);
+  tail += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  tail += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  tail += "}}";
+  out += EncodeChunk(tail);
+  out += FinalChunk();
+  return out;
+}
+
+}  // namespace
+
+// ---- Connection -------------------------------------------------------------
+
+struct HttpServer::Connection
+    : public EventLoop::Handler,
+      public std::enable_shared_from_this<HttpServer::Connection> {
+  enum class State { kReading, kProcessing, kWriting, kClosed };
+
+  HttpServer* server;
+  EventLoop* loop;
+  size_t loop_index;
+  int fd;
+  HttpRequestParser parser;
+  std::string out;
+  State state = State::kReading;
+  uint32_t watched = 0;  // currently registered epoll mask (0 = none)
+  bool peer_gone = false;
+  bool close_after_response = false;
+  bool current_keep_alive = true;
+  /// Token of the in-flight query while kProcessing; RequestCancel on it is
+  /// the disconnect -> cancellation bridge. Written on the loop thread at
+  /// dispatch (before the worker job is queued), only signalled afterwards.
+  CancellationToken inflight_cancel;
+
+  Connection(HttpServer* server, EventLoop* loop, size_t loop_index, int fd)
+      : server(server),
+        loop(loop),
+        loop_index(loop_index),
+        fd(fd),
+        parser(server->config().max_request_head_bytes,
+               server->config().max_request_body_bytes) {}
+
+  // All methods below run on the connection's loop thread.
+
+  void OnEvent(uint32_t events) override {
+    auto self = shared_from_this();
+    if (state == State::kClosed) return;
+    if (events & EPOLLERR) {
+      Abort();
+      return;
+    }
+    if (state == State::kProcessing) {
+      // Only EPOLLRDHUP is registered while a query is in flight: any event
+      // here means the client is gone.
+      PeerGoneMidQuery();
+      return;
+    }
+    if ((events & EPOLLOUT) && state == State::kWriting) HandleWritable();
+    if (state == State::kReading &&
+        (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP))) {
+      HandleReadable();
+    }
+  }
+
+  void UpdateEvents(uint32_t mask) {
+    if (mask == watched) return;
+    if (watched == 0) {
+      (void)loop->Add(fd, mask, this);
+    } else if (mask == 0) {
+      loop->Del(fd);
+    } else {
+      (void)loop->Mod(fd, mask, this);
+    }
+    watched = mask;
+  }
+
+  void HandleReadable() {
+    char buf[16 * 1024];
+    while (state == State::kReading) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        const auto parse_state =
+            parser.Feed(buf, static_cast<size_t>(n));
+        if (parse_state == HttpRequestParser::State::kComplete) {
+          server->Dispatch(shared_from_this());
+          return;  // reading resumes after the response flushed
+        }
+        if (parse_state == HttpRequestParser::State::kError) {
+          RespondParseError();
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        Abort();  // clean EOF between requests
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      Abort();
+      return;
+    }
+  }
+
+  void RespondParseError() {
+    server->bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    SendResponse(
+        BuildResponse(parser.error_status(), "application/json",
+                      ErrorBody("BadRequest", parser.error_reason()),
+                      /*keep_alive=*/false),
+        /*keep_alive=*/false);
+  }
+
+  /// Queues `bytes` as the response of the current request and starts
+  /// flushing. `keep_alive` decides the connection's fate afterwards.
+  void SendResponse(std::string bytes, bool keep_alive) {
+    out += bytes;
+    close_after_response = !keep_alive;
+    state = State::kWriting;
+    HandleWritable();
+  }
+
+  void HandleWritable() {
+    while (!out.empty()) {
+      const ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        UpdateEvents(EPOLLOUT);
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Abort();
+      return;
+    }
+    // Response fully flushed.
+    if (close_after_response) {
+      Abort();
+      return;
+    }
+    state = State::kReading;
+    UpdateEvents(EPOLLIN | EPOLLRDHUP);
+    // A pipelined next request may already be buffered in the parser.
+    const auto parse_state = parser.Reset();
+    if (parse_state == HttpRequestParser::State::kComplete) {
+      server->Dispatch(shared_from_this());
+    } else if (parse_state == HttpRequestParser::State::kError) {
+      RespondParseError();
+    }
+  }
+
+  void PeerGoneMidQuery() {
+    peer_gone = true;
+    if (inflight_cancel.can_cancel()) {
+      inflight_cancel.RequestCancel();
+      server->disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Stop watching; the fd stays open until the worker's completion
+    // arrives so the number cannot be reused under the in-flight query.
+    UpdateEvents(0);
+  }
+
+  /// Worker completion (posted to the loop): the query finished and its
+  /// response bytes are ready.
+  void CompleteRequest(std::string bytes, bool keep_alive) {
+    if (state == State::kClosed) return;
+    if (peer_gone) {
+      Abort();
+      return;
+    }
+    state = State::kWriting;  // so SendResponse's write path applies
+    SendResponse(std::move(bytes), keep_alive);
+  }
+
+  /// Closes the connection now (abort or orderly after-close); drops any
+  /// unflushed bytes.
+  void Abort() {
+    if (state == State::kClosed) return;
+    UpdateEvents(0);
+    ::close(fd);
+    state = State::kClosed;
+    server->connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    server->ForgetConnection(loop_index, this);
+  }
+};
+
+// ---- Acceptor ---------------------------------------------------------------
+
+class HttpServer::Acceptor : public EventLoop::Handler {
+ public:
+  explicit Acceptor(HttpServer* server) : server_(server) {}
+
+  void OnEvent(uint32_t events) override {
+    if ((events & EPOLLIN) == 0) return;
+    while (true) {
+      const int fd = ::accept4(server_->listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN (drained) or the listen fd went away during Stop
+      }
+      if (server_->connections_active_.load(std::memory_order_relaxed) >=
+          server_->config_.max_connections) {
+        ::close(fd);
+        server_->connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      server_->connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      server_->connections_active_.fetch_add(1, std::memory_order_relaxed);
+      server_->AdoptConnection(fd);
+    }
+  }
+
+ private:
+  HttpServer* server_;
+};
+
+// ---- WorkerPool -------------------------------------------------------------
+
+/// Dedicated query-execution threads. Session::Execute blocks (sampling,
+/// possibly first-touch training), so queries must never run on an event
+/// thread; and the shared NN ThreadPool may be width 1 (zero workers, tasks
+/// run inline on the submitter), which would block the event loop too.
+class HttpServer::WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~WorkerPool() { Stop(); }
+
+  void Submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  /// Finishes every queued job, then joins. Idempotent.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopped_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+// ---- HttpServer -------------------------------------------------------------
+
+HttpServer::HttpServer(const TenantRegistry* tenants, ServerConfig config)
+    : tenants_(tenants),
+      config_(std::move(config)),
+      query_admission_(config_.max_inflight_queries) {
+  if (config_.event_threads == 0) config_.event_threads = 1;
+  if (config_.query_threads == 0) config_.query_threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_) return Status::FailedPrecondition("server already running");
+  if (tenants_ == nullptr || tenants_->size() == 0) {
+    return Status::InvalidArgument("no tenants registered");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind/listen on " + config_.bind_address + ":" +
+                            std::to_string(config_.port) + ": " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  loops_.clear();
+  conns_.clear();
+  for (size_t i = 0; i < config_.event_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    conns_.push_back(std::make_unique<LoopConnections>());
+    Status s = loops_.back()->Init();
+    if (!s.ok()) {
+      loops_.clear();
+      conns_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+  }
+
+  acceptor_ = std::make_unique<Acceptor>(this);
+  Status s = loops_[0]->Add(listen_fd_, EPOLLIN, acceptor_.get());
+  if (!s.ok()) {
+    loops_.clear();
+    conns_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  workers_ = std::make_unique<WorkerPool>(config_.query_threads);
+  for (auto& loop : loops_) loop->Start();
+  running_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+
+  // 1. Stop accepting: unregister and close the listen socket on the
+  //    acceptor's own loop thread so no accept runs concurrently.
+  {
+    std::promise<void> done;
+    EventLoop* loop0 = loops_[0].get();
+    const int fd = listen_fd_;
+    loop0->Post([this, loop0, fd, &done] {
+      loop0->Del(fd);
+      ::close(fd);
+      listen_fd_ = -1;
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+
+  // 2. Let every admitted query finish; their completions are posted to the
+  //    loops in order, ahead of the teardown below.
+  workers_->Stop();
+
+  // 3. Flush/close all connections on their own threads, then stop loops.
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    EventLoop* loop = loops_[i].get();
+    LoopConnections* conns = conns_[i].get();
+    loop->Post([conns] {
+      std::vector<std::shared_ptr<Connection>> snapshot;
+      snapshot.reserve(conns->map.size());
+      for (auto& [ptr, sp] : conns->map) snapshot.push_back(sp);
+      for (auto& conn : snapshot) conn->Abort();
+    });
+    loop->Stop();
+  }
+  loops_.clear();
+  conns_.clear();
+  acceptor_.reset();
+  workers_.reset();
+  running_ = false;
+}
+
+EventLoop* HttpServer::NextLoop() {
+  const size_t i =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  return loops_[i].get();
+}
+
+void HttpServer::AdoptConnection(int fd) {
+  const size_t index =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  EventLoop* loop = loops_[index].get();
+  LoopConnections* conns = conns_[index].get();
+  loop->Post([this, loop, conns, index, fd] {
+    auto conn = std::make_shared<Connection>(this, loop, index, fd);
+    conns->map.emplace(conn.get(), conn);
+    conn->UpdateEvents(EPOLLIN | EPOLLRDHUP);
+  });
+}
+
+void HttpServer::ForgetConnection(size_t loop_index, Connection* conn) {
+  conns_[loop_index]->map.erase(conn);
+}
+
+void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const HttpRequest& req = conn->parser.request();
+  const std::string path = req.Path();
+  const bool keep_alive = req.KeepAlive();
+  conn->current_keep_alive = keep_alive;
+
+  if (path == "/healthz") {
+    conn->SendResponse(BuildResponse(200, "text/plain", "ok\n", keep_alive),
+                       keep_alive);
+    return;
+  }
+  if (path == "/metrics") {
+    conn->SendResponse(
+        BuildResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                      RenderMetrics(), keep_alive),
+        keep_alive);
+    return;
+  }
+
+  const std::string query_prefix = "/v1/query";
+  if (path.compare(0, query_prefix.size(), query_prefix) == 0 &&
+      (path.size() == query_prefix.size() ||
+       path[query_prefix.size()] == '/')) {
+    if (req.method != "POST") {
+      conn->SendResponse(
+          BuildResponse(405, "application/json",
+                        ErrorBody("MethodNotAllowed",
+                                  "use POST with the SQL text as the body"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    std::string tenant_name;
+    if (path.size() > query_prefix.size() + 1) {
+      tenant_name = path.substr(query_prefix.size() + 1);
+      if (tenant_name.find('/') != std::string::npos) {
+        conn->SendResponse(
+            BuildResponse(404, "application/json",
+                          ErrorBody("NotFound", "no such route: " + path),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+    }
+
+    // Per-request timeout header -> QueryOptions.deadline. The deadline
+    // starts ticking here, at admission.
+    auto deadline = std::chrono::steady_clock::time_point::max();
+    if (const std::string* header = req.FindHeader("X-Deadline-Ms")) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(header->c_str(), &end, 10);
+      if (end == header->c_str() || *end != '\0' || ms < 0) {
+        conn->SendResponse(
+            BuildResponse(400, "application/json",
+                          ErrorBody("BadRequest",
+                                    "malformed X-Deadline-Ms header"),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+      deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+
+    // Admission control: server-wide bound first, then the tenant quota.
+    // Shedding answers 503 from the event thread — no Session, no worker.
+    if (!query_admission_.TryAcquire()) {
+      conn->SendResponse(
+          BuildResponse(503, "application/json",
+                        ErrorBody("ResourceExhausted",
+                                  "server query capacity exhausted"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    AdmissionSlot global_slot(&query_admission_);
+    std::shared_ptr<Tenant> tenant = tenants_->Resolve(tenant_name);
+    if (tenant == nullptr) {
+      conn->SendResponse(
+          BuildResponse(404, "application/json",
+                        ErrorBody("NotFound",
+                                  "unknown tenant: '" + tenant_name + "'"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    if (!tenant->admission().TryAcquire()) {
+      tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+      conn->SendResponse(
+          BuildResponse(503, "application/json",
+                        ErrorBody("ResourceExhausted",
+                                  "tenant '" + tenant->name() +
+                                      "' query quota exhausted"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    AdmissionSlot tenant_slot(&tenant->admission());
+
+    conn->inflight_cancel = CancellationToken::Cancellable();
+    conn->state = Connection::State::kProcessing;
+    conn->UpdateEvents(EPOLLRDHUP);
+    SubmitQuery(std::move(conn), std::move(tenant), req.body,
+                std::move(global_slot), std::move(tenant_slot), deadline);
+    return;
+  }
+
+  conn->SendResponse(
+      BuildResponse(404, "application/json",
+                    ErrorBody("NotFound", "no such route: " + path),
+                    keep_alive),
+      keep_alive);
+}
+
+void HttpServer::SubmitQuery(std::shared_ptr<Connection> conn,
+                             std::shared_ptr<Tenant> tenant, std::string sql,
+                             AdmissionSlot global_slot,
+                             AdmissionSlot tenant_slot,
+                             std::chrono::steady_clock::time_point deadline) {
+  // std::function must be copyable; the move-only admission slots ride in a
+  // shared holder (released explicitly right after execution, before the
+  // completion is posted, so admission frees up even if the loop is busy).
+  struct Slots {
+    AdmissionSlot global;
+    AdmissionSlot tenant;
+  };
+  auto slots = std::make_shared<Slots>();
+  slots->global = std::move(global_slot);
+  slots->tenant = std::move(tenant_slot);
+  const bool keep_alive = conn->current_keep_alive;
+  const size_t batch_rows = config_.response_batch_rows;
+
+  workers_->Submit([this, conn, tenant, sql = std::move(sql), slots,
+                    deadline, keep_alive, batch_rows] {
+    std::function<void()> hook;
+    {
+      std::lock_guard<std::mutex> lock(hook_mu_);
+      hook = test_pre_query_hook_;
+    }
+    if (hook) hook();
+
+    QueryOptions options;
+    options.cancel = conn->inflight_cancel;
+    options.deadline = deadline;
+    options.batch_rows = batch_rows;
+
+    Session session = tenant->db()->CreateSession();
+    Result<ResultSet> result = session.Execute(sql, options);
+    auto bytes = std::make_shared<std::string>(
+        result.ok() ? QueryResponse(tenant->name(), *result, keep_alive)
+                    : ErrorResponse(result.status(), keep_alive));
+    slots->global.Release();
+    slots->tenant.Release();
+    EventLoop* loop = conn->loop;
+    loop->Post([conn, bytes, keep_alive] {
+      conn->CompleteRequest(std::move(*bytes), keep_alive);
+    });
+  });
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.queries_admitted = query_admission_.admitted_total();
+  s.queries_shed_global = query_admission_.shed_total();
+  s.queries_shed_tenant = tenant_shed_.load(std::memory_order_relaxed);
+  s.queries_inflight = query_admission_.inflight();
+  s.disconnect_cancels = disconnect_cancels_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string HttpServer::RenderMetrics() const {
+  const HttpServerStats s = stats();
+  PrometheusRenderer out;
+  out.Counter("restore_server_connections_accepted_total",
+              "Connections accepted.", "",
+              static_cast<double>(s.connections_accepted));
+  out.Counter("restore_server_connections_shed_total",
+              "Connections closed at accept because max_connections was "
+              "reached.",
+              "", static_cast<double>(s.connections_shed));
+  out.Gauge("restore_server_connections_active", "Open connections.", "",
+            static_cast<double>(s.connections_active));
+  out.Counter("restore_server_requests_total", "HTTP requests routed.", "",
+              static_cast<double>(s.requests_total));
+  out.Counter("restore_server_bad_requests_total",
+              "Malformed HTTP requests rejected.", "",
+              static_cast<double>(s.bad_requests));
+  out.Counter("restore_server_queries_admitted_total",
+              "Queries admitted past the server-wide bound.", "",
+              static_cast<double>(s.queries_admitted));
+  out.Counter("restore_server_queries_shed_total",
+              "Queries shed with 503 by admission control.",
+              PrometheusLabel("scope", "global"),
+              static_cast<double>(s.queries_shed_global));
+  out.Counter("restore_server_queries_shed_total",
+              "Queries shed with 503 by admission control.",
+              PrometheusLabel("scope", "tenant"),
+              static_cast<double>(s.queries_shed_tenant));
+  out.Gauge("restore_server_queries_inflight", "Queries executing now.", "",
+            static_cast<double>(s.queries_inflight));
+  out.Counter("restore_server_disconnect_cancels_total",
+              "In-flight queries cancelled because their client "
+              "disconnected.",
+              "", static_cast<double>(s.disconnect_cancels));
+
+  for (const auto& tenant : tenants_->tenants()) {
+    const std::string label = PrometheusLabel("tenant", tenant->name());
+    out.Counter("restore_server_tenant_queries_shed_total",
+                "Queries shed by the tenant quota.", label,
+                static_cast<double>(tenant->admission().shed_total()));
+    out.AddDbStats(label, tenant->db()->stats());
+  }
+  return out.Render();
+}
+
+void HttpServer::set_test_pre_query_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  test_pre_query_hook_ = std::move(hook);
+}
+
+#else  // !__linux__
+
+struct HttpServer::Connection {};
+class HttpServer::Acceptor {};
+class HttpServer::WorkerPool {};
+
+HttpServer::HttpServer(const TenantRegistry* tenants, ServerConfig config)
+    : tenants_(tenants), config_(std::move(config)), query_admission_(0) {}
+HttpServer::~HttpServer() {}
+Status HttpServer::Start() {
+  return Status::Unimplemented("the epoll server requires Linux");
+}
+void HttpServer::Stop() {}
+HttpServerStats HttpServer::stats() const { return HttpServerStats(); }
+std::string HttpServer::RenderMetrics() const { return ""; }
+void HttpServer::set_test_pre_query_hook(std::function<void()>) {}
+EventLoop* HttpServer::NextLoop() { return nullptr; }
+void HttpServer::AdoptConnection(int) {}
+void HttpServer::Dispatch(std::shared_ptr<Connection>) {}
+void HttpServer::SubmitQuery(std::shared_ptr<Connection>,
+                             std::shared_ptr<Tenant>, std::string,
+                             AdmissionSlot, AdmissionSlot,
+                             std::chrono::steady_clock::time_point) {}
+void HttpServer::ForgetConnection(size_t, Connection*) {}
+
+#endif  // __linux__
+
+}  // namespace server
+}  // namespace restore

@@ -1,0 +1,34 @@
+#include "server/tenant_registry.h"
+
+namespace restore {
+namespace server {
+
+Status TenantRegistry::Add(const std::string& name, std::shared_ptr<Db> db,
+                           TenantOptions options) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return Status::InvalidArgument("tenant name must be non-empty and "
+                                   "slash-free: '" + name + "'");
+  }
+  if (db == nullptr) {
+    return Status::InvalidArgument("tenant '" + name + "' has no Db");
+  }
+  for (const auto& tenant : tenants_) {
+    if (tenant->name() == name) {
+      return Status::AlreadyExists("tenant '" + name + "' already registered");
+    }
+  }
+  tenants_.push_back(std::make_shared<Tenant>(name, std::move(db), options));
+  return Status::OK();
+}
+
+std::shared_ptr<Tenant> TenantRegistry::Resolve(const std::string& name) const {
+  if (tenants_.empty()) return nullptr;
+  if (name.empty()) return tenants_.front();
+  for (const auto& tenant : tenants_) {
+    if (tenant->name() == name) return tenant;
+  }
+  return nullptr;
+}
+
+}  // namespace server
+}  // namespace restore

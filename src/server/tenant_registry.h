@@ -1,0 +1,73 @@
+#ifndef RESTORE_SERVER_TENANT_REGISTRY_H_
+#define RESTORE_SERVER_TENANT_REGISTRY_H_
+
+// Multi-tenancy for the serving layer: one listener fronting several Db
+// instances (one per dataset). Requests address a tenant via the URL
+// (`POST /v1/query/<tenant>`); the registry routes the name to its Db and
+// enforces the tenant's own concurrency quota on top of the server-wide
+// admission bound, so one noisy dataset cannot starve the others.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "restore/db.h"
+#include "server/admission.h"
+
+namespace restore {
+namespace server {
+
+struct TenantOptions {
+  /// Per-tenant bound on queries in flight; 0 = only the server-wide bound.
+  size_t max_inflight_queries = 0;
+};
+
+/// One served dataset: a name, its Db, and its admission quota.
+class Tenant {
+ public:
+  Tenant(std::string name, std::shared_ptr<Db> db, TenantOptions options)
+      : name_(std::move(name)),
+        db_(std::move(db)),
+        admission_(options.max_inflight_queries) {}
+
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<Db>& db() const { return db_; }
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<Db> db_;
+  AdmissionController admission_;
+};
+
+/// Name -> tenant routing table. Build it fully before starting the server;
+/// lookups afterwards are lock-free reads of immutable state.
+class TenantRegistry {
+ public:
+  /// Registers `db` under `name` (non-empty, no '/'). The first tenant
+  /// added becomes the default that an unqualified `/v1/query` addresses.
+  Status Add(const std::string& name, std::shared_ptr<Db> db,
+             TenantOptions options = TenantOptions());
+
+  /// Resolves a tenant by name; the empty name resolves to the default
+  /// tenant. nullptr when unknown (or the registry is empty).
+  std::shared_ptr<Tenant> Resolve(const std::string& name) const;
+
+  /// All tenants in registration order (for /metrics iteration).
+  const std::vector<std::shared_ptr<Tenant>>& tenants() const {
+    return tenants_;
+  }
+
+  size_t size() const { return tenants_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace server
+}  // namespace restore
+
+#endif  // RESTORE_SERVER_TENANT_REGISTRY_H_
