@@ -60,7 +60,7 @@ int Run() {
         std::vector<const PathModel*> models;
         for (const auto& cand : *cands) {
           paths.push_back(cand.path);
-          models.push_back(cand.model);
+          models.push_back(cand.model.get());
         }
         PathModelConfig probe = BenchEngineConfig().model;
         probe.epochs = 4;

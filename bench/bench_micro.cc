@@ -374,7 +374,7 @@ DbQpsFixture& SharedDbQps() {
     engine.model.max_bins = 12;
     engine.max_candidates = 2;
     engine.enable_cache = false;  // every query re-runs the completion
-    auto db = Db::Open(&f->incomplete, annotation, {engine, ""});
+    auto db = Db::Open(&f->incomplete, annotation, DbOptions().WithEngine(engine));
     if (!db.ok()) std::abort();
     f->db = std::move(*db);
     f->sql = "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
@@ -422,6 +422,86 @@ void BM_DbQps(benchmark::State& state) {
       static_cast<double>(last_stats.coalesced_rows);
 }
 BENCHMARK(BM_DbQps)->Threads(1)->Threads(4)->UseRealTime();
+
+// ---- Live-data ingest + refresh cycle ---------------------------------------
+//
+// One iteration is the full live-data loop: Db::Append publishes a batch of
+// rows, RefreshStaleModels retrains every model whose tables grew and
+// hot-swaps the new generation in, and a query answers against it. This is
+// dominated by retraining (by design — it is the cost a refresh policy
+// amortizes); it guards the ingest/publish/swap plumbing around it. The
+// iteration count is pinned so every run performs identical work (the base
+// table grows by kIngestBatch rows per iteration).
+
+void BM_IngestRefresh(benchmark::State& state) {
+  SyntheticConfig data_config;
+  data_config.num_parents = 150;
+  data_config.predictability = 0.85;
+  data_config.seed = 31;
+  auto complete = GenerateSynthetic(data_config);
+  if (!complete.ok()) std::abort();
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.5;
+  removal.seed = 32;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  if (!incomplete.ok()) std::abort();
+
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  EngineConfig engine;
+  engine.model.epochs = 2;
+  engine.model.min_train_steps = 60;
+  engine.model.hidden_dim = 16;
+  engine.model.embed_dim = 4;
+  engine.model.max_bins = 8;
+  engine.max_candidates = 1;
+  auto db = Db::Open(&*incomplete, annotation,
+                     DbOptions().WithEngine(engine));
+  if (!db.ok()) std::abort();
+  const std::string sql =
+      "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
+  // Generation 1 trains outside the timed loop.
+  if (!(*db)->ExecuteCompletedSql(sql).ok()) std::abort();
+
+  constexpr size_t kIngestBatch = 32;
+  int64_t next_id = 1 << 20;
+  for (auto _ : state) {
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(kIngestBatch);
+    for (size_t i = 0; i < kIngestBatch; ++i) {
+      rows.push_back({Value::Int64(next_id++),
+                      Value::Int64(static_cast<int64_t>(i % 50)),
+                      Value::Categorical("live")});
+    }
+    if (!(*db)->Append("table_b", rows).ok()) {
+      state.SkipWithError("Append failed");
+      return;
+    }
+    if (!(*db)->RefreshStaleModels().ok()) {
+      state.SkipWithError("RefreshStaleModels failed");
+      return;
+    }
+    auto r = (*db)->ExecuteCompletedSql(sql);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kIngestBatch));
+  const Db::Stats stats = (*db)->stats();
+  state.counters["rows_ingested"] = static_cast<double>(stats.rows_ingested);
+  state.counters["models_refreshed"] =
+      static_cast<double>(stats.models_refreshed);
+  state.counters["generations_retired"] =
+      static_cast<double>(stats.generations_retired);
+  state.counters["epoch"] = static_cast<double>(stats.epoch);
+}
+BENCHMARK(BM_IngestRefresh)->Iterations(12)->UseRealTime();
 
 void BM_HashJoin(benchmark::State& state) {
   Rng rng(3);

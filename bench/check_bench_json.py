@@ -51,7 +51,9 @@ import sys
 # BENCH_micro.json: BM_DbQps is the Db-level end-to-end serving bench
 # (concurrent sessions, cache disabled, pre-trained models): it guards the
 # completion plumbing AROUND the models, which the model-only benches cannot
-# see.
+# see. BM_IngestRefresh is the live-data loop (Append -> RefreshStaleModels
+# -> query); it is dominated by retraining, so it guards the ingest/publish/
+# hot-swap plumbing rather than kernel speed.
 #
 # BENCH_server.json (bench_server, the HTTP load harness): real_ns is the
 # mean per-request latency of each phase. Its committed baseline was
@@ -67,6 +69,7 @@ DEFAULT_METRICS_BY_FILE = {
         "BM_ConcurrentInference",
         "BM_DbQps",
         "BM_CoalescedSample/1",
+        "BM_IngestRefresh",
     ],
     "BENCH_server.json": [
         "ServerHealthz",

@@ -8,6 +8,9 @@
 //     GROUP BY room_type;'                   # default tenant (h1)
 //   $ curl localhost:8080/v1/query/h2 -H 'X-Deadline-Ms: 5000' -d 'SELECT
 //     AVG(price) FROM apartment;'
+//   $ curl localhost:8080/v1/ingest/h1/apartment -d '[[9001,3,7,120.5,
+//     "entire_apt","loft",4]]'               # live rows -> Db::Append
+//   $ curl localhost:8080/v1/models/h1       # per-path model freshness
 //   $ curl localhost:8080/metrics
 //
 // SIGINT/SIGTERM shuts down gracefully (in-flight queries finish).
@@ -63,8 +66,16 @@ std::shared_ptr<Db> OpenSetup(const std::string& name, uint64_t seed,
     return nullptr;
   }
   keep->push_back(std::make_unique<Database>(std::move(*incomplete)));
+  // Background refresh: once ~400 rows have been ingested into a model's
+  // tables (POST /v1/ingest/...), one worker retrains it and hot-swaps the
+  // new generation in — queries keep flowing against the old one meanwhile.
+  RefreshPolicy refresh;
+  refresh.staleness_rows_threshold = 400;
+  refresh.max_concurrent_retrains = 1;
   auto db = Db::Open(keep->back().get(), AnnotationFor(*setup),
-                     {FastConfig(), ""});
+                     DbOptions()
+                         .WithEngine(FastConfig())
+                         .WithRefreshPolicy(refresh));
   if (!db.ok()) {
     std::fprintf(stderr, "opening Db for %s failed: %s\n", name.c_str(),
                  db.status().ToString().c_str());
@@ -109,7 +120,9 @@ int main(int argc, char** argv) {
   std::printf("serving tenants h1 (default), h2 on http://%s:%u\n",
               config.bind_address.c_str(), http.port());
   std::printf("  POST /v1/query[/h1|/h2]  (SQL body, X-Deadline-Ms header)\n");
-  std::printf("  GET  /metrics  /healthz\n");
+  std::printf("  POST /v1/ingest[/h1|/h2]/<table>  (JSON array of row "
+              "arrays)\n");
+  std::printf("  GET  /v1/models[/h1|/h2]  /metrics  /healthz\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -88,6 +88,15 @@ class OnceLatch {
     return state_ == State::kDone && status_.ok();
   }
 
+  /// True once the latched work completed, successfully OR not. A latch
+  /// that is done with a failure stays failed forever — callers that want a
+  /// retry must install a NEW latch (see Db's ingestion-triggered model
+  /// entry replacement). Does not block.
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == State::kDone;
+  }
+
  private:
   enum class State { kIdle, kRunning, kDone };
 

@@ -1,6 +1,14 @@
 #include "common/serialize.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/string_util.h"
 
@@ -39,6 +47,68 @@ Status WriteChecksummedFile(const std::string& path, uint32_t magic,
         StrFormat("short write to '%s'", path.c_str()));
   }
   return Status::OK();
+}
+
+namespace {
+
+/// fsyncs one regular file by path. No-op success on platforms without
+/// POSIX fds (the plain ofstream path already flushed).
+Status FsyncFile(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("cannot open '%s' for fsync: %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(StrFormat("fsync('%s'): %s", path.c_str(),
+                                      std::strerror(saved)));
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncDirectory(const std::string& dir) {
+#ifndef _WIN32
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("cannot open directory '%s' for fsync: %s", dir.c_str(),
+                  std::strerror(errno)));
+  }
+  // Some filesystems reject fsync on directories (EINVAL); the rename is
+  // still atomic there, just not immediately durable — best effort.
+  (void)::fsync(fd);
+  ::close(fd);
+#else
+  (void)dir;
+#endif
+  return Status::OK();
+}
+
+Status WriteChecksummedFileAtomic(const std::string& path, uint32_t magic,
+                                  uint32_t version,
+                                  const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  RESTORE_RETURN_IF_ERROR(WriteChecksummedFile(tmp, magic, version, payload));
+  RESTORE_RETURN_IF_ERROR(FsyncFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::Internal(StrFormat("rename '%s' -> '%s': %s", tmp.c_str(),
+                                      path.c_str(), err.c_str()));
+  }
+  const size_t slash = path.find_last_of('/');
+  return FsyncDirectory(slash == std::string::npos ? "."
+                                                   : path.substr(0, slash));
 }
 
 Result<std::string> ReadChecksummedFile(const std::string& path,

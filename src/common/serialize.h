@@ -198,6 +198,19 @@ class BinaryReader {
 Status WriteChecksummedFile(const std::string& path, uint32_t magic,
                             uint32_t version, const std::string& payload);
 
+/// Crash-safe variant: writes the framed payload to `path + ".tmp"`, fsyncs
+/// the file, renames it over `path`, and fsyncs the containing directory.
+/// A crash at any point leaves either the old file (or nothing) or the
+/// complete new file — never a torn one. The checksummed framing catches
+/// the remaining failure mode (media corruption) at read time.
+Status WriteChecksummedFileAtomic(const std::string& path, uint32_t magic,
+                                  uint32_t version,
+                                  const std::string& payload);
+
+/// fsyncs a directory so a rename/creation inside it is durable. Best
+/// effort on filesystems that reject directory fsync (returns OK there).
+Status FsyncDirectory(const std::string& dir);
+
 /// Reads a file written by WriteChecksummedFile; validates magic, version
 /// (must be <= max_version), length, and checksum. Returns the payload.
 Result<std::string> ReadChecksummedFile(const std::string& path,

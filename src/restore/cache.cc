@@ -15,11 +15,16 @@ CompletionCache::CompletionCache(size_t budget_bytes, size_t num_shards)
                         : std::max<size_t>(1, budget_bytes / num_shards)),
       shards_(num_shards == 0 ? 1 : num_shards) {}
 
-std::string CompletionCache::Key(const std::set<std::string>& tables) {
+std::string CompletionCache::Key(const std::set<std::string>& tables,
+                                 uint64_t epoch) {
   std::string key;
   for (const auto& t : tables) {
     key += t;
     key += '|';
+  }
+  if (epoch != 0) {
+    key += '#';
+    key += std::to_string(epoch);
   }
   return key;
 }
@@ -77,8 +82,9 @@ void CompletionCache::EvictLocked(Shard* shard, const std::string& keep) {
 }
 
 void CompletionCache::Put(const std::set<std::string>& tables,
-                          std::shared_ptr<const Table> joined) {
-  const std::string key = Key(tables);
+                          std::shared_ptr<const Table> joined,
+                          uint64_t epoch) {
+  const std::string key = Key(tables, epoch);
   Entry entry;
   entry.tables = tables;
   entry.bytes = ApproxTableBytes(*joined);
@@ -104,8 +110,8 @@ void CompletionCache::Put(const std::set<std::string>& tables,
 }
 
 std::shared_ptr<const Table> CompletionCache::GetExact(
-    const std::set<std::string>& tables) const {
-  const std::string key = Key(tables);
+    const std::set<std::string>& tables, uint64_t epoch) const {
+  const std::string key = Key(tables, epoch);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
@@ -119,7 +125,7 @@ std::shared_ptr<const Table> CompletionCache::GetExact(
 }
 
 std::shared_ptr<const Table> CompletionCache::GetCovering(
-    const std::set<std::string>& tables) const {
+    const std::set<std::string>& tables, uint64_t epoch) const {
   // Candidate keys come from the per-table index: every covering entry must
   // contain each query table, so the query table with the fewest cached
   // entries bounds the scan. The snapshot is taken under index_mu_ alone
@@ -150,15 +156,24 @@ std::shared_ptr<const Table> CompletionCache::GetCovering(
     }
   }
 
-  // A key IS its sorted table list ("t1|t2|...|"): coverage and entry size
-  // are checked on the key alone, without touching any shard.
+  // A key IS its sorted table list plus epoch suffix ("t1|t2|...|#7"):
+  // epoch match, coverage, and entry size are checked on the key alone,
+  // without touching any shard. Keys of other epochs are skipped — stale
+  // generations must never serve a fresh query.
+  const std::string suffix = epoch != 0 ? "#" + std::to_string(epoch) : "";
   std::vector<std::pair<size_t, std::string>> covering;  // (num_tables, key)
   for (auto& key : candidates) {
+    if (key.size() <= suffix.size()) continue;
+    const size_t parse_end = key.size() - suffix.size();
+    if (key.compare(parse_end, suffix.size(), suffix) != 0) continue;
+    // Epoch-0 keys end at their last '|'; a '#' before parse_end would mean
+    // the key carries some other epoch.
+    if (key[parse_end - 1] != '|') continue;
     size_t num_tables = 0;
     bool covers = true;
     auto query_it = tables.begin();
     size_t start = 0;
-    for (size_t i = 0; i < key.size(); ++i) {
+    for (size_t i = 0; i < parse_end; ++i) {
       if (key[i] != '|') continue;
       ++num_tables;
       if (query_it != tables.end() &&

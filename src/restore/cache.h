@@ -35,23 +35,31 @@ class CompletionCache {
   CompletionCache(const CompletionCache&) = delete;
   CompletionCache& operator=(const CompletionCache&) = delete;
 
-  /// Stores a completed join covering exactly `tables`.
+  /// Stores a completed join covering exactly `tables`. `epoch` keys the
+  /// entry to one data/model generation of the owning Db: lookups only see
+  /// entries of their own epoch, so a hot swap (ingestion or model refresh)
+  /// invalidates every stale completion simply by bumping the epoch — old
+  /// entries become unreachable and age out through the LRU budget. The
+  /// default epoch 0 reproduces the frozen-database behavior bit for bit.
   void Put(const std::set<std::string>& tables,
-           std::shared_ptr<const Table> joined);
-  void Put(const std::set<std::string>& tables, Table joined) {
-    Put(tables, std::make_shared<const Table>(std::move(joined)));
+           std::shared_ptr<const Table> joined, uint64_t epoch = 0);
+  void Put(const std::set<std::string>& tables, Table joined,
+           uint64_t epoch = 0) {
+    Put(tables, std::make_shared<const Table>(std::move(joined)), epoch);
   }
 
-  /// Exact hit: a completed join over exactly `tables`, or nullptr.
-  std::shared_ptr<const Table> GetExact(
-      const std::set<std::string>& tables) const;
+  /// Exact hit: a completed join over exactly `tables` at `epoch`, or
+  /// nullptr.
+  std::shared_ptr<const Table> GetExact(const std::set<std::string>& tables,
+                                        uint64_t epoch = 0) const;
 
-  /// Superset hit: the smallest cached join whose table set is a superset of
-  /// `tables` (its projection serves the query), or nullptr. Served from a
-  /// per-table index of entry keys: only entries containing the rarest query
-  /// table are examined — O(candidates in that table), not O(all entries).
-  std::shared_ptr<const Table> GetCovering(
-      const std::set<std::string>& tables) const;
+  /// Superset hit: the smallest cached join of `epoch` whose table set is a
+  /// superset of `tables` (its projection serves the query), or nullptr.
+  /// Served from a per-table index of entry keys: only entries containing
+  /// the rarest query table are examined — O(candidates in that table), not
+  /// O(all entries).
+  std::shared_ptr<const Table> GetCovering(const std::set<std::string>& tables,
+                                           uint64_t epoch = 0) const;
 
   size_t size() const;
   /// Approximate bytes of all cached payloads.
@@ -80,7 +88,11 @@ class CompletionCache {
     size_t bytes = 0;
   };
 
-  static std::string Key(const std::set<std::string>& tables);
+  /// Entry key: the sorted table list "t1|t2|...|", plus "#<epoch>" when
+  /// epoch != 0 (epoch 0 keeps the historical key so frozen databases hash
+  /// to the same shards as before). GetCovering's key parser relies on this
+  /// shape: table names up to the last '|', epoch suffix after it.
+  static std::string Key(const std::set<std::string>& tables, uint64_t epoch);
   Shard& ShardFor(const std::string& key) const;
   /// Evicts LRU entries of `shard` until it fits its budget slice.
   /// `keep` is never evicted. Caller holds the shard mutex; evicted entries

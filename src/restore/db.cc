@@ -1,9 +1,13 @@
 #include "restore/db.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "common/serialize.h"
@@ -20,12 +24,21 @@ namespace {
 
 // Model-persistence framing (see common/serialize.h). Bump the version of
 // whichever payload layout changes; readers reject other versions.
-// Manifest v2 prepends the engine-config fingerprint (v1 had none).
+// Manifest v2 prepended the engine-config fingerprint (v1 had none); v3 adds
+// per-model generation metadata (generation number, rows at training time,
+// training seconds) for the generational model_dir layout.
 constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
 constexpr uint32_t kModelMagic = 0x4f545352;     // "RSTO"
-constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kCurrentMagic = 0x43545352;   // "RSTC"
+constexpr uint32_t kManifestVersion = 3;
 constexpr uint32_t kModelVersion = 1;
+constexpr uint32_t kCurrentVersion = 1;
 constexpr const char kManifestName[] = "restore_models.manifest";
+constexpr const char kCurrentName[] = "CURRENT";
+// Generations retained in a path's in-memory entry chain for queries pinned
+// at older epochs. Queries pin an epoch only for their own lifetime, so a
+// handful is plenty; anything older resolves to the oldest retained one.
+constexpr int kMaxChainedGens = 4;
 
 std::string ModelFileName(const std::string& path_key) {
   char buf[32];
@@ -34,10 +47,93 @@ std::string ModelFileName(const std::string& path_key) {
   return StrFormat("model_%s.rsm", buf);
 }
 
+std::string GenDirName(uint64_t generation) {
+  return StrFormat("gen-%06llu",
+                   static_cast<unsigned long long>(generation));
+}
+
 Status MakeDirectory(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
   return Status::InvalidArgument(
       StrFormat("cannot create model directory '%s'", dir.c_str()));
+}
+
+/// Best-effort recursive delete (retiring old generations / crashed tmp
+/// dirs must never fail a save that already published its data).
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveDirRecursive(path);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+/// Generation numbers present as complete `gen-NNNNNN` directories (tmp
+/// staging dirs excluded), sorted ascending.
+std::vector<uint64_t> ListGenerations(const std::string& dir) {
+  std::vector<uint64_t> gens;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return gens;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    unsigned long long gen = 0;
+    if (std::sscanf(name.c_str(), "gen-%llu", &gen) != 1) continue;
+    if (name != GenDirName(gen)) continue;  // rejects gen-*.tmp and padding
+    gens.push_back(gen);
+  }
+  ::closedir(d);
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+/// Removes staging directories a crashed save left behind.
+void RemoveStaleTmpDirs(const std::string& dir) {
+  std::vector<std::string> stale;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 8 && name.compare(0, 4, "gen-") == 0 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      stale.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  for (const auto& path : stale) RemoveDirRecursive(path);
+}
+
+Result<uint64_t> ReadCurrentGeneration(const std::string& dir) {
+  RESTORE_ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadChecksummedFile(dir + "/" + kCurrentName, kCurrentMagic,
+                          kCurrentVersion));
+  BinaryReader r(std::move(payload));
+  const uint64_t gen = r.U64();
+  RESTORE_RETURN_IF_ERROR(r.status());
+  if (!r.AtEnd() || gen == 0) {
+    return Status::InvalidArgument(
+        StrFormat("'%s/%s' is malformed", dir.c_str(), kCurrentName));
+  }
+  return gen;
+}
+
+uint64_t TotalPathRows(const Database& db, const std::vector<std::string>& path) {
+  uint64_t rows = 0;
+  for (const auto& t : path) {
+    Result<const Table*> table = db.GetTable(t);
+    if (table.ok()) rows += (*table)->NumRows();
+  }
+  return rows;
 }
 
 }  // namespace
@@ -72,12 +168,28 @@ uint64_t EngineConfigFingerprint(const EngineConfig& config) {
   return Fnv1a64(w.buffer());
 }
 
+Result<std::string> CurrentModelGenerationDir(const std::string& model_dir) {
+  Result<uint64_t> current = ReadCurrentGeneration(model_dir);
+  if (current.ok()) return model_dir + "/" + GenDirName(current.value());
+  const std::vector<uint64_t> gens = ListGenerations(model_dir);
+  if (gens.empty()) {
+    return Status::NotFound(StrFormat(
+        "'%s' holds no generational model snapshot", model_dir.c_str()));
+  }
+  return model_dir + "/" + GenDirName(gens.back());
+}
+
 Db::Db(const Database* database, SchemaAnnotation annotation,
        EngineConfig config)
     : database_(database),
       annotation_(std::move(annotation)),
       config_(std::move(config)),
-      cache_(config_.cache_budget_bytes) {}
+      cache_(config_.cache_budget_bytes),
+      // Non-owning alias: until the first Append, the published snapshot IS
+      // the caller's database — the frozen path copies nothing.
+      data_(std::shared_ptr<const Database>(), database) {}
+
+Db::~Db() { StopRefresher(); }
 
 std::string Db::PathKey(const std::vector<std::string>& path) {
   return Join(path, "->");
@@ -89,6 +201,9 @@ Result<std::shared_ptr<Db>> Db::Open(const Database* database,
   RESTORE_RETURN_IF_ERROR(annotation.Validate(*database));
   std::shared_ptr<Db> db(
       new Db(database, std::move(annotation), std::move(options.engine)));
+  db->refresh_policy_ = options.refresh;
+  db->keep_generations_ =
+      options.keep_generations == 0 ? 1 : options.keep_generations;
   for (const auto& target : db->annotation_.incomplete_tables()) {
     std::vector<std::vector<std::string>> paths = EnumerateCompletionPaths(
         *database, db->annotation_, target, db->config_.max_path_len);
@@ -118,12 +233,29 @@ Result<std::shared_ptr<Db>> Db::Open(const Database* database,
     }
   }
   if (!options.model_dir.empty()) {
-    RESTORE_RETURN_IF_ERROR(db->LoadModels(options.model_dir));
+    RESTORE_RETURN_IF_ERROR(
+        db->LoadModels(options.model_dir, options.model_generation));
+  }
+  if (db->refresh_policy_.staleness_rows_threshold > 0 &&
+      db->refresh_policy_.max_concurrent_retrains > 0) {
+    // Dedicated threads, NOT the shared ThreadPool: at pool width 1 the
+    // pool runs tasks inline on the submitter, which would stall queries
+    // behind retraining — the exact thing background refresh must avoid.
+    db->refresh_threads_.reserve(db->refresh_policy_.max_concurrent_retrains);
+    for (size_t i = 0; i < db->refresh_policy_.max_concurrent_retrains; ++i) {
+      db->refresh_threads_.emplace_back(
+          [raw = db.get()] { raw->RefreshWorkerLoop(); });
+    }
   }
   return db;
 }
 
 Session Db::CreateSession() { return Session(shared_from_this()); }
+
+std::shared_ptr<const Database> Db::data() const {
+  std::lock_guard<std::mutex> lock(data_mu_);
+  return data_;
+}
 
 uint64_t Db::SeedForPath(const std::string& key) const {
   auto it = path_seeds_.find(key);
@@ -133,18 +265,57 @@ uint64_t Db::SeedForPath(const std::string& key) const {
   return config_.seed + 1000003 + (Fnv1a64(key) % 1000000007ull);
 }
 
+uint64_t Db::GenerationSeed(const std::string& key,
+                            uint64_t generation) const {
+  // Generation 1 must be EXACTLY the historical seed (frozen-database
+  // bit-reproducibility); later generations fold the generation number in
+  // so a refresh explores a fresh optimization trajectory while remaining a
+  // pure function of (path, generation).
+  return SeedForPath(key) ^ ((generation - 1) * 0x9e3779b97f4a7c15ull);
+}
+
 uint64_t Db::CompletionSeed(const std::string& key) const {
   return config_.seed ^ (Fnv1a64(key) | 1ull);
 }
 
-Db::ModelEntry* Db::EntryFor(const std::string& key) {
+std::shared_ptr<Db::ModelEntry> Db::EntryFor(
+    const std::string& key, const std::vector<std::string>& path) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  std::unique_ptr<ModelEntry>& slot = models_[key];
-  if (slot == nullptr) slot = std::make_unique<ModelEntry>();
-  return slot.get();
+  std::shared_ptr<ModelEntry>& slot = models_[key];
+  if (slot == nullptr) {
+    slot = std::make_shared<ModelEntry>();
+    slot->path = path;
+  }
+  return slot;
 }
 
-Result<const PathModel*> Db::ModelForPath(
+std::shared_ptr<const Db::EpochPin> Db::PinnedEpoch(
+    const ExecContext* ctx) const {
+  if (ctx != nullptr) {
+    auto pinned =
+        std::static_pointer_cast<const EpochPin>(ctx->GetPin("epoch"));
+    if (pinned != nullptr) return pinned;
+  }
+  auto pin = std::make_shared<EpochPin>();
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    pin->data = data_;
+    pin->epoch = epoch_.load(std::memory_order_relaxed);
+  }
+  if (ctx != nullptr) ctx->SetPin("epoch", pin);
+  return pin;
+}
+
+uint64_t Db::IngestMarkLocked(const std::vector<std::string>& path) const {
+  uint64_t mark = 0;
+  for (const auto& t : path) {
+    auto it = ingested_rows_by_table_.find(t);
+    if (it != ingested_rows_by_table_.end()) mark += it->second;
+  }
+  return mark;
+}
+
+Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
     const std::vector<std::string>& path, const ExecContext* ctx) {
   // Cancellation is honored BEFORE the latch, never inside it: the latch
   // caches a failure permanently, so letting one caller's cancel fail the
@@ -154,7 +325,21 @@ Result<const PathModel*> Db::ModelForPath(
     ++ctx->stats()->models_consulted;
   }
   const std::string key = PathKey(path);
-  ModelEntry* entry = EntryFor(key);
+  const std::string pin_key = "model:" + key;
+  if (ctx != nullptr) {
+    auto pinned =
+        std::static_pointer_cast<const PathModel>(ctx->GetPin(pin_key));
+    if (pinned != nullptr) return pinned;
+  }
+  const std::shared_ptr<const EpochPin> pin = PinnedEpoch(ctx);
+  std::shared_ptr<ModelEntry> entry = EntryFor(key, path);
+  // Resolve the generation visible at the query's pinned epoch: a hot swap
+  // published after the pin must stay invisible to this query, so walk back
+  // to the newest generation published at-or-before it. First trainings and
+  // loaded models publish at epoch 0 and are visible to everyone.
+  while (entry->publish_epoch > pin->epoch && entry->prev != nullptr) {
+    entry = entry->prev;
+  }
   // A deadline-carrying WAITER may abandon the wait with DeadlineExceeded;
   // the first-touch training itself always runs to completion and stays
   // shareable (one caller's deadline must never poison the model).
@@ -162,19 +347,35 @@ Result<const PathModel*> Db::ModelForPath(
                             ? ctx->deadline()
                             : std::chrono::steady_clock::time_point::max();
   Status s = entry->latch.RunOnceWithDeadline([&]() -> Status {
+    // First touch trains on the NEWEST snapshot, not the caller's pin: the
+    // run defines this generation for every session, so it uses the freshest
+    // data and records the staleness baseline it was trained against.
+    std::shared_ptr<const Database> snapshot;
+    uint64_t mark = 0;
+    {
+      std::lock_guard<std::mutex> lock(data_mu_);
+      snapshot = data_;
+      mark = IngestMarkLocked(path);
+    }
     PathModelConfig cfg = config_.model;
-    cfg.seed = SeedForPath(key);
+    cfg.seed = GenerationSeed(key, entry->generation);
     Result<std::unique_ptr<PathModel>> trained =
-        PathModel::Train(*database_, annotation_, path, cfg);
+        PathModel::Train(*snapshot, annotation_, path, cfg);
     if (!trained.ok()) return trained.status();
-    entry->model = std::move(trained).value();
+    entry->model =
+        std::shared_ptr<const PathModel>(std::move(trained).value());
+    entry->ingest_mark = mark;
+    entry->rows_at_train = TotalPathRows(*snapshot, path);
+    entry->train_seconds = entry->model->train_seconds();
     models_trained_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(stats_mu_);
-    total_train_seconds_ += entry->model->train_seconds();
+    total_train_seconds_ += entry->train_seconds;
     return Status::OK();
   }, deadline);
   if (!s.ok()) return s;
-  return entry->model.get();
+  std::shared_ptr<const PathModel> model = entry->model;
+  if (ctx != nullptr) ctx->SetPin(pin_key, model);
+  return model;
 }
 
 double Db::total_train_seconds() const {
@@ -214,8 +415,9 @@ Result<std::vector<Db::Candidate>> Db::CandidatesFor(
   std::vector<Candidate> out;
   out.reserve(paths.size());
   for (const auto& path : paths) {
-    RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path, ctx));
-    out.push_back({path, model});
+    RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const PathModel> model,
+                             ModelForPath(path, ctx));
+    out.push_back({path, std::move(model)});
   }
   return out;
 }
@@ -265,12 +467,17 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
     std::vector<const PathModel*> models;
     for (const auto& c : *cands) {
       paths.push_back(c.path);
-      models.push_back(c.model);
+      models.push_back(c.model.get());
+    }
+    std::shared_ptr<const Database> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(data_mu_);
+      snapshot = data_;
     }
     PathModelConfig probe = config_.model;
     probe.epochs = std::max<size_t>(2, probe.epochs / 3);
     Result<size_t> best =
-        SelectPath(*database_, annotation_, target, paths, models,
+        SelectPath(*snapshot, annotation_, target, paths, models,
                    config_.selection, probe, /*holdout_fraction=*/0.3,
                    config_.seed + 7);
     if (!best.ok()) return best.status();
@@ -284,22 +491,31 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
 Result<CompletionResult> Db::CompleteViaPath(
     const std::vector<std::string>& path, const CompletionOptions& options,
     const ExecContext* ctx) {
-  RESTORE_ASSIGN_OR_RETURN(const PathModel* model, ModelForPath(path, ctx));
+  // External callers without a context still get a consistent epoch: every
+  // resource of this ONE completion resolves through the same local pin.
+  ExecContext local(nullptr, nullptr);
+  const ExecContext* use = ctx != nullptr ? ctx : &local;
+  RESTORE_ASSIGN_OR_RETURN(std::shared_ptr<const PathModel> model,
+                           ModelForPath(path, use));
+  const std::shared_ptr<const EpochPin> pin = PinnedEpoch(use);
   // The synthesis RNG is derived from the path so a completion is a pure
   // function of (db, models, path) — concurrent sessions and restarted
   // processes produce bit-identical synthesized data.
   Rng rng(CompletionSeed(PathKey(path)));
-  IncompletenessJoinExecutor exec(database_, &annotation_);
+  IncompletenessJoinExecutor exec(pin->data.get(), &annotation_);
   return exec.CompletePathJoin(*model, rng, options, ctx);
 }
 
 Result<Table> Db::CompleteTable(const std::string& target,
                                 const ExecContext* ctx) {
+  ExecContext local(nullptr, nullptr);
+  const ExecContext* use = ctx != nullptr ? ctx : &local;
   RESTORE_ASSIGN_OR_RETURN(std::vector<std::string> path,
-                           SelectedPathFor(target, ctx));
+                           SelectedPathFor(target, use));
   RESTORE_ASSIGN_OR_RETURN(CompletionResult completion,
-                           CompleteViaPath(path, CompletionOptions(), ctx));
-  RESTORE_ASSIGN_OR_RETURN(const Table* base, database_->GetTable(target));
+                           CompleteViaPath(path, CompletionOptions(), use));
+  const std::shared_ptr<const EpochPin> pin = PinnedEpoch(use);
+  RESTORE_ASSIGN_OR_RETURN(const Table* base, pin->data->GetTable(target));
 
   // Completed table = existing tuples + synthesized tuples (attr columns;
   // key columns of synthesized tuples are NULL).
@@ -351,6 +567,14 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
       ++stats->cache_misses;
     }
   };
+  // Cache entries are keyed by the pinned epoch: a hot swap (ingest or
+  // model refresh) bumps the Db epoch, making every pre-swap completion
+  // unreachable to post-swap queries — and entries a pinned in-flight query
+  // writes under its OLD epoch are equally unreachable. Epoch 0 (frozen Db)
+  // keeps the historical keys bit for bit.
+  const std::shared_ptr<const EpochPin> pin = PinnedEpoch(ctx);
+  const uint64_t epoch = pin->epoch;
+  const Database& snapshot = *pin->data;
 
   // Single incomplete table: answer from the completed TABLE rather than a
   // completed path join — the path necessarily enters through a fan-out
@@ -360,19 +584,20 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
     // change tuple multiplicities.
     const std::set<std::string> key{tables[0]};
     if (cache_read) {
-      std::shared_ptr<const Table> cached = cache_.GetExact(key);
+      std::shared_ptr<const Table> cached = cache_.GetExact(key, epoch);
       note_lookup(cached != nullptr);
       if (cached != nullptr) return cached;
     }
     RESTORE_ASSIGN_OR_RETURN(Table completed, CompleteTable(tables[0], ctx));
     completed.QualifyColumnNames(tables[0]);
     auto result = std::make_shared<const Table>(std::move(completed));
-    if (cache_write) cache_.Put(key, result);
+    if (cache_write) cache_.Put(key, result, epoch);
     return result;
   }
   std::set<std::string> table_set(tables.begin(), tables.end());
   if (cache_read) {
-    std::shared_ptr<const Table> cached = cache_.GetCovering(table_set);
+    std::shared_ptr<const Table> cached =
+        cache_.GetCovering(table_set, epoch);
     note_lookup(cached != nullptr);
     if (cached != nullptr) return cached;
   }
@@ -384,7 +609,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   }
   if (incomplete.empty()) {
     RESTORE_ASSIGN_OR_RETURN(Table joined,
-                             NaturalJoinTables(*database_, tables, ctx));
+                             NaturalJoinTables(snapshot, tables, ctx));
     return std::make_shared<const Table>(std::move(joined));
   }
 
@@ -406,7 +631,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   auto fanout_penalty = [&](const std::vector<std::string>& p) {
     size_t penalty = 0;
     for (size_t k = 0; k + 1 < p.size(); ++k) {
-      auto fan = database_->IsFanOut(p[k], p[k + 1]);
+      auto fan = snapshot.IsFanOut(p[k], p[k + 1]);
       const bool off_query =
           std::find(tables.begin(), tables.end(), p[k + 1]) == tables.end();
       if (fan.ok() && fan.value() && off_query) ++penalty;
@@ -436,7 +661,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
     // Prefer a table connected to the LAST path table (a proper walk), else
     // any connected table.
     for (const auto& cand : remaining) {
-      if (database_->FindForeignKey(extended.back(), cand).ok()) {
+      if (snapshot.FindForeignKey(extended.back(), cand).ok()) {
         extended.push_back(cand);
         placed.insert(cand);
         remaining.erase(cand);
@@ -448,7 +673,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
     for (const auto& cand : remaining) {
       bool connected = false;
       for (const auto& done : placed) {
-        if (database_->FindForeignKey(cand, done).ok()) {
+        if (snapshot.FindForeignKey(cand, done).ok()) {
           connected = true;
           break;
         }
@@ -470,7 +695,7 @@ Result<std::shared_ptr<const Table>> Db::CompletedJoinFor(
   auto result = std::make_shared<const Table>(std::move(completion.joined));
   if (cache_write) {
     std::set<std::string> covered(extended.begin(), extended.end());
-    cache_.Put(covered, result);
+    cache_.Put(covered, result, epoch);
   }
   return result;
 }
@@ -485,12 +710,16 @@ Result<ResultSet> Db::ExecuteCompletedImpl(const Query& query,
       return Status::InvalidArgument("malformed query");
     }
     RESTORE_RETURN_IF_ERROR(CheckFullyBound(query));
+    // Pin the epoch before the first data touch: everything this query
+    // reads — base tables, models, cache entries — resolves against this
+    // one snapshot even if ingestion or a model swap lands mid-flight.
+    const std::shared_ptr<const EpochPin> pin = PinnedEpoch(&ctx);
     // Rewrite column references to be table-qualified w.r.t. the query
     // tables so that evidence tables pulled in by the completion path cannot
     // make them ambiguous. Idempotent for pre-qualified prepared queries.
     Timer plan_timer;
     Query rewritten = query;
-    RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*database_, &rewritten));
+    RESTORE_RETURN_IF_ERROR(QualifyQueryColumns(*pin->data, &rewritten));
     stats.plan_seconds += plan_timer.ElapsedSeconds();
     // The sample timer brackets the whole completed-join build; whatever
     // path-selection time accrued inside (SelectedPathFor + the query-aware
@@ -571,8 +800,362 @@ void Db::RecordQuery(const ExecStats& stats, const Status& status) {
 }
 
 Db::Stats Db::stats() const {
-  std::lock_guard<std::mutex> lock(query_stats_mu_);
-  return query_stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(query_stats_mu_);
+    out = query_stats_;
+  }
+  out.rows_ingested = rows_ingested_.load(std::memory_order_relaxed);
+  out.tables_updated = tables_updated_.load(std::memory_order_relaxed);
+  out.models_refreshed = models_refreshed_.load(std::memory_order_relaxed);
+  out.refresh_failures = refresh_failures_.load(std::memory_order_relaxed);
+  out.generations_retired =
+      generations_retired_.load(std::memory_order_relaxed);
+  out.epoch = epoch_.load(std::memory_order_acquire);
+  return out;
+}
+
+// ---- Live-data ingestion ---------------------------------------------------
+
+Status Db::Append(const std::string& table,
+                  const std::vector<std::vector<Value>>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> writer(ingest_mu_);
+  std::shared_ptr<const Database> cur;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    cur = data_;
+  }
+  RESTORE_ASSIGN_OR_RETURN(const Table* existing, cur->GetTable(table));
+  (void)existing;
+  auto next = std::make_shared<Database>(cur->Clone());
+  RESTORE_ASSIGN_OR_RETURN(Table* target, next->GetMutableTable(table));
+  // Clone() shares dictionaries with the source snapshot, and appending an
+  // unseen categorical value mutates the dictionary (GetOrInsert) — which
+  // concurrent readers of the OLD snapshot are decoding through. Give the
+  // mutated table private dictionary copies before touching it; codes are
+  // copied verbatim, so they stay comparable within the new snapshot.
+  for (const auto& col : target->columns()) {
+    if (col.type() != ColumnType::kCategorical) continue;
+    RESTORE_ASSIGN_OR_RETURN(Column * mut,
+                             target->GetMutableColumn(col.name()));
+    mut->set_dictionary(std::make_shared<Dictionary>(*mut->dictionary()));
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status s = target->AppendRow(rows[i]);
+    if (!s.ok()) {
+      // Nothing was published: the failed clone is simply dropped and
+      // readers never observe a partial append.
+      return Status::InvalidArgument(StrFormat(
+          "append to '%s' rejected at row %zu: %s", table.c_str(), i,
+          s.message().c_str()));
+    }
+  }
+  PublishData(std::move(next), table, rows.size());
+  rows_ingested_.fetch_add(rows.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Db::UpdateTable(Table replacement) {
+  const std::string table = replacement.name();
+  std::lock_guard<std::mutex> writer(ingest_mu_);
+  std::shared_ptr<const Database> cur;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    cur = data_;
+  }
+  RESTORE_ASSIGN_OR_RETURN(const Table* existing, cur->GetTable(table));
+  if (existing->NumColumns() != replacement.NumColumns()) {
+    return Status::InvalidArgument(StrFormat(
+        "replacement for '%s' has %zu columns, expected %zu", table.c_str(),
+        replacement.NumColumns(), existing->NumColumns()));
+  }
+  for (size_t i = 0; i < replacement.NumColumns(); ++i) {
+    const Column& a = existing->columns()[i];
+    const Column& b = replacement.columns()[i];
+    if (a.name() != b.name() || a.type() != b.type()) {
+      return Status::InvalidArgument(StrFormat(
+          "replacement for '%s' column %zu is '%s'/%s, expected '%s'/%s",
+          table.c_str(), i, b.name().c_str(), ColumnTypeName(b.type()),
+          a.name().c_str(), ColumnTypeName(a.type())));
+    }
+  }
+  // A rewrite invalidates at least its own row count worth of training
+  // data; count at least 1 so even an empty replacement advances staleness.
+  const uint64_t delta = std::max<uint64_t>(1, replacement.NumRows());
+  auto next = std::make_shared<Database>(cur->Clone());
+  RESTORE_RETURN_IF_ERROR(next->ReplaceTable(std::move(replacement)));
+  PublishData(std::move(next), table, delta);
+  tables_updated_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Db::PublishData(std::shared_ptr<const Database> next,
+                     const std::string& table, uint64_t delta_rows) {
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    data_ = std::move(next);
+    ingested_rows_by_table_[table] += delta_rows;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  ReviveFailedModels(table);
+  ScheduleStaleRefreshes();
+}
+
+void Db::ReviveFailedModels(const std::string& table) {
+  // A once-latch caches its outcome permanently — including failures. New
+  // data is new information, so a path that failed to train and touches the
+  // ingested table gets a FRESH latch (a whole new entry): the next query
+  // retries against the new snapshot instead of replaying a stale error.
+  // Waiters still parked on the old entry see the old failure; that is the
+  // answer for the data they pinned.
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& [key, entry] : models_) {
+    (void)key;
+    if (!entry->latch.done() || entry->latch.done_ok()) continue;
+    if (std::find(entry->path.begin(), entry->path.end(), table) ==
+        entry->path.end()) {
+      continue;
+    }
+    auto fresh = std::make_shared<ModelEntry>();
+    fresh->path = entry->path;
+    fresh->generation = entry->generation;  // same seed: retry, not refresh
+    fresh->publish_epoch = entry->publish_epoch;
+    fresh->prev = entry->prev;
+    entry = fresh;
+  }
+}
+
+uint64_t Db::StalenessOf(const ModelEntry& entry) const {
+  std::lock_guard<std::mutex> lock(data_mu_);
+  return IngestMarkLocked(entry.path) - entry.ingest_mark + entry.stale_base;
+}
+
+std::vector<ModelInfo> Db::Freshness() const {
+  std::vector<std::shared_ptr<ModelEntry>> heads;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [key, entry] : models_) {
+      (void)key;
+      heads.push_back(entry);
+    }
+  }
+  std::shared_ptr<const Database> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    snapshot = data_;
+  }
+  std::vector<ModelInfo> out;
+  for (const auto& entry : heads) {
+    if (!entry->latch.done_ok() || entry->model == nullptr) continue;
+    ModelInfo info;
+    info.path = entry->path;
+    info.generation = entry->generation;
+    info.trained_rows = entry->rows_at_train;
+    info.current_rows = TotalPathRows(*snapshot, entry->path);
+    info.staleness_rows = StalenessOf(*entry);
+    info.train_seconds = entry->train_seconds;
+    info.refreshing = entry->refreshing.load(std::memory_order_relaxed);
+    info.loaded_from_disk = entry->loaded_from_disk;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+// ---- Background refresh ----------------------------------------------------
+
+void Db::ScheduleStaleRefreshes() {
+  if (refresh_threads_.empty() ||
+      refresh_policy_.staleness_rows_threshold == 0) {
+    return;
+  }
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [key, entry] : models_) heads.emplace_back(key, entry);
+  }
+  std::vector<std::string> due;
+  for (const auto& [key, entry] : heads) {
+    if (!entry->latch.done_ok() || entry->model == nullptr) continue;
+    if (StalenessOf(*entry) >= refresh_policy_.staleness_rows_threshold) {
+      due.push_back(key);
+    }
+  }
+  if (due.empty()) return;
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  for (const auto& key : due) {
+    if (refresh_pending_.insert(key).second) refresh_queue_.push_back(key);
+  }
+  refresh_cv_.notify_all();
+}
+
+void Db::RefreshWorkerLoop() {
+  for (;;) {
+    std::string key;
+    {
+      std::unique_lock<std::mutex> lock(refresh_mu_);
+      refresh_cv_.wait(lock, [&] {
+        return refresh_stop_ || !refresh_queue_.empty();
+      });
+      if (refresh_stop_) return;
+      key = refresh_queue_.front();
+      refresh_queue_.pop_front();
+      ++refresh_active_;
+    }
+    // A failed retrain keeps the previous generation serving; the failure
+    // is counted (refresh_failures) inside RefreshModelNow.
+    (void)RefreshModelNow(key);
+    // An ingest that landed mid-retrain found `key` still pending and
+    // skipped it — re-check so its staleness is not silently dropped.
+    bool still_stale = false;
+    {
+      std::shared_ptr<ModelEntry> head;
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        auto it = models_.find(key);
+        if (it != models_.end()) head = it->second;
+      }
+      still_stale =
+          head != nullptr && head->latch.done_ok() &&
+          StalenessOf(*head) >= refresh_policy_.staleness_rows_threshold;
+    }
+    {
+      std::unique_lock<std::mutex> lock(refresh_mu_);
+      --refresh_active_;
+      refresh_pending_.erase(key);
+      if (still_stale && !refresh_stop_ &&
+          refresh_pending_.insert(key).second) {
+        refresh_queue_.push_back(key);
+        refresh_cv_.notify_one();
+      }
+      if (refresh_queue_.empty() && refresh_active_ == 0) {
+        refresh_idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+Status Db::RefreshModelNow(const std::string& key) {
+  std::shared_ptr<ModelEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = models_.find(key);
+    if (it == models_.end()) return Status::OK();
+    entry = it->second;
+  }
+  if (!entry->latch.done_ok() || entry->model == nullptr) return Status::OK();
+  bool expected = false;
+  if (!entry->refreshing.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // another refresh of this path is already running
+  }
+  std::shared_ptr<const Database> snapshot;
+  uint64_t mark = 0;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    snapshot = data_;
+    mark = IngestMarkLocked(entry->path);
+  }
+  const uint64_t next_gen = entry->generation + 1;
+  PathModelConfig cfg = config_.model;
+  cfg.seed = GenerationSeed(key, next_gen);
+  const PathModel* warm = nullptr;
+  if (refresh_policy_.mode == RefreshPolicy::Mode::kFinetune) {
+    cfg.epochs = refresh_policy_.finetune_epochs;
+    warm = entry->model.get();
+  }
+  Result<std::unique_ptr<PathModel>> trained =
+      PathModel::Train(*snapshot, annotation_, entry->path, cfg, warm);
+  entry->refreshing.store(false, std::memory_order_release);
+  if (!trained.ok()) {
+    refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    return trained.status();  // previous generation keeps serving
+  }
+  auto fresh = std::make_shared<ModelEntry>();
+  fresh->model = std::shared_ptr<const PathModel>(std::move(trained).value());
+  fresh->path = entry->path;
+  fresh->generation = next_gen;
+  fresh->ingest_mark = mark;
+  fresh->rows_at_train = TotalPathRows(*snapshot, entry->path);
+  fresh->train_seconds = fresh->model->train_seconds();
+  fresh->prev = entry;
+  fresh->latch.SetDone(Status::OK());
+  // Bound the generation chain kept for old-epoch queries.
+  {
+    ModelEntry* tail = fresh.get();
+    for (int depth = 1; depth < kMaxChainedGens && tail->prev != nullptr;
+         ++depth) {
+      tail = tail->prev.get();
+    }
+    tail->prev = nullptr;
+  }
+  {
+    // Swap order is the whole correctness story: install the new head
+    // FIRST, with publish_epoch one past the current epoch, THEN advance
+    // the epoch. In the window between the two, queries pinned at the old
+    // epoch walk past the new head to their generation; only queries that
+    // pin AFTER the bump see the new one — no query ever mixes. ingest_mu_
+    // serializes against writers so the epoch cannot move underneath the
+    // two-step publication.
+    std::lock_guard<std::mutex> writer(ingest_mu_);
+    {
+      std::lock_guard<std::mutex> reg(registry_mu_);
+      auto it = models_.find(key);
+      if (it == models_.end() || it->second != entry) {
+        // Superseded while we trained (entry revived/replaced): drop ours.
+        return Status::OK();
+      }
+      fresh->publish_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+      it->second = fresh;
+    }
+    std::lock_guard<std::mutex> lock(data_mu_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  models_refreshed_.fetch_add(1, std::memory_order_relaxed);
+  generations_retired_.fetch_add(1, std::memory_order_relaxed);
+  models_trained_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_train_seconds_ += fresh->train_seconds;
+  }
+  return Status::OK();
+}
+
+Status Db::RefreshStaleModels() {
+  const uint64_t threshold =
+      std::max<uint64_t>(1, refresh_policy_.staleness_rows_threshold);
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [key, entry] : models_) heads.emplace_back(key, entry);
+  }
+  Status first = Status::OK();
+  for (const auto& [key, entry] : heads) {
+    if (!entry->latch.done_ok() || entry->model == nullptr) continue;
+    if (StalenessOf(*entry) < threshold) continue;
+    Status s = RefreshModelNow(key);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+void Db::WaitForRefreshIdle() {
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  refresh_idle_cv_.wait(lock, [&] {
+    return refresh_stop_ || (refresh_queue_.empty() && refresh_active_ == 0);
+  });
+}
+
+void Db::StopRefresher() {
+  {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    refresh_stop_ = true;
+  }
+  refresh_cv_.notify_all();
+  refresh_idle_cv_.notify_all();
+  for (auto& t : refresh_threads_) {
+    if (t.joinable()) t.join();
+  }
+  refresh_threads_.clear();
 }
 
 // ---- Persistence -----------------------------------------------------------
@@ -580,30 +1163,51 @@ Db::Stats Db::stats() const {
 Status Db::SaveModels(const std::string& dir) const {
   RESTORE_RETURN_IF_ERROR(MakeDirectory(dir));
 
+  // Next generation number: one past everything on disk (CURRENT may lag
+  // the newest directory after a crash between rename and CURRENT swap).
+  uint64_t next_gen = 1;
+  {
+    Result<uint64_t> current = ReadCurrentGeneration(dir);
+    if (current.ok()) next_gen = std::max(next_gen, current.value() + 1);
+    const std::vector<uint64_t> gens = ListGenerations(dir);
+    if (!gens.empty()) next_gen = std::max(next_gen, gens.back() + 1);
+  }
+
   // Snapshot the successfully-trained models; training that completes after
   // this point is simply not part of the snapshot. Models are immutable once
   // their latch is done, so serialization needs no further locking.
-  std::vector<std::pair<std::string, const PathModel*>> snapshot;
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> snapshot;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     for (const auto& [key, entry] : models_) {
-      if (entry->latch.done_ok()) {
-        snapshot.emplace_back(key, entry->model.get());
+      if (entry->latch.done_ok() && entry->model != nullptr) {
+        snapshot.emplace_back(key, entry);
       }
     }
   }
 
+  // Stage the whole generation in a tmp directory, fsync it, then rename —
+  // a crash anywhere in here leaves at worst a gen-N.tmp that the next save
+  // sweeps away, never a half-written generation a reopen could load.
+  const std::string gen_dir = dir + "/" + GenDirName(next_gen);
+  const std::string tmp_dir = gen_dir + ".tmp";
+  RemoveDirRecursive(tmp_dir);
+  RESTORE_RETURN_IF_ERROR(MakeDirectory(tmp_dir));
+
   BinaryWriter manifest;
   manifest.U64(EngineConfigFingerprint(config_));
   manifest.U64(snapshot.size());
-  for (const auto& [key, model] : snapshot) {
+  for (const auto& [key, entry] : snapshot) {
     BinaryWriter w;
-    model->Save(&w);
+    entry->model->Save(&w);
     const std::string filename = ModelFileName(key);
-    RESTORE_RETURN_IF_ERROR(WriteChecksummedFile(
-        dir + "/" + filename, kModelMagic, kModelVersion, w.buffer()));
+    RESTORE_RETURN_IF_ERROR(WriteChecksummedFileAtomic(
+        tmp_dir + "/" + filename, kModelMagic, kModelVersion, w.buffer()));
     manifest.Str(key);
     manifest.Str(filename);
+    manifest.U64(entry->generation);
+    manifest.U64(entry->rows_at_train);
+    manifest.F64(entry->train_seconds);
   }
 
   // Persist completed path selections so a reopened Db answers without
@@ -617,23 +1221,45 @@ Status Db::SaveModels(const std::string& dir) const {
     manifest.Str(target);
     manifest.VecStr(path);
   }
-  return WriteChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
-                              kManifestVersion, manifest.buffer());
+  RESTORE_RETURN_IF_ERROR(
+      WriteChecksummedFileAtomic(tmp_dir + "/" + kManifestName,
+                                 kManifestMagic, kManifestVersion,
+                                 manifest.buffer()));
+  RESTORE_RETURN_IF_ERROR(FsyncDirectory(tmp_dir));
+  if (std::rename(tmp_dir.c_str(), gen_dir.c_str()) != 0) {
+    return Status::Internal(StrFormat("rename '%s' -> '%s': %s",
+                                      tmp_dir.c_str(), gen_dir.c_str(),
+                                      std::strerror(errno)));
+  }
+  RESTORE_RETURN_IF_ERROR(FsyncDirectory(dir));
+
+  // The atomic CURRENT swap is the commit point of the save.
+  BinaryWriter current;
+  current.U64(next_gen);
+  RESTORE_RETURN_IF_ERROR(WriteChecksummedFileAtomic(
+      dir + "/" + kCurrentName, kCurrentMagic, kCurrentVersion,
+      current.buffer()));
+
+  // Retire generations beyond the rollback window + crashed staging dirs.
+  // Best-effort: the new generation is already committed.
+  for (uint64_t gen : ListGenerations(dir)) {
+    if (gen + keep_generations_ <= next_gen) {
+      RemoveDirRecursive(dir + "/" + GenDirName(gen));
+    }
+  }
+  RemoveStaleTmpDirs(dir);
+  return Status::OK();
 }
 
-Status Db::LoadModels(const std::string& dir) {
+Status Db::LoadGenerationInto(
+    const std::string& gen_dir,
+    std::map<std::string, std::shared_ptr<ModelEntry>>* entries,
+    std::map<std::string, std::vector<std::string>>* selections) {
   uint32_t version = 0;
   RESTORE_ASSIGN_OR_RETURN(
       std::string payload,
-      ReadChecksummedFile(dir + "/" + kManifestName, kManifestMagic,
+      ReadChecksummedFile(gen_dir + "/" + kManifestName, kManifestMagic,
                           kManifestVersion, &version));
-  if (version != kManifestVersion) {
-    return Status::InvalidArgument(StrFormat(
-        "model manifest format v%u is no longer supported (expected v%u): "
-        "open without model_dir, let the models retrain, and SaveModels "
-        "again (or re-save from a process that still holds them)",
-        version, kManifestVersion));
-  }
   BinaryReader manifest(std::move(payload));
   const uint64_t fingerprint = manifest.U64();
   const uint64_t expected = EngineConfigFingerprint(config_);
@@ -643,7 +1269,7 @@ Status Db::LoadModels(const std::string& dir) {
         "model directory '%s' was saved under a different engine "
         "configuration (fingerprint %016llx, this Db %016llx) — model "
         "hyperparameters must match the ones the models were trained with",
-        dir.c_str(), static_cast<unsigned long long>(fingerprint),
+        gen_dir.c_str(), static_cast<unsigned long long>(fingerprint),
         static_cast<unsigned long long>(expected)));
   }
   const uint64_t num_models = manifest.U64();
@@ -651,10 +1277,18 @@ Status Db::LoadModels(const std::string& dir) {
   for (uint64_t i = 0; i < num_models; ++i) {
     const std::string key = manifest.Str();
     const std::string filename = manifest.Str();
+    uint64_t generation = 1;
+    uint64_t trained_rows = 0;
+    double train_seconds = 0.0;
+    if (version >= 3) {
+      generation = manifest.U64();
+      trained_rows = manifest.U64();
+      train_seconds = manifest.F64();
+    }
     RESTORE_RETURN_IF_ERROR(manifest.status());
     RESTORE_ASSIGN_OR_RETURN(
         std::string model_payload,
-        ReadChecksummedFile(dir + "/" + filename, kModelMagic,
+        ReadChecksummedFile(gen_dir + "/" + filename, kModelMagic,
                             kModelVersion));
     BinaryReader r(std::move(model_payload));
     RESTORE_ASSIGN_OR_RETURN(std::unique_ptr<PathModel> model,
@@ -677,11 +1311,23 @@ Status Db::LoadModels(const std::string& dir) {
     model->set_batching_config(config_.model.batching_enabled,
                                config_.model.batch_wait_us,
                                config_.model.batch_max_rows);
-    auto entry = std::make_unique<ModelEntry>();
-    entry->model = std::move(model);
+    auto entry = std::make_shared<ModelEntry>();
+    entry->path = model->path();
+    entry->model = std::shared_ptr<const PathModel>(std::move(model));
+    entry->generation = generation;
+    entry->rows_at_train = trained_rows;
+    entry->train_seconds = train_seconds;
+    entry->loaded_from_disk = true;
+    // Staleness the snapshot was already carrying: rows that exist now but
+    // did not when the model was trained. Unknowable for pre-generational
+    // manifests (trained_rows 0), which start fresh.
+    if (trained_rows > 0) {
+      const uint64_t now_rows = TotalPathRows(*database_, entry->path);
+      entry->stale_base = now_rows > trained_rows ? now_rows - trained_rows
+                                                  : 0;
+    }
     entry->latch.SetDone(Status::OK());
-    models_[key] = std::move(entry);
-    ++models_loaded_;
+    (*entries)[key] = std::move(entry);
   }
   const uint64_t num_selections = manifest.U64();
   RESTORE_RETURN_IF_ERROR(manifest.status());
@@ -689,14 +1335,72 @@ Status Db::LoadModels(const std::string& dir) {
     const std::string target = manifest.Str();
     std::vector<std::string> path = manifest.VecStr();
     RESTORE_RETURN_IF_ERROR(manifest.status());
-    auto it = selected_.find(target);
-    if (it == selected_.end()) continue;  // target no longer incomplete
-    it->second->path = std::move(path);
-    it->second->latch.SetDone(Status::OK());
+    (*selections)[target] = std::move(path);
   }
   if (!manifest.AtEnd()) {
     return Status::InvalidArgument("manifest has trailing bytes");
   }
+  return Status::OK();
+}
+
+Status Db::LoadModels(const std::string& dir, uint64_t generation_override) {
+  const auto commit =
+      [this](std::map<std::string, std::shared_ptr<ModelEntry>>* entries,
+             std::map<std::string, std::vector<std::string>>* selections) {
+        for (auto& [key, entry] : *entries) {
+          models_[key] = std::move(entry);
+          ++models_loaded_;
+        }
+        for (auto& [target, path] : *selections) {
+          auto it = selected_.find(target);
+          if (it == selected_.end()) continue;  // target no longer incomplete
+          it->second->path = std::move(path);
+          it->second->latch.SetDone(Status::OK());
+        }
+      };
+  const auto try_generation = [&](uint64_t gen) -> Status {
+    std::map<std::string, std::shared_ptr<ModelEntry>> entries;
+    std::map<std::string, std::vector<std::string>> selections;
+    RESTORE_RETURN_IF_ERROR(LoadGenerationInto(dir + "/" + GenDirName(gen),
+                                               &entries, &selections));
+    commit(&entries, &selections);
+    return Status::OK();
+  };
+
+  if (generation_override != 0) {
+    // Pinned rollback: that exact generation or nothing.
+    return try_generation(generation_override);
+  }
+
+  uint64_t current = 0;
+  {
+    Result<uint64_t> cur = ReadCurrentGeneration(dir);
+    if (cur.ok()) current = cur.value();
+  }
+  // CURRENT's target first, then every other generation newest-first: a
+  // crash-corrupted (or half-deleted) newest generation must not strand the
+  // readable ones behind it. The FIRST failure is what gets reported if
+  // nothing loads — it names the generation the directory claims to be at.
+  std::vector<uint64_t> order;
+  if (current != 0) order.push_back(current);
+  const std::vector<uint64_t> gens = ListGenerations(dir);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (*it != current) order.push_back(*it);
+  }
+  Status first_error = Status::OK();
+  for (uint64_t gen : order) {
+    Status s = try_generation(gen);
+    if (s.ok()) return Status::OK();
+    if (first_error.ok()) first_error = s;
+  }
+  if (!order.empty()) return first_error;
+
+  // No generational snapshot at all: fall back to the legacy flat layout
+  // (pre-generational manifest right in `dir`), loaded as generation 1.
+  std::map<std::string, std::shared_ptr<ModelEntry>> entries;
+  std::map<std::string, std::vector<std::string>> selections;
+  RESTORE_RETURN_IF_ERROR(LoadGenerationInto(dir, &entries, &selections));
+  commit(&entries, &selections);
   return Status::OK();
 }
 

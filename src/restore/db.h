@@ -2,10 +2,15 @@
 #define RESTORE_RESTORE_DB_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/future.h"
@@ -43,7 +48,39 @@ struct EngineConfig {
   uint64_t seed = 1234;
 };
 
-/// Options of Db::Open beyond the engine configuration.
+/// When and how the Db retrains models that fell behind ingested data.
+struct RefreshPolicy {
+  enum class Mode {
+    /// Retrain the model from scratch on the current data (full epochs).
+    kRetrain,
+    /// Warm-start from the previous generation's parameters and run only
+    /// `finetune_epochs` refinement epochs. Falls back to a cold start when
+    /// the ingested data changed the model architecture (new categorical
+    /// values); see PathModel::Train.
+    kFinetune,
+  };
+
+  /// A model whose path accumulated at least this many ingested rows since
+  /// it was (re)trained is scheduled for background refresh. 0 disables the
+  /// background refresher entirely (models still swap via the synchronous
+  /// Db::RefreshStaleModels).
+  uint64_t staleness_rows_threshold = 0;
+  Mode mode = Mode::kRetrain;
+  /// Refinement epochs of a kFinetune refresh.
+  size_t finetune_epochs = 2;
+  /// Background refresher threads == maximum concurrently retraining
+  /// models. Queries are never scheduled on these threads.
+  size_t max_concurrent_retrains = 1;
+};
+
+/// Options of Db::Open beyond the engine configuration. Plain aggregate —
+/// `{engine, "/path"}` keeps working — with chainable setters for readable
+/// call sites:
+///   Db::Open(&db, ann, DbOptions{}
+///                          .WithEngine(config)
+///                          .WithModelDir("/var/lib/restore")
+///                          .WithRefreshPolicy({.staleness_rows_threshold =
+///                                              1000}));
 struct DbOptions {
   EngineConfig engine;
   /// If non-empty, trained models previously written by Db::SaveModels are
@@ -51,6 +88,36 @@ struct DbOptions {
   /// without any training (total_train_seconds() stays 0 until a query
   /// needs a path that was never trained).
   std::string model_dir;
+  /// Which persisted generation to load: 0 loads CURRENT (with fallback to
+  /// the newest readable generation if CURRENT is missing or points at a
+  /// damaged one); a non-zero value pins that exact generation — rollback —
+  /// and fails if it cannot be loaded.
+  uint64_t model_generation = 0;
+  /// How many generations SaveModels leaves on disk (the new one included).
+  /// Older generation directories are deleted after the CURRENT swap.
+  size_t keep_generations = 3;
+  RefreshPolicy refresh;
+
+  DbOptions& WithEngine(EngineConfig e) {
+    engine = std::move(e);
+    return *this;
+  }
+  DbOptions& WithModelDir(std::string dir) {
+    model_dir = std::move(dir);
+    return *this;
+  }
+  DbOptions& WithModelGeneration(uint64_t generation) {
+    model_generation = generation;
+    return *this;
+  }
+  DbOptions& WithKeepGenerations(size_t n) {
+    keep_generations = n;
+    return *this;
+  }
+  DbOptions& WithRefreshPolicy(RefreshPolicy policy) {
+    refresh = policy;
+    return *this;
+  }
 };
 
 class Session;
@@ -62,6 +129,33 @@ class Session;
 /// parameter-shape surprise (or, worse, silently different models for paths
 /// trained after the reopen).
 uint64_t EngineConfigFingerprint(const EngineConfig& config);
+
+/// Resolves the generation directory a fresh Db::Open of `model_dir` would
+/// load: CURRENT's target if readable, else the newest gen-* directory.
+/// NotFound when the directory holds no generational snapshot.
+Result<std::string> CurrentModelGenerationDir(const std::string& model_dir);
+
+/// Per-path model freshness, as reported by Db::Freshness().
+struct ModelInfo {
+  std::vector<std::string> path;
+  /// 1 for the first training of a path; +1 per completed refresh.
+  uint64_t generation = 0;
+  /// Total rows of the path's tables in the data snapshot the model was
+  /// trained on (0 when unknown — models restored from a pre-generational
+  /// manifest).
+  uint64_t trained_rows = 0;
+  /// Total rows of the path's tables right now.
+  uint64_t current_rows = 0;
+  /// Rows ingested into the path's tables since the model was (re)trained —
+  /// the staleness measure RefreshPolicy::staleness_rows_threshold gates on.
+  uint64_t staleness_rows = 0;
+  double train_seconds = 0.0;
+  /// True while a background refresh of this path is in flight.
+  bool refreshing = false;
+  /// True when this generation was restored from disk rather than trained
+  /// by this process.
+  bool loaded_from_disk = false;
+};
 
 /// A future holding the asynchronous result of a completed-query execution.
 /// Cancellation of the underlying query goes through the QueryOptions token
@@ -79,6 +173,15 @@ using ResultSetFuture = Future<Result<ResultSet>>;
 /// it exactly once and share the result; model seeds are a stable function
 /// of the path (never of request order), so concurrent execution returns
 /// bit-identical results to sequential execution.
+///
+/// Live data: Append/UpdateTable mutate the base relations under an RCU
+/// discipline — writers build a new Database snapshot and publish it
+/// atomically; in-flight queries keep the snapshot (and the model
+/// generations) they started with, so no query ever mixes two epochs.
+/// A background refresher (see RefreshPolicy) retrains models whose paths
+/// accumulated enough ingested rows and hot-swaps the new generation in
+/// without pausing traffic. A Db that never ingests behaves bit-identically
+/// to the historical frozen-database engine.
 ///
 /// Execution control: every execution entry point accepts a QueryOptions —
 /// a cooperative CancellationToken, an absolute deadline, a synthesized-
@@ -105,10 +208,13 @@ class Db : public std::enable_shared_from_this<Db> {
   /// Validates the annotation, enumerates candidate completion paths for
   /// every incomplete table (failing early if one has none), and — when
   /// `options.model_dir` is set — restores persisted models so queries run
-  /// training-free. `database` must outlive the returned Db.
+  /// training-free. `database` must outlive the returned Db (it stays the
+  /// schema reference; ingested data lives in internal snapshots).
   static Result<std::shared_ptr<Db>> Open(const Database* database,
                                           SchemaAnnotation annotation,
                                           DbOptions options = DbOptions());
+
+  ~Db();
 
   /// Creates a lightweight session handle bound to this Db.
   Session CreateSession();
@@ -120,6 +226,39 @@ class Db : public std::enable_shared_from_this<Db> {
                                      const QueryOptions& options = {});
   Result<ResultSet> ExecuteCompletedSql(const std::string& sql,
                                         const QueryOptions& options = {});
+
+  // ---- Live-data ingestion -------------------------------------------------
+
+  /// Appends `rows` (one vector<Value> per row, positional against the
+  /// table's columns) to base table `table`. The writer path clones the
+  /// current snapshot, validates and applies every row, and publishes the
+  /// new snapshot atomically — in-flight readers keep the old one and are
+  /// never blocked; a validation failure publishes nothing. Completion-cache
+  /// entries of the old epoch become unreachable, per-path staleness
+  /// advances, and stale models are scheduled for background refresh per
+  /// the RefreshPolicy. Serialized against other writers.
+  Status Append(const std::string& table,
+                const std::vector<std::vector<Value>>& rows);
+
+  /// Replaces base table `replacement.name()` wholesale with `replacement`,
+  /// which must match the existing schema (column names and types, in
+  /// order). Same RCU publication semantics as Append; staleness advances
+  /// by the replacement's row count (a rewrite invalidates at least that
+  /// much training data).
+  Status UpdateTable(Table replacement);
+
+  /// Per-path model freshness: one entry per trained path, in key order.
+  std::vector<ModelInfo> Freshness() const;
+
+  /// Synchronously retrains every model whose staleness reached the policy
+  /// threshold (any staleness at all when the threshold is 0) and swaps the
+  /// new generations in. Returns the first training error; models keep
+  /// serving their previous generation on failure. Mostly for tests and
+  /// offline tools — servers should rely on the background refresher.
+  Status RefreshStaleModels();
+
+  /// Blocks until the background refresher has no queued or running work.
+  void WaitForRefreshIdle();
 
   /// Returns the completed version of one incomplete table: its existing
   /// tuples plus the synthesized attribute columns (keys are not
@@ -141,7 +280,7 @@ class Db : public std::enable_shared_from_this<Db> {
   /// missing models are trained (in parallel, each exactly once) here.
   struct Candidate {
     std::vector<std::string> path;
-    const PathModel* model = nullptr;
+    std::shared_ptr<const PathModel> model;
   };
   Result<std::vector<Candidate>> CandidatesFor(const std::string& target,
                                                const ExecContext* ctx =
@@ -159,26 +298,47 @@ class Db : public std::enable_shared_from_this<Db> {
   /// poison the latch for everyone else. A caller with a deadline stops
   /// WAITING once it expires (DeadlineExceeded) while the shared training
   /// run itself continues and stays available to later callers.
-  Result<const PathModel*> ModelForPath(const std::vector<std::string>& path,
-                                        const ExecContext* ctx = nullptr);
+  ///
+  /// Under live ingestion models are generational: the returned shared_ptr
+  /// leases the generation visible at the query's pinned epoch, stays valid
+  /// however long the caller holds it, and repeat lookups under the same
+  /// `ctx` return the same generation even across a concurrent hot swap.
+  Result<std::shared_ptr<const PathModel>> ModelForPath(
+      const std::vector<std::string>& path, const ExecContext* ctx = nullptr);
 
   /// Persists every trained model plus the per-target path selections to
-  /// `dir` (created if missing) in a versioned, checksummed binary format.
-  /// Safe to call while queries are running; models trained after the
-  /// snapshot was taken are not included.
+  /// `dir` (created if missing) as a NEW numbered generation:
+  /// `dir/gen-NNNNNN/` is populated tmp-then-rename with per-file
+  /// checksums, then `dir/CURRENT` is atomically swapped to point at it.
+  /// A crash at any point leaves the previous generation loadable; the last
+  /// `keep_generations` generations are retained for rollback
+  /// (DbOptions::model_generation). Safe to call while queries are running;
+  /// models trained after the snapshot was taken are not included.
   Status SaveModels(const std::string& dir) const;
 
+  /// The schema-reference database this Db was opened over. Under live
+  /// ingestion this is the ORIGINAL, pre-ingestion data — query execution
+  /// uses data() snapshots instead.
   const Database& database() const { return *database_; }
+  /// The current published data snapshot (ingested rows included). Holding
+  /// the returned shared_ptr keeps the snapshot alive across later ingests.
+  std::shared_ptr<const Database> data() const;
+  /// Monotone epoch counter: +1 per published ingest and per model
+  /// hot-swap. 0 means the Db is still bit-identical to a frozen open.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   const SchemaAnnotation& annotation() const { return annotation_; }
   const EngineConfig& config() const { return config_; }
+  const RefreshPolicy& refresh_policy() const { return refresh_policy_; }
   CompletionCache& cache() { return cache_; }
 
   /// Total wall-clock seconds spent training models so far (Fig 11).
   /// Models restored from disk contribute nothing.
   double total_train_seconds() const;
   /// Number of PathModel::Train runs this Db executed (restored models do
-  /// not count). Under concurrency this equals the number of distinct
-  /// trained paths — the once-latches make duplicate training impossible.
+  /// not count; background refreshes do). Under concurrency this equals the
+  /// number of distinct trained (path, generation) pairs — the once-latches
+  /// make duplicate training impossible.
   size_t models_trained() const {
     return models_trained_.load(std::memory_order_relaxed);
   }
@@ -193,6 +353,13 @@ class Db : public std::enable_shared_from_this<Db> {
     uint64_t queries_cancelled = 0;
     uint64_t queries_deadline_exceeded = 0;
     uint64_t queries_failed = 0;  // any other non-OK outcome
+    /// Live-data accounting.
+    uint64_t rows_ingested = 0;       // rows accepted by Append
+    uint64_t tables_updated = 0;      // UpdateTable publications
+    uint64_t models_refreshed = 0;    // completed background/sync refreshes
+    uint64_t refresh_failures = 0;    // refresh trainings that failed
+    uint64_t generations_retired = 0; // generations displaced by a swap
+    uint64_t epoch = 0;               // current Db::epoch()
     /// Field-wise sums of every finished query's ExecStats (partial stats
     /// of cancelled/failed queries included).
     ExecStats totals;
@@ -203,13 +370,41 @@ class Db : public std::enable_shared_from_this<Db> {
   // Run/RunAsync record bind failures into the per-Db stats themselves
   // (binding happens before ExecuteCompleted is ever reached).
   friend class PreparedQuery;
+
+  /// One trained generation of one path. Entries are immutable once their
+  /// latch is done; a refresh REPLACES the registry slot with a new entry
+  /// whose `prev` links to this one, so queries pinned at older epochs can
+  /// still resolve their generation (bounded chain, see kMaxChainedGens).
   struct ModelEntry {
     OnceLatch latch;
-    std::unique_ptr<PathModel> model;
+    std::shared_ptr<const PathModel> model;
+    std::vector<std::string> path;
+    uint64_t generation = 1;
+    /// Db::epoch() value from which this generation is visible. 0 for
+    /// first trainings and loaded models (visible to every query).
+    uint64_t publish_epoch = 0;
+    /// Cumulative per-path ingest counter at training time (staleness
+    /// baseline) and total path rows of the training snapshot.
+    uint64_t ingest_mark = 0;
+    uint64_t rows_at_train = 0;
+    /// Staleness carried over from before a restart (rows the on-disk
+    /// generation was already missing when it was loaded).
+    uint64_t stale_base = 0;
+    double train_seconds = 0.0;
+    bool loaded_from_disk = false;
+    std::atomic<bool> refreshing{false};
+    std::shared_ptr<ModelEntry> prev;
   };
   struct SelectionEntry {
     OnceLatch latch;
     std::vector<std::string> path;
+  };
+  /// Everything one query must agree on, pinned at first touch: the data
+  /// snapshot and the epoch that gates model-generation visibility and
+  /// keys completion-cache entries.
+  struct EpochPin {
+    std::shared_ptr<const Database> data;
+    uint64_t epoch = 0;
   };
 
   Db(const Database* database, SchemaAnnotation annotation,
@@ -220,13 +415,50 @@ class Db : public std::enable_shared_from_this<Db> {
   /// assigned in enumeration order at Open (matching what sequential
   /// training produced historically); ad-hoc paths hash their key.
   uint64_t SeedForPath(const std::string& key) const;
+  /// Training seed of generation `generation` of a path. Generation 1 is
+  /// exactly SeedForPath (frozen-database reproducibility); later
+  /// generations mix the generation in so a refresh is not a bit-identical
+  /// rerun, while staying a pure function of (path, generation).
+  uint64_t GenerationSeed(const std::string& key, uint64_t generation) const;
   /// RNG seed of a completion run over `key` — a pure function of the path
   /// so completions are independent of request interleaving and process
   /// restarts.
   uint64_t CompletionSeed(const std::string& key) const;
 
-  /// Returns (creating if needed) the registry entry for `key`.
-  ModelEntry* EntryFor(const std::string& key);
+  /// Returns (creating if needed) the registry HEAD entry for `key`.
+  std::shared_ptr<ModelEntry> EntryFor(const std::string& key,
+                                       const std::vector<std::string>& path);
+
+  /// The query's pinned epoch (pins the current one on first touch).
+  std::shared_ptr<const EpochPin> PinnedEpoch(const ExecContext* ctx) const;
+
+  /// Cumulative ingested rows across `path`'s tables. Caller holds
+  /// data_mu_.
+  uint64_t IngestMarkLocked(const std::vector<std::string>& path) const;
+
+  /// Publishes `next` as the current snapshot (+1 epoch), advances the
+  /// per-table ingest counter, revives failed model entries touching
+  /// `table`, and schedules refreshes. Caller holds ingest_mu_.
+  void PublishData(std::shared_ptr<const Database> next,
+                   const std::string& table, uint64_t delta_rows);
+
+  /// Replaces failed (done, not ok) registry entries whose path contains
+  /// `table` with fresh latches: new data invalidates a cached training
+  /// failure, so the next query retries against the new snapshot.
+  void ReviveFailedModels(const std::string& table);
+
+  /// Queues every stale-enough trained path for background refresh.
+  void ScheduleStaleRefreshes();
+  /// Staleness of a head entry right now (0 for untrained/failed entries).
+  uint64_t StalenessOf(const ModelEntry& entry) const;
+
+  /// Retrains `key` on the current snapshot and hot-swaps the new
+  /// generation in. No-op (OK) when the entry vanished or is already
+  /// refreshing; the previous generation keeps serving on failure.
+  Status RefreshModelNow(const std::string& key);
+
+  void RefreshWorkerLoop();
+  void StopRefresher();
 
   /// Builds the completed join used to answer a query over `tables`,
   /// applying the cache per the context's cache policy and recording
@@ -244,11 +476,20 @@ class Db : public std::enable_shared_from_this<Db> {
   /// Folds one finished query's stats + outcome into the per-Db totals.
   void RecordQuery(const ExecStats& stats, const Status& status);
 
-  Status LoadModels(const std::string& dir);
+  Status LoadModels(const std::string& dir, uint64_t generation_override);
+  /// Loads one generation directory into staging maps (committed by the
+  /// caller only on full success, so a half-loaded generation never leaks
+  /// into the registry).
+  Status LoadGenerationInto(
+      const std::string& gen_dir,
+      std::map<std::string, std::shared_ptr<ModelEntry>>* entries,
+      std::map<std::string, std::vector<std::string>>* selections);
 
   const Database* database_;
   SchemaAnnotation annotation_;
   EngineConfig config_;
+  RefreshPolicy refresh_policy_;
+  size_t keep_generations_ = 3;
   CompletionCache cache_;
 
   // Immutable after Open.
@@ -258,14 +499,42 @@ class Db : public std::enable_shared_from_this<Db> {
   std::map<std::string, std::unique_ptr<SelectionEntry>> selected_;
   size_t models_loaded_ = 0;
 
+  // RCU data plane. data_ is the published snapshot; writers clone-and-swap
+  // under ingest_mu_ (writer serialization) + data_mu_ (the brief publish
+  // critical section readers also take). epoch_ is additionally an atomic
+  // for lock-free scraping. Lock order: ingest_mu_ > data_mu_;
+  // ingest_mu_ > registry_mu_; ingest_mu_ > refresh_mu_. data_mu_,
+  // registry_mu_ and refresh_mu_ are leaves (never nested in each other).
+  mutable std::mutex ingest_mu_;
+  mutable std::mutex data_mu_;
+  std::shared_ptr<const Database> data_;
+  std::map<std::string, uint64_t> ingested_rows_by_table_;
+  std::atomic<uint64_t> epoch_{0};
+
   // Model registry: the map structure is guarded by registry_mu_; each
-  // entry's model is guarded by its latch (immutable once trained).
+  // entry's model is guarded by its latch (immutable once trained) and
+  // swapped wholesale on refresh.
   mutable std::mutex registry_mu_;
-  std::map<std::string, std::unique_ptr<ModelEntry>> models_;
+  std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+
+  // Background refresher (started only when the policy enables it).
+  std::mutex refresh_mu_;
+  std::condition_variable refresh_cv_;
+  std::condition_variable refresh_idle_cv_;
+  std::deque<std::string> refresh_queue_;
+  std::set<std::string> refresh_pending_;  // queued or running
+  size_t refresh_active_ = 0;
+  bool refresh_stop_ = false;
+  std::vector<std::thread> refresh_threads_;
 
   mutable std::mutex stats_mu_;
   double total_train_seconds_ = 0.0;
   std::atomic<size_t> models_trained_{0};
+  std::atomic<uint64_t> rows_ingested_{0};
+  std::atomic<uint64_t> tables_updated_{0};
+  std::atomic<uint64_t> models_refreshed_{0};
+  std::atomic<uint64_t> refresh_failures_{0};
+  std::atomic<uint64_t> generations_retired_{0};
 
   // Aggregated query accounting (guarded by query_stats_mu_; queries touch
   // it exactly once, at completion).

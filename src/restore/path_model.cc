@@ -67,7 +67,8 @@ double LogGamma(double x) {
 
 Result<std::unique_ptr<PathModel>> PathModel::Train(
     const Database& db, const SchemaAnnotation& annotation,
-    const std::vector<std::string>& path, const PathModelConfig& config) {
+    const std::vector<std::string>& path, const PathModelConfig& config,
+    const PathModel* warm_start) {
   if (path.size() < 2) {
     return Status::InvalidArgument("completion path needs >= 2 tables");
   }
@@ -82,7 +83,7 @@ Result<std::unique_ptr<PathModel>> PathModel::Train(
     RESTORE_RETURN_IF_ERROR(model->SetupSsar(db));
   }
   RESTORE_RETURN_IF_ERROR(model->BuildTrainingData(db));
-  RESTORE_RETURN_IF_ERROR(model->RunTraining());
+  RESTORE_RETURN_IF_ERROR(model->RunTraining(warm_start));
   model->batcher_ =
       std::make_unique<SampleBatcher>(model->made_.get(),
                                       &model->scratch_pool_);
@@ -474,7 +475,7 @@ Result<std::vector<ChildBatch>> PathModel::BuildChildBatches(
   return out;
 }
 
-Status PathModel::RunTraining() {
+Status PathModel::RunTraining(const PathModel* warm_start) {
   Timer timer;
   MadeConfig made_config;
   made_config.vocab_sizes.reserve(attrs_.size());
@@ -501,6 +502,31 @@ Status PathModel::RunTraining() {
   if (deep_sets_ != nullptr) deep_sets_->CollectParams(&params);
   num_parameters_ = 0;
   for (Param* p : params) num_parameters_ += p->value.size();
+
+  // Warm start (fine-tune refresh): seed the freshly initialized networks
+  // with the previous generation's learned parameters. Only valid when the
+  // architectures line up exactly — same param count and per-param shapes —
+  // which holds for appends that introduce no new categorical values. Any
+  // mismatch means the layout drifted; fall back to the cold init already in
+  // place rather than copying garbage.
+  if (warm_start != nullptr && warm_start->made_ != nullptr) {
+    std::vector<Param*> old_params;
+    warm_start->made_->CollectParams(&old_params);
+    if (warm_start->deep_sets_ != nullptr) {
+      warm_start->deep_sets_->CollectParams(&old_params);
+    }
+    bool shapes_match = old_params.size() == params.size();
+    for (size_t i = 0; shapes_match && i < params.size(); ++i) {
+      shapes_match = old_params[i]->value.rows() == params[i]->value.rows() &&
+                     old_params[i]->value.cols() == params[i]->value.cols();
+    }
+    if (shapes_match) {
+      for (size_t i = 0; i < params.size(); ++i) {
+        params[i]->value = old_params[i]->value;
+      }
+    }
+  }
+
   AdamOptions opts;
   opts.learning_rate = config_.learning_rate;
   AdamOptimizer adam(params, opts);

@@ -91,9 +91,24 @@ class PathModel {
  public:
   /// Builds and trains a model for `path` (ordered: evidence first, the
   /// table(s) to complete last) over the available data in `db`.
+  ///
+  /// `warm_start` (optional) fine-tunes instead of training from scratch:
+  /// when the old model's parameter shapes match the new layout (same
+  /// attribute set and vocabulary sizes — appends of in-vocabulary rows),
+  /// its learned parameters seed the optimizer and `config.epochs` is the
+  /// number of REFINEMENT epochs. A shape mismatch (new categorical values,
+  /// schema drift) silently falls back to cold-start training under the
+  /// same config, so the call never fails just because warm starting is
+  /// impossible. Deterministic either way: the result is a pure function of
+  /// (data, config, warm-start parameters).
+  ///
+  /// Serving callers should prefer Db::ModelForPath, which adds exactly-once
+  /// lazy training, generation tracking, and RCU hot-swap; direct Train is
+  /// for offline evaluation harnesses that measure training itself.
   static Result<std::unique_ptr<PathModel>> Train(
       const Database& db, const SchemaAnnotation& annotation,
-      const std::vector<std::string>& path, const PathModelConfig& config);
+      const std::vector<std::string>& path, const PathModelConfig& config,
+      const PathModel* warm_start = nullptr);
 
   /// Serializes the trained model: config, attribute layout, discretizer
   /// bins, training marginals, and every learned parameter (embedding
@@ -234,7 +249,9 @@ class PathModel {
   Status BuildLayout(const Database& db, const SchemaAnnotation& annotation);
   Status BuildTrainingData(const Database& db);
   Status SetupSsar(const Database& db);
-  Status RunTraining();
+  /// Runs the optimizer loop. `warm_start` (may be null) seeds parameters
+  /// from a previous generation when shapes match; see Train.
+  Status RunTraining(const PathModel* warm_start);
 
   /// Builds deep-sets child batches for evidence key values. During
   /// training, `exclude_child_pk[i]` (if non-null) removes the child row with

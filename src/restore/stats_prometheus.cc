@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace restore {
 
 namespace {
@@ -131,6 +133,40 @@ void PrometheusRenderer::AddDbStats(const std::string& labels,
           "Stacked rows of coalesced sampling batches queries participated "
           "in.",
           labels, static_cast<double>(t.coalesced_rows));
+
+  Counter("restore_rows_ingested_total",
+          "Rows appended to base relations via Db::Append.", labels,
+          static_cast<double>(stats.rows_ingested));
+  Counter("restore_tables_updated_total",
+          "Whole-table replacements applied via Db::UpdateTable.", labels,
+          static_cast<double>(stats.tables_updated));
+  Counter("restore_models_refreshed_total",
+          "Path models hot-swapped to a new generation after retraining.",
+          labels, static_cast<double>(stats.models_refreshed));
+  Counter("restore_refresh_failures_total",
+          "Background retrains that failed (previous generation kept "
+          "serving).",
+          labels, static_cast<double>(stats.refresh_failures));
+  Counter("restore_generations_retired_total",
+          "Model generations superseded by a hot swap.", labels,
+          static_cast<double>(stats.generations_retired));
+  Gauge("restore_db_epoch", "Data/model visibility epoch (0 = frozen Db).",
+        labels, static_cast<double>(stats.epoch));
+}
+
+void PrometheusRenderer::AddDbFreshness(const std::string& labels,
+                                        const std::vector<ModelInfo>& models) {
+  for (const ModelInfo& info : models) {
+    const std::string path_labels = JoinPrometheusLabels(
+        labels, PrometheusLabel("path", Join(info.path, "->")));
+    Gauge("restore_model_staleness_rows",
+          "Rows ingested into a path's tables since its serving model was "
+          "trained.",
+          path_labels, static_cast<double>(info.staleness_rows));
+    Gauge("restore_model_generation",
+          "Generation number of the serving model for a path.", path_labels,
+          static_cast<double>(info.generation));
+  }
 }
 
 std::string PrometheusRenderer::Render() const {

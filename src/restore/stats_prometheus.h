@@ -43,6 +43,11 @@ class PrometheusRenderer {
   /// (typically a tenant label; empty for a single-Db deployment).
   void AddDbStats(const std::string& labels, const Db::Stats& stats);
 
+  /// Adds per-path freshness gauges (staleness in rows, serving model
+  /// generation) from Db::Freshness(), each labelled with the path.
+  void AddDbFreshness(const std::string& labels,
+                      const std::vector<ModelInfo>& models);
+
   /// The full exposition: families in first-use order, HELP/TYPE once per
   /// family, one `name{labels} value` line per sample, trailing newline.
   std::string Render() const;

@@ -247,5 +247,209 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
+namespace {
+
+/// Recursive-descent JSON reader over [p, end). Depth-capped so a hostile
+/// body of a few KB of '[' cannot blow the stack.
+class JsonReader {
+ public:
+  JsonReader(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, 0, error)) return false;
+    SkipWhitespace();
+    if (p_ != end_) {
+      *error = "trailing bytes after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* word, size_t n, std::string* error) {
+    if (static_cast<size_t>(end_ - p_) < n ||
+        std::string(p_, n) != std::string(word, n)) {
+      *error = "malformed JSON literal";
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    ++p_;  // opening quote
+    out->clear();
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 5) {
+              *error = "truncated \\u escape";
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p_[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                *error = "malformed \\u escape";
+                return false;
+              }
+            }
+            p_ += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through as-is; categorical values are opaque byte strings).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xc0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              *out += static_cast<char>(0xe0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            *error = "unknown escape in JSON string";
+            return false;
+        }
+        ++p_;
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++p_;
+    }
+    *error = "unterminated JSON string";
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, int depth, std::string* error) {
+    if (depth > kMaxDepth) {
+      *error = "JSON nesting too deep";
+      return false;
+    }
+    SkipWhitespace();
+    if (p_ == end_) {
+      *error = "unexpected end of JSON document";
+      return false;
+    }
+    const char c = *p_;
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null", 4, error);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true", 4, error);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false", 5, error);
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value, error);
+    }
+    if (c == '[') {
+      out->kind = JsonValue::Kind::kArray;
+      out->array.clear();
+      ++p_;
+      SkipWhitespace();
+      if (p_ != end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      while (true) {
+        out->array.emplace_back();
+        if (!ParseValue(&out->array.back(), depth + 1, error)) return false;
+        SkipWhitespace();
+        if (p_ == end_) {
+          *error = "unterminated JSON array";
+          return false;
+        }
+        if (*p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (*p_ == ']') {
+          ++p_;
+          return true;
+        }
+        *error = "expected ',' or ']' in JSON array";
+        return false;
+      }
+    }
+    if (c == '{') {
+      *error = "JSON objects are not accepted here (rows are positional "
+               "arrays)";
+      return false;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      char* num_end = nullptr;
+      // The buffer is not NUL-terminated at end_; strtod stops at the first
+      // non-number byte anyway, and the bounds check below rejects overruns.
+      const double v = std::strtod(p_, &num_end);
+      if (num_end == p_ || num_end > end_) {
+        *error = "malformed JSON number";
+        return false;
+      }
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = v;
+      p_ = num_end;
+      return true;
+    }
+    *error = "unexpected byte in JSON document";
+    return false;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  // Ensure NUL termination for the strtod above (std::string guarantees
+  // data()[size()] == '\0' since C++11, so this is purely documentation).
+  JsonReader reader(text.data(), text.data() + text.size());
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  return reader.Parse(out, error);
+}
+
 }  // namespace server
 }  // namespace restore

@@ -110,6 +110,22 @@ std::string JsonEscape(const std::string& s);
 /// cannot represent).
 std::string JsonNumber(double value);
 
+/// Minimal parsed JSON value for request bodies. Exactly what the ingest
+/// route needs: null/bool/number/string/array. Objects are rejected by the
+/// parser — no route takes them, and row payloads stay positional.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+};
+
+/// Parses one complete JSON document (trailing non-whitespace bytes are an
+/// error). Returns false with a human-readable `*error` on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
 }  // namespace server
 }  // namespace restore
 

@@ -73,6 +73,80 @@ void AppendJsonStringArray(std::string* out,
   *out += ']';
 }
 
+/// Maps one positional JSON row onto the table's column types. Strict: a
+/// kInt64 column takes only integral numbers, kDouble only numbers,
+/// kCategorical only strings; null is accepted everywhere.
+Status JsonRowToValues(const JsonValue& row,
+                       const std::vector<Column>& columns, size_t row_index,
+                       std::vector<Value>* out) {
+  if (row.kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "row " + std::to_string(row_index) + " is not a JSON array");
+  }
+  if (row.array.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "row " + std::to_string(row_index) + " has " +
+        std::to_string(row.array.size()) + " values, expected " +
+        std::to_string(columns.size()));
+  }
+  out->clear();
+  out->reserve(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const JsonValue& cell = row.array[c];
+    const auto cell_error = [&](const char* expected) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row_index) + ", column '" +
+          columns[c].name() + "': expected " + expected);
+    };
+    if (cell.kind == JsonValue::Kind::kNull) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    switch (columns[c].type()) {
+      case ColumnType::kCategorical:
+        if (cell.kind != JsonValue::Kind::kString) {
+          return cell_error("a string (categorical column)");
+        }
+        out->push_back(Value::Categorical(cell.string_value));
+        break;
+      case ColumnType::kDouble:
+        if (cell.kind != JsonValue::Kind::kNumber) {
+          return cell_error("a number (double column)");
+        }
+        out->push_back(Value::Double(cell.number));
+        break;
+      case ColumnType::kInt64: {
+        if (cell.kind != JsonValue::Kind::kNumber) {
+          return cell_error("an integer (int64 column)");
+        }
+        const double v = cell.number;
+        if (v != static_cast<double>(static_cast<int64_t>(v)) ||
+            v < -9.2233720368547758e18 || v >= 9.2233720368547758e18) {
+          return cell_error("an integer (int64 column)");
+        }
+        out->push_back(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// One Db::Freshness() entry as a JSON object.
+std::string ModelInfoJson(const ModelInfo& info) {
+  std::string out = "{\"path\":";
+  AppendJsonStringArray(&out, info.path);
+  out += ",\"generation\":" + std::to_string(info.generation);
+  out += ",\"trained_rows\":" + std::to_string(info.trained_rows);
+  out += ",\"current_rows\":" + std::to_string(info.current_rows);
+  out += ",\"staleness_rows\":" + std::to_string(info.staleness_rows);
+  out += ",\"train_seconds\":" + JsonNumber(info.train_seconds);
+  out += info.refreshing ? ",\"refreshing\":true" : ",\"refreshing\":false";
+  out += info.loaded_from_disk ? ",\"loaded_from_disk\":true}"
+                               : ",\"loaded_from_disk\":false}";
+  return out;
+}
+
 /// The streamed 200 response of a query: chunk 1 carries the schema and
 /// opens the row array, every ResultSet batch becomes one chunk of row
 /// tuples, and the final chunk closes the array and appends the per-query
@@ -566,6 +640,115 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
     return;
   }
 
+  const std::string models_prefix = "/v1/models";
+  if (path.compare(0, models_prefix.size(), models_prefix) == 0 &&
+      (path.size() == models_prefix.size() ||
+       path[models_prefix.size()] == '/')) {
+    if (req.method != "GET") {
+      conn->SendResponse(
+          BuildResponse(405, "application/json",
+                        ErrorBody("MethodNotAllowed", "use GET"), keep_alive),
+          keep_alive);
+      return;
+    }
+    std::string tenant_name;
+    if (path.size() > models_prefix.size() + 1) {
+      tenant_name = path.substr(models_prefix.size() + 1);
+    }
+    if (tenant_name.find('/') != std::string::npos) {
+      conn->SendResponse(
+          BuildResponse(404, "application/json",
+                        ErrorBody("NotFound", "no such route: " + path),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    int status = 200;
+    const std::string body = RenderModels(tenant_name, &status);
+    conn->SendResponse(
+        BuildResponse(status, "application/json", body, keep_alive),
+        keep_alive);
+    return;
+  }
+
+  const std::string ingest_prefix = "/v1/ingest/";
+  if (path.compare(0, ingest_prefix.size(), ingest_prefix) == 0) {
+    if (req.method != "POST") {
+      conn->SendResponse(
+          BuildResponse(405, "application/json",
+                        ErrorBody("MethodNotAllowed",
+                                  "use POST with a JSON array of row arrays "
+                                  "as the body"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    // One trailing segment addresses a table of the default tenant, two are
+    // <tenant>/<table> — mirroring /v1/query's tenant addressing.
+    const std::string rest = path.substr(ingest_prefix.size());
+    std::string tenant_name;
+    std::string table = rest;
+    const size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+      tenant_name = rest.substr(0, slash);
+      table = rest.substr(slash + 1);
+    }
+    if (table.empty() || table.find('/') != std::string::npos) {
+      conn->SendResponse(
+          BuildResponse(404, "application/json",
+                        ErrorBody("NotFound", "no such route: " + path),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+
+    // Ingestion shares the query admission bounds: it occupies a worker and
+    // serializes on the writer lock, so unbounded ingest bursts would starve
+    // queries exactly like unbounded queries would.
+    if (!query_admission_.TryAcquire()) {
+      conn->SendResponse(
+          BuildResponse(503, "application/json",
+                        ErrorBody("ResourceExhausted",
+                                  "server query capacity exhausted"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    AdmissionSlot global_slot(&query_admission_);
+    std::shared_ptr<Tenant> tenant = tenants_->Resolve(tenant_name);
+    if (tenant == nullptr) {
+      conn->SendResponse(
+          BuildResponse(404, "application/json",
+                        ErrorBody("NotFound",
+                                  "unknown tenant: '" + tenant_name + "'"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    if (!tenant->admission().TryAcquire()) {
+      tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+      conn->SendResponse(
+          BuildResponse(503, "application/json",
+                        ErrorBody("ResourceExhausted",
+                                  "tenant '" + tenant->name() +
+                                      "' query quota exhausted"),
+                        keep_alive),
+          keep_alive);
+      return;
+    }
+    AdmissionSlot tenant_slot(&tenant->admission());
+
+    // No cancellation bridge for ingestion: once admitted, an append either
+    // fully publishes or fully fails — a disconnect must not abort it
+    // halfway through intent.
+    conn->inflight_cancel = CancellationToken();
+    conn->state = Connection::State::kProcessing;
+    conn->UpdateEvents(EPOLLRDHUP);
+    SubmitIngest(std::move(conn), std::move(tenant), std::move(table),
+                 req.body, std::move(global_slot), std::move(tenant_slot));
+    return;
+  }
+
   const std::string query_prefix = "/v1/query";
   if (path.compare(0, query_prefix.size(), query_prefix) == 0 &&
       (path.size() == query_prefix.size() ||
@@ -707,6 +890,103 @@ void HttpServer::SubmitQuery(std::shared_ptr<Connection> conn,
   });
 }
 
+void HttpServer::SubmitIngest(std::shared_ptr<Connection> conn,
+                              std::shared_ptr<Tenant> tenant,
+                              std::string table, std::string body,
+                              AdmissionSlot global_slot,
+                              AdmissionSlot tenant_slot) {
+  struct Slots {
+    AdmissionSlot global;
+    AdmissionSlot tenant;
+  };
+  auto slots = std::make_shared<Slots>();
+  slots->global = std::move(global_slot);
+  slots->tenant = std::move(tenant_slot);
+  const bool keep_alive = conn->current_keep_alive;
+
+  workers_->Submit([conn, tenant, table = std::move(table),
+                    body = std::move(body), slots, keep_alive] {
+    std::string response = [&]() -> std::string {
+      JsonValue doc;
+      std::string parse_error;
+      if (!ParseJson(body, &doc, &parse_error)) {
+        return BuildResponse(400, "application/json",
+                             ErrorBody("BadRequest", parse_error),
+                             keep_alive);
+      }
+      if (doc.kind != JsonValue::Kind::kArray) {
+        return BuildResponse(
+            400, "application/json",
+            ErrorBody("BadRequest",
+                      "ingest body must be a JSON array of row arrays"),
+            keep_alive);
+      }
+      const std::shared_ptr<Db>& db = tenant->db();
+      // Row typing comes from the CURRENT snapshot's schema (Append never
+      // changes a schema, so any later snapshot agrees).
+      const std::shared_ptr<const Database> snapshot = db->data();
+      Result<const Table*> base = snapshot->GetTable(table);
+      if (!base.ok()) return ErrorResponse(base.status(), keep_alive);
+      const std::vector<Column>& columns = (*base)->columns();
+      std::vector<std::vector<Value>> rows;
+      rows.reserve(doc.array.size());
+      for (size_t r = 0; r < doc.array.size(); ++r) {
+        std::vector<Value> values;
+        Status s = JsonRowToValues(doc.array[r], columns, r, &values);
+        if (!s.ok()) return ErrorResponse(s, keep_alive);
+        rows.push_back(std::move(values));
+      }
+      Status s = db->Append(table, rows);
+      if (!s.ok()) return ErrorResponse(s, keep_alive);
+      const std::string ok_body =
+          "{\"tenant\":\"" + JsonEscape(tenant->name()) + "\",\"table\":\"" +
+          JsonEscape(table) +
+          "\",\"appended\":" + std::to_string(rows.size()) +
+          ",\"epoch\":" + std::to_string(db->epoch()) + "}";
+      return BuildResponse(200, "application/json", ok_body, keep_alive);
+    }();
+    slots->global.Release();
+    slots->tenant.Release();
+    auto bytes = std::make_shared<std::string>(std::move(response));
+    EventLoop* loop = conn->loop;
+    loop->Post([conn, bytes, keep_alive] {
+      conn->CompleteRequest(std::move(*bytes), keep_alive);
+    });
+  });
+}
+
+std::string HttpServer::RenderModels(const std::string& tenant_name,
+                                     int* http_status) const {
+  std::vector<std::shared_ptr<Tenant>> targets;
+  if (tenant_name.empty()) {
+    targets = tenants_->tenants();
+  } else {
+    std::shared_ptr<Tenant> tenant = tenants_->Resolve(tenant_name);
+    if (tenant == nullptr) {
+      *http_status = 404;
+      return ErrorBody("NotFound", "unknown tenant: '" + tenant_name + "'");
+    }
+    targets.push_back(std::move(tenant));
+  }
+  *http_status = 200;
+  std::string out = "{\"tenants\":[";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ',';
+    const std::shared_ptr<Db>& db = targets[i]->db();
+    out += "{\"tenant\":\"" + JsonEscape(targets[i]->name()) + "\"";
+    out += ",\"epoch\":" + std::to_string(db->epoch());
+    out += ",\"models\":[";
+    const std::vector<ModelInfo> models = db->Freshness();
+    for (size_t m = 0; m < models.size(); ++m) {
+      if (m > 0) out += ',';
+      out += ModelInfoJson(models[m]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 HttpServerStats HttpServer::stats() const {
   HttpServerStats s;
   s.connections_accepted =
@@ -764,6 +1044,7 @@ std::string HttpServer::RenderMetrics() const {
                 "Queries shed by the tenant quota.", label,
                 static_cast<double>(tenant->admission().shed_total()));
     out.AddDbStats(label, tenant->db()->stats());
+    out.AddDbFreshness(label, tenant->db()->Freshness());
   }
   return out.Render();
 }
@@ -796,6 +1077,12 @@ void HttpServer::SubmitQuery(std::shared_ptr<Connection>,
                              std::shared_ptr<Tenant>, std::string,
                              AdmissionSlot, AdmissionSlot,
                              std::chrono::steady_clock::time_point) {}
+void HttpServer::SubmitIngest(std::shared_ptr<Connection>,
+                              std::shared_ptr<Tenant>, std::string,
+                              std::string, AdmissionSlot, AdmissionSlot) {}
+std::string HttpServer::RenderModels(const std::string&, int*) const {
+  return "";
+}
 void HttpServer::ForgetConnection(size_t, Connection*) {}
 
 #endif  // __linux__

@@ -7,6 +7,11 @@
 //
 //   POST /v1/query[/<tenant>]   SQL body -> chunked JSON rows, one HTTP
 //                               chunk per ResultSet::NextBatch() batch
+//   POST /v1/ingest[/<tenant>]/<table>
+//                               JSON array of positional row arrays ->
+//                               Db::Append; answers {"appended":N,...}
+//   GET  /v1/models[/<tenant>]  per-path model freshness (Db::Freshness())
+//                               as JSON, one entry per serving model
 //   GET  /metrics               Db::stats() of every tenant + server
 //                               counters, Prometheus text format
 //   GET  /healthz               liveness probe
@@ -136,6 +141,17 @@ class HttpServer {
                    std::shared_ptr<Tenant> tenant, std::string sql,
                    AdmissionSlot global_slot, AdmissionSlot tenant_slot,
                    std::chrono::steady_clock::time_point deadline);
+  /// Parses the JSON row payload and runs Db::Append on a query worker
+  /// (ingestion blocks on the writer lock, so it never runs on an event
+  /// thread). Shares the query admission bounds.
+  void SubmitIngest(std::shared_ptr<Connection> conn,
+                    std::shared_ptr<Tenant> tenant, std::string table,
+                    std::string body, AdmissionSlot global_slot,
+                    AdmissionSlot tenant_slot);
+  /// The /v1/models payload: every tenant's (or one tenant's) Db::Freshness
+  /// rendered as JSON. Cheap enough for the event thread.
+  std::string RenderModels(const std::string& tenant_name,
+                           int* http_status) const;
 
   const TenantRegistry* tenants_;
   ServerConfig config_;

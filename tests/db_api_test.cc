@@ -43,7 +43,7 @@ std::shared_ptr<Db> OpenHousing(uint64_t seed) {
   static std::vector<std::unique_ptr<Database>> databases;
   databases.push_back(std::make_unique<Database>(std::move(*incomplete)));
   auto db = Db::Open(databases.back().get(), AnnotationFor(*setup),
-                     {FastConfig(), ""});
+                     DbOptions().WithEngine(FastConfig()));
   EXPECT_TRUE(db.ok()) << db.status();
   return *db;
 }
@@ -323,7 +323,7 @@ TEST(DbTest, CacheBudgetIsWiredThroughEngineConfig) {
   ASSERT_TRUE(setup.ok());
   auto incomplete = ApplySetup(*complete, *setup, 0.5, 0.5, 410);
   ASSERT_TRUE(incomplete.ok());
-  auto db = Db::Open(&*incomplete, AnnotationFor(*setup), {config, ""});
+  auto db = Db::Open(&*incomplete, AnnotationFor(*setup), DbOptions().WithEngine(config));
   ASSERT_TRUE(db.ok()) << db.status();
   EXPECT_EQ((*db)->cache().budget_bytes(), 123456u);
 }

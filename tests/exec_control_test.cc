@@ -57,7 +57,7 @@ std::shared_ptr<Db> OpenSynthetic(Database* incomplete,
                                   EngineConfig config = FastConfig()) {
   SchemaAnnotation annotation;
   annotation.MarkIncomplete("table_b");
-  auto db = Db::Open(incomplete, annotation, {std::move(config), ""});
+  auto db = Db::Open(incomplete, annotation, DbOptions().WithEngine(std::move(config)));
   EXPECT_TRUE(db.ok()) << db.status();
   return *db;
 }

@@ -2,6 +2,10 @@
 // model_dir in a fresh Db must answer queries bit-identically with ZERO
 // training, and corrupted/truncated model files must be rejected at open.
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -52,9 +56,27 @@ SchemaAnnotation Annotation() {
   return annotation;
 }
 
+void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveTree(path);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
 std::string FreshDir(const std::string& name) {
   const std::string dir = testing::TempDir() + "/restore_" + name;
-  std::remove((dir + "/restore_models.manifest").c_str());
+  RemoveTree(dir);  // stale generations from a previous run
   return dir;
 }
 
@@ -78,7 +100,7 @@ TEST(PersistenceTest, ReopenedDbAnswersBitIdenticallyWithoutTraining) {
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
   const std::string sql2 = "SELECT COUNT(*) FROM table_b GROUP BY b;";
 
-  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  auto db = Db::Open(&incomplete, Annotation(), DbOptions().WithEngine(FastConfig()));
   ASSERT_TRUE(db.ok()) << db.status();
   auto r1 = (*db)->ExecuteCompletedSql(sql1);
   auto r2 = (*db)->ExecuteCompletedSql(sql2);
@@ -139,7 +161,7 @@ TEST(PersistenceTest, SsarModelWithConfidenceRecordingRoundTrips) {
   EngineConfig config = FastConfig();
   config.model.use_ssar = true;
 
-  auto db = Db::Open(&incomplete, Annotation(), {config, ""});
+  auto db = Db::Open(&incomplete, Annotation(), DbOptions().WithEngine(config));
   ASSERT_TRUE(db.ok()) << db.status();
   const std::vector<std::string> path{"table_a", "table_b"};
   auto model = (*db)->ModelForPath(path);
@@ -188,7 +210,7 @@ TEST(PersistenceTest, SsarModelWithConfidenceRecordingRoundTrips) {
 
 TEST(PersistenceTest, MismatchedEngineConfigIsRejectedAtOpen) {
   Database incomplete = MakeIncompleteSynthetic(311);
-  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  auto db = Db::Open(&incomplete, Annotation(), DbOptions().WithEngine(FastConfig()));
   ASSERT_TRUE(db.ok()) << db.status();
   ASSERT_TRUE((*db)
                   ->ExecuteCompletedSql(
@@ -249,7 +271,7 @@ TEST(PersistenceTest, MismatchedEngineConfigIsRejectedAtOpen) {
 
 TEST(PersistenceTest, CorruptedModelFileIsRejected) {
   Database incomplete = MakeIncompleteSynthetic(305);
-  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  auto db = Db::Open(&incomplete, Annotation(), DbOptions().WithEngine(FastConfig()));
   ASSERT_TRUE(db.ok());
   ASSERT_TRUE((*db)->ExecuteCompletedSql(
                       "SELECT COUNT(*) FROM table_b GROUP BY b;")
@@ -257,18 +279,21 @@ TEST(PersistenceTest, CorruptedModelFileIsRejected) {
   const std::string dir = FreshDir("corrupt");
   ASSERT_TRUE((*db)->SaveModels(dir).ok());
 
-  // Flip one byte in the middle of every model file's payload.
-  auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
-                                      0x4d545352, 2);
+  // Flip one byte in the middle of a model file's payload (models live in
+  // the committed generation directory).
+  auto gen_dir = CurrentModelGenerationDir(dir);
+  ASSERT_TRUE(gen_dir.ok()) << gen_dir.status();
+  auto manifest = ReadChecksummedFile(*gen_dir + "/restore_models.manifest",
+                                      0x4d545352, 3);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
-  r.U64();  // engine-config fingerprint (manifest v2)
+  r.U64();  // engine-config fingerprint
   const uint64_t num_models = r.U64();
   ASSERT_GT(num_models, 0u);
   const std::string key = r.Str();
   const std::string filename = r.Str();
   (void)key;
-  const std::string model_path = dir + "/" + filename;
+  const std::string model_path = *gen_dir + "/" + filename;
   std::string contents;
   {
     std::ifstream in(model_path, std::ios::binary);
@@ -293,20 +318,22 @@ TEST(PersistenceTest, CorruptedModelFileIsRejected) {
 
 TEST(PersistenceTest, TruncatedModelFileIsRejected) {
   Database incomplete = MakeIncompleteSynthetic(307);
-  auto db = Db::Open(&incomplete, Annotation(), {FastConfig(), ""});
+  auto db = Db::Open(&incomplete, Annotation(), DbOptions().WithEngine(FastConfig()));
   ASSERT_TRUE(db.ok());
   ASSERT_TRUE((*db)->ModelForPath({"table_a", "table_b"}).ok());
   const std::string dir = FreshDir("truncate");
   ASSERT_TRUE((*db)->SaveModels(dir).ok());
 
-  auto manifest = ReadChecksummedFile(dir + "/restore_models.manifest",
-                                      0x4d545352, 2);
+  auto gen_dir = CurrentModelGenerationDir(dir);
+  ASSERT_TRUE(gen_dir.ok()) << gen_dir.status();
+  auto manifest = ReadChecksummedFile(*gen_dir + "/restore_models.manifest",
+                                      0x4d545352, 3);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
-  r.U64();  // engine-config fingerprint (manifest v2)
+  r.U64();  // engine-config fingerprint
   ASSERT_GT(r.U64(), 0u);
   r.Str();  // path key
-  const std::string model_path = dir + "/" + r.Str();
+  const std::string model_path = *gen_dir + "/" + r.Str();
   std::string contents;
   {
     std::ifstream in(model_path, std::ios::binary);

@@ -57,7 +57,7 @@ std::shared_ptr<Db> OpenHousing(uint64_t seed) {
   static std::vector<std::unique_ptr<Database>> databases;
   databases.push_back(std::make_unique<Database>(std::move(*incomplete)));
   auto db = Db::Open(databases.back().get(), AnnotationFor(*setup),
-                     {FastConfig(), ""});
+                     DbOptions().WithEngine(FastConfig()));
   EXPECT_TRUE(db.ok()) << db.status();
   return *db;
 }
@@ -593,6 +593,91 @@ TEST(HttpServerTest, SetGlobalWidthWhileServing) {
             200);
   ThreadPool::SetGlobalWidth(0);  // restore the environment default
   EXPECT_EQ(RoundTrip(fd, RequestText("GET", "/healthz", "")).status, 200);
+  ::close(fd);
+}
+
+TEST(HttpServerTest, IngestAppendsRowsVisibleToQueries) {
+  TestServer server;
+  const int fd = ConnectTo(server.port());
+
+  // neighborhood is COMPLETE under H1, so the re-query below takes the
+  // classical path and must reflect the appended rows exactly. The state
+  // "zz" does not exist in the generated data.
+  const std::string rows =
+      "[[909000,\"zz\",1.5,\"urban\",null],"
+      "[909001,\"zz\",2.5,\"rural\",null],"
+      "[909002,\"zz\",3.5,\"urban\",null]]";
+  auto ingest =
+      RoundTrip(fd, RequestText("POST", "/v1/ingest/h1/neighborhood", rows));
+  EXPECT_EQ(ingest.status, 200) << ingest.body;
+  EXPECT_NE(ingest.body.find("\"appended\":3"), std::string::npos)
+      << ingest.body;
+  EXPECT_NE(ingest.body.find("\"epoch\":"), std::string::npos);
+
+  auto query =
+      RoundTrip(fd, RequestText("POST", "/v1/query", kCompleteTableSql));
+  EXPECT_EQ(query.status, 200);
+  EXPECT_NE(query.body.find("\"zz\""), std::string::npos) << query.body;
+  ::close(fd);
+}
+
+TEST(HttpServerTest, IngestRejectsBadPayloadsWithoutPublishing) {
+  TestServer server;
+  const int fd = ConnectTo(server.port());
+
+  // Malformed JSON.
+  auto bad_json = RoundTrip(
+      fd, RequestText("POST", "/v1/ingest/h1/neighborhood", "[[1,"));
+  EXPECT_EQ(bad_json.status, 400) << bad_json.body;
+  // Objects are rejected: rows are positional arrays.
+  auto object = RoundTrip(
+      fd, RequestText("POST", "/v1/ingest/h1/neighborhood", "{\"id\": 1}"));
+  EXPECT_EQ(object.status, 400);
+  // Top level must be an array.
+  auto scalar =
+      RoundTrip(fd, RequestText("POST", "/v1/ingest/h1/neighborhood", "42"));
+  EXPECT_EQ(scalar.status, 400);
+  // Type mismatch: categorical column fed a number.
+  auto typed = RoundTrip(
+      fd, RequestText("POST", "/v1/ingest/h1/neighborhood",
+                      "[[909100,7,1.5,\"urban\",null]]"));
+  EXPECT_EQ(typed.status, 400);
+  EXPECT_NE(typed.body.find("column 'state'"), std::string::npos)
+      << typed.body;
+
+  // Routing errors.
+  EXPECT_EQ(RoundTrip(fd, RequestText("POST", "/v1/ingest/h1/no_such_table",
+                                      "[[1]]"))
+                .status,
+            404);
+  EXPECT_EQ(RoundTrip(fd, RequestText("POST", "/v1/ingest/nobody/neighborhood",
+                                      "[[1]]"))
+                .status,
+            404);
+  EXPECT_EQ(RoundTrip(fd, RequestText("GET", "/v1/ingest/h1/neighborhood", ""))
+                .status,
+            405);
+  ::close(fd);
+}
+
+TEST(HttpServerTest, ModelsEndpointRendersFreshness) {
+  TestServer server;
+  const int fd = ConnectTo(server.port());
+
+  auto all = RoundTrip(fd, RequestText("GET", "/v1/models", ""));
+  EXPECT_EQ(all.status, 200);
+  EXPECT_TRUE(all.HasHeader("application/json")) << all.headers;
+  EXPECT_NE(all.body.find("\"tenants\""), std::string::npos) << all.body;
+  EXPECT_NE(all.body.find("\"tenant\":\"h1\""), std::string::npos);
+  EXPECT_NE(all.body.find("\"epoch\":"), std::string::npos);
+
+  auto one = RoundTrip(fd, RequestText("GET", "/v1/models/h1", ""));
+  EXPECT_EQ(one.status, 200);
+  EXPECT_NE(one.body.find("\"models\""), std::string::npos) << one.body;
+
+  EXPECT_EQ(RoundTrip(fd, RequestText("GET", "/v1/models/nobody", "")).status,
+            404);
+  EXPECT_EQ(RoundTrip(fd, RequestText("POST", "/v1/models", "x")).status, 405);
   ::close(fd);
 }
 

@@ -276,7 +276,7 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
 
   // Sequential baseline on a fresh Db.
   ThreadPool::SetGlobalWidth(1);
-  auto seq_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
+  auto seq_db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(FastDbConfig()));
   ASSERT_TRUE(seq_db.ok()) << seq_db.status();
   const std::vector<ResultSet> baseline =
       RunWorkload((*seq_db)->CreateSession(), workload, /*flavor=*/1);
@@ -286,7 +286,7 @@ TEST(DbConcurrencyTest, HammeredDbMatchesSequentialAndTrainsEachPathOnce) {
   // 4 client threads hammering ONE fresh Db with the same mixed workload,
   // on a 4-wide pool (async queries and training share it).
   ThreadPool::SetGlobalWidth(4);
-  auto conc_db = Db::Open(&incomplete, annotation, {FastDbConfig(), ""});
+  auto conc_db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(FastDbConfig()));
   ASSERT_TRUE(conc_db.ok()) << conc_db.status();
   constexpr int kClients = 4;
   std::vector<std::vector<ResultSet>> per_client(kClients);
@@ -373,7 +373,7 @@ TEST(DbConcurrencyTest, SingleHotPathHammerBitIdenticalWithoutMutex) {
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
 
   ThreadPool::SetGlobalWidth(4);
-  auto db = Db::Open(&incomplete, annotation, {config, ""});
+  auto db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(db.ok()) << db.status();
   Session warmup = (*db)->CreateSession();
 
@@ -427,12 +427,12 @@ TEST(DbConcurrencyTest, UncancelledOptionsRunBitIdenticalToPlainRun) {
   const std::string sql =
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
 
-  auto plain_db = Db::Open(&incomplete, annotation, {config, ""});
+  auto plain_db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(plain_db.ok()) << plain_db.status();
   auto plain = (*plain_db)->CreateSession().Execute(sql);
   ASSERT_TRUE(plain.ok()) << plain.status();
 
-  auto opt_db = Db::Open(&incomplete, annotation, {config, ""});
+  auto opt_db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(opt_db.ok()) << opt_db.status();
   QueryOptions options;
   options.cancel = CancellationToken::Cancellable();
@@ -464,7 +464,7 @@ TEST(DbConcurrencyTest, CancelHammerYieldsAnswerOrCleanCancellation) {
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
 
   ThreadPool::SetGlobalWidth(4);
-  auto db = Db::Open(&incomplete, annotation, {config, ""});
+  auto db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(db.ok()) << db.status();
 
   // Pre-train on the main thread so the hammer only exercises inference.
@@ -899,7 +899,7 @@ TEST(DbConcurrencyTest, BatchedHotPathHammerBitIdenticalToUnbatched) {
   ThreadPool::SetGlobalWidth(4);
 
   // Baseline: batching off (the default), executed sequentially.
-  auto off_db = Db::Open(&incomplete, annotation, {config, ""});
+  auto off_db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(off_db.ok()) << off_db.status();
   auto baseline = (*off_db)->CreateSession().Execute(sql);
   ASSERT_TRUE(baseline.ok()) << baseline.status();
@@ -907,7 +907,7 @@ TEST(DbConcurrencyTest, BatchedHotPathHammerBitIdenticalToUnbatched) {
   EngineConfig on_config = config;
   on_config.model.batching_enabled = true;
   on_config.model.batch_wait_us = 2000;  // wide window: force coalescing
-  auto db = Db::Open(&incomplete, annotation, {on_config, ""});
+  auto db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(on_config));
   ASSERT_TRUE(db.ok()) << db.status();
 
   // Train up front; a single-session batched run already must match.
@@ -962,7 +962,7 @@ TEST(DbConcurrencyTest, BatchedCancelHammerYieldsAnswerOrCleanCancellation) {
       "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;";
 
   ThreadPool::SetGlobalWidth(4);
-  auto db = Db::Open(&incomplete, annotation, {config, ""});
+  auto db = Db::Open(&incomplete, annotation, DbOptions().WithEngine(config));
   ASSERT_TRUE(db.ok()) << db.status();
 
   // Pre-train on the main thread so the hammer only exercises inference.
