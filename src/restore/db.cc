@@ -336,9 +336,15 @@ Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
   // Resolve the generation visible at the query's pinned epoch: a hot swap
   // published after the pin must stay invisible to this query, so walk back
   // to the newest generation published at-or-before it. First trainings and
-  // loaded models publish at epoch 0 and are visible to everyone.
-  while (entry->publish_epoch > pin->epoch && entry->prev != nullptr) {
-    entry = entry->prev;
+  // loaded models publish at epoch 0 and are visible to everyone. The walk
+  // holds registry_mu_ because capping the chain on refresh rewrites the
+  // `prev` of a reachable entry under the same mutex (chain is at most
+  // kMaxChainedGens nodes, so the critical section is tiny).
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    while (entry->publish_epoch > pin->epoch && entry->prev != nullptr) {
+      entry = entry->prev;
+    }
   }
   // A deadline-carrying WAITER may abandon the wait with DeadlineExceeded;
   // the first-touch training itself always runs to completion and stays
@@ -1079,15 +1085,9 @@ Status Db::RefreshModelNow(const std::string& key) {
   fresh->train_seconds = fresh->model->train_seconds();
   fresh->prev = entry;
   fresh->latch.SetDone(Status::OK());
-  // Bound the generation chain kept for old-epoch queries.
-  {
-    ModelEntry* tail = fresh.get();
-    for (int depth = 1; depth < kMaxChainedGens && tail->prev != nullptr;
-         ++depth) {
-      tail = tail->prev.get();
-    }
-    tail->prev = nullptr;
-  }
+  // Generations cut off the retained chain below; destroyed after every
+  // lock is released (a chain of models may be freed here).
+  std::shared_ptr<ModelEntry> dropped;
   {
     // Swap order is the whole correctness story: install the new head
     // FIRST, with publish_epoch one past the current epoch, THEN advance
@@ -1106,6 +1106,18 @@ Status Db::RefreshModelNow(const std::string& key) {
       }
       fresh->publish_epoch = epoch_.load(std::memory_order_relaxed) + 1;
       it->second = fresh;
+      // Bound the generation chain kept for old-epoch queries. This rewrites
+      // the `prev` of a node reachable from the just-published head (on every
+      // refresh after the first, the cut point IS the former head), so it
+      // must happen under registry_mu_ — the mutex readers hold to walk
+      // `prev` in ModelForPath. Queries that already resolved an older
+      // generation keep it alive through their own shared_ptr.
+      ModelEntry* tail = fresh.get();
+      for (int depth = 1; depth < kMaxChainedGens && tail->prev != nullptr;
+           ++depth) {
+        tail = tail->prev.get();
+      }
+      dropped = std::move(tail->prev);
     }
     std::lock_guard<std::mutex> lock(data_mu_);
     epoch_.fetch_add(1, std::memory_order_release);
@@ -1161,6 +1173,10 @@ void Db::StopRefresher() {
 // ---- Persistence -----------------------------------------------------------
 
 Status Db::SaveModels(const std::string& dir) const {
+  // One save at a time: concurrent saves would read the same next_gen and
+  // clobber each other's gen-N.tmp staging directory mid-write. Serialized,
+  // each save commits its own distinct generation.
+  std::lock_guard<std::mutex> save_lock(save_mu_);
   RESTORE_RETURN_IF_ERROR(MakeDirectory(dir));
 
   // Next generation number: one past everything on disk (CURRENT may lag

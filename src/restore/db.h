@@ -312,8 +312,10 @@ class Db : public std::enable_shared_from_this<Db> {
   /// checksums, then `dir/CURRENT` is atomically swapped to point at it.
   /// A crash at any point leaves the previous generation loadable; the last
   /// `keep_generations` generations are retained for rollback
-  /// (DbOptions::model_generation). Safe to call while queries are running;
-  /// models trained after the snapshot was taken are not included.
+  /// (DbOptions::model_generation). Safe to call while queries are running
+  /// and concurrently with other SaveModels calls (saves are serialized
+  /// internally, each committing its own generation); models trained after
+  /// the snapshot was taken are not included.
   Status SaveModels(const std::string& dir) const;
 
   /// The schema-reference database this Db was opened over. Under live
@@ -372,9 +374,12 @@ class Db : public std::enable_shared_from_this<Db> {
   friend class PreparedQuery;
 
   /// One trained generation of one path. Entries are immutable once their
-  /// latch is done; a refresh REPLACES the registry slot with a new entry
-  /// whose `prev` links to this one, so queries pinned at older epochs can
-  /// still resolve their generation (bounded chain, see kMaxChainedGens).
+  /// latch is done — with ONE exception: `prev`. A refresh REPLACES the
+  /// registry slot with a new entry whose `prev` links to this one, so
+  /// queries pinned at older epochs can still resolve their generation, and
+  /// capping that chain (kMaxChainedGens) rewrites the `prev` of a node that
+  /// is still reachable from the published head. `prev` is therefore read
+  /// and written only under registry_mu_.
   struct ModelEntry {
     OnceLatch latch;
     std::shared_ptr<const PathModel> model;
@@ -393,6 +398,7 @@ class Db : public std::enable_shared_from_this<Db> {
     double train_seconds = 0.0;
     bool loaded_from_disk = false;
     std::atomic<bool> refreshing{false};
+    /// Previous generation. Guarded by registry_mu_ (see struct comment).
     std::shared_ptr<ModelEntry> prev;
   };
   struct SelectionEntry {
@@ -516,6 +522,12 @@ class Db : public std::enable_shared_from_this<Db> {
   // swapped wholesale on refresh.
   mutable std::mutex registry_mu_;
   std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+
+  // Serializes SaveModels: two concurrent saves would compute the same next
+  // generation number and fight over the same gen-N.tmp staging directory.
+  // Held across file I/O; takes registry_mu_ inside (save_mu_ > registry_mu_)
+  // and is never taken while holding any other Db mutex.
+  mutable std::mutex save_mu_;
 
   // Background refresher (started only when the policy enables it).
   std::mutex refresh_mu_;

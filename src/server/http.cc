@@ -429,6 +429,7 @@ class JsonReader {
       }
       out->kind = JsonValue::Kind::kNumber;
       out->number = v;
+      out->number_text.assign(p_, static_cast<size_t>(num_end - p_));
       p_ = num_end;
       return true;
     }

@@ -118,6 +118,10 @@ struct JsonValue {
   Kind kind = Kind::kNull;
   bool bool_value = false;
   double number = 0.0;
+  /// Raw token of a kNumber, verbatim from the document. Int64 columns
+  /// re-parse it so integers above 2^53 are not silently rounded through
+  /// the double.
+  std::string number_text;
   std::string string_value;
   std::vector<JsonValue> array;
 };

@@ -119,12 +119,29 @@ Status JsonRowToValues(const JsonValue& row,
         if (cell.kind != JsonValue::Kind::kNumber) {
           return cell_error("an integer (int64 column)");
         }
-        const double v = cell.number;
-        if (v != static_cast<double>(static_cast<int64_t>(v)) ||
-            v < -9.2233720368547758e18 || v >= 9.2233720368547758e18) {
-          return cell_error("an integer (int64 column)");
+        // Integer literals re-parse the original token with strtoll: the
+        // parsed double has already rounded integers above 2^53, so checking
+        // integrality on it would silently store a perturbed value.
+        const std::string& text = cell.number_text;
+        if (text.find_first_of(".eE") == std::string::npos) {
+          errno = 0;
+          char* end = nullptr;
+          const long long v = std::strtoll(text.c_str(), &end, 10);
+          if (errno == ERANGE || end != text.c_str() + text.size()) {
+            return cell_error("an integer in int64 range (int64 column)");
+          }
+          out->push_back(Value::Int64(v));
+        } else {
+          // Fraction/exponent form: accept only values a double represents
+          // exactly as an in-range integer (range-check BEFORE the int64
+          // cast, which is undefined for out-of-range doubles).
+          const double v = cell.number;
+          if (v < -9.2233720368547758e18 || v >= 9.2233720368547758e18 ||
+              v != static_cast<double>(static_cast<int64_t>(v))) {
+            return cell_error("an integer (int64 column)");
+          }
+          out->push_back(Value::Int64(static_cast<int64_t>(v)));
         }
-        out->push_back(Value::Int64(static_cast<int64_t>(v)));
         break;
       }
     }

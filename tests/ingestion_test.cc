@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "common/serialize.h"
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
+#include "exec/exec_control.h"
 #include "restore/db.h"
 
 namespace restore {
@@ -468,6 +470,137 @@ TEST(IngestionTest, SwapUnderHammerServesOnlyConsistentGenerations) {
   EXPECT_EQ(Flatten(*settled), baselines[2]);
 }
 
+TEST(IngestionTest, DeepGenerationChainCapsSafelyUnderReaders) {
+  // Drives MORE refreshes than the retained-chain bound (kMaxChainedGens=4)
+  // so every later swap truncates the generation chain — rewriting the
+  // `prev` of a node still reachable from the published head — while 4
+  // reader threads walk that chain the whole time. Under TSan this is the
+  // regression test for the prev-walk vs chain-cap race.
+  // Two parents of one incomplete child give two distinct model paths: a
+  // reader pins an epoch by resolving one path, sleeps while swaps pile up,
+  // then resolves the OTHER path against the now-stale pin — that lookup
+  // walks back through the same `prev` links the capper rewrites. Both
+  // paths contain child, so every round refreshes and caps both chains.
+  Database db_data;
+  Table p1("p1", {{"id", ColumnType::kInt64},
+                  {"a", ColumnType::kCategorical}});
+  Table p2("p2", {{"id", ColumnType::kInt64},
+                  {"b", ColumnType::kCategorical}});
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        p1.AppendRow({Value::Int64(i), Value::Categorical(i % 2 ? "l" : "r")})
+            .ok());
+    ASSERT_TRUE(
+        p2.AppendRow({Value::Int64(i), Value::Categorical(i % 3 ? "x" : "y")})
+            .ok());
+  }
+  Table child("child", {{"id", ColumnType::kInt64},
+                        {"p1_id", ColumnType::kInt64},
+                        {"p2_id", ColumnType::kInt64},
+                        {"c", ColumnType::kCategorical}});
+  for (int i = 0; i < 240; ++i) {
+    ASSERT_TRUE(child
+                    .AppendRow({Value::Int64(i), Value::Int64(i % 60),
+                                Value::Int64((i / 2) % 60),
+                                Value::Categorical(i % 3 ? "u" : "v")})
+                    .ok());
+  }
+  ASSERT_TRUE(db_data.AddTable(std::move(p1)).ok());
+  ASSERT_TRUE(db_data.AddTable(std::move(p2)).ok());
+  ASSERT_TRUE(db_data.AddTable(std::move(child)).ok());
+  ASSERT_TRUE(db_data.AddForeignKey("child", "p1_id", "p1", "id").ok());
+  ASSERT_TRUE(db_data.AddForeignKey("child", "p2_id", "p2", "id").ok());
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("child");
+  auto db =
+      Db::Open(&db_data, annotation, DbOptions().WithEngine(FastConfig()));
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  const std::vector<std::string> path0 = {"p1", "child"};
+  const std::vector<std::string> path1 = {"p2", "child"};
+  auto warm0 = (*db)->ModelForPath(path0);  // generation 1 of both chains
+  ASSERT_TRUE(warm0.ok()) << warm0.status();
+  auto warm1 = (*db)->ModelForPath(path1);
+  ASSERT_TRUE(warm1.ok()) << warm1.status();
+
+  // A pool of contexts pinned NOW — at the gen-1 epoch. Resolving path1
+  // under one of these later forces the walk all the way down to the OLDEST
+  // retained generation, i.e. through the exact node the capper truncates
+  // (each ctx only walks once — its model pin caches — so the pool is
+  // drained gradually to spread deep walks across all the swaps).
+  struct PinnedCtx {
+    QueryOptions options;
+    ExecStats stats;
+    ExecContext ctx{&options, &stats};
+  };
+  std::vector<std::unique_ptr<PinnedCtx>> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(std::make_unique<PinnedCtx>());
+    if (!(*db)->ModelForPath(path0, &pool.back()->ctx).ok()) {
+      FAIL() << "pinning pool ctx failed";
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<size_t> next_pin{0};
+  std::atomic<int> round_no{0};
+  auto reader = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      QueryOptions options;
+      ExecStats stats;
+      ExecContext ctx(&options, &stats);
+      if (!(*db)->ModelForPath(path0, &ctx).ok() ||
+          !(*db)->ModelForPath(path1, &ctx).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  // Drains a handful of gen-1 pins per swap round (rendezvous on round_no),
+  // so deep walks to the chain tail happen right before AND concurrently
+  // with every subsequent cap.
+  auto old_pin_reader = [&] {
+    int seen = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int r = round_no.load(std::memory_order_acquire);
+      if (r > seen) {
+        seen = r;
+        for (int k = 0; k < 5; ++k) {
+          const size_t i = next_pin.fetch_add(1, std::memory_order_relaxed);
+          if (i >= pool.size()) break;
+          if (!(*db)->ModelForPath(path1, &pool[i]->ctx).ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+  for (int i = 0; i < 2; ++i) readers.emplace_back(old_pin_reader);
+
+  constexpr int kRounds = 7;  // chains reach the cap from round 4 onward
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<Value>> rows;
+    for (int i = 0; i < 30; ++i) {
+      rows.push_back({Value::Int64(985000 + round * 1000 + i),
+                      Value::Int64(i % 60), Value::Int64(i % 60),
+                      Value::Categorical("novel")});
+    }
+    ASSERT_TRUE((*db)->Append("child", rows).ok());
+    ASSERT_TRUE((*db)->RefreshStaleModels().ok());
+    round_no.store(round + 1, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Both per-path chains refresh every round.
+  EXPECT_GE((*db)->stats().models_refreshed,
+            static_cast<uint64_t>(2 * kRounds));
+}
+
 // ---- Crash-safe generational persistence ------------------------------------
 
 void RemoveTree(const std::string& dir);  // fwd (defined below)
@@ -547,6 +680,38 @@ TEST(IngestionTest, GenerationsPersistAndRollBack) {
                             .WithModelDir(dir)
                             .WithModelGeneration(9));
   EXPECT_FALSE(bogus.ok());
+}
+
+TEST(IngestionTest, ConcurrentSavesCommitDistinctGenerations) {
+  Database incomplete = MakeIncompleteSynthetic(527);
+  auto db = Db::Open(&incomplete, Annotation(),
+                     DbOptions().WithEngine(FastConfig()));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteCompletedSql(kCountByB).ok());
+  const std::string dir = FreshDir("concurrent_save");
+
+  // Racing saves serialize internally: each commits its OWN generation
+  // instead of two writers computing the same next_gen and clobbering each
+  // other's gen-N.tmp staging directory mid-write.
+  constexpr int kSavers = 4;
+  std::vector<Status> results(kSavers, Status::OK());
+  std::vector<std::thread> savers;
+  for (int i = 0; i < kSavers; ++i) {
+    savers.emplace_back([&, i] { results[i] = (*db)->SaveModels(dir); });
+  }
+  for (auto& t : savers) t.join();
+  for (const Status& s : results) EXPECT_TRUE(s.ok()) << s;
+
+  // Four saves -> four generations; CURRENT sits on the last one and the
+  // store reopens cleanly.
+  auto current = CurrentModelGenerationDir(dir);
+  ASSERT_TRUE(current.ok());
+  EXPECT_NE(current->find("gen-000004"), std::string::npos) << *current;
+  auto reopened =
+      Db::Open(&incomplete, Annotation(),
+               DbOptions().WithEngine(FastConfig()).WithModelDir(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GT((*reopened)->models_loaded(), 0u);
 }
 
 TEST(IngestionTest, ReopenSurvivesEveryCrashPoint) {

@@ -621,6 +621,40 @@ TEST(HttpServerTest, IngestAppendsRowsVisibleToQueries) {
   ::close(fd);
 }
 
+TEST(HttpServerTest, IngestStoresLargeInt64LiteralsExactly) {
+  TestServer server;
+  const int fd = ConnectTo(server.port());
+
+  // Both ids are exactly representable as int64 but NOT as double: a parse
+  // that narrows through strtod would silently store 9007199254740992 and
+  // 1234567890123456790, and an integrality check on the already-rounded
+  // double cannot notice.
+  const int64_t kBig1 = 9007199254740993LL;  // 2^53 + 1
+  const int64_t kBig2 = 1234567890123456789LL;
+  auto ingest = RoundTrip(
+      fd, RequestText("POST", "/v1/ingest/h1/neighborhood",
+                      "[[9007199254740993,\"zy\",1.5,\"urban\",null],"
+                      "[1234567890123456789,\"zy\",2.5,\"rural\",null]]"));
+  EXPECT_EQ(ingest.status, 200) << ingest.body;
+
+  const std::shared_ptr<const Database> data = SharedDb()->data();
+  const Table* table = *data->GetTable("neighborhood");
+  const Column* id = *table->GetColumn("id");
+  const size_t rows = table->NumRows();
+  ASSERT_GE(rows, 2u);
+  EXPECT_EQ(id->GetInt64(rows - 2), kBig1);
+  EXPECT_EQ(id->GetInt64(rows - 1), kBig2);
+
+  // One past int64 max: rejected outright, never wrapped or saturated.
+  auto overflow = RoundTrip(
+      fd, RequestText("POST", "/v1/ingest/h1/neighborhood",
+                      "[[9223372036854775808,\"zy\",1.5,\"urban\",null]]"));
+  EXPECT_EQ(overflow.status, 400) << overflow.body;
+  EXPECT_NE(overflow.body.find("int64 range"), std::string::npos)
+      << overflow.body;
+  ::close(fd);
+}
+
 TEST(HttpServerTest, IngestRejectsBadPayloadsWithoutPublishing) {
   TestServer server;
   const int fd = ConnectTo(server.port());
