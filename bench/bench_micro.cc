@@ -25,6 +25,8 @@
 #include "restore/discretizer.h"
 #include "restore/sample_batcher.h"
 #include "restore/kd_tree.h"
+#include "stats/histogram.h"
+#include "stats/stat_test.h"
 #include "storage/table.h"
 
 namespace restore {
@@ -502,6 +504,51 @@ void BM_IngestRefresh(benchmark::State& state) {
   state.counters["epoch"] = static_cast<double>(stats.epoch);
 }
 BENCHMARK(BM_IngestRefresh)->Iterations(12)->UseRealTime();
+
+// One drift-gate evaluation: re-bin every column of a two-table path's
+// 100k-row snapshot on the training-time reference grids and take the worst
+// KS/PSI. This is the per-model cost the kDrift refresh trigger pays on
+// every ingest-driven schedule pass, so it has to stay far below retraining.
+void BM_DriftCheck(benchmark::State& state) {
+  constexpr size_t kParentRows = 20000;
+  constexpr size_t kChildRows = 80000;
+  Rng rng(41);
+  Database db;
+  Table parent("parent", {{"id", ColumnType::kInt64},
+                          {"region", ColumnType::kCategorical}});
+  for (size_t i = 0; i < kParentRows; ++i) {
+    (void)parent.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Categorical(i % 7 ? "core" : "edge")});
+  }
+  Table child("child", {{"id", ColumnType::kInt64},
+                        {"parent_id", ColumnType::kInt64},
+                        {"price", ColumnType::kDouble},
+                        {"kind", ColumnType::kCategorical}});
+  const char* kinds[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < kChildRows; ++i) {
+    (void)child.AppendRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Int64(static_cast<int64_t>(rng.NextUint64(kParentRows))),
+         Value::Double(rng.NextGaussian(100.0, 15.0)),
+         Value::Categorical(kinds[rng.NextUint64(4)])});
+  }
+  if (!db.AddTable(std::move(parent)).ok()) std::abort();
+  if (!db.AddTable(std::move(child)).ok()) std::abort();
+  const std::vector<ColumnSummary> refs =
+      SummarizeTables(db, {"parent", "child"});
+
+  for (auto _ : state) {
+    const DriftScore score = ScoreDrift(refs, db);
+    benchmark::DoNotOptimize(score.ks);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kParentRows + kChildRows));
+  state.counters["columns_scored"] = static_cast<double>(refs.size());
+  state.counters["snapshot_rows"] =
+      static_cast<double>(kParentRows + kChildRows);
+}
+BENCHMARK(BM_DriftCheck);
 
 void BM_HashJoin(benchmark::State& state) {
   Rng rng(3);

@@ -70,6 +70,7 @@ DEFAULT_METRICS_BY_FILE = {
         "BM_DbQps",
         "BM_CoalescedSample/1",
         "BM_IngestRefresh",
+        "BM_DriftCheck",
     ],
     "BENCH_server.json": [
         "ServerHealthz",

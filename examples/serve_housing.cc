@@ -66,11 +66,16 @@ std::shared_ptr<Db> OpenSetup(const std::string& name, uint64_t seed,
     return nullptr;
   }
   keep->push_back(std::make_unique<Database>(std::move(*incomplete)));
-  // Background refresh: once ~400 rows have been ingested into a model's
-  // tables (POST /v1/ingest/...), one worker retrains it and hot-swaps the
-  // new generation in — queries keep flowing against the old one meanwhile.
+  // Background refresh on measured drift: every trained generation keeps
+  // bounded per-column reference histograms, and one worker retrains a model
+  // only when rows ingested via POST /v1/ingest/... actually move a column's
+  // distribution (worst two-sample KS >= 0.1 or PSI >= 0.25) — a bulk load
+  // drawn from the same distribution never retrains. The new generation is
+  // hot-swapped in; queries keep flowing against the old one meanwhile.
   RefreshPolicy refresh;
-  refresh.staleness_rows_threshold = 400;
+  refresh.trigger = RefreshPolicy::Trigger::kDrift;
+  refresh.drift_ks_threshold = 0.1;
+  refresh.drift_psi_threshold = 0.25;
   refresh.max_concurrent_retrains = 1;
   auto db = Db::Open(keep->back().get(), AnnotationFor(*setup),
                      DbOptions()
@@ -133,6 +138,29 @@ int main(int argc, char** argv) {
 
   std::printf("shutting down...\n");
   http.Stop();
+  // Final drift report: how far each serving model had diverged from its
+  // training-time reference when the server went down.
+  for (const auto& entry : {std::make_pair("h1", h1), std::make_pair("h2", h2)}) {
+    for (const ModelInfo& info : entry.second->Freshness()) {
+      std::string path;
+      for (const auto& t : info.path) {
+        if (!path.empty()) path += "->";
+        path += t;
+      }
+      if (info.drift_available) {
+        std::printf("  [%s] %-30s gen %llu  drift ks=%.4f psi=%.4f (%s)\n",
+                    entry.first, path.c_str(),
+                    static_cast<unsigned long long>(info.generation),
+                    info.drift_ks, info.drift_psi,
+                    info.drift_column.empty() ? "-"
+                                              : info.drift_column.c_str());
+      } else {
+        std::printf("  [%s] %-30s gen %llu  drift unavailable\n", entry.first,
+                    path.c_str(),
+                    static_cast<unsigned long long>(info.generation));
+      }
+    }
+  }
   const server::HttpServerStats stats = http.stats();
   std::printf("served %llu requests on %llu connections "
               "(%llu queries admitted, %llu shed, %llu disconnect-cancels)\n",

@@ -26,11 +26,14 @@ namespace {
 // whichever payload layout changes; readers reject other versions.
 // Manifest v2 prepended the engine-config fingerprint (v1 had none); v3 adds
 // per-model generation metadata (generation number, rows at training time,
-// training seconds) for the generational model_dir layout.
+// training seconds) for the generational model_dir layout; v4 appends each
+// model's training-time drift reference summaries (per-column bounded
+// histograms). Older manifests still load — a v3 model simply reports drift
+// as unavailable, it never fails the open.
 constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
 constexpr uint32_t kModelMagic = 0x4f545352;     // "RSTO"
 constexpr uint32_t kCurrentMagic = 0x43545352;   // "RSTC"
-constexpr uint32_t kManifestVersion = 3;
+constexpr uint32_t kManifestVersion = 4;
 constexpr uint32_t kModelVersion = 1;
 constexpr uint32_t kCurrentVersion = 1;
 constexpr const char kManifestName[] = "restore_models.manifest";
@@ -236,8 +239,7 @@ Result<std::shared_ptr<Db>> Db::Open(const Database* database,
     RESTORE_RETURN_IF_ERROR(
         db->LoadModels(options.model_dir, options.model_generation));
   }
-  if (db->refresh_policy_.staleness_rows_threshold > 0 &&
-      db->refresh_policy_.max_concurrent_retrains > 0) {
+  if (db->refresh_policy_.enabled()) {
     // Dedicated threads, NOT the shared ThreadPool: at pool width 1 the
     // pool runs tasks inline on the submitter, which would stall queries
     // behind retraining — the exact thing background refresh must avoid.
@@ -372,6 +374,11 @@ Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
         std::shared_ptr<const PathModel>(std::move(trained).value());
     entry->ingest_mark = mark;
     entry->rows_at_train = TotalPathRows(*snapshot, path);
+    // Drift reference: bounded per-column summaries of the snapshot this
+    // generation was trained on, taken while the training data is already
+    // hot in cache. Scoring happens only in the refresher/Freshness paths,
+    // so the frozen query path stays bit-identical.
+    entry->drift_ref = SummarizeTables(*snapshot, path);
     entry->train_seconds = entry->model->train_seconds();
     models_trained_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -937,6 +944,36 @@ uint64_t Db::StalenessOf(const ModelEntry& entry) const {
   return IngestMarkLocked(entry.path) - entry.ingest_mark + entry.stale_base;
 }
 
+DriftScore Db::DriftOf(const ModelEntry& entry) const {
+  if (entry.drift_ref.empty()) return DriftScore();  // unavailable
+  std::shared_ptr<const Database> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    snapshot = data_;
+  }
+  return ScoreDrift(entry.drift_ref, *snapshot);
+}
+
+bool Db::DueForRefresh(const ModelEntry& entry,
+                       bool any_staleness_when_unset) const {
+  if (refresh_policy_.trigger == RefreshPolicy::Trigger::kDrift) {
+    // Nothing was ingested into the path since training — the snapshot IS
+    // the training data, so skip the O(rows) scoring pass outright.
+    if (StalenessOf(entry) == 0) return false;
+    const DriftScore drift = DriftOf(entry);
+    if (!drift.available) return false;
+    return (refresh_policy_.drift_ks_threshold > 0.0 &&
+            drift.ks >= refresh_policy_.drift_ks_threshold) ||
+           (refresh_policy_.drift_psi_threshold > 0.0 &&
+            drift.psi >= refresh_policy_.drift_psi_threshold);
+  }
+  const uint64_t threshold =
+      any_staleness_when_unset
+          ? std::max<uint64_t>(1, refresh_policy_.staleness_rows_threshold)
+          : refresh_policy_.staleness_rows_threshold;
+  return StalenessOf(entry) >= threshold;
+}
+
 std::vector<ModelInfo> Db::Freshness() const {
   std::vector<std::shared_ptr<ModelEntry>> heads;
   {
@@ -963,6 +1000,11 @@ std::vector<ModelInfo> Db::Freshness() const {
     info.train_seconds = entry->train_seconds;
     info.refreshing = entry->refreshing.load(std::memory_order_relaxed);
     info.loaded_from_disk = entry->loaded_from_disk;
+    const DriftScore drift = DriftOf(*entry);
+    info.drift_available = drift.available;
+    info.drift_ks = drift.ks;
+    info.drift_psi = drift.psi;
+    info.drift_column = drift.worst_column;
     out.push_back(std::move(info));
   }
   return out;
@@ -971,10 +1013,7 @@ std::vector<ModelInfo> Db::Freshness() const {
 // ---- Background refresh ----------------------------------------------------
 
 void Db::ScheduleStaleRefreshes() {
-  if (refresh_threads_.empty() ||
-      refresh_policy_.staleness_rows_threshold == 0) {
-    return;
-  }
+  if (refresh_threads_.empty() || !refresh_policy_.enabled()) return;
   std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -983,7 +1022,7 @@ void Db::ScheduleStaleRefreshes() {
   std::vector<std::string> due;
   for (const auto& [key, entry] : heads) {
     if (!entry->latch.done_ok() || entry->model == nullptr) continue;
-    if (StalenessOf(*entry) >= refresh_policy_.staleness_rows_threshold) {
+    if (DueForRefresh(*entry, /*any_staleness_when_unset=*/false)) {
       due.push_back(key);
     }
   }
@@ -1021,9 +1060,8 @@ void Db::RefreshWorkerLoop() {
         auto it = models_.find(key);
         if (it != models_.end()) head = it->second;
       }
-      still_stale =
-          head != nullptr && head->latch.done_ok() &&
-          StalenessOf(*head) >= refresh_policy_.staleness_rows_threshold;
+      still_stale = head != nullptr && head->latch.done_ok() &&
+                    DueForRefresh(*head, /*any_staleness_when_unset=*/false);
     }
     {
       std::unique_lock<std::mutex> lock(refresh_mu_);
@@ -1082,6 +1120,7 @@ Status Db::RefreshModelNow(const std::string& key) {
   fresh->generation = next_gen;
   fresh->ingest_mark = mark;
   fresh->rows_at_train = TotalPathRows(*snapshot, entry->path);
+  fresh->drift_ref = SummarizeTables(*snapshot, entry->path);
   fresh->train_seconds = fresh->model->train_seconds();
   fresh->prev = entry;
   fresh->latch.SetDone(Status::OK());
@@ -1133,8 +1172,6 @@ Status Db::RefreshModelNow(const std::string& key) {
 }
 
 Status Db::RefreshStaleModels() {
-  const uint64_t threshold =
-      std::max<uint64_t>(1, refresh_policy_.staleness_rows_threshold);
   std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -1143,7 +1180,7 @@ Status Db::RefreshStaleModels() {
   Status first = Status::OK();
   for (const auto& [key, entry] : heads) {
     if (!entry->latch.done_ok() || entry->model == nullptr) continue;
-    if (StalenessOf(*entry) < threshold) continue;
+    if (!DueForRefresh(*entry, /*any_staleness_when_unset=*/true)) continue;
     Status s = RefreshModelNow(key);
     if (!s.ok() && first.ok()) first = s;
   }
@@ -1168,6 +1205,58 @@ void Db::StopRefresher() {
     if (t.joinable()) t.join();
   }
   refresh_threads_.clear();
+}
+
+Status Db::PerturbModelsForTest(float stddev, uint64_t seed) {
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [key, entry] : models_) heads.emplace_back(key, entry);
+  }
+  for (const auto& [key, entry] : heads) {
+    if (!entry->latch.done_ok() || entry->model == nullptr) continue;
+    // PathModel is not copyable: a Save -> Load roundtrip clones it, then
+    // the clone's parameters take the seeded noise (per-path seed so every
+    // model is perturbed differently but reproducibly).
+    BinaryWriter w;
+    entry->model->Save(&w);
+    BinaryReader r(w.buffer());
+    RESTORE_ASSIGN_OR_RETURN(std::unique_ptr<PathModel> clone,
+                             PathModel::Load(*database_, annotation_, &r));
+    clone->PerturbParametersForTest(stddev, seed ^ Fnv1a64(key));
+    auto fresh = std::make_shared<ModelEntry>();
+    fresh->model = std::shared_ptr<const PathModel>(std::move(clone));
+    fresh->path = entry->path;
+    fresh->generation = entry->generation;
+    fresh->ingest_mark = entry->ingest_mark;
+    fresh->rows_at_train = entry->rows_at_train;
+    fresh->stale_base = entry->stale_base;
+    fresh->train_seconds = entry->train_seconds;
+    fresh->loaded_from_disk = entry->loaded_from_disk;
+    fresh->drift_ref = entry->drift_ref;
+    fresh->latch.SetDone(Status::OK());
+    // Published exactly like a refresh hot swap (see RefreshModelNow):
+    // install the head with publish_epoch one past the current epoch under
+    // ingest_mu_, then bump the epoch — pinned in-flight queries keep the
+    // intact generation through `prev`.
+    std::lock_guard<std::mutex> writer(ingest_mu_);
+    bool installed = false;
+    {
+      std::lock_guard<std::mutex> reg(registry_mu_);
+      auto it = models_.find(key);
+      if (it != models_.end() && it->second == entry) {
+        fresh->publish_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+        fresh->prev = entry;
+        it->second = fresh;
+        installed = true;
+      }
+    }
+    if (installed) {
+      std::lock_guard<std::mutex> lock(data_mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  return Status::OK();
 }
 
 // ---- Persistence -----------------------------------------------------------
@@ -1224,6 +1313,11 @@ Status Db::SaveModels(const std::string& dir) const {
     manifest.U64(entry->generation);
     manifest.U64(entry->rows_at_train);
     manifest.F64(entry->train_seconds);
+    // v4: the generation's drift reference summaries ride along, so a
+    // reopened Db scores drift against the ORIGINAL training snapshot
+    // instead of silently resetting the baseline to whatever it loads over.
+    manifest.U64(entry->drift_ref.size());
+    for (const ColumnSummary& s : entry->drift_ref) s.Save(&manifest);
   }
 
   // Persist completed path selections so a reopened Db answers without
@@ -1296,10 +1390,21 @@ Status Db::LoadGenerationInto(
     uint64_t generation = 1;
     uint64_t trained_rows = 0;
     double train_seconds = 0.0;
+    std::vector<ColumnSummary> drift_ref;
     if (version >= 3) {
       generation = manifest.U64();
       trained_rows = manifest.U64();
       train_seconds = manifest.F64();
+    }
+    if (version >= 4) {
+      const uint64_t num_summaries = manifest.U64();
+      RESTORE_RETURN_IF_ERROR(manifest.status());
+      drift_ref.reserve(num_summaries);
+      for (uint64_t s = 0; s < num_summaries; ++s) {
+        RESTORE_ASSIGN_OR_RETURN(ColumnSummary summary,
+                                 ColumnSummary::Load(&manifest));
+        drift_ref.push_back(std::move(summary));
+      }
     }
     RESTORE_RETURN_IF_ERROR(manifest.status());
     RESTORE_ASSIGN_OR_RETURN(
@@ -1333,6 +1438,7 @@ Status Db::LoadGenerationInto(
     entry->generation = generation;
     entry->rows_at_train = trained_rows;
     entry->train_seconds = train_seconds;
+    entry->drift_ref = std::move(drift_ref);
     entry->loaded_from_disk = true;
     // Staleness the snapshot was already carrying: rows that exist now but
     // did not when the model was trained. Unknowable for pre-generational

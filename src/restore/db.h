@@ -26,6 +26,7 @@
 #include "restore/incompleteness_join.h"
 #include "restore/path_model.h"
 #include "restore/path_selection.h"
+#include "stats/stat_test.h"
 #include "storage/database.h"
 
 namespace restore {
@@ -60,10 +61,25 @@ struct RefreshPolicy {
     kFinetune,
   };
 
+  /// What decides that a model fell behind its data.
+  enum class Trigger {
+    /// Row counting: refresh once staleness_rows_threshold rows were
+    /// ingested into the path's tables. Cheap, but a crude proxy — a bulk
+    /// load drawn from the SAME distribution retrains models that are still
+    /// perfectly calibrated.
+    kRowCount,
+    /// Measured distribution drift: each trained generation snapshots
+    /// per-column reference summaries (bounded histograms, see
+    /// stats/histogram.h) and a refresh fires only when the live snapshot
+    /// diverges from them past drift_ks_threshold / drift_psi_threshold.
+    /// A no-drift bulk append (e.g. duplicated rows) never retrains.
+    kDrift,
+  };
+
   /// A model whose path accumulated at least this many ingested rows since
   /// it was (re)trained is scheduled for background refresh. 0 disables the
   /// background refresher entirely (models still swap via the synchronous
-  /// Db::RefreshStaleModels).
+  /// Db::RefreshStaleModels). Ignored under Trigger::kDrift.
   uint64_t staleness_rows_threshold = 0;
   Mode mode = Mode::kRetrain;
   /// Refinement epochs of a kFinetune refresh.
@@ -71,6 +87,26 @@ struct RefreshPolicy {
   /// Background refresher threads == maximum concurrently retraining
   /// models. Queries are never scheduled on these threads.
   size_t max_concurrent_retrains = 1;
+
+  Trigger trigger = Trigger::kRowCount;
+  /// kDrift: refresh when any path column's two-sample KS statistic against
+  /// the training-time reference reaches this (numeric columns on the
+  /// reference grid; categorical columns as ordinal CDFs over the reference
+  /// label order). <= 0 disables the KS gate.
+  double drift_ks_threshold = 0.1;
+  /// kDrift: refresh when any path column's PSI reaches this. <= 0
+  /// disables the PSI gate.
+  double drift_psi_threshold = 0.25;
+
+  /// True when this policy can ever schedule background refreshes (gates
+  /// the refresher threads at Db::Open).
+  bool enabled() const {
+    if (max_concurrent_retrains == 0) return false;
+    if (trigger == Trigger::kDrift) {
+      return drift_ks_threshold > 0.0 || drift_psi_threshold > 0.0;
+    }
+    return staleness_rows_threshold > 0;
+  }
 };
 
 /// Options of Db::Open beyond the engine configuration. Plain aggregate —
@@ -155,6 +191,16 @@ struct ModelInfo {
   /// True when this generation was restored from disk rather than trained
   /// by this process.
   bool loaded_from_disk = false;
+  /// Drift of the live snapshot against this generation's training-time
+  /// reference summaries. Unavailable (false, scores 0) for models restored
+  /// from a pre-v4 manifest — those never fire the drift trigger.
+  bool drift_available = false;
+  /// Worst per-column two-sample KS statistic.
+  double drift_ks = 0.0;
+  /// Worst per-column population stability index.
+  double drift_psi = 0.0;
+  /// "table.column" attaining the worst KS statistic.
+  std::string drift_column;
 };
 
 /// A future holding the asynchronous result of a completed-query execution.
@@ -259,6 +305,15 @@ class Db : public std::enable_shared_from_this<Db> {
 
   /// Blocks until the background refresher has no queued or running work.
   void WaitForRefreshIdle();
+
+  /// Test-only hook of the distribution-equivalence harness (see
+  /// stats/equivalence.h): replaces every trained model with a copy whose
+  /// parameters carry seeded Gaussian noise of standard deviation `stddev`,
+  /// published like a hot swap (the epoch bumps, so completion-cache
+  /// entries of the intact models become unreachable). The harness proves
+  /// its gate has teeth against exactly this deliberately broken Db.
+  /// Never called by any serving path.
+  Status PerturbModelsForTest(float stddev, uint64_t seed);
 
   /// Returns the completed version of one incomplete table: its existing
   /// tuples plus the synthesized attribute columns (keys are not
@@ -397,6 +452,11 @@ class Db : public std::enable_shared_from_this<Db> {
     uint64_t stale_base = 0;
     double train_seconds = 0.0;
     bool loaded_from_disk = false;
+    /// Per-column reference summaries of the training snapshot (bounded
+    /// histograms, not raw rows), captured under the latch — immutable
+    /// after — and persisted in manifest v4. Empty for models restored from
+    /// a pre-v4 manifest: drift reads as unavailable rather than failing.
+    std::vector<ColumnSummary> drift_ref;
     std::atomic<bool> refreshing{false};
     /// Previous generation. Guarded by registry_mu_ (see struct comment).
     std::shared_ptr<ModelEntry> prev;
@@ -457,6 +517,15 @@ class Db : public std::enable_shared_from_this<Db> {
   void ScheduleStaleRefreshes();
   /// Staleness of a head entry right now (0 for untrained/failed entries).
   uint64_t StalenessOf(const ModelEntry& entry) const;
+  /// Drift of the current snapshot against `entry`'s training reference
+  /// (unavailable when the entry carries no reference summaries).
+  DriftScore DriftOf(const ModelEntry& entry) const;
+  /// True when `entry` is due for refresh under the policy's trigger.
+  /// `any_staleness_when_unset` reproduces the synchronous
+  /// RefreshStaleModels contract for the row-count trigger: any staleness
+  /// at all counts when the threshold is 0.
+  bool DueForRefresh(const ModelEntry& entry,
+                     bool any_staleness_when_unset) const;
 
   /// Retrains `key` on the current snapshot and hot-swaps the new
   /// generation in. No-op (OK) when the entry vanished or is already

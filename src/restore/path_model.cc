@@ -932,6 +932,21 @@ Status LoadParams(BinaryReader* r, const std::vector<Param*>& params,
 
 }  // namespace
 
+void PathModel::PerturbParametersForTest(float stddev, uint64_t seed) {
+  std::vector<Param*> params;
+  made_->CollectParams(&params);
+  if (deep_sets_ != nullptr) deep_sets_->CollectParams(&params);
+  Rng rng(seed);
+  for (Param* p : params) {
+    for (float& v : p->value.vec()) {
+      v += static_cast<float>(rng.NextGaussian(0.0, stddev));
+    }
+  }
+  // The noisy parameters must reach the reentrant inference paths, which
+  // read the frozen masked-weight caches, not the raw parameters.
+  made_->FinalizeForInference();
+}
+
 void PathModel::Save(BinaryWriter* w) const {
   w->VecStr(path_);
 

@@ -243,6 +243,14 @@ class PathModel {
     return train_marginals_[attr];
   }
 
+  /// Test-only: adds seeded Gaussian noise of standard deviation `stddev`
+  /// to every learned parameter (MADE layers, embeddings, deep-sets
+  /// encoder) and re-freezes the masked-weight inference caches. The
+  /// distribution-equivalence harness (stats/equivalence.h) uses this as
+  /// its deliberately broken model; no serving path calls it. Not safe
+  /// while inference is running on this model.
+  void PerturbParametersForTest(float stddev, uint64_t seed);
+
  private:
   PathModel() = default;
 

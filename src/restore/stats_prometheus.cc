@@ -166,6 +166,24 @@ void PrometheusRenderer::AddDbFreshness(const std::string& labels,
     Gauge("restore_model_generation",
           "Generation number of the serving model for a path.", path_labels,
           static_cast<double>(info.generation));
+    // Models restored from a pre-v4 manifest have no training reference to
+    // score against — they emit no drift samples rather than a fake zero.
+    if (info.drift_available) {
+      Gauge("restore_model_drift",
+            "Distribution drift of a path's current data against its "
+            "serving model's training-time reference (ks = worst per-column "
+            "two-sample KS statistic, psi = worst population stability "
+            "index).",
+            JoinPrometheusLabels(path_labels, PrometheusLabel("stat", "ks")),
+            info.drift_ks);
+      Gauge("restore_model_drift",
+            "Distribution drift of a path's current data against its "
+            "serving model's training-time reference (ks = worst per-column "
+            "two-sample KS statistic, psi = worst population stability "
+            "index).",
+            JoinPrometheusLabels(path_labels, PrometheusLabel("stat", "psi")),
+            info.drift_psi);
+    }
   }
 }
 

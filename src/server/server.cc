@@ -159,8 +159,13 @@ std::string ModelInfoJson(const ModelInfo& info) {
   out += ",\"staleness_rows\":" + std::to_string(info.staleness_rows);
   out += ",\"train_seconds\":" + JsonNumber(info.train_seconds);
   out += info.refreshing ? ",\"refreshing\":true" : ",\"refreshing\":false";
-  out += info.loaded_from_disk ? ",\"loaded_from_disk\":true}"
-                               : ",\"loaded_from_disk\":false}";
+  out += info.loaded_from_disk ? ",\"loaded_from_disk\":true"
+                               : ",\"loaded_from_disk\":false";
+  out += info.drift_available ? ",\"drift_available\":true"
+                              : ",\"drift_available\":false";
+  out += ",\"drift_ks\":" + JsonNumber(info.drift_ks);
+  out += ",\"drift_psi\":" + JsonNumber(info.drift_psi);
+  out += ",\"drift_column\":\"" + JsonEscape(info.drift_column) + "\"}";
   return out;
 }
 

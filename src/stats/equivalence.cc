@@ -1,0 +1,178 @@
+#include "stats/equivalence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace restore {
+
+namespace {
+
+/// One query's rows flattened to group-key -> aggregate values.
+using FlatResult = std::map<std::string, std::vector<double>>;
+
+Result<FlatResult> RunFlat(Db* db, const std::string& sql) {
+  RESTORE_ASSIGN_OR_RETURN(ResultSet rs, db->ExecuteCompletedSql(sql));
+  FlatResult out;
+  ResultBatch batch;
+  while (rs.NextBatch(&batch)) {
+    for (size_t r = 0; r < batch.rows; ++r) {
+      std::string key;
+      for (size_t c = 0; c < rs.num_key_columns(); ++c) {
+        if (c > 0) key += '|';
+        key += batch.key(r, c);
+      }
+      std::vector<double>& values = out[key];
+      for (size_t c = 0; c < rs.num_value_columns(); ++c) {
+        values.push_back(batch.value(r, c));
+      }
+    }
+  }
+  return out;
+}
+
+/// Non-null numeric cells of a column.
+std::vector<double> NumericValues(const Column& col) {
+  std::vector<double> out;
+  out.reserve(col.size());
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (!col.IsNull(r)) out.push_back(col.GetNumeric(r));
+  }
+  return out;
+}
+
+/// Per-label counts of a categorical column over a shared label index
+/// (labels are assigned indices on first sight across BOTH columns, so the
+/// two count vectors are bucket-aligned).
+std::vector<double> CategoricalCounts(
+    const Column& col, std::map<std::string, size_t>* label_index) {
+  std::vector<double> counts(label_index->size(), 0.0);
+  const Dictionary& dict = *col.dictionary();
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (col.IsNull(r)) continue;
+    const std::string& label = dict.ValueOf(col.GetCode(r));
+    auto [it, inserted] =
+        label_index->emplace(label, label_index->size());
+    if (inserted || it->second >= counts.size()) {
+      counts.resize(label_index->size(), 0.0);
+    }
+    ++counts[it->second];
+  }
+  return counts;
+}
+
+ColumnComparison CompareColumn(const std::string& table, const Column& ca,
+                               const Column& cb,
+                               const EquivalenceOptions& options) {
+  ColumnComparison cmp;
+  cmp.table = table;
+  cmp.column = ca.name();
+  cmp.numeric = ca.type() != ColumnType::kCategorical;
+  if (cmp.numeric) {
+    const KsResult ks = KsTwoSample(NumericValues(ca), NumericValues(cb));
+    cmp.ks = ks.statistic;
+    cmp.ks_p = ks.p_value;
+    cmp.pass = ks.p_value >= options.ks_alpha;
+    return cmp;
+  }
+  std::map<std::string, size_t> labels;
+  std::vector<double> counts_a = CategoricalCounts(ca, &labels);
+  std::vector<double> counts_b = CategoricalCounts(cb, &labels);
+  counts_a.resize(labels.size(), 0.0);
+  counts_b.resize(labels.size(), 0.0);
+  const Chi2Result chi2 = ChiSquaredTwoSample(counts_a, counts_b);
+  cmp.chi2 = chi2.statistic;
+  cmp.chi2_p = chi2.p_value;
+  cmp.pass = chi2.p_value >= options.chi2_alpha;
+  return cmp;
+}
+
+}  // namespace
+
+std::string EquivalenceReport::Describe() const {
+  std::string out = equivalent ? "EQUIVALENT\n" : "NOT EQUIVALENT\n";
+  for (const ColumnComparison& c : columns) {
+    if (c.pass) continue;
+    out += c.numeric
+               ? StrFormat("  column %s.%s: KS %.4f (p=%.2e)\n",
+                           c.table.c_str(), c.column.c_str(), c.ks, c.ks_p)
+               : StrFormat("  column %s.%s: chi2 %.2f (p=%.2e)\n",
+                           c.table.c_str(), c.column.c_str(), c.chi2,
+                           c.chi2_p);
+  }
+  for (const QueryComparison& q : queries) {
+    if (q.pass) continue;
+    if (!q.groups_match) {
+      out += StrFormat("  query '%s': group sets differ\n", q.sql.c_str());
+    } else {
+      out += StrFormat("  query '%s': rel delta %.4f at group '%s'\n",
+                       q.sql.c_str(), q.max_rel_delta,
+                       q.worst_group.c_str());
+    }
+  }
+  return out;
+}
+
+Result<EquivalenceReport> CompareDistributionEquivalence(
+    Db* a, Db* b, const std::vector<std::string>& workload,
+    const EquivalenceOptions& options) {
+  EquivalenceReport report;
+
+  // 1. Completed-table column distributions. The incomplete-table set comes
+  // from `a`'s annotation; both Dbs are expected to share the schema.
+  for (const std::string& target : a->annotation().incomplete_tables()) {
+    RESTORE_ASSIGN_OR_RETURN(Table ta, a->CompleteTable(target));
+    RESTORE_ASSIGN_OR_RETURN(Table tb, b->CompleteTable(target));
+    for (const Column& ca : ta.columns()) {
+      const Column* cb = nullptr;
+      for (const Column& c : tb.columns()) {
+        if (c.name() == ca.name()) {
+          cb = &c;
+          break;
+        }
+      }
+      if (cb == nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "completed '%s' lacks column '%s' on the second Db",
+            target.c_str(), ca.name().c_str()));
+      }
+      ColumnComparison cmp = CompareColumn(target, ca, *cb, options);
+      report.equivalent = report.equivalent && cmp.pass;
+      report.columns.push_back(std::move(cmp));
+    }
+  }
+
+  // 2. Per-group aggregate deltas over the workload.
+  for (const std::string& sql : workload) {
+    RESTORE_ASSIGN_OR_RETURN(FlatResult ra, RunFlat(a, sql));
+    RESTORE_ASSIGN_OR_RETURN(FlatResult rb, RunFlat(b, sql));
+    QueryComparison cmp;
+    cmp.sql = sql;
+    if (ra.size() != rb.size()) cmp.groups_match = false;
+    for (const auto& [key, va] : ra) {
+      auto it = rb.find(key);
+      if (it == rb.end() || it->second.size() != va.size()) {
+        cmp.groups_match = false;
+        continue;
+      }
+      for (size_t i = 0; i < va.size(); ++i) {
+        const double denom =
+            std::max(options.abs_delta_floor,
+                     std::max(std::fabs(va[i]), std::fabs(it->second[i])));
+        const double rel = std::fabs(va[i] - it->second[i]) / denom;
+        if (rel > cmp.max_rel_delta) {
+          cmp.max_rel_delta = rel;
+          cmp.worst_group = key;
+        }
+      }
+    }
+    cmp.pass = cmp.groups_match && cmp.max_rel_delta <= options.max_rel_delta;
+    report.equivalent = report.equivalent && cmp.pass;
+    report.queries.push_back(std::move(cmp));
+  }
+  return report;
+}
+
+}  // namespace restore

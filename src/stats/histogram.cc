@@ -1,0 +1,175 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace restore {
+
+namespace {
+
+/// Bin index of `v` on the grid [lo, hi] x bins, clamped to the edge bins.
+size_t BinOf(double v, double lo, double hi, size_t bins) {
+  if (bins <= 1 || !(hi > lo)) return 0;
+  if (v <= lo) return 0;
+  if (v >= hi) return bins - 1;
+  const double t = (v - lo) / (hi - lo);
+  size_t b = static_cast<size_t>(t * static_cast<double>(bins));
+  return b < bins ? b : bins - 1;
+}
+
+void FillNumeric(ColumnSummary* s, const Column& col) {
+  const size_t bins = s->counts.size();
+  const size_t n = col.size();
+  for (size_t r = 0; r < n; ++r) {
+    if (col.IsNull(r)) {
+      ++s->nulls;
+      continue;
+    }
+    ++s->counts[BinOf(col.GetNumeric(r), s->lo, s->hi, bins)];
+    ++s->total;
+  }
+}
+
+void FillCategorical(ColumnSummary* s, const Column& col,
+                     const std::vector<int64_t>& code_to_bucket) {
+  const size_t other = s->counts.size() - 1;
+  const size_t n = col.size();
+  for (size_t r = 0; r < n; ++r) {
+    const int64_t code = col.GetCode(r);
+    if (code == kNullInt64) {
+      ++s->nulls;
+      continue;
+    }
+    size_t bucket = other;
+    if (code >= 0 &&
+        static_cast<size_t>(code) < code_to_bucket.size() &&
+        code_to_bucket[static_cast<size_t>(code)] >= 0) {
+      bucket = static_cast<size_t>(code_to_bucket[static_cast<size_t>(code)]);
+    }
+    ++s->counts[bucket];
+    ++s->total;
+  }
+}
+
+}  // namespace
+
+ColumnSummary SummarizeColumn(const std::string& table, const Column& col,
+                              size_t max_bins) {
+  ColumnSummary s;
+  s.table = table;
+  s.column = col.name();
+  if (col.type() == ColumnType::kCategorical) {
+    s.kind = ColumnSummary::Kind::kCategorical;
+    const Dictionary& dict = *col.dictionary();
+    const size_t kept = std::min(dict.size(), kMaxSummaryLabels);
+    s.labels.reserve(kept);
+    std::vector<int64_t> code_to_bucket(dict.size(), -1);
+    for (size_t c = 0; c < kept; ++c) {
+      s.labels.push_back(dict.ValueOf(static_cast<int64_t>(c)));
+      code_to_bucket[c] = static_cast<int64_t>(c);
+    }
+    s.counts.assign(s.labels.size() + 1, 0.0);
+    FillCategorical(&s, col, code_to_bucket);
+    return s;
+  }
+  s.kind = ColumnSummary::Kind::kNumeric;
+  double lo = 0.0, hi = 0.0;
+  bool seen = false;
+  const size_t n = col.size();
+  for (size_t r = 0; r < n; ++r) {
+    if (col.IsNull(r)) continue;
+    const double v = col.GetNumeric(r);
+    if (!seen || v < lo) lo = seen ? std::min(lo, v) : v;
+    if (!seen || v > hi) hi = seen ? std::max(hi, v) : v;
+    seen = true;
+  }
+  s.lo = lo;
+  s.hi = hi;
+  s.counts.assign(std::max<size_t>(1, max_bins), 0.0);
+  FillNumeric(&s, col);
+  return s;
+}
+
+ColumnSummary SummarizeAgainst(const ColumnSummary& ref, const Column& col) {
+  ColumnSummary s;
+  s.table = ref.table;
+  s.column = ref.column;
+  s.kind = ref.kind;
+  s.lo = ref.lo;
+  s.hi = ref.hi;
+  s.labels = ref.labels;
+  s.counts.assign(ref.counts.size(), 0.0);
+  if (ref.kind == ColumnSummary::Kind::kCategorical) {
+    if (col.type() != ColumnType::kCategorical) return s;
+    // Map this column's codes to the reference buckets by label string —
+    // the two columns may hold different (e.g. copied) dictionaries.
+    const Dictionary& dict = *col.dictionary();
+    std::vector<int64_t> code_to_bucket(dict.size(), -1);
+    for (size_t c = 0; c < dict.size(); ++c) {
+      const std::string& value = dict.ValueOf(static_cast<int64_t>(c));
+      for (size_t l = 0; l < ref.labels.size(); ++l) {
+        if (ref.labels[l] == value) {
+          code_to_bucket[c] = static_cast<int64_t>(l);
+          break;
+        }
+      }
+    }
+    FillCategorical(&s, col, code_to_bucket);
+    return s;
+  }
+  if (col.type() == ColumnType::kCategorical) return s;
+  FillNumeric(&s, col);
+  return s;
+}
+
+std::vector<ColumnSummary> SummarizeTables(
+    const Database& db, const std::vector<std::string>& tables,
+    size_t max_bins) {
+  std::vector<ColumnSummary> out;
+  for (const auto& name : tables) {
+    Result<const Table*> table = db.GetTable(name);
+    if (!table.ok()) continue;
+    for (const Column& col : (*table)->columns()) {
+      out.push_back(SummarizeColumn(name, col, max_bins));
+    }
+  }
+  return out;
+}
+
+void ColumnSummary::Save(BinaryWriter* w) const {
+  w->Str(table);
+  w->Str(column);
+  w->U8(static_cast<uint8_t>(kind));
+  w->F64(lo);
+  w->F64(hi);
+  w->VecF64(counts);
+  w->VecStr(labels);
+  w->U64(total);
+  w->U64(nulls);
+}
+
+Result<ColumnSummary> ColumnSummary::Load(BinaryReader* r) {
+  ColumnSummary s;
+  s.table = r->Str();
+  s.column = r->Str();
+  const uint8_t kind = r->U8();
+  s.lo = r->F64();
+  s.hi = r->F64();
+  s.counts = r->VecF64();
+  s.labels = r->VecStr();
+  s.total = r->U64();
+  s.nulls = r->U64();
+  RESTORE_RETURN_IF_ERROR(r->status());
+  if (kind > static_cast<uint8_t>(Kind::kCategorical)) {
+    return Status::InvalidArgument("column summary has an unknown kind");
+  }
+  s.kind = static_cast<Kind>(kind);
+  if (s.kind == Kind::kCategorical &&
+      s.counts.size() != s.labels.size() + 1) {
+    return Status::InvalidArgument(
+        "categorical column summary has mismatched label/count sizes");
+  }
+  return s;
+}
+
+}  // namespace restore

@@ -1,0 +1,85 @@
+#ifndef RESTORE_STATS_HISTOGRAM_H_
+#define RESTORE_STATS_HISTOGRAM_H_
+
+// Bounded-size per-column distribution summaries.
+//
+// A ColumnSummary captures the marginal distribution of one column at a
+// moment in time — an equi-width histogram for numeric columns, a per-value
+// count table for categorical ones — in O(bins) memory regardless of row
+// count. Summaries built against the SAME reference grid are directly
+// comparable bucket by bucket, which is what the statistical tests in
+// stat_test.h consume: the Db snapshots summaries of every path column at
+// model-training time (persisted in manifest v4) and later scores the live
+// snapshot against them to decide whether a model drifted enough to retrain.
+//
+// Everything here is deterministic: bin edges derive only from the data and
+// the bin budget, categorical labels keep dictionary code order, and no
+// randomness or thread-count dependence enters anywhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "storage/column.h"
+#include "storage/database.h"
+
+namespace restore {
+
+/// Numeric bin budget of a reference summary.
+inline constexpr size_t kDefaultSummaryBins = 64;
+/// Categorical labels kept verbatim; rarer dictionary values (by code
+/// order, codes past the cap) collapse into the trailing "other" bucket.
+inline constexpr size_t kMaxSummaryLabels = 256;
+
+/// Bounded-size distribution summary of one column.
+struct ColumnSummary {
+  enum class Kind : uint8_t { kNumeric = 0, kCategorical = 1 };
+
+  std::string table;
+  std::string column;
+  Kind kind = Kind::kNumeric;
+
+  /// Numeric grid: counts.size() equi-width bins over [lo, hi]. Cells
+  /// outside the range clamp into the edge bins, so a summary built against
+  /// an older reference grid stays comparable when new data exceeds it.
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Numeric: per-bin counts. Categorical: one count per entry of `labels`
+  /// plus a trailing bucket for values the reference had not seen
+  /// (counts.size() == labels.size() + 1).
+  std::vector<double> counts;
+  std::vector<std::string> labels;  // categorical only
+
+  uint64_t total = 0;  // non-null cells counted
+  uint64_t nulls = 0;
+
+  void Save(BinaryWriter* w) const;
+  static Result<ColumnSummary> Load(BinaryReader* r);
+};
+
+/// Builds the reference summary of `col`: numeric columns get an equi-width
+/// histogram over the observed [min, max] with at most `max_bins` bins,
+/// categorical columns a count per dictionary value (capped at
+/// kMaxSummaryLabels, rest in the "other" bucket).
+ColumnSummary SummarizeColumn(const std::string& table, const Column& col,
+                              size_t max_bins = kDefaultSummaryBins);
+
+/// Summarizes `col` on `ref`'s grid — same bin edges, same label set — so
+/// the pair feeds directly into the two-sample tests. Numeric cells outside
+/// the reference range land in the edge bins; categorical values absent from
+/// the reference labels land in the "other" bucket.
+ColumnSummary SummarizeAgainst(const ColumnSummary& ref, const Column& col);
+
+/// Reference summaries of every column of every table of `tables` present
+/// in `db`, in the given table order and the table's column order. Missing
+/// tables are skipped (a path can reference a table the snapshot dropped).
+std::vector<ColumnSummary> SummarizeTables(
+    const Database& db, const std::vector<std::string>& tables,
+    size_t max_bins = kDefaultSummaryBins);
+
+}  // namespace restore
+
+#endif  // RESTORE_STATS_HISTOGRAM_H_

@@ -1,0 +1,124 @@
+// The distribution-equivalence gate must have teeth: bit-identical twin Dbs
+// PASS, a deliberately perturbed model (seeded weight noise) FAILS. This is
+// the acceptance harness for relaxed-exactness work (ROADMAP directions 2
+// and 4): changes that keep distributions intact clear it, changes that
+// corrupt the learned model do not.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/incompleteness.h"
+#include "datagen/synthetic.h"
+#include "restore/db.h"
+#include "stats/equivalence.h"
+
+namespace restore {
+namespace {
+
+EngineConfig FastConfig() {
+  EngineConfig config;
+  config.model.epochs = 4;
+  config.model.min_train_steps = 120;
+  config.model.hidden_dim = 24;
+  config.model.embed_dim = 4;
+  config.model.max_bins = 12;
+  config.max_candidates = 2;
+  return config;
+}
+
+Database MakeIncompleteSynthetic(uint64_t seed) {
+  SyntheticConfig data_config;
+  data_config.num_parents = 200;
+  data_config.predictability = 0.85;
+  data_config.seed = seed;
+  auto complete = GenerateSynthetic(data_config);
+  EXPECT_TRUE(complete.ok());
+  BiasedRemovalConfig removal;
+  removal.table = "table_b";
+  removal.column = "b";
+  removal.keep_rate = 0.5;
+  removal.removal_correlation = 0.5;
+  removal.seed = seed + 1;
+  auto incomplete = ApplyBiasedRemoval(*complete, removal);
+  EXPECT_TRUE(incomplete.ok());
+  return std::move(incomplete).value();
+}
+
+SchemaAnnotation Annotation() {
+  SchemaAnnotation annotation;
+  annotation.MarkIncomplete("table_b");
+  return annotation;
+}
+
+const std::vector<std::string> kWorkload = {
+    "SELECT COUNT(*) FROM table_b GROUP BY b;",
+    "SELECT COUNT(*) FROM table_a NATURAL JOIN table_b GROUP BY b;",
+};
+
+TEST(EquivalenceHarnessTest, TwinDbsAreEquivalent) {
+  Database a = MakeIncompleteSynthetic(601);
+  Database b = MakeIncompleteSynthetic(601);
+  auto db_a = Db::Open(&a, Annotation(), DbOptions().WithEngine(FastConfig()));
+  auto db_b = Db::Open(&b, Annotation(), DbOptions().WithEngine(FastConfig()));
+  ASSERT_TRUE(db_a.ok() && db_b.ok());
+
+  auto report =
+      CompareDistributionEquivalence(db_a->get(), db_b->get(), kWorkload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->equivalent) << report->Describe();
+  EXPECT_FALSE(report->columns.empty());
+  EXPECT_EQ(report->queries.size(), kWorkload.size());
+  for (const QueryComparison& q : report->queries) {
+    EXPECT_TRUE(q.pass) << q.sql;
+    EXPECT_TRUE(q.groups_match);
+    // Twins are bit-identical, so the deltas are exactly zero — not merely
+    // under the tolerance.
+    EXPECT_EQ(q.max_rel_delta, 0.0);
+  }
+}
+
+TEST(EquivalenceHarnessTest, PerturbedModelFailsTheGate) {
+  Database a = MakeIncompleteSynthetic(603);
+  Database b = MakeIncompleteSynthetic(603);
+  auto db_a = Db::Open(&a, Annotation(), DbOptions().WithEngine(FastConfig()));
+  auto db_b = Db::Open(&b, Annotation(), DbOptions().WithEngine(FastConfig()));
+  ASSERT_TRUE(db_a.ok() && db_b.ok());
+
+  // Force training on b so there are weights to corrupt, then inject heavy
+  // seeded Gaussian noise into every parameter.
+  for (const auto& sql : kWorkload) {
+    ASSERT_TRUE((*db_b)->ExecuteCompletedSql(sql).ok());
+  }
+  ASSERT_TRUE((*db_b)->PerturbModelsForTest(1.0f, 99).ok());
+
+  auto report =
+      CompareDistributionEquivalence(db_a->get(), db_b->get(), kWorkload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->equivalent)
+      << "the gate accepted a model with randomized weights";
+  EXPECT_FALSE(report->Describe().empty());
+}
+
+TEST(EquivalenceHarnessTest, PerturbationItselfIsDeterministic) {
+  // Same seed -> same perturbed model -> two independently perturbed twins
+  // are equivalent to EACH OTHER (the gate flags divergence from the
+  // reference, not nondeterminism of the test fixture).
+  Database a = MakeIncompleteSynthetic(605);
+  Database b = MakeIncompleteSynthetic(605);
+  auto db_a = Db::Open(&a, Annotation(), DbOptions().WithEngine(FastConfig()));
+  auto db_b = Db::Open(&b, Annotation(), DbOptions().WithEngine(FastConfig()));
+  ASSERT_TRUE(db_a.ok() && db_b.ok());
+  for (auto* db : {db_a->get(), db_b->get()}) {
+    ASSERT_TRUE(db->ExecuteCompletedSql(kWorkload[0]).ok());
+    ASSERT_TRUE(db->PerturbModelsForTest(0.05f, 1234).ok());
+  }
+  auto report =
+      CompareDistributionEquivalence(db_a->get(), db_b->get(), kWorkload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->equivalent) << report->Describe();
+}
+
+}  // namespace
+}  // namespace restore

@@ -601,6 +601,138 @@ TEST(IngestionTest, DeepGenerationChainCapsSafelyUnderReaders) {
             static_cast<uint64_t>(2 * kRounds));
 }
 
+// ---- Drift-triggered refresh ------------------------------------------------
+
+/// Every current row of `t` as an appendable row batch: appending these
+/// doubles the table without moving any column's distribution.
+std::vector<std::vector<Value>> DuplicateRows(const Table& t) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(t.NumRows());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(t.NumColumns());
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      row.push_back(t.column(c).GetValue(r));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+RefreshPolicy DriftPolicy(size_t retrain_threads) {
+  RefreshPolicy policy;
+  policy.trigger = RefreshPolicy::Trigger::kDrift;
+  policy.drift_ks_threshold = 0.15;
+  policy.drift_psi_threshold = 0.25;
+  policy.max_concurrent_retrains = retrain_threads;
+  return policy;
+}
+
+TEST(IngestionTest, DriftScoresSurfaceInFreshnessAndGateSyncRefresh) {
+  // No background thread (0 retrain threads): every transition is observed
+  // synchronously. A bulk append of duplicated rows leaves every column's
+  // distribution untouched — the drift gate must hold the generation even
+  // though thousands of rows are "stale" by row count.
+  Database incomplete = MakeIncompleteSynthetic(529);
+  auto db = Db::Open(&incomplete, Annotation(),
+                     DbOptions().WithEngine(FastConfig()).WithRefreshPolicy(
+                         DriftPolicy(0)));
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE((*db)->ExecuteCompletedSql(kCountByB).ok());
+
+  for (const ModelInfo& info : (*db)->Freshness()) {
+    EXPECT_TRUE(info.drift_available);
+    EXPECT_EQ(info.drift_ks, 0.0);  // snapshot IS the training data
+    EXPECT_EQ(info.drift_psi, 0.0);
+  }
+
+  const auto dup =
+      DuplicateRows(**(*db)->data()->GetTable("table_b"));
+  ASSERT_GT(dup.size(), 100u);
+  ASSERT_TRUE((*db)->Append("table_b", dup).ok());
+  for (const ModelInfo& info : (*db)->Freshness()) {
+    EXPECT_LT(info.drift_ks, 0.05) << info.drift_column;
+    EXPECT_LT(info.drift_psi, 0.05) << info.drift_column;
+  }
+  ASSERT_TRUE((*db)->RefreshStaleModels().ok());
+  EXPECT_EQ((*db)->stats().models_refreshed, 0u);
+  for (const ModelInfo& info : (*db)->Freshness()) {
+    EXPECT_EQ(info.generation, 1u);
+  }
+
+  // A shifted append — one third of the table lands in a category the
+  // training snapshot never saw — pushes KS past the threshold.
+  ASSERT_TRUE(
+      (*db)->Append("table_b", MakeRows(dup.size(), 975000, "drifted")).ok());
+  bool saw_drift = false;
+  for (const ModelInfo& info : (*db)->Freshness()) {
+    bool touches_b = false;
+    for (const auto& t : info.path) touches_b |= t == "table_b";
+    if (touches_b) {
+      EXPECT_GE(info.drift_ks, 0.15) << info.drift_column;
+      saw_drift = true;
+    }
+  }
+  EXPECT_TRUE(saw_drift);
+  ASSERT_TRUE((*db)->RefreshStaleModels().ok());
+  EXPECT_GT((*db)->stats().models_refreshed, 0u);
+  // The refreshed generation re-baselines its reference on the post-shift
+  // snapshot: drift reads ~0 again.
+  for (const ModelInfo& info : (*db)->Freshness()) {
+    EXPECT_EQ(info.generation, 2u);
+    EXPECT_LT(info.drift_ks, 0.05);
+  }
+}
+
+TEST(IngestionTest, BackgroundDriftRefreshFiresOnceOnShiftOnlyAndTwinsAgree) {
+  // The full satellite contract, on twin Dbs driven identically:
+  //  1. no-drift bulk append -> the background refresher does NOT retrain;
+  //  2. shifted append -> it retrains exactly once per affected path;
+  //  3. the twins answer bit-identically afterwards.
+  Database data_a = MakeIncompleteSynthetic(531);
+  Database data_b = MakeIncompleteSynthetic(531);
+  auto db_a = Db::Open(&data_a, Annotation(),
+                       DbOptions().WithEngine(FastConfig()).WithRefreshPolicy(
+                           DriftPolicy(1)));
+  auto db_b = Db::Open(&data_b, Annotation(),
+                       DbOptions().WithEngine(FastConfig()).WithRefreshPolicy(
+                           DriftPolicy(1)));
+  ASSERT_TRUE(db_a.ok() && db_b.ok());
+
+  for (auto* db : {&*db_a, &*db_b}) {
+    ASSERT_TRUE((*db)->ExecuteCompletedSql(kJoinCount).ok());
+    const auto dup =
+        DuplicateRows(**(*db)->data()->GetTable("table_b"));
+    ASSERT_TRUE((*db)->Append("table_b", dup).ok());
+    (*db)->WaitForRefreshIdle();
+    EXPECT_EQ((*db)->stats().models_refreshed, 0u)
+        << "no-drift bulk append must not retrain";
+
+    ASSERT_TRUE(
+        (*db)->Append("table_b", MakeRows(dup.size(), 975000, "drifted"))
+            .ok());
+    (*db)->WaitForRefreshIdle();
+    const Db::Stats stats = (*db)->stats();
+    EXPECT_GT(stats.models_refreshed, 0u);
+    // Exactly once: every path containing table_b sits at generation 2 —
+    // a re-firing refresher would have pushed some chain to 3+.
+    uint64_t swapped = 0;
+    for (const ModelInfo& info : (*db)->Freshness()) {
+      bool touches_b = false;
+      for (const auto& t : info.path) touches_b |= t == "table_b";
+      EXPECT_EQ(info.generation, touches_b ? 2u : 1u);
+      swapped += touches_b ? 1 : 0;
+      EXPECT_LT(info.drift_ks, 0.15);
+    }
+    EXPECT_EQ(stats.models_refreshed, swapped);
+  }
+
+  auto r_a = (*db_a)->ExecuteCompletedSql(kJoinCount);
+  auto r_b = (*db_b)->ExecuteCompletedSql(kJoinCount);
+  ASSERT_TRUE(r_a.ok() && r_b.ok());
+  EXPECT_EQ(Flatten(*r_a), Flatten(*r_b));
+}
+
 // ---- Crash-safe generational persistence ------------------------------------
 
 void RemoveTree(const std::string& dir);  // fwd (defined below)

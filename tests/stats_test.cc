@@ -1,0 +1,319 @@
+// Unit tests for the statistical testing subsystem: two-sample KS against
+// analytically known distributions, χ² bucket-merge edge cases, PSI
+// monotonicity, ColumnSummary round-trips and grid alignment, and
+// bit-identical drift scores independent of threading.
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "stats/histogram.h"
+#include "stats/stat_test.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace restore {
+namespace {
+
+std::vector<double> Ramp(size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return v;
+}
+
+// ---- Kolmogorov–Smirnov -----------------------------------------------------
+
+TEST(StatsTest, KsIdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> x = Ramp(400, 0.0, 1.0);
+  const KsResult r = KsTwoSample(x, x);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_EQ(r.n1, 400u);
+  EXPECT_EQ(r.n2, 400u);
+}
+
+TEST(StatsTest, KsDisjointSupportsHaveStatisticOne) {
+  const KsResult r = KsTwoSample(Ramp(200, 0.0, 1.0), Ramp(200, 5.0, 6.0));
+  EXPECT_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(StatsTest, KsHalfShiftedUniformIsHalf) {
+  // U(0,1) vs U(0.5,1.5): the true sup-gap of the CDFs is exactly 0.5, and
+  // dense deterministic grids hit it to within one grid step.
+  const KsResult r =
+      KsTwoSample(Ramp(1000, 0.0, 1.0), Ramp(1000, 0.5, 1.5));
+  EXPECT_NEAR(r.statistic, 0.5, 2e-3);
+  EXPECT_LT(r.p_value, 1e-9);
+}
+
+TEST(StatsTest, KsTiesAreHandledExactly) {
+  // Heavy ties: {0,0,0,1} vs {0,1,1,1}. ECDFs at 0 are 0.75 and 0.25, so
+  // D = 0.5 exactly.
+  const KsResult r = KsTwoSample({0, 0, 0, 1}, {0, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(StatsTest, KsEmptySampleIsNoEvidence) {
+  const KsResult r = KsTwoSample({}, Ramp(10, 0.0, 1.0));
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(StatsTest, KolmogorovPValueMatchesKnownValues) {
+  // Q_KS at lambda = 1.0 is 0.26999967...: with n1 = n2 very large the
+  // finite-sample correction vanishes and d = lambda * sqrt(2/n).
+  const double n = 1e10;
+  const double d = 1.0 / std::sqrt(n / 2.0);
+  EXPECT_NEAR(KolmogorovPValue(d, n, n), 0.2699996716773, 1e-5);
+  // Monotone: a bigger gap is always less likely under H0.
+  EXPECT_GT(KolmogorovPValue(0.05, 200, 200),
+            KolmogorovPValue(0.25, 200, 200));
+  EXPECT_EQ(KolmogorovPValue(0.0, 100, 100), 1.0);
+}
+
+// ---- Pearson chi-squared ----------------------------------------------------
+
+TEST(StatsTest, Chi2IdenticalCountsAreNoEvidence) {
+  const std::vector<double> c = {30, 40, 30};
+  const Chi2Result r = ChiSquaredTwoSample(c, c);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.df, 2.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+}
+
+TEST(StatsTest, Chi2DetectsGrossImbalance) {
+  const Chi2Result r =
+      ChiSquaredTwoSample({100, 10, 10}, {10, 100, 10});
+  EXPECT_GT(r.statistic, 50.0);
+  EXPECT_LT(r.p_value, 1e-9);
+}
+
+TEST(StatsTest, Chi2SingleBucketHasNoDegreesOfFreedom) {
+  // One category total: nothing to compare, not a division by zero.
+  const Chi2Result r = ChiSquaredTwoSample({50}, {70});
+  EXPECT_EQ(r.df, 0.0);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(StatsTest, Chi2EmptyCountsAreNoEvidence) {
+  EXPECT_EQ(ChiSquaredTwoSample({}, {}).p_value, 1.0);
+  // One side entirely empty: no evidence either (can't test homogeneity
+  // against nothing).
+  EXPECT_EQ(ChiSquaredTwoSample({10, 20}, {0, 0}).p_value, 1.0);
+}
+
+TEST(StatsTest, Chi2MergesSmallExpectedBuckets) {
+  // One dominant bucket plus a dust tail: the tail buckets individually
+  // fail the min-expected-count rule and must be pooled, not dropped.
+  const std::vector<double> a = {500, 1, 1, 1, 1, 1};
+  const std::vector<double> b = {500, 1, 1, 1, 1, 1};
+  const Chi2Result r = ChiSquaredTwoSample(a, b);
+  EXPECT_GT(r.merged_buckets, 0u);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);  // identical -> still no evidence
+  // df reflects the merged table, not the raw bucket count.
+  EXPECT_LT(r.df, 5.0);
+}
+
+TEST(StatsTest, Chi2AllMassInOneBucketWithDustRest) {
+  // All mass in one bucket on both sides, rest too small to ever clear the
+  // bar: the rest folds into the viable bucket and df collapses to zero.
+  const Chi2Result r = ChiSquaredTwoSample({1000, 1, 0}, {1000, 0, 1});
+  EXPECT_EQ(r.df, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(StatsTest, ChiSquaredPValueMatchesKnownValues) {
+  // chi2 CDF fixed points: P(X <= x) at df=2 is 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquaredPValue(2.0, 2.0), std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(ChiSquaredPValue(3.841458820694124, 1.0), 0.05, 1e-9);
+  EXPECT_EQ(ChiSquaredPValue(0.0, 5.0), 1.0);
+}
+
+// ---- PSI --------------------------------------------------------------------
+
+TEST(StatsTest, PsiZeroOnMatchingProportionsAndMonotoneUnderShift) {
+  const std::vector<double> ref = {25, 25, 25, 25};
+  EXPECT_EQ(Psi(ref, ref), 0.0);
+  // Scaling both sides leaves proportions untouched.
+  EXPECT_NEAR(Psi(ref, {50, 50, 50, 50}), 0.0, 1e-12);
+
+  // Push mass progressively from the first bucket into the last: PSI must
+  // grow strictly with the size of the shift.
+  double prev = 0.0;
+  for (double shift = 5.0; shift <= 20.0; shift += 5.0) {
+    const double psi =
+        Psi(ref, {25 - shift, 25, 25, 25 + shift});
+    EXPECT_GT(psi, prev);
+    prev = psi;
+  }
+  EXPECT_GT(prev, 0.1);  // a 20/25 swing is well past "stable"
+}
+
+TEST(StatsTest, PsiFiniteWhenBucketsEmptyOut) {
+  // An emptied bucket would be log(0) without the proportion floor.
+  const double psi = Psi({50, 50}, {100, 0});
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 1.0);
+}
+
+// ---- ColumnSummary ----------------------------------------------------------
+
+Column NumericColumn(const std::string& name, const std::vector<double>& v) {
+  Column col(name, ColumnType::kDouble);
+  for (double x : v) col.AppendDouble(x);
+  return col;
+}
+
+Column CategoricalColumn(const std::string& name,
+                         const std::vector<std::string>& v) {
+  Column col(name, ColumnType::kCategorical);
+  col.set_dictionary(std::make_shared<Dictionary>());
+  for (const auto& s : v) col.AppendCategorical(s);
+  return col;
+}
+
+TEST(StatsTest, NumericSummaryRoundTripsThroughSerialization) {
+  const ColumnSummary s =
+      SummarizeColumn("t", NumericColumn("x", Ramp(500, -3.0, 7.0)), 32);
+  EXPECT_EQ(s.kind, ColumnSummary::Kind::kNumeric);
+  EXPECT_EQ(s.counts.size(), 32u);
+  EXPECT_EQ(s.total, 500u);
+
+  BinaryWriter w;
+  s.Save(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = ColumnSummary::Load(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->table, s.table);
+  EXPECT_EQ(loaded->column, s.column);
+  EXPECT_EQ(loaded->lo, s.lo);
+  EXPECT_EQ(loaded->hi, s.hi);
+  EXPECT_EQ(loaded->counts, s.counts);
+  EXPECT_EQ(loaded->total, s.total);
+}
+
+TEST(StatsTest, CategoricalSummaryRoundTripsThroughSerialization) {
+  const ColumnSummary s = SummarizeColumn(
+      "t", CategoricalColumn("c", {"a", "b", "a", "c", "a", "b"}));
+  EXPECT_EQ(s.kind, ColumnSummary::Kind::kCategorical);
+  ASSERT_EQ(s.labels.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);  // labels + "other"
+  EXPECT_EQ(s.counts[0], 3.0);     // "a"
+  EXPECT_EQ(s.counts[3], 0.0);     // nothing unseen yet
+
+  BinaryWriter w;
+  s.Save(&w);
+  BinaryReader r(w.buffer());
+  auto loaded = ColumnSummary::Load(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->labels, s.labels);
+  EXPECT_EQ(loaded->counts, s.counts);
+}
+
+TEST(StatsTest, SummarizeAgainstClampsOutOfRangeIntoEdgeBins) {
+  const ColumnSummary ref =
+      SummarizeColumn("t", NumericColumn("x", Ramp(100, 0.0, 1.0)), 10);
+  // New data far outside the reference range: everything lands in the edge
+  // bins instead of vanishing, so drift is still visible.
+  const ColumnSummary cur =
+      SummarizeAgainst(ref, NumericColumn("x", {-50.0, -50.0, 50.0}));
+  ASSERT_EQ(cur.counts.size(), ref.counts.size());
+  EXPECT_EQ(cur.counts.front(), 2.0);
+  EXPECT_EQ(cur.counts.back(), 1.0);
+  EXPECT_EQ(cur.total, 3u);
+}
+
+TEST(StatsTest, SummarizeAgainstRoutesUnseenLabelsToOther) {
+  const ColumnSummary ref =
+      SummarizeColumn("t", CategoricalColumn("c", {"a", "b", "a"}));
+  // A column with its OWN dictionary (different codes) and a novel label:
+  // alignment is by string, novelty goes to the trailing bucket.
+  const ColumnSummary cur = SummarizeAgainst(
+      ref, CategoricalColumn("c", {"zzz", "b", "a", "zzz"}));
+  ASSERT_EQ(cur.counts.size(), ref.labels.size() + 1);
+  EXPECT_EQ(cur.counts[0], 1.0);     // "a"
+  EXPECT_EQ(cur.counts[1], 1.0);     // "b"
+  EXPECT_EQ(cur.counts.back(), 2.0); // "zzz"
+}
+
+TEST(StatsTest, SummaryPairFeedsKsAndDetectsShift) {
+  const ColumnSummary ref =
+      SummarizeColumn("t", NumericColumn("x", Ramp(2000, 0.0, 1.0)));
+  const ColumnSummary same =
+      SummarizeAgainst(ref, NumericColumn("x", Ramp(2000, 0.0, 1.0)));
+  const ColumnSummary shifted =
+      SummarizeAgainst(ref, NumericColumn("x", Ramp(2000, 0.5, 1.5)));
+  EXPECT_LT(KsFromSummaries(ref, same).statistic, 1e-9);
+  EXPECT_NEAR(KsFromSummaries(ref, shifted).statistic, 0.5, 0.02);
+  EXPECT_LT(PsiFromSummaries(ref, same), 1e-9);
+  EXPECT_GT(PsiFromSummaries(ref, shifted), 0.25);
+}
+
+// ---- ScoreDrift + thread determinism ----------------------------------------
+
+Database DriftDb(double numeric_shift, const std::string& extra_category) {
+  Database db;
+  Table t("t", {{"x", ColumnType::kDouble}, {"c", ColumnType::kCategorical}});
+  for (int i = 0; i < 300; ++i) {
+    const double x =
+        numeric_shift + static_cast<double>(i % 100) / 100.0;
+    const std::string c =
+        !extra_category.empty() && i % 3 == 0 ? extra_category
+                                              : (i % 2 ? "u" : "v");
+    EXPECT_TRUE(
+        t.AppendRow({Value::Double(x), Value::Categorical(c)}).ok());
+  }
+  EXPECT_TRUE(db.AddTable(std::move(t)).ok());
+  return db;
+}
+
+TEST(StatsTest, ScoreDriftQuietOnSameDistributionLoudOnShift) {
+  const Database base = DriftDb(0.0, "");
+  const std::vector<ColumnSummary> refs = SummarizeTables(base, {"t"});
+  ASSERT_EQ(refs.size(), 2u);
+
+  const DriftScore same = ScoreDrift(refs, DriftDb(0.0, ""));
+  EXPECT_TRUE(same.available);
+  EXPECT_LT(same.ks, 0.02);
+  EXPECT_LT(same.psi, 0.02);
+
+  const DriftScore moved = ScoreDrift(refs, DriftDb(0.6, "novel"));
+  EXPECT_TRUE(moved.available);
+  EXPECT_GT(moved.ks, 0.3);
+  EXPECT_GT(moved.psi, 0.25);
+  EXPECT_FALSE(moved.worst_column.empty());
+
+  EXPECT_FALSE(ScoreDrift({}, base).available);
+}
+
+TEST(StatsTest, ScoreDriftIsBitIdenticalAcrossThreads) {
+  const Database base = DriftDb(0.0, "");
+  const std::vector<ColumnSummary> refs = SummarizeTables(base, {"t"});
+  const Database current = DriftDb(0.3, "skew");
+
+  const DriftScore serial = ScoreDrift(refs, current);
+  std::vector<DriftScore> parallel(4);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back(
+        [&, i] { parallel[i] = ScoreDrift(refs, current); });
+  }
+  for (auto& w : workers) w.join();
+  for (const DriftScore& p : parallel) {
+    EXPECT_EQ(p.available, serial.available);
+    EXPECT_EQ(p.ks, serial.ks);    // bit-identical, not just close
+    EXPECT_EQ(p.psi, serial.psi);
+    EXPECT_EQ(p.worst_column, serial.worst_column);
+  }
+}
+
+}  // namespace
+}  // namespace restore
