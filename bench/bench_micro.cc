@@ -422,6 +422,13 @@ void BM_DbQps(benchmark::State& state) {
   state.counters["stats_batch_wait_seconds"] = last_stats.batch_wait_seconds;
   state.counters["stats_coalesced_rows"] =
       static_cast<double>(last_stats.coalesced_rows);
+  // Resilience counters (both 0 on the healthy bench path — the gate checks
+  // they are EMITTED, and a nonzero value here would flag a regression).
+  const Db::Stats db_stats = fixture.db->stats();
+  state.counters["refresh_retries"] =
+      static_cast<double>(db_stats.refresh_retries);
+  state.counters["breaker_open_total"] =
+      static_cast<double>(db_stats.breaker_open_total);
 }
 BENCHMARK(BM_DbQps)->Threads(1)->Threads(4)->UseRealTime();
 

@@ -306,6 +306,12 @@ int Run() {
   std::vector<BenchRecord> records;
   records.push_back(MakeRecord("ServerHealthz", connections, healthz));
   records.push_back(MakeRecord("ServerQuery", connections, query));
+  // Queue-mode admission counters ride on the query record (0 in the
+  // default shed-mode bench; the gate checks they are emitted).
+  records.back().counters["admission_queued"] =
+      static_cast<double>(stats.admission_queued);
+  records.back().counters["admission_queue_timeouts"] =
+      static_cast<double>(stats.admission_queue_timeouts);
   for (const BenchRecord& record : records) PrintRecord(record);
 
   int exit_code = 0;

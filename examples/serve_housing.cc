@@ -2,7 +2,7 @@
 // databases, opens a restore::Db per setup, and fronts them with the epoll
 // server — two tenants behind one listener.
 //
-//   $ ./build/serve_housing [port] [scale]
+//   $ ./build/serve_housing [port] [scale] [model_dir]
 //   $ curl localhost:8080/healthz
 //   $ curl localhost:8080/v1/query -d 'SELECT COUNT(*) FROM apartment
 //     GROUP BY room_type;'                   # default tenant (h1)
@@ -12,6 +12,13 @@
 //     "entire_apt","loft",4]]'               # live rows -> Db::Append
 //   $ curl localhost:8080/v1/models/h1       # per-path model freshness
 //   $ curl localhost:8080/metrics
+//
+// With a model_dir, trained models are checkpointed there periodically (one
+// generational store per tenant: <model_dir>/h1, <model_dir>/h2). A failed
+// save only dents save_failure_streak — /healthz reports "degraded" until
+// the next save lands, and the last committed generation stays loadable
+// throughout; the CI chaos lane drives exactly this with
+// RESTORE_FAULT_SPEC=persist.write=fail_nth:3.
 //
 // SIGINT/SIGTERM shuts down gracefully (in-flight queries finish).
 
@@ -95,6 +102,7 @@ int main(int argc, char** argv) {
   server::ServerConfig config;
   config.port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 8080;
   const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const std::string model_dir = argc > 3 ? argv[3] : "";
   config.event_threads = 2;
   config.query_threads = 4;
   config.max_inflight_queries = 32;
@@ -132,12 +140,28 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  const auto save_all = [&] {
+    for (const auto& entry :
+         {std::make_pair("h1", h1), std::make_pair("h2", h2)}) {
+      Status s = entry.second->SaveModels(model_dir + "/" + entry.first);
+      if (!s.ok()) {
+        std::fprintf(stderr, "model save for %s failed: %s\n", entry.first,
+                     s.ToString().c_str());
+      }
+    }
+  };
+  int ticks = 0;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Periodic checkpoint: a failed save is reported (and surfaces on
+    // /healthz via save_failure_streak) but never stops serving — the next
+    // tick simply tries again against a fresh generation directory.
+    if (!model_dir.empty() && ++ticks % 20 == 0) save_all();
   }
 
   std::printf("shutting down...\n");
   http.Stop();
+  if (!model_dir.empty()) save_all();  // final checkpoint
   // Final drift report: how far each serving model had diverged from its
   // training-time reference when the server went down.
   for (const auto& entry : {std::make_pair("h1", h1), std::make_pair("h2", h2)}) {

@@ -1,0 +1,256 @@
+#include "common/fault_injection.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace restore {
+
+std::atomic<bool> FaultInjection::g_fault_injection_enabled{false};
+
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x5eed;
+
+/// Accepts both the StatusCodeName spelling ("Unavailable") and the
+/// lower_snake spec spelling ("unavailable", "resource_exhausted").
+bool ParseStatusCode(const std::string& name, StatusCode* out) {
+  std::string flat;
+  for (char c : name) {
+    if (c == '_') continue;
+    flat += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"invalidargument", StatusCode::kInvalidArgument},
+      {"notfound", StatusCode::kNotFound},
+      {"alreadyexists", StatusCode::kAlreadyExists},
+      {"outofrange", StatusCode::kOutOfRange},
+      {"failedprecondition", StatusCode::kFailedPrecondition},
+      {"unimplemented", StatusCode::kUnimplemented},
+      {"internal", StatusCode::kInternal},
+      {"parseerror", StatusCode::kParseError},
+      {"cancelled", StatusCode::kCancelled},
+      {"deadlineexceeded", StatusCode::kDeadlineExceeded},
+      {"resourceexhausted", StatusCode::kResourceExhausted},
+      {"unavailable", StatusCode::kUnavailable},
+  };
+  for (const auto& [spelled, code] : kCodes) {
+    if (flat == spelled) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+struct FaultInjection::Impl {
+  struct PointState {
+    FaultPolicy policy;
+    uint64_t hits = 0;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, PointState> points;
+  Rng rng{kDefaultSeed};
+};
+
+FaultInjection::Impl* FaultInjection::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel)) {
+    return fresh;  // intentionally leaked: outlives every fault point
+  }
+  delete fresh;
+  return existing;
+}
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = new FaultInjection();  // never destroyed
+  return *instance;
+}
+
+Status FaultInjection::Fire(const char* point) {
+  if (!Enabled()) return Status::OK();
+  return Instance().FireImpl(point);
+}
+
+Status FaultInjection::FireImpl(const char* point) {
+  Impl* state = impl();
+  uint64_t delay_ms = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto it = state->points.find(point);
+    if (it == state->points.end()) return Status::OK();
+    Impl::PointState& p = it->second;
+    ++p.hits;
+    bool fire = false;
+    switch (p.policy.kind) {
+      case FaultPolicy::Kind::kFailNth:
+        fire = p.hits == p.policy.n;
+        break;
+      case FaultPolicy::Kind::kFailFirst:
+        fire = p.hits <= p.policy.n;
+        break;
+      case FaultPolicy::Kind::kFailAlways:
+        fire = true;
+        break;
+      case FaultPolicy::Kind::kFailProb:
+        fire = state->rng.NextBernoulli(p.policy.probability);
+        break;
+      case FaultPolicy::Kind::kDelayMs:
+        delay_ms = p.policy.n;
+        break;
+    }
+    if (fire) {
+      injected = Status(
+          p.policy.code,
+          StrFormat("injected fault at '%s' (hit %llu)", point,
+                    static_cast<unsigned long long>(p.hits)));
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
+}
+
+void FaultInjection::Arm(const std::string& point, FaultPolicy policy) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->points[point] = Impl::PointState{policy, 0};
+  g_fault_injection_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->points.erase(point);
+  if (state->points.empty()) {
+    g_fault_injection_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->points.clear();
+  state->rng.Seed(kDefaultSeed);
+  g_fault_injection_enabled.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjection::Seed(uint64_t seed) {
+  Impl* state = impl();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->rng.Seed(seed);
+}
+
+uint64_t FaultInjection::hits(const std::string& point) const {
+  Impl* state = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<std::mutex> lock(state->mu);
+  auto it = state->points.find(point);
+  return it == state->points.end() ? 0 : it->second.hits;
+}
+
+Status FaultInjection::Configure(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%s' is not point=policy",
+                    entry.c_str()));
+    }
+    const std::string point = entry.substr(0, eq);
+    std::vector<std::string> parts = Split(entry.substr(eq + 1), ':');
+    if (parts.empty() || parts[0].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%s' has an empty policy",
+                    entry.c_str()));
+    }
+    const std::string& kind = parts[0];
+    FaultPolicy policy;
+    size_t consumed = 1;  // parts consumed beyond the kind
+    if (kind == "fail_nth" || kind == "fail_first" || kind == "delay_ms") {
+      if (parts.size() < 2) {
+        return Status::InvalidArgument(StrFormat(
+            "fault policy '%s' needs a numeric argument (e.g. %s:3)",
+            kind.c_str(), kind.c_str()));
+      }
+      char* end = nullptr;
+      const uint64_t n = std::strtoull(parts[1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || (n == 0 && kind != "delay_ms")) {
+        return Status::InvalidArgument(StrFormat(
+            "fault policy '%s:%s' argument is not a positive integer",
+            kind.c_str(), parts[1].c_str()));
+      }
+      policy.n = n;
+      policy.kind = kind == "fail_nth"     ? FaultPolicy::Kind::kFailNth
+                    : kind == "fail_first" ? FaultPolicy::Kind::kFailFirst
+                                           : FaultPolicy::Kind::kDelayMs;
+      consumed = 2;
+    } else if (kind == "fail_prob") {
+      if (parts.size() < 2) {
+        return Status::InvalidArgument(
+            "fault policy 'fail_prob' needs a probability (e.g. "
+            "fail_prob:0.5)");
+      }
+      char* end = nullptr;
+      policy.probability = std::strtod(parts[1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || policy.probability < 0.0 ||
+          policy.probability > 1.0) {
+        return Status::InvalidArgument(StrFormat(
+            "fault probability '%s' is not in [0, 1]", parts[1].c_str()));
+      }
+      policy.kind = FaultPolicy::Kind::kFailProb;
+      consumed = 2;
+    } else if (kind == "fail_always") {
+      policy.kind = FaultPolicy::Kind::kFailAlways;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown fault policy '%s'", kind.c_str()));
+    }
+    if (parts.size() > consumed) {
+      if (parts.size() > consumed + 1 ||
+          !ParseStatusCode(parts[consumed], &policy.code)) {
+        return Status::InvalidArgument(StrFormat(
+            "fault spec entry '%s' has a malformed status suffix",
+            entry.c_str()));
+      }
+    }
+    Arm(point, policy);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Arms RESTORE_FAULT_SPEC before main() so chaos runs need no code changes.
+/// A malformed spec aborts: a typo'd chaos lane must fail loud, not silently
+/// run fault-free.
+const bool g_env_spec_armed = [] {
+  const char* spec = std::getenv("RESTORE_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  Status s = FaultInjection::Instance().Configure(spec);
+  if (!s.ok()) {
+    std::fprintf(stderr, "RESTORE_FAULT_SPEC rejected: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace restore

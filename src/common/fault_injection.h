@@ -1,0 +1,149 @@
+#ifndef RESTORE_COMMON_FAULT_INJECTION_H_
+#define RESTORE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace restore {
+
+/// Deterministic fault injection for robustness testing.
+///
+/// Production code declares NAMED fault points at the places that can fail in
+/// the real world (training, persistence I/O, socket paths):
+///
+///   RESTORE_FAULT_POINT("refresh.train");   // returns the injected Status
+///   Status s = FaultInjection::Fire("server.accept");  // manual handling
+///
+/// Tests (or an operator, via the RESTORE_FAULT_SPEC environment variable)
+/// arm points with a policy; unarmed points — and the entire framework when
+/// nothing is armed — cost a single relaxed atomic load, so the frozen
+/// deterministic path is untouched in normal operation.
+///
+/// Spec grammar (RESTORE_FAULT_SPEC, or FaultInjection::Configure):
+///
+///   spec    := entry (',' entry)*
+///   entry   := point '=' policy [':' status]
+///   policy  := 'fail_nth:' N      — exactly the Nth hit (1-based) fails
+///            | 'fail_first:' N    — hits 1..N fail, later hits pass
+///            | 'fail_always'      — every hit fails
+///            | 'fail_prob:' P     — each hit fails with probability P
+///                                   (seeded xoshiro stream: deterministic
+///                                   for a fixed seed and hit sequence)
+///            | 'delay_ms:' N      — every hit sleeps N ms, then passes
+///   status  := StatusCodeName to inject, lower_snake or CamelCase
+///              (default 'internal'), e.g. 'unavailable'
+///
+///   RESTORE_FAULT_SPEC='persist.write=fail_nth:3' ./serve_housing ...
+///   refresh.train=fail_first:2:unavailable,ingest.validate=fail_always
+///
+/// A malformed spec aborts the process at startup — a chaos run with a typo
+/// must not silently test nothing.
+struct FaultPolicy {
+  enum class Kind {
+    kFailNth,
+    kFailFirst,
+    kFailAlways,
+    kFailProb,
+    kDelayMs,
+  };
+  Kind kind = Kind::kFailAlways;
+  uint64_t n = 0;          // kFailNth / kFailFirst threshold, kDelayMs millis
+  double probability = 0;  // kFailProb
+  StatusCode code = StatusCode::kInternal;  // injected on failure
+
+  static FaultPolicy FailNth(uint64_t nth,
+                             StatusCode code = StatusCode::kInternal) {
+    FaultPolicy p;
+    p.kind = Kind::kFailNth;
+    p.n = nth;
+    p.code = code;
+    return p;
+  }
+  static FaultPolicy FailFirst(uint64_t count,
+                               StatusCode code = StatusCode::kInternal) {
+    FaultPolicy p;
+    p.kind = Kind::kFailFirst;
+    p.n = count;
+    p.code = code;
+    return p;
+  }
+  static FaultPolicy FailAlways(StatusCode code = StatusCode::kInternal) {
+    FaultPolicy p;
+    p.kind = Kind::kFailAlways;
+    p.code = code;
+    return p;
+  }
+  static FaultPolicy FailProb(double probability,
+                              StatusCode code = StatusCode::kInternal) {
+    FaultPolicy p;
+    p.kind = Kind::kFailProb;
+    p.probability = probability;
+    p.code = code;
+    return p;
+  }
+  static FaultPolicy DelayMs(uint64_t ms) {
+    FaultPolicy p;
+    p.kind = Kind::kDelayMs;
+    p.n = ms;
+    return p;
+  }
+};
+
+class FaultInjection {
+ public:
+  /// The process-wide registry. RESTORE_FAULT_SPEC is parsed once before
+  /// main() by this translation unit's initializer.
+  static FaultInjection& Instance();
+
+  /// True iff at least one point is armed. One relaxed load — this is the
+  /// gate every RESTORE_FAULT_POINT evaluates on the hot path.
+  static bool Enabled() {
+    return g_fault_injection_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates the policy armed at `point` (if any): sleeps for kDelayMs,
+  /// returns the injected Status for a firing fail policy, OK otherwise.
+  /// Call sites normally go through RESTORE_FAULT_POINT instead.
+  static Status Fire(const char* point);
+
+  /// Arms `point` with `policy`, resetting its hit count.
+  void Arm(const std::string& point, FaultPolicy policy);
+  void Disarm(const std::string& point);
+  /// Disarms every point and re-seeds the probability stream.
+  void Reset();
+  /// Seeds the kFailProb decision stream (default 0x5eed).
+  void Seed(uint64_t seed);
+  /// Times `point` was evaluated while armed (injected or passed through).
+  uint64_t hits(const std::string& point) const;
+
+  /// Parses and arms a spec string (grammar above). Error on malformed
+  /// input; already-armed points named in the spec are re-armed.
+  Status Configure(const std::string& spec);
+
+ private:
+  FaultInjection() = default;
+  Status FireImpl(const char* point);
+  struct Impl;
+  Impl* impl();  // lazily constructed, never destroyed (no exit-order races)
+  std::atomic<Impl*> impl_{nullptr};
+
+  static std::atomic<bool> g_fault_injection_enabled;
+};
+
+/// Declares a fault point in a function returning Status (or Result<T>):
+/// when armed with a firing fail policy, returns the injected Status.
+#define RESTORE_FAULT_POINT(point)                                      \
+  do {                                                                  \
+    if (::restore::FaultInjection::Enabled()) {                         \
+      ::restore::Status _fault = ::restore::FaultInjection::Fire(point); \
+      if (!_fault.ok()) return _fault;                                  \
+    }                                                                   \
+  } while (0)
+
+}  // namespace restore
+
+#endif  // RESTORE_COMMON_FAULT_INJECTION_H_

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -30,10 +31,10 @@ namespace {
 // model's training-time drift reference summaries (per-column bounded
 // histograms). Older manifests still load — a v3 model simply reports drift
 // as unavailable, it never fails the open.
-constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
+// kManifestMagic / kManifestVersion are exported from db.h (tests derive
+// their parsing bounds from them); the rest stays private to this file.
 constexpr uint32_t kModelMagic = 0x4f545352;     // "RSTO"
 constexpr uint32_t kCurrentMagic = 0x43545352;   // "RSTC"
-constexpr uint32_t kManifestVersion = 4;
 constexpr uint32_t kModelVersion = 1;
 constexpr uint32_t kCurrentVersion = 1;
 constexpr const char kManifestName[] = "restore_models.manifest";
@@ -219,7 +220,7 @@ Result<std::shared_ptr<Db>> Db::Open(const Database* database,
       paths.resize(db->config_.max_candidates);
     }
     db->candidates_[target] = std::move(paths);
-    db->selected_[target] = std::make_unique<SelectionEntry>();
+    db->selected_[target] = std::make_shared<SelectionEntry>();
   }
   // Stable per-path training seeds, assigned in enumeration order. These
   // reproduce the seeds sequential training historically used, but are a
@@ -348,6 +349,39 @@ Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
       entry = entry->prev;
     }
   }
+  // Circuit breaker — consulted only when this path has no good generation
+  // to serve (untrained, training, or a cached failure): while open, fail
+  // fast with kUnavailable instead of replaying the cached error or piling
+  // onto a failing training path; once the half-open window is reached, a
+  // cached failure gets a FRESH latch so the probe actually retrains (the
+  // latch still collapses a probe herd to exactly one training run).
+  if (!entry->latch.done_ok()) {
+    switch (DecideBreaker(key)) {
+      case BreakerDecision::kClosed:
+        break;
+      case BreakerDecision::kFailFast:
+        return Status::Unavailable(StrFormat(
+            "circuit breaker open for path '%s' (no good generation to "
+            "serve)",
+            key.c_str()));
+      case BreakerDecision::kProbe: {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        auto it = models_.find(key);
+        if (it != models_.end()) {
+          if (it->second->latch.done() && !it->second->latch.done_ok()) {
+            auto probe = std::make_shared<ModelEntry>();
+            probe->path = it->second->path;
+            probe->generation = it->second->generation;  // retry, not refresh
+            probe->publish_epoch = it->second->publish_epoch;
+            probe->prev = it->second->prev;
+            it->second = probe;
+          }
+          entry = it->second;
+        }
+        break;
+      }
+    }
+  }
   // A deadline-carrying WAITER may abandon the wait with DeadlineExceeded;
   // the first-touch training itself always runs to completion and stays
   // shareable (one caller's deadline must never poison the model).
@@ -355,6 +389,13 @@ Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
                             ? ctx->deadline()
                             : std::chrono::steady_clock::time_point::max();
   Status s = entry->latch.RunOnceWithDeadline([&]() -> Status {
+    if (FaultInjection::Enabled()) {
+      Status fault = FaultInjection::Fire("train.path");
+      if (!fault.ok()) {
+        RecordTrainingResult(key, fault);
+        return fault;
+      }
+    }
     // First touch trains on the NEWEST snapshot, not the caller's pin: the
     // run defines this generation for every session, so it uses the freshest
     // data and records the staleness baseline it was trained against.
@@ -369,7 +410,11 @@ Result<std::shared_ptr<const PathModel>> Db::ModelForPath(
     cfg.seed = GenerationSeed(key, entry->generation);
     Result<std::unique_ptr<PathModel>> trained =
         PathModel::Train(*snapshot, annotation_, path, cfg);
-    if (!trained.ok()) return trained.status();
+    if (!trained.ok()) {
+      RecordTrainingResult(key, trained.status());
+      return trained.status();
+    }
+    RecordTrainingResult(key, Status::OK());
     entry->model =
         std::shared_ptr<const PathModel>(std::move(trained).value());
     entry->ingest_mark = mark;
@@ -457,13 +502,17 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
   // checked before but never aborted inside — a cancelled caller must not
   // cache a Cancelled selection for everyone else.
   RESTORE_RETURN_IF_ERROR(ExecContext::Check(ctx));
-  auto it = selected_.find(target);
-  if (it == selected_.end()) {
-    return Status::NotFound(StrFormat(
-        "no selection for '%s' (not an incomplete table of this Db)",
-        target.c_str()));
+  std::shared_ptr<SelectionEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = selected_.find(target);
+    if (it == selected_.end()) {
+      return Status::NotFound(StrFormat(
+          "no selection for '%s' (not an incomplete table of this Db)",
+          target.c_str()));
+    }
+    entry = it->second;
   }
-  SelectionEntry* entry = it->second.get();
   // As with model training: only the WAIT is deadline-bounded; the shared
   // selection run itself completes and stays cached for everyone.
   const auto deadline = ctx != nullptr
@@ -497,7 +546,23 @@ Result<std::vector<std::string>> Db::SelectedPathFor(
     entry->path = paths[best.value()];
     return Status::OK();
   }, deadline);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // Unlike training failures (cached per-path, gated by the circuit
+    // breaker), a failed selection is never cached: swap in a fresh entry so
+    // the next query retries. The retry is cheap — it re-walks the cached
+    // per-path outcomes, so it fails fast (or fail-fasts on an open breaker
+    // with kUnavailable) until a candidate actually recovers. Deadline and
+    // cancel are the caller abandoning the WAIT, not a selection outcome:
+    // the shared run is still in flight, so the entry must stay.
+    if (!s.IsDeadlineExceeded() && !s.IsCancelled()) {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      auto it = selected_.find(target);
+      if (it != selected_.end() && it->second == entry) {
+        it->second = std::make_shared<SelectionEntry>();
+      }
+    }
+    return s;
+  }
   return entry->path;
 }
 
@@ -824,6 +889,15 @@ Db::Stats Db::stats() const {
   out.refresh_failures = refresh_failures_.load(std::memory_order_relaxed);
   out.generations_retired =
       generations_retired_.load(std::memory_order_relaxed);
+  out.refresh_retries = refresh_retries_.load(std::memory_order_relaxed);
+  out.breaker_open_total =
+      breaker_open_total_.load(std::memory_order_relaxed);
+  out.breakers_open = breakers_open_.load(std::memory_order_relaxed);
+  out.refresh_failure_streak =
+      refresh_failure_streak_.load(std::memory_order_relaxed);
+  out.save_failures = save_failures_.load(std::memory_order_relaxed);
+  out.save_failure_streak =
+      save_failure_streak_.load(std::memory_order_relaxed);
   out.epoch = epoch_.load(std::memory_order_acquire);
   return out;
 }
@@ -833,6 +907,7 @@ Db::Stats Db::stats() const {
 Status Db::Append(const std::string& table,
                   const std::vector<std::vector<Value>>& rows) {
   if (rows.empty()) return Status::OK();
+  RESTORE_FAULT_POINT("ingest.validate");
   std::lock_guard<std::mutex> writer(ingest_mu_);
   std::shared_ptr<const Database> cur;
   {
@@ -871,6 +946,7 @@ Status Db::Append(const std::string& table,
 
 Status Db::UpdateTable(Table replacement) {
   const std::string table = replacement.name();
+  RESTORE_FAULT_POINT("ingest.validate");
   std::lock_guard<std::mutex> writer(ingest_mu_);
   std::shared_ptr<const Database> cur;
   {
@@ -975,13 +1051,10 @@ bool Db::DueForRefresh(const ModelEntry& entry,
 }
 
 std::vector<ModelInfo> Db::Freshness() const {
-  std::vector<std::shared_ptr<ModelEntry>> heads;
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> heads;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    for (const auto& [key, entry] : models_) {
-      (void)key;
-      heads.push_back(entry);
-    }
+    for (const auto& [key, entry] : models_) heads.emplace_back(key, entry);
   }
   std::shared_ptr<const Database> snapshot;
   {
@@ -989,7 +1062,7 @@ std::vector<ModelInfo> Db::Freshness() const {
     snapshot = data_;
   }
   std::vector<ModelInfo> out;
-  for (const auto& entry : heads) {
+  for (const auto& [key, entry] : heads) {
     if (!entry->latch.done_ok() || entry->model == nullptr) continue;
     ModelInfo info;
     info.path = entry->path;
@@ -1005,6 +1078,14 @@ std::vector<ModelInfo> Db::Freshness() const {
     info.drift_ks = drift.ks;
     info.drift_psi = drift.psi;
     info.drift_column = drift.worst_column;
+    {
+      std::lock_guard<std::mutex> lock(breaker_mu_);
+      auto bit = breakers_.find(key);
+      if (bit != breakers_.end()) {
+        info.breaker_open = bit->second.open;
+        info.consecutive_failures = bit->second.consecutive_failures;
+      }
+    }
     out.push_back(std::move(info));
   }
   return out;
@@ -1022,6 +1103,9 @@ void Db::ScheduleStaleRefreshes() {
   std::vector<std::string> due;
   for (const auto& [key, entry] : heads) {
     if (!entry->latch.done_ok() || entry->model == nullptr) continue;
+    // An open breaker means this path just burned through its retry budget;
+    // don't re-queue it until the half-open window lets a probe through.
+    if (DecideBreaker(key) == BreakerDecision::kFailFast) continue;
     if (DueForRefresh(*entry, /*any_staleness_when_unset=*/false)) {
       due.push_back(key);
     }
@@ -1047,13 +1131,17 @@ void Db::RefreshWorkerLoop() {
       refresh_queue_.pop_front();
       ++refresh_active_;
     }
-    // A failed retrain keeps the previous generation serving; the failure
-    // is counted (refresh_failures) inside RefreshModelNow.
-    (void)RefreshModelNow(key);
+    // A failed retrain keeps the previous generation serving. Transient
+    // failures are retried with exponential backoff + deterministic jitter;
+    // a path that exhausts its budget keeps failing opens its circuit
+    // breaker, which gates re-queueing until the half-open window.
+    const Status refreshed = RefreshWithRetry(key);
     // An ingest that landed mid-retrain found `key` still pending and
-    // skipped it — re-check so its staleness is not silently dropped.
+    // skipped it — re-check so its staleness is not silently dropped. Only a
+    // SUCCESSFUL pass re-queues: after a failed one, the next ingest (or
+    // breaker probe) re-schedules, so a permanently broken path cannot spin.
     bool still_stale = false;
-    {
+    if (refreshed.ok()) {
       std::shared_ptr<ModelEntry> head;
       {
         std::lock_guard<std::mutex> lock(registry_mu_);
@@ -1088,6 +1176,13 @@ Status Db::RefreshModelNow(const std::string& key) {
     entry = it->second;
   }
   if (!entry->latch.done_ok() || entry->model == nullptr) return Status::OK();
+  // An open breaker fails the refresh fast — the last good generation keeps
+  // serving queries untouched. A due probe falls through and retrains.
+  if (DecideBreaker(key) == BreakerDecision::kFailFast) {
+    return Status::Unavailable(StrFormat(
+        "circuit breaker open for path '%s' — serving generation %llu",
+        key.c_str(), static_cast<unsigned long long>(entry->generation)));
+  }
   bool expected = false;
   if (!entry->refreshing.compare_exchange_strong(expected, true)) {
     return Status::OK();  // another refresh of this path is already running
@@ -1107,13 +1202,21 @@ Status Db::RefreshModelNow(const std::string& key) {
     cfg.epochs = refresh_policy_.finetune_epochs;
     warm = entry->model.get();
   }
+  Status fault = Status::OK();
+  if (FaultInjection::Enabled()) fault = FaultInjection::Fire("refresh.train");
   Result<std::unique_ptr<PathModel>> trained =
-      PathModel::Train(*snapshot, annotation_, entry->path, cfg, warm);
+      fault.ok()
+          ? PathModel::Train(*snapshot, annotation_, entry->path, cfg, warm)
+          : Result<std::unique_ptr<PathModel>>(fault);
   entry->refreshing.store(false, std::memory_order_release);
   if (!trained.ok()) {
     refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    refresh_failure_streak_.fetch_add(1, std::memory_order_relaxed);
+    RecordTrainingResult(key, trained.status());
     return trained.status();  // previous generation keeps serving
   }
+  refresh_failure_streak_.store(0, std::memory_order_relaxed);
+  RecordTrainingResult(key, Status::OK());
   auto fresh = std::make_shared<ModelEntry>();
   fresh->model = std::shared_ptr<const PathModel>(std::move(trained).value());
   fresh->path = entry->path;
@@ -1169,6 +1272,108 @@ Status Db::RefreshModelNow(const std::string& key) {
     total_train_seconds_ += fresh->train_seconds;
   }
   return Status::OK();
+}
+
+Status Db::RefreshWithRetry(const std::string& key) {
+  Status s = RefreshModelNow(key);
+  size_t attempt = 0;
+  // kUnavailable means the breaker opened — retrying would just hammer a
+  // path that already burned its failure budget, so stop immediately.
+  while (!s.ok() && !s.IsUnavailable() &&
+         attempt < refresh_policy_.max_retries &&
+         DecideBreaker(key) != BreakerDecision::kFailFast) {
+    ++attempt;
+    refresh_retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffWait(BackoffDelayMs(key, attempt));
+    {
+      std::lock_guard<std::mutex> lock(refresh_mu_);
+      if (refresh_stop_) return s;
+    }
+    s = RefreshModelNow(key);
+  }
+  return s;
+}
+
+uint64_t Db::BackoffDelayMs(const std::string& key, size_t attempt) const {
+  // Exponential base, capped: initial << (attempt - 1), up to backoff_max_ms.
+  uint64_t base = refresh_policy_.backoff_initial_ms;
+  const uint64_t cap = std::max(refresh_policy_.backoff_max_ms, base);
+  for (size_t i = 1; i < attempt && base < cap; ++i) {
+    base = std::min(cap, base * 2);
+  }
+  if (base == 0) return 0;
+  // Jitter in [0, base/2], a pure function of (path, attempt): two runs of
+  // the same failure sequence back off identically, but distinct paths (and
+  // successive attempts) de-synchronize instead of thundering together.
+  const uint64_t h =
+      SeedForPath(key) ^ (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(attempt));
+  return base + h % (base / 2 + 1);
+}
+
+void Db::BackoffWait(uint64_t ms) {
+  std::function<void(uint64_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
+    hook = refresh_backoff_hook_;
+  }
+  if (hook != nullptr) {
+    hook(ms);  // fake clock for tests: record the delay, return immediately
+    return;
+  }
+  if (ms == 0) return;
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  refresh_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return refresh_stop_; });
+}
+
+void Db::SetRefreshBackoffHookForTest(std::function<void(uint64_t)> hook) {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  refresh_backoff_hook_ = std::move(hook);
+}
+
+Db::BreakerDecision Db::DecideBreaker(const std::string& key) const {
+  if (refresh_policy_.breaker_failure_threshold == 0) {
+    return BreakerDecision::kClosed;  // breaker disabled
+  }
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end() || !it->second.open) {
+    return BreakerDecision::kClosed;
+  }
+  return std::chrono::steady_clock::now() >= it->second.open_until
+             ? BreakerDecision::kProbe
+             : BreakerDecision::kFailFast;
+}
+
+void Db::RecordTrainingResult(const std::string& key, const Status& status) {
+  if (refresh_policy_.breaker_failure_threshold == 0) return;
+  // Cooperative aborts say nothing about model health: a caller's deadline
+  // or cancel must never push a healthy path toward an open breaker.
+  if (status.IsCancelled() || status.IsDeadlineExceeded()) return;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (status.ok()) {
+    auto it = breakers_.find(key);
+    if (it != breakers_.end()) {
+      if (it->second.open) {
+        breakers_open_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      breakers_.erase(it);  // success closes the breaker outright
+    }
+    return;
+  }
+  BreakerState& b = breakers_[key];
+  ++b.consecutive_failures;
+  if (b.consecutive_failures < refresh_policy_.breaker_failure_threshold) {
+    return;
+  }
+  if (!b.open) {
+    b.open = true;
+    breaker_open_total_.fetch_add(1, std::memory_order_relaxed);
+    breakers_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A failed half-open probe lands here too: re-arm the full open window.
+  b.open_until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(refresh_policy_.breaker_open_ms);
 }
 
 Status Db::RefreshStaleModels() {
@@ -1262,6 +1467,17 @@ Status Db::PerturbModelsForTest(float stddev, uint64_t seed) {
 // ---- Persistence -----------------------------------------------------------
 
 Status Db::SaveModels(const std::string& dir) const {
+  Status s = SaveModelsImpl(dir);
+  if (s.ok()) {
+    save_failure_streak_.store(0, std::memory_order_relaxed);
+  } else {
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    save_failure_streak_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Status Db::SaveModelsImpl(const std::string& dir) const {
   // One save at a time: concurrent saves would read the same next_gen and
   // clobber each other's gen-N.tmp staging directory mid-write. Serialized,
   // each save commits its own distinct generation.
@@ -1306,6 +1522,7 @@ Status Db::SaveModels(const std::string& dir) const {
     BinaryWriter w;
     entry->model->Save(&w);
     const std::string filename = ModelFileName(key);
+    RESTORE_FAULT_POINT("persist.write");
     RESTORE_RETURN_IF_ERROR(WriteChecksummedFileAtomic(
         tmp_dir + "/" + filename, kModelMagic, kModelVersion, w.buffer()));
     manifest.Str(key);
@@ -1323,14 +1540,18 @@ Status Db::SaveModels(const std::string& dir) const {
   // Persist completed path selections so a reopened Db answers without
   // re-running (and possibly re-training for) the selection procedure.
   std::vector<std::pair<std::string, std::vector<std::string>>> selections;
-  for (const auto& [target, entry] : selected_) {
-    if (entry->latch.done_ok()) selections.emplace_back(target, entry->path);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [target, entry] : selected_) {
+      if (entry->latch.done_ok()) selections.emplace_back(target, entry->path);
+    }
   }
   manifest.U64(selections.size());
   for (const auto& [target, path] : selections) {
     manifest.Str(target);
     manifest.VecStr(path);
   }
+  RESTORE_FAULT_POINT("persist.write");
   RESTORE_RETURN_IF_ERROR(
       WriteChecksummedFileAtomic(tmp_dir + "/" + kManifestName,
                                  kManifestMagic, kManifestVersion,
@@ -1346,6 +1567,7 @@ Status Db::SaveModels(const std::string& dir) const {
   // The atomic CURRENT swap is the commit point of the save.
   BinaryWriter current;
   current.U64(next_gen);
+  RESTORE_FAULT_POINT("persist.write");
   RESTORE_RETURN_IF_ERROR(WriteChecksummedFileAtomic(
       dir + "/" + kCurrentName, kCurrentMagic, kCurrentVersion,
       current.buffer()));

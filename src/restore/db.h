@@ -2,8 +2,10 @@
 #define RESTORE_RESTORE_DB_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -98,6 +100,27 @@ struct RefreshPolicy {
   /// disables the PSI gate.
   double drift_psi_threshold = 0.25;
 
+  /// A failed background refresh is retried up to this many times before
+  /// the worker gives up on the pass (the circuit breaker below tracks the
+  /// failures across passes). 0 keeps the old single-shot behavior.
+  size_t max_retries = 3;
+  /// Backoff before retry k is `min(backoff_initial_ms << (k-1),
+  /// backoff_max_ms)` plus a deterministic jitter in [0, delay/2] derived
+  /// from the path seed and attempt number — no two paths thundering-herd
+  /// in lockstep, yet every run of the same path backs off identically.
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+
+  /// Circuit breaker: this many CONSECUTIVE training/refresh failures of
+  /// one path opens its breaker. While open, the path serves its last good
+  /// generation (or fails fast with kUnavailable when it never trained) and
+  /// no training is attempted until breaker_open_ms elapses — then a single
+  /// half-open probe may train; success closes the breaker, failure re-arms
+  /// the open window. 0 disables the breaker. Applies to first-touch
+  /// training too, so the breaker works even with refresh disabled.
+  size_t breaker_failure_threshold = 5;
+  uint64_t breaker_open_ms = 5000;
+
   /// True when this policy can ever schedule background refreshes (gates
   /// the refresher threads at Db::Open).
   bool enabled() const {
@@ -171,6 +194,14 @@ uint64_t EngineConfigFingerprint(const EngineConfig& config);
 /// NotFound when the directory holds no generational snapshot.
 Result<std::string> CurrentModelGenerationDir(const std::string& model_dir);
 
+/// Framing of the persisted model manifest (`restore_models.manifest` inside
+/// a generation directory; see the README's "Model persistence format").
+/// Exported so tests and tools derive their parsing bounds from the values
+/// the writer actually uses instead of hardcoding them — a version bump
+/// then updates every reader in one place.
+inline constexpr uint32_t kManifestMagic = 0x4d545352;  // "RSTM"
+inline constexpr uint32_t kManifestVersion = 4;
+
 /// Per-path model freshness, as reported by Db::Freshness().
 struct ModelInfo {
   std::vector<std::string> path;
@@ -201,6 +232,13 @@ struct ModelInfo {
   double drift_psi = 0.0;
   /// "table.column" attaining the worst KS statistic.
   std::string drift_column;
+  /// Circuit-breaker state of the path: true while consecutive
+  /// training/refresh failures keep the breaker open (the path serves this
+  /// — stale — generation and refuses new training until the half-open
+  /// probe).
+  bool breaker_open = false;
+  /// Consecutive training/refresh failures since the last success.
+  uint64_t consecutive_failures = 0;
 };
 
 /// A future holding the asynchronous result of a completed-query execution.
@@ -415,13 +453,38 @@ class Db : public std::enable_shared_from_this<Db> {
     uint64_t tables_updated = 0;      // UpdateTable publications
     uint64_t models_refreshed = 0;    // completed background/sync refreshes
     uint64_t refresh_failures = 0;    // refresh trainings that failed
+    uint64_t refresh_retries = 0;     // backoff retries after failures
     uint64_t generations_retired = 0; // generations displaced by a swap
     uint64_t epoch = 0;               // current Db::epoch()
+    /// Degradation accounting (see RefreshPolicy breaker knobs).
+    uint64_t breaker_open_total = 0;   // times any path breaker opened
+    uint64_t breakers_open = 0;        // paths currently open (gauge)
+    uint64_t refresh_failure_streak = 0;  // consecutive failed refreshes
+    uint64_t save_failures = 0;           // SaveModels calls that failed
+    uint64_t save_failure_streak = 0;     // consecutive failed saves
     /// Field-wise sums of every finished query's ExecStats (partial stats
     /// of cancelled/failed queries included).
     ExecStats totals;
   };
   Stats stats() const;
+
+  /// Cheap degraded-health signals (single atomic loads — safe to poll per
+  /// request, e.g. from the server's /healthz handler).
+  uint64_t breakers_open() const {
+    return breakers_open_.load(std::memory_order_relaxed);
+  }
+  uint64_t refresh_failure_streak() const {
+    return refresh_failure_streak_.load(std::memory_order_relaxed);
+  }
+  uint64_t save_failure_streak() const {
+    return save_failure_streak_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: replaces the real backoff sleep of the background refresher
+  /// (a fake clock — the hook observes the computed delay, the worker
+  /// continues immediately). Must be installed before refresh activity
+  /// starts; pass nullptr to restore real sleeping.
+  void SetRefreshBackoffHookForTest(std::function<void(uint64_t)> hook);
 
  private:
   // Run/RunAsync record bind failures into the per-Db stats themselves
@@ -461,6 +524,10 @@ class Db : public std::enable_shared_from_this<Db> {
     /// Previous generation. Guarded by registry_mu_ (see struct comment).
     std::shared_ptr<ModelEntry> prev;
   };
+  /// Shared (not unique) so a failed selection can be swapped for a fresh
+  /// entry while waiters still parked on the old latch drain safely — the
+  /// same revive-by-replacement idiom ModelEntry uses. Map keys are fixed at
+  /// Open; the VALUE swap is guarded by registry_mu_.
   struct SelectionEntry {
     OnceLatch latch;
     std::vector<std::string> path;
@@ -530,7 +597,35 @@ class Db : public std::enable_shared_from_this<Db> {
   /// Retrains `key` on the current snapshot and hot-swaps the new
   /// generation in. No-op (OK) when the entry vanished or is already
   /// refreshing; the previous generation keeps serving on failure.
+  /// kUnavailable (without a training attempt) while `key`'s breaker is
+  /// open and the half-open probe is not yet due.
   Status RefreshModelNow(const std::string& key);
+
+  /// RefreshModelNow plus the policy's bounded retry loop: a failed attempt
+  /// backs off exponentially (deterministic jitter from the path seed) and
+  /// retries, up to max_retries times, stopping early on shutdown or when
+  /// the path's breaker opens.
+  Status RefreshWithRetry(const std::string& key);
+
+  /// Backoff before retry `attempt` (1-based) of `key` — exponential with
+  /// cap plus deterministic jitter; see RefreshPolicy::backoff_initial_ms.
+  uint64_t BackoffDelayMs(const std::string& key, size_t attempt) const;
+  /// Sleeps `ms` interruptibly (refresh_stop_ cuts it short), or reports
+  /// the delay to the test hook and returns immediately.
+  void BackoffWait(uint64_t ms);
+
+  /// Circuit breaker (guarded by breaker_mu_, a leaf mutex).
+  enum class BreakerDecision {
+    kClosed,    // breaker closed: train/serve as normal
+    kFailFast,  // open, probe not due: fail with kUnavailable, no training
+    kProbe,     // open, probe due: one training attempt may run
+  };
+  BreakerDecision DecideBreaker(const std::string& key) const;
+  /// Folds one REAL training outcome into `key`'s breaker (cooperative
+  /// aborts — cancel/deadline — are not model-health signals and must not
+  /// be reported). Opens the breaker at the policy threshold, re-arms the
+  /// open window on probe failure, closes it on success.
+  void RecordTrainingResult(const std::string& key, const Status& status);
 
   void RefreshWorkerLoop();
   void StopRefresher();
@@ -550,6 +645,10 @@ class Db : public std::enable_shared_from_this<Db> {
                                          ExecStats stats);
   /// Folds one finished query's stats + outcome into the per-Db totals.
   void RecordQuery(const ExecStats& stats, const Status& status);
+
+  /// SaveModels body; the public wrapper folds the outcome into the save
+  /// failure counters.
+  Status SaveModelsImpl(const std::string& dir) const;
 
   Status LoadModels(const std::string& dir, uint64_t generation_override);
   /// Loads one generation directory into staging maps (committed by the
@@ -571,7 +670,7 @@ class Db : public std::enable_shared_from_this<Db> {
   std::map<std::string, std::vector<std::vector<std::string>>>
       candidates_;  // target -> candidate paths
   std::map<std::string, uint64_t> path_seeds_;  // PathKey -> training seed
-  std::map<std::string, std::unique_ptr<SelectionEntry>> selected_;
+  std::map<std::string, std::shared_ptr<SelectionEntry>> selected_;
   size_t models_loaded_ = 0;
 
   // RCU data plane. data_ is the published snapshot; writers clone-and-swap
@@ -607,6 +706,19 @@ class Db : public std::enable_shared_from_this<Db> {
   size_t refresh_active_ = 0;
   bool refresh_stop_ = false;
   std::vector<std::thread> refresh_threads_;
+  // Fake clock for backoff tests; read/written under refresh_mu_.
+  std::function<void(uint64_t)> refresh_backoff_hook_;
+
+  // Per-path circuit breakers. breaker_mu_ is a leaf mutex (never held
+  // while taking any other Db mutex); breakers_open_ mirrors the map's
+  // open count as an atomic so health checks stay lock-free.
+  mutable std::mutex breaker_mu_;
+  struct BreakerState {
+    uint64_t consecutive_failures = 0;
+    bool open = false;
+    std::chrono::steady_clock::time_point open_until{};
+  };
+  std::map<std::string, BreakerState> breakers_;
 
   mutable std::mutex stats_mu_;
   double total_train_seconds_ = 0.0;
@@ -615,7 +727,14 @@ class Db : public std::enable_shared_from_this<Db> {
   std::atomic<uint64_t> tables_updated_{0};
   std::atomic<uint64_t> models_refreshed_{0};
   std::atomic<uint64_t> refresh_failures_{0};
+  std::atomic<uint64_t> refresh_retries_{0};
   std::atomic<uint64_t> generations_retired_{0};
+  std::atomic<uint64_t> breaker_open_total_{0};
+  std::atomic<uint64_t> breakers_open_{0};
+  std::atomic<uint64_t> refresh_failure_streak_{0};
+  // SaveModels is const; the failure accounting is observational state.
+  mutable std::atomic<uint64_t> save_failures_{0};
+  mutable std::atomic<uint64_t> save_failure_streak_{0};
 
   // Aggregated query accounting (guarded by query_stats_mu_; queries touch
   // it exactly once, at completion).

@@ -150,6 +150,24 @@ void PrometheusRenderer::AddDbStats(const std::string& labels,
   Counter("restore_generations_retired_total",
           "Model generations superseded by a hot swap.", labels,
           static_cast<double>(stats.generations_retired));
+  Counter("restore_refresh_retries_total",
+          "Retrain retries after a transient failure (exponential backoff).",
+          labels, static_cast<double>(stats.refresh_retries));
+  Counter("restore_breaker_open_total",
+          "Times a path's circuit breaker opened after consecutive training "
+          "failures.",
+          labels, static_cast<double>(stats.breaker_open_total));
+  Gauge("restore_breakers_open",
+        "Paths whose circuit breaker is open right now (serving their last "
+        "good generation, or failing fast with no generation).",
+        labels, static_cast<double>(stats.breakers_open));
+  Gauge("restore_refresh_failure_streak",
+        "Consecutive background retrain failures since the last success.",
+        labels, static_cast<double>(stats.refresh_failure_streak));
+  Counter("restore_save_failures_total",
+          "SaveModels calls that failed (the previous committed generation "
+          "stays loadable).",
+          labels, static_cast<double>(stats.save_failures));
   Gauge("restore_db_epoch", "Data/model visibility epoch (0 = frozen Db).",
         labels, static_cast<double>(stats.epoch));
 }
@@ -166,6 +184,10 @@ void PrometheusRenderer::AddDbFreshness(const std::string& labels,
     Gauge("restore_model_generation",
           "Generation number of the serving model for a path.", path_labels,
           static_cast<double>(info.generation));
+    Gauge("restore_model_breaker_open",
+          "1 when the path's circuit breaker is open (retrains fail fast; "
+          "the last good generation keeps serving).",
+          path_labels, info.breaker_open ? 1.0 : 0.0);
     // Models restored from a pre-v4 manifest have no training reference to
     // score against — they emit no drift samples rather than a fake zero.
     if (info.drift_available) {

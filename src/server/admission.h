@@ -1,33 +1,54 @@
 #ifndef RESTORE_SERVER_ADMISSION_H_
 #define RESTORE_SERVER_ADMISSION_H_
 
-// Admission control for the serving layer: a lock-free bounded in-flight
-// counter. The server sheds load with HTTP 503 the moment a bound is hit
-// instead of queueing unboundedly — a shed request costs one atomic CAS and
-// never touches a Session, so overload degrades throughput gracefully
-// rather than latency catastrophically.
+// Admission control for the serving layer, in two modes:
+//
+//  - SHED (queue_depth == 0): a lock-free bounded in-flight counter. The
+//    server sheds load with HTTP 503 the moment a bound is hit — a shed
+//    request costs one atomic CAS and never touches a Session, so overload
+//    degrades throughput gracefully rather than latency catastrophically.
+//  - QUEUE (queue_depth > 0): a bounded FIFO of waiters rides in front of
+//    the same in-flight bound. A request arriving over the bound parks for
+//    up to a configured wait; a released slot is HANDED to the head waiter
+//    (FIFO, no herd), and a waiter that outlives its budget — or arrives to
+//    a full queue — is shed. Short bursts absorb instead of 503ing, while
+//    both the memory (queue depth) and the latency (wait budget) stay
+//    bounded.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 
 namespace restore {
 namespace server {
 
 /// Bounds concurrently admitted work. TryAcquire/Release pairs guard one
 /// unit (a query in flight, a connection); counters expose totals for
-/// /metrics. Thread-safe; all operations are wait-free.
+/// /metrics. Thread-safe; shed-mode operations are wait-free.
 class AdmissionController {
  public:
+  enum class Outcome {
+    kAdmitted,
+    kShed,      // bound hit and queue full (or shed mode)
+    kTimedOut,  // queued, but no slot freed within the wait budget
+  };
+
   /// `max_inflight` == 0 means unbounded (TryAcquire always succeeds).
-  explicit AdmissionController(size_t max_inflight)
-      : max_inflight_(max_inflight) {}
+  /// `queue_depth` > 0 enables queue mode for AcquireQueued callers.
+  explicit AdmissionController(size_t max_inflight, size_t queue_depth = 0)
+      : max_inflight_(max_inflight), queue_depth_(queue_depth) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
   /// Admits one unit unless the bound is reached. On refusal the shed
-  /// counter is bumped and nothing needs releasing.
+  /// counter is bumped and nothing needs releasing. Bypasses the FIFO —
+  /// callers of a queue-mode controller should use AcquireQueued instead.
   bool TryAcquire() {
     if (max_inflight_ == 0) {
       inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -49,10 +70,63 @@ class AdmissionController {
     }
   }
 
-  /// Releases one previously admitted unit.
-  void Release() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+  /// Queue-mode admission: admit immediately when under the bound (and no
+  /// earlier waiter is parked), otherwise wait in FIFO order for up to
+  /// `max_wait` for a released slot. Falls back to TryAcquire semantics
+  /// when queue mode is off or the controller is unbounded.
+  Outcome AcquireQueued(std::chrono::milliseconds max_wait) {
+    if (max_inflight_ == 0 || queue_depth_ == 0) {
+      return TryAcquire() ? Outcome::kAdmitted : Outcome::kShed;
+    }
+    std::unique_lock<std::mutex> lock(qmu_);
+    if (waiters_.empty() &&
+        inflight_.load(std::memory_order_relaxed) < max_inflight_) {
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kAdmitted;
+    }
+    if (waiters_.size() >= queue_depth_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kShed;
+    }
+    QueuedWaiter self;
+    waiters_.push_back(&self);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    queued_now_.fetch_add(1, std::memory_order_relaxed);
+    const bool granted =
+        self.cv.wait_for(lock, max_wait, [&] { return self.granted; });
+    queued_now_.fetch_sub(1, std::memory_order_relaxed);
+    if (granted) {
+      // Release handed us its slot: inflight_ is already accounted for.
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kAdmitted;
+    }
+    // Timed out. The predicate above re-ran under qmu_, so a concurrent
+    // grant either landed (handled above) or still sees us parked here —
+    // remove ourselves before any Release can hand us a slot.
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
+    queue_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kTimedOut;
+  }
+
+  /// Releases one previously admitted unit. In queue mode the slot is
+  /// transferred to the head waiter, if any, instead of being freed.
+  void Release() {
+    if (queue_depth_ > 0 && max_inflight_ > 0) {
+      std::lock_guard<std::mutex> lock(qmu_);
+      if (!waiters_.empty()) {
+        QueuedWaiter* head = waiters_.front();
+        waiters_.pop_front();
+        head->granted = true;
+        head->cv.notify_one();
+        return;  // slot handed over, inflight_ unchanged
+      }
+    }
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 
   size_t max_inflight() const { return max_inflight_; }
+  size_t queue_depth() const { return queue_depth_; }
   size_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
   }
@@ -60,12 +134,32 @@ class AdmissionController {
     return admitted_.load(std::memory_order_relaxed);
   }
   uint64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t queued_total() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+  uint64_t queue_timeouts() const {
+    return queue_timeouts_.load(std::memory_order_relaxed);
+  }
+  size_t queued_now() const {
+    return queued_now_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct QueuedWaiter {
+    std::condition_variable cv;
+    bool granted = false;  // guarded by qmu_
+  };
+
   const size_t max_inflight_;
+  const size_t queue_depth_;
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> queue_timeouts_{0};
+  std::atomic<size_t> queued_now_{0};
+  std::mutex qmu_;                      // guards waiters_ and grant handoff
+  std::deque<QueuedWaiter*> waiters_;  // FIFO of parked AcquireQueued calls
 };
 
 /// RAII holder of one admission unit.

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "restore/stats_prometheus.h"
 #include "server/http.h"
 
@@ -40,6 +41,7 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kDeadlineExceeded:
       return 504;
     case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
       return 503;
     case StatusCode::kInvalidArgument:
     case StatusCode::kParseError:
@@ -57,10 +59,18 @@ std::string ErrorBody(const std::string& code, const std::string& message) {
 }
 
 std::string ErrorResponse(const Status& status, bool keep_alive) {
-  return BuildResponse(HttpStatusFor(status), "application/json",
+  const int http_status = HttpStatusFor(status);
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (http_status == 503) {
+    // Overload and open breakers are transient by construction (bounded
+    // queue wait, bounded breaker window): tell well-behaved clients when
+    // to come back instead of letting them hammer the shed path.
+    headers.emplace_back("Retry-After", "1");
+  }
+  return BuildResponse(http_status, "application/json",
                        ErrorBody(StatusCodeName(status.code()),
                                  status.message()),
-                       keep_alive);
+                       keep_alive, headers);
 }
 
 void AppendJsonStringArray(std::string* out,
@@ -165,7 +175,11 @@ std::string ModelInfoJson(const ModelInfo& info) {
                               : ",\"drift_available\":false";
   out += ",\"drift_ks\":" + JsonNumber(info.drift_ks);
   out += ",\"drift_psi\":" + JsonNumber(info.drift_psi);
-  out += ",\"drift_column\":\"" + JsonEscape(info.drift_column) + "\"}";
+  out += ",\"drift_column\":\"" + JsonEscape(info.drift_column) + "\"";
+  out += info.breaker_open ? ",\"breaker_open\":true"
+                           : ",\"breaker_open\":false";
+  out += ",\"consecutive_failures\":" +
+         std::to_string(info.consecutive_failures) + "}";
   return out;
 }
 
@@ -296,6 +310,11 @@ struct HttpServer::Connection
   void HandleReadable() {
     char buf[16 * 1024];
     while (state == State::kReading) {
+      if (FaultInjection::Enabled() &&
+          !FaultInjection::Fire("server.read").ok()) {
+        Abort();  // injected socket-level read failure
+        return;
+      }
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n > 0) {
         const auto parse_state =
@@ -341,6 +360,11 @@ struct HttpServer::Connection
 
   void HandleWritable() {
     while (!out.empty()) {
+      if (FaultInjection::Enabled() &&
+          !FaultInjection::Fire("server.write").ok()) {
+        Abort();  // injected socket-level write failure
+        return;
+      }
       const ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
       if (n > 0) {
         out.erase(0, static_cast<size_t>(n));
@@ -419,6 +443,14 @@ class HttpServer::Acceptor : public EventLoop::Handler {
       if (fd < 0) {
         if (errno == EINTR) continue;
         return;  // EAGAIN (drained) or the listen fd went away during Stop
+      }
+      if (FaultInjection::Enabled() &&
+          !FaultInjection::Fire("server.accept").ok()) {
+        // Injected accept failure: the client sees a reset, the server
+        // keeps accepting — exactly how a transient accept error degrades.
+        ::close(fd);
+        server_->connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
       if (server_->connections_active_.load(std::memory_order_relaxed) >=
           server_->config_.max_connections) {
@@ -502,7 +534,8 @@ class HttpServer::WorkerPool {
 HttpServer::HttpServer(const TenantRegistry* tenants, ServerConfig config)
     : tenants_(tenants),
       config_(std::move(config)),
-      query_admission_(config_.max_inflight_queries) {
+      query_admission_(config_.max_inflight_queries,
+                       config_.admission_queue_depth) {
   if (config_.event_threads == 0) config_.event_threads = 1;
   if (config_.query_threads == 0) config_.query_threads = 1;
 }
@@ -650,7 +683,34 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
   conn->current_keep_alive = keep_alive;
 
   if (path == "/healthz") {
-    conn->SendResponse(BuildResponse(200, "text/plain", "ok\n", keep_alive),
+    // Still 200 while degraded — the process is alive and answering (stale
+    // generations keep serving); the body names what is limping so probes
+    // and smoke tests can tell "healthy" from "degraded but up". The
+    // healthy body stays exactly "ok\n".
+    std::string reasons;
+    const auto add_reason = [&reasons](const std::string& r) {
+      if (!reasons.empty()) reasons += ", ";
+      reasons += r;
+    };
+    for (const auto& tenant : tenants_->tenants()) {
+      const std::shared_ptr<Db>& db = tenant->db();
+      if (db->breakers_open() > 0) {
+        add_reason("breakers_open(" + tenant->name() + ")");
+      }
+      if (db->refresh_failure_streak() > 0) {
+        add_reason("refresh_failures(" + tenant->name() + ")");
+      }
+      if (db->save_failure_streak() > 0) {
+        add_reason("save_failures(" + tenant->name() + ")");
+      }
+    }
+    if (config_.admission_queue_depth > 0 &&
+        query_admission_.queued_now() >= config_.admission_queue_depth) {
+      add_reason("admission_queue_saturated");
+    }
+    const std::string body =
+        reasons.empty() ? "ok\n" : "degraded: " + reasons + "\n";
+    conn->SendResponse(BuildResponse(200, "text/plain", body, keep_alive),
                        keep_alive);
     return;
   }
@@ -726,17 +786,23 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
 
     // Ingestion shares the query admission bounds: it occupies a worker and
     // serializes on the writer lock, so unbounded ingest bursts would starve
-    // queries exactly like unbounded queries would.
-    if (!query_admission_.TryAcquire()) {
-      conn->SendResponse(
-          BuildResponse(503, "application/json",
-                        ErrorBody("ResourceExhausted",
-                                  "server query capacity exhausted"),
-                        keep_alive),
-          keep_alive);
-      return;
+    // queries exactly like unbounded queries would. In queue mode admission
+    // moves to the worker (AcquireQueued blocks; event threads never do),
+    // so both slots stay empty here and the worker fills them.
+    const bool queue_mode = config_.admission_queue_depth > 0;
+    AdmissionSlot global_slot;
+    AdmissionSlot tenant_slot;
+    if (!queue_mode) {
+      if (!query_admission_.TryAcquire()) {
+        conn->SendResponse(
+            ErrorResponse(Status::ResourceExhausted(
+                              "server query capacity exhausted"),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+      global_slot = AdmissionSlot(&query_admission_);
     }
-    AdmissionSlot global_slot(&query_admission_);
     std::shared_ptr<Tenant> tenant = tenants_->Resolve(tenant_name);
     if (tenant == nullptr) {
       conn->SendResponse(
@@ -747,18 +813,19 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
           keep_alive);
       return;
     }
-    if (!tenant->admission().TryAcquire()) {
-      tenant_shed_.fetch_add(1, std::memory_order_relaxed);
-      conn->SendResponse(
-          BuildResponse(503, "application/json",
-                        ErrorBody("ResourceExhausted",
-                                  "tenant '" + tenant->name() +
-                                      "' query quota exhausted"),
-                        keep_alive),
-          keep_alive);
-      return;
+    if (!queue_mode) {
+      if (!tenant->admission().TryAcquire()) {
+        tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+        conn->SendResponse(
+            ErrorResponse(Status::ResourceExhausted(
+                              "tenant '" + tenant->name() +
+                              "' query quota exhausted"),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+      tenant_slot = AdmissionSlot(&tenant->admission());
     }
-    AdmissionSlot tenant_slot(&tenant->admission());
 
     // No cancellation bridge for ingestion: once admitted, an append either
     // fully publishes or fully fails — a disconnect must not abort it
@@ -818,16 +885,22 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
 
     // Admission control: server-wide bound first, then the tenant quota.
     // Shedding answers 503 from the event thread — no Session, no worker.
-    if (!query_admission_.TryAcquire()) {
-      conn->SendResponse(
-          BuildResponse(503, "application/json",
-                        ErrorBody("ResourceExhausted",
-                                  "server query capacity exhausted"),
-                        keep_alive),
-          keep_alive);
-      return;
+    // Queue mode defers admission to the worker instead (AcquireQueued
+    // parks there with a bounded wait; event threads must never block).
+    const bool queue_mode = config_.admission_queue_depth > 0;
+    AdmissionSlot global_slot;
+    AdmissionSlot tenant_slot;
+    if (!queue_mode) {
+      if (!query_admission_.TryAcquire()) {
+        conn->SendResponse(
+            ErrorResponse(Status::ResourceExhausted(
+                              "server query capacity exhausted"),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+      global_slot = AdmissionSlot(&query_admission_);
     }
-    AdmissionSlot global_slot(&query_admission_);
     std::shared_ptr<Tenant> tenant = tenants_->Resolve(tenant_name);
     if (tenant == nullptr) {
       conn->SendResponse(
@@ -838,18 +911,19 @@ void HttpServer::Dispatch(std::shared_ptr<Connection> conn) {
           keep_alive);
       return;
     }
-    if (!tenant->admission().TryAcquire()) {
-      tenant_shed_.fetch_add(1, std::memory_order_relaxed);
-      conn->SendResponse(
-          BuildResponse(503, "application/json",
-                        ErrorBody("ResourceExhausted",
-                                  "tenant '" + tenant->name() +
-                                      "' query quota exhausted"),
-                        keep_alive),
-          keep_alive);
-      return;
+    if (!queue_mode) {
+      if (!tenant->admission().TryAcquire()) {
+        tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+        conn->SendResponse(
+            ErrorResponse(Status::ResourceExhausted(
+                              "tenant '" + tenant->name() +
+                              "' query quota exhausted"),
+                          keep_alive),
+            keep_alive);
+        return;
+      }
+      tenant_slot = AdmissionSlot(&tenant->admission());
     }
-    AdmissionSlot tenant_slot(&tenant->admission());
 
     conn->inflight_cancel = CancellationToken::Cancellable();
     conn->state = Connection::State::kProcessing;
@@ -886,6 +960,40 @@ void HttpServer::SubmitQuery(std::shared_ptr<Connection> conn,
 
   workers_->Submit([this, conn, tenant, sql = std::move(sql), slots,
                     deadline, keep_alive, batch_rows] {
+    // Queue-mode admission happens HERE, on the worker: the request parks
+    // in the controller's FIFO for up to the configured wait, so bursts
+    // absorb instead of 503ing, while the event threads stay non-blocking.
+    if (config_.admission_queue_depth > 0 && !slots->global.held()) {
+      Status denied = Status::OK();
+      const AdmissionController::Outcome outcome =
+          query_admission_.AcquireQueued(
+              std::chrono::milliseconds(config_.admission_queue_wait_ms));
+      if (outcome == AdmissionController::Outcome::kAdmitted) {
+        slots->global = AdmissionSlot(&query_admission_);
+        if (tenant->admission().TryAcquire()) {
+          slots->tenant = AdmissionSlot(&tenant->admission());
+        } else {
+          tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+          slots->global.Release();
+          denied = Status::ResourceExhausted(
+              "tenant '" + tenant->name() + "' query quota exhausted");
+        }
+      } else {
+        denied = Status::Unavailable(
+            outcome == AdmissionController::Outcome::kTimedOut
+                ? "admission queue wait exceeded; retry later"
+                : "admission queue full; retry later");
+      }
+      if (!denied.ok()) {
+        auto bytes = std::make_shared<std::string>(
+            ErrorResponse(denied, keep_alive));
+        EventLoop* loop = conn->loop;
+        loop->Post([conn, bytes, keep_alive] {
+          conn->CompleteRequest(std::move(*bytes), keep_alive);
+        });
+        return;
+      }
+    }
     std::function<void()> hook;
     {
       std::lock_guard<std::mutex> lock(hook_mu_);
@@ -926,8 +1034,41 @@ void HttpServer::SubmitIngest(std::shared_ptr<Connection> conn,
   slots->tenant = std::move(tenant_slot);
   const bool keep_alive = conn->current_keep_alive;
 
-  workers_->Submit([conn, tenant, table = std::move(table),
+  workers_->Submit([this, conn, tenant, table = std::move(table),
                     body = std::move(body), slots, keep_alive] {
+    // Same worker-side queued admission as SubmitQuery: ingest shares the
+    // query bounds, so it must also share the queue.
+    if (config_.admission_queue_depth > 0 && !slots->global.held()) {
+      Status denied = Status::OK();
+      const AdmissionController::Outcome outcome =
+          query_admission_.AcquireQueued(
+              std::chrono::milliseconds(config_.admission_queue_wait_ms));
+      if (outcome == AdmissionController::Outcome::kAdmitted) {
+        slots->global = AdmissionSlot(&query_admission_);
+        if (tenant->admission().TryAcquire()) {
+          slots->tenant = AdmissionSlot(&tenant->admission());
+        } else {
+          tenant_shed_.fetch_add(1, std::memory_order_relaxed);
+          slots->global.Release();
+          denied = Status::ResourceExhausted(
+              "tenant '" + tenant->name() + "' query quota exhausted");
+        }
+      } else {
+        denied = Status::Unavailable(
+            outcome == AdmissionController::Outcome::kTimedOut
+                ? "admission queue wait exceeded; retry later"
+                : "admission queue full; retry later");
+      }
+      if (!denied.ok()) {
+        auto bytes = std::make_shared<std::string>(
+            ErrorResponse(denied, keep_alive));
+        EventLoop* loop = conn->loop;
+        loop->Post([conn, bytes, keep_alive] {
+          conn->CompleteRequest(std::move(*bytes), keep_alive);
+        });
+        return;
+      }
+    }
     std::string response = [&]() -> std::string {
       JsonValue doc;
       std::string parse_error;
@@ -1022,6 +1163,8 @@ HttpServerStats HttpServer::stats() const {
   s.queries_shed_tenant = tenant_shed_.load(std::memory_order_relaxed);
   s.queries_inflight = query_admission_.inflight();
   s.disconnect_cancels = disconnect_cancels_.load(std::memory_order_relaxed);
+  s.admission_queued = query_admission_.queued_total();
+  s.admission_queue_timeouts = query_admission_.queue_timeouts();
   return s;
 }
 
@@ -1059,6 +1202,16 @@ std::string HttpServer::RenderMetrics() const {
               "In-flight queries cancelled because their client "
               "disconnected.",
               "", static_cast<double>(s.disconnect_cancels));
+  out.Counter("restore_server_admission_queued_total",
+              "Requests that parked in the admission queue.", "",
+              static_cast<double>(s.admission_queued));
+  out.Counter("restore_server_admission_queue_timeouts_total",
+              "Queued requests shed because no slot freed within the wait "
+              "budget.",
+              "", static_cast<double>(s.admission_queue_timeouts));
+  out.Gauge("restore_server_admission_queued_now",
+            "Requests parked in the admission queue right now.", "",
+            static_cast<double>(query_admission_.queued_now()));
 
   for (const auto& tenant : tenants_->tenants()) {
     const std::string label = PrometheusLabel("tenant", tenant->name());

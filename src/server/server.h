@@ -61,6 +61,15 @@ struct ServerConfig {
   /// Server-wide bound on queries in flight; exceeding it sheds with 503.
   size_t max_inflight_queries = 64;
 
+  /// Queue-mode admission: when > 0, a request over max_inflight_queries
+  /// parks in a bounded FIFO (this deep) instead of shedding immediately,
+  /// and is shed with 503 + Retry-After only when the queue is full or no
+  /// slot frees within admission_queue_wait_ms. 0 keeps pure shed mode.
+  /// Queue mode needs query_threads > the number of workers a test (or
+  /// workload) can block, since waiters park on a worker thread.
+  size_t admission_queue_depth = 0;
+  uint64_t admission_queue_wait_ms = 100;
+
   /// Bound on open connections; beyond it, accepted sockets are closed
   /// immediately (counted in stats().connections_shed).
   size_t max_connections = 4096;
@@ -85,6 +94,8 @@ struct HttpServerStats {
   uint64_t queries_shed_tenant = 0;   // 503: tenant quota
   uint64_t queries_inflight = 0;
   uint64_t disconnect_cancels = 0;    // client gone -> RequestCancel
+  uint64_t admission_queued = 0;        // requests that parked in the queue
+  uint64_t admission_queue_timeouts = 0;  // parked, then shed on timeout
 };
 
 class HttpServer {

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/serialize.h"
 #include "datagen/incompleteness.h"
 #include "datagen/synthetic.h"
@@ -977,6 +978,77 @@ TEST(IngestionTest, StaleBaseIsRecoveredFromDiskMetadata) {
     }
   }
   EXPECT_TRUE(saw_stale);
+}
+
+// A path whose initial training fails must be revivable — by new data and,
+// once the circuit breaker opens, by the half-open probe — and a concurrent
+// probe herd must collapse to exactly one retraining. Driven end to end with
+// injected training faults: fail, revive via Append, fail again (breaker
+// opens), fail fast while open, then a 16-thread hammer past the open window
+// that trains exactly once.
+TEST(IngestionTest, FailedTrainingRevivesAndProbeHerdTrainsOnce) {
+  FaultInjection::Instance().Reset();
+  Database incomplete = MakeIncompleteSynthetic(701);
+  RefreshPolicy policy;
+  policy.breaker_failure_threshold = 2;
+  policy.breaker_open_ms = 200;
+  auto db = Db::Open(&incomplete, Annotation(),
+                     DbOptions().WithEngine(FastConfig()).WithRefreshPolicy(
+                         policy));
+  ASSERT_TRUE(db.ok()) << db.status();
+  const std::vector<std::string> path = {"table_a", "table_b"};
+
+  // Failure 1: first-touch training aborts on the injected fault, and the
+  // once-latch caches that failure for the data the caller pinned.
+  FaultInjection::Instance().Arm("train.path", FaultPolicy::FailFirst(2));
+  Status first = (*db)->ModelForPath(path).status();
+  EXPECT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("train.path"), std::string::npos) << first;
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), 1u);
+  // Replaying the cached failure is not a new training attempt.
+  EXPECT_FALSE((*db)->ModelForPath(path).ok());
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), 1u);
+
+  // New data revives the path (fresh latch) — but training fails again and
+  // the second consecutive failure opens the breaker.
+  ASSERT_TRUE((*db)->Append("table_b", MakeRows(3, 930000, "x")).ok());
+  Status second = (*db)->ModelForPath(path).status();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), 2u);
+  EXPECT_EQ((*db)->stats().breaker_open_total, 1u);
+  EXPECT_EQ((*db)->breakers_open(), 1u);
+
+  // While open: fail fast with kUnavailable and no training attempt, even
+  // after another revival-eligible ingest.
+  ASSERT_TRUE((*db)->Append("table_b", MakeRows(3, 940000, "x")).ok());
+  Status open = (*db)->ModelForPath(path).status();
+  EXPECT_TRUE(open.IsUnavailable()) << open;
+  EXPECT_NE(open.message().find("circuit breaker"), std::string::npos) << open;
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), 2u);
+
+  // Past the open window the breaker half-opens. Hammer it from 16 threads:
+  // the probe revives the entry with a fresh latch, the latch collapses the
+  // herd, and the one training that runs succeeds (the fault is exhausted).
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      if ((*db)->ModelForPath(path).ok()) {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 16);
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), 3u);
+  EXPECT_EQ((*db)->breakers_open(), 0u);
+  EXPECT_EQ((*db)->stats().breaker_open_total, 1u);
+
+  // And the path keeps answering real queries afterwards.
+  EXPECT_TRUE((*db)->ExecuteCompletedSql(kJoinCount).ok());
+  FaultInjection::Instance().Reset();
 }
 
 }  // namespace

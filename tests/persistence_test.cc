@@ -285,7 +285,7 @@ TEST(PersistenceTest, CorruptedModelFileIsRejected) {
   auto gen_dir = CurrentModelGenerationDir(dir);
   ASSERT_TRUE(gen_dir.ok()) << gen_dir.status();
   auto manifest = ReadChecksummedFile(*gen_dir + "/restore_models.manifest",
-                                      0x4d545352, 4);
+                                      kManifestMagic, kManifestVersion);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
   r.U64();  // engine-config fingerprint
@@ -328,7 +328,7 @@ TEST(PersistenceTest, TruncatedModelFileIsRejected) {
   auto gen_dir = CurrentModelGenerationDir(dir);
   ASSERT_TRUE(gen_dir.ok()) << gen_dir.status();
   auto manifest = ReadChecksummedFile(*gen_dir + "/restore_models.manifest",
-                                      0x4d545352, 4);
+                                      kManifestMagic, kManifestVersion);
   ASSERT_TRUE(manifest.ok());
   BinaryReader r(std::move(manifest).value());
   r.U64();  // engine-config fingerprint
@@ -374,9 +374,10 @@ TEST(PersistenceTest, PreDriftV3ManifestStillLoads) {
   ASSERT_TRUE(gen_dir.ok()) << gen_dir.status();
   const std::string manifest_path = *gen_dir + "/restore_models.manifest";
   uint32_t version = 0;
-  auto payload = ReadChecksummedFile(manifest_path, 0x4d545352, 4, &version);
+  auto payload = ReadChecksummedFile(manifest_path, kManifestMagic,
+                                    kManifestVersion, &version);
   ASSERT_TRUE(payload.ok()) << payload.status();
-  ASSERT_EQ(version, 4u);
+  ASSERT_EQ(version, kManifestVersion);
 
   BinaryReader r(std::move(payload).value());
   BinaryWriter w;
@@ -406,7 +407,8 @@ TEST(PersistenceTest, PreDriftV3ManifestStillLoads) {
   ASSERT_TRUE(r.status().ok()) << r.status();
   ASSERT_TRUE(r.AtEnd());
   ASSERT_TRUE(
-      WriteChecksummedFileAtomic(manifest_path, 0x4d545352, 3, w.buffer())
+      WriteChecksummedFileAtomic(manifest_path, kManifestMagic,
+                                 kManifestVersion - 1, w.buffer())
           .ok());
 
   auto reopened = Db::Open(&incomplete, Annotation(),

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "datagen/setups.h"
 #include "restore/db.h"
@@ -46,7 +47,8 @@ EngineConfig FastConfig() {
   return config;
 }
 
-std::shared_ptr<Db> OpenHousing(uint64_t seed) {
+std::shared_ptr<Db> OpenHousing(uint64_t seed,
+                                RefreshPolicy policy = RefreshPolicy()) {
   auto complete = BuildCompleteDatabase("housing", seed, 0.25);
   EXPECT_TRUE(complete.ok());
   auto setup = SetupByName("H1");
@@ -57,7 +59,8 @@ std::shared_ptr<Db> OpenHousing(uint64_t seed) {
   static std::vector<std::unique_ptr<Database>> databases;
   databases.push_back(std::make_unique<Database>(std::move(*incomplete)));
   auto db = Db::Open(databases.back().get(), AnnotationFor(*setup),
-                     DbOptions().WithEngine(FastConfig()));
+                     DbOptions().WithEngine(FastConfig()).WithRefreshPolicy(
+                         policy));
   EXPECT_TRUE(db.ok()) << db.status();
   return *db;
 }
@@ -713,6 +716,129 @@ TEST(HttpServerTest, ModelsEndpointRendersFreshness) {
             404);
   EXPECT_EQ(RoundTrip(fd, RequestText("POST", "/v1/models", "x")).status, 405);
   ::close(fd);
+}
+
+TEST(HttpServerTest, QueueModeAdmitsQueuedRequestWhenSlotFrees) {
+  ServerConfig config;
+  config.max_inflight_queries = 1;
+  config.admission_queue_depth = 4;
+  config.admission_queue_wait_ms = 5000;
+  config.query_threads = 2;
+  TestServer server(config);
+  auto gate = std::make_shared<HookGate>();
+  server.http->set_test_pre_query_hook([gate] { gate->Block(); });
+
+  // Fill the single slot; the hook holds the query on a worker.
+  const int fd1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(fd1, RequestText("POST", "/v1/query",
+                                       kCompleteTableSql)));
+  ASSERT_TRUE(gate->WaitForEntered(1));
+
+  // The second query parks in the admission FIFO instead of being shed.
+  const int fd2 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(fd2, RequestText("POST", "/v1/query",
+                                       kCompleteTableSql)));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.http->stats().admission_queued >= 1; }));
+  EXPECT_EQ(server.http->stats().queries_shed_global, 0u);
+
+  // Releasing the first query hands its slot to the queued waiter.
+  gate->Open();
+  ClientResponse r1, r2;
+  EXPECT_TRUE(ReadResponse(fd1, &r1));
+  EXPECT_TRUE(ReadResponse(fd2, &r2));
+  EXPECT_EQ(r1.status, 200);
+  EXPECT_EQ(r2.status, 200);
+  EXPECT_EQ(server.http->stats().admission_queue_timeouts, 0u);
+  EXPECT_TRUE(WaitFor(
+      [&] { return server.http->stats().queries_inflight == 0; }));
+  ::close(fd1);
+  ::close(fd2);
+}
+
+TEST(HttpServerTest, QueueModeTimeoutAnswers503WithRetryAfter) {
+  ServerConfig config;
+  config.max_inflight_queries = 1;
+  config.admission_queue_depth = 2;
+  config.admission_queue_wait_ms = 100;
+  config.query_threads = 2;
+  TestServer server(config);
+  auto gate = std::make_shared<HookGate>();
+  server.http->set_test_pre_query_hook([gate] { gate->Block(); });
+
+  const int fd1 = ConnectTo(server.port());
+  ASSERT_TRUE(SendAll(fd1, RequestText("POST", "/v1/query",
+                                       kCompleteTableSql)));
+  ASSERT_TRUE(gate->WaitForEntered(1));
+
+  // The queued request outlives its bounded wait: deterministic 503 with a
+  // Retry-After hint, while the in-flight query is untouched.
+  const int fd2 = ConnectTo(server.port());
+  auto timed_out = RoundTrip(fd2, RequestText("POST", "/v1/query",
+                                              kCompleteTableSql));
+  EXPECT_EQ(timed_out.status, 503);
+  EXPECT_TRUE(timed_out.HasHeader("Retry-After: 1")) << timed_out.headers;
+  EXPECT_NE(timed_out.body.find("admission queue wait exceeded"),
+            std::string::npos)
+      << timed_out.body;
+  EXPECT_EQ(server.http->stats().admission_queue_timeouts, 1u);
+  EXPECT_GE(server.http->stats().admission_queued, 1u);
+
+  gate->Open();
+  ClientResponse r1;
+  EXPECT_TRUE(ReadResponse(fd1, &r1));
+  EXPECT_EQ(r1.status, 200);
+  ::close(fd1);
+  ::close(fd2);
+}
+
+TEST(HttpServerTest, OpenBreakerAnswers503WithRetryAfterAndDegradedHealthz) {
+  // Dedicated Db: the injected training failure must not poison the shared
+  // fixture's model cache for later tests.
+  FaultInjection::Instance().Reset();
+  RefreshPolicy policy;
+  policy.breaker_failure_threshold = 1;
+  policy.breaker_open_ms = 60000;  // stays open for the whole test
+  TenantRegistry tenants;
+  ASSERT_TRUE(tenants.Add("h1", OpenHousing(9100, policy)).ok());
+  ServerConfig config;
+  config.port = 0;
+  HttpServer http(&tenants, config);
+  ASSERT_TRUE(http.Start().ok());
+  const int fd = ConnectTo(http.port());
+  // apartment is incomplete under H1, so this query needs a model.
+  const std::string model_sql =
+      "SELECT COUNT(*) FROM apartment GROUP BY room_type;";
+
+  // First query: one candidate's training aborts on the injected fault, so
+  // path selection fails -> 500, and the failure trips that path's breaker.
+  FaultInjection::Instance().Arm("train.path", FaultPolicy::FailFirst(1));
+  auto failed = RoundTrip(fd, RequestText("POST", "/v1/query", model_sql));
+  EXPECT_EQ(failed.status, 500) << failed.body;
+  const uint64_t attempts = FaultInjection::Instance().hits("train.path");
+  EXPECT_GE(attempts, 1u);
+
+  // Second query: selection retries (failures are never cached there), hits
+  // the open breaker, and the Db fails fast with kUnavailable -> 503 +
+  // Retry-After — without a single new training attempt.
+  auto unavailable = RoundTrip(fd, RequestText("POST", "/v1/query",
+                                               model_sql));
+  EXPECT_EQ(unavailable.status, 503) << unavailable.body;
+  EXPECT_TRUE(unavailable.HasHeader("Retry-After: 1")) << unavailable.headers;
+  EXPECT_NE(unavailable.body.find("circuit breaker"), std::string::npos)
+      << unavailable.body;
+  EXPECT_EQ(FaultInjection::Instance().hits("train.path"), attempts);
+
+  // /healthz degrades (still HTTP 200: the process is up and serving).
+  auto health = RoundTrip(fd, RequestText("GET", "/healthz", ""));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("degraded"), std::string::npos) << health.body;
+  EXPECT_NE(health.body.find("breakers_open(h1)"), std::string::npos)
+      << health.body;
+
+  ::close(fd);
+  http.Stop();
+  FaultInjection::Instance().Reset();
 }
 
 TEST(HttpServerTest, StartFailsCleanlyOnBadAddress) {
